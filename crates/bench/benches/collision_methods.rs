@@ -1,0 +1,35 @@
+//! Benchmark: the two `Coll(S, A, L)` computations — the paper's primary
+//! closed form vs the stable tail series (§5.3's "alternate procedure").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhe_model::ahh::{collisions, collisions_primary, collisions_tail};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collision_computation");
+
+    // A regime where both forms are fine (small unified cache).
+    let (u_hot, s_hot, a_hot) = (20_000.0f64, 128u32, 2u32);
+    g.bench_function("primary_hot_regime", |b| {
+        b.iter(|| collisions_primary(u_hot, s_hot, a_hot))
+    });
+    g.bench_function("tail_hot_regime", |b| {
+        b.iter(|| collisions_tail(u_hot, s_hot, a_hot))
+    });
+
+    // A cancellation regime (large cache, small footprint): the tail series
+    // is the only accurate option; measure what the stability costs.
+    let (u_cold, s_cold, a_cold) = (2_000.0f64, 4096u32, 8u32);
+    g.bench_function("tail_cancellation_regime", |b| {
+        b.iter(|| collisions_tail(u_cold, s_cold, a_cold))
+    });
+    g.bench_function("auto_selection", |b| {
+        b.iter(|| {
+            collisions(u_hot, s_hot, a_hot) + collisions(u_cold, s_cold, a_cold)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmark: evaluating a non-reference processor's cache misses with the
+//! dilation model vs re-simulating its trace.
+//!
+//! This is the paper's headline economics ("the total evaluation time is
+//! reduced by a factor equal to the number of VLIW processors in the design
+//! space"): once the reference evaluation exists, each extra processor's
+//! cache estimate is pure arithmetic, while the honest alternative pays
+//! trace generation + cache simulation again.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhe_cache::{Cache, CacheConfig};
+use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_trace::{StreamKind, TraceGenerator};
+use mhe_vliw::ProcessorKind;
+use mhe_workload::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let icache = CacheConfig::from_bytes(1024, 1, 32);
+    let ucache = CacheConfig::from_bytes(16 * 1024, 2, 64);
+    let events = 20_000;
+    let eval = ReferenceEvaluation::for_benchmark(
+        Benchmark::Unepic,
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events, ..EvalConfig::default() },
+        &[icache],
+        &[],
+        &[ucache],
+    );
+    let target = eval.compile_target(&ProcessorKind::P3221.mdes());
+    let d = eval.dilation_of(&ProcessorKind::P3221.mdes());
+
+    let mut g = c.benchmark_group("per_design_point_evaluation");
+    g.sample_size(20);
+
+    g.bench_function("dilation_model_estimate", |b| {
+        b.iter(|| {
+            (
+                eval.estimate_icache_misses(icache, d).unwrap(),
+                eval.estimate_ucache_misses(ucache, d).unwrap(),
+            )
+        })
+    });
+
+    g.bench_function("resimulate_target_trace", |b| {
+        b.iter(|| {
+            let mut ic = Cache::new(icache);
+            let mut uc = Cache::new(ucache);
+            for a in TraceGenerator::new(eval.program(), &target, 42).with_event_limit(events) {
+                if StreamKind::Instruction.admits(a.kind) {
+                    ic.access(a.addr);
+                }
+                uc.access(a.addr);
+            }
+            (ic.stats().misses, uc.stats().misses)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmark: single-pass multi-configuration simulation vs one direct
+//! simulation per configuration.
+//!
+//! Quantifies the paper's first efficiency pillar: "the number of
+//! simulations is reduced from the total number of caches in the design
+//! space to the number of distinct cache line sizes" — here, 8
+//! configurations sharing one line size cost roughly one pass instead of
+//! eight.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mhe_cache::{simulate, CacheConfig, SinglePassSim};
+use mhe_trace::{StreamKind, TraceGenerator};
+use mhe_vliw::{compile::Compiled, ProcessorKind};
+use mhe_workload::Benchmark;
+
+fn trace() -> Vec<u64> {
+    let program = Benchmark::Unepic.generate();
+    let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+    TraceGenerator::new(&program, &compiled, 42)
+        .with_event_limit(20_000)
+        .stream(StreamKind::Instruction)
+        .map(|a| a.addr)
+        .collect()
+}
+
+fn configs() -> Vec<CacheConfig> {
+    let mut v = Vec::new();
+    for sets in [32u32, 64, 128, 256] {
+        for assoc in [1u32, 2] {
+            v.push(CacheConfig::new(sets, assoc, 8));
+        }
+    }
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = trace();
+    let configs = configs();
+    let mut g = c.benchmark_group("single_pass_vs_direct");
+    g.sample_size(10);
+
+    g.bench_function("single_pass_8_configs_one_pass", |b| {
+        b.iter_batched(
+            || SinglePassSim::for_configs(&configs),
+            |mut sim| {
+                sim.run(trace.iter().copied());
+                sim.all_results()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("direct_8_configs_8_passes", |b| {
+        b.iter(|| {
+            configs
+                .iter()
+                .map(|&cfg| simulate(cfg, trace.iter().copied()))
+                .collect::<Vec<_>>()
+        })
+    });
+
+    g.bench_function("direct_1_config_1_pass", |b| {
+        b.iter(|| simulate(configs[0], trace.iter().copied()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

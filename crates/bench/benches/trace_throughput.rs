@@ -1,0 +1,79 @@
+//! Benchmark: throughput of the pipeline stages — trace generation, the
+//! granule trace modeler, and hierarchy simulation.
+//!
+//! These set the absolute scale of every experiment (the paper's traces ran
+//! to 1.65G references; ours are millions, but the per-reference costs are
+//! what transfer).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mhe_cache::{Hierarchy, MemoryDesign, Penalties};
+use mhe_cache::CacheConfig;
+use mhe_model::{ITraceModeler, UTraceModeler};
+use mhe_trace::TraceGenerator;
+use mhe_vliw::{compile::Compiled, ProcessorKind};
+use mhe_workload::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let program = Benchmark::Unepic.generate();
+    let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+    let events = 10_000usize;
+    let refs = TraceGenerator::new(&program, &compiled, 42)
+        .with_event_limit(events)
+        .count() as u64;
+    let materialized: Vec<mhe_trace::Access> = TraceGenerator::new(&program, &compiled, 42)
+        .with_event_limit(events)
+        .collect();
+
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(refs));
+
+    g.bench_function("trace_generation", |b| {
+        b.iter(|| {
+            TraceGenerator::new(&program, &compiled, 42)
+                .with_event_limit(events)
+                .map(|a| a.addr)
+                .sum::<u64>()
+        })
+    });
+
+    g.bench_function("itrace_modeler", |b| {
+        b.iter(|| {
+            let mut m = ITraceModeler::new(10_000);
+            for a in &materialized {
+                m.process(a.addr);
+            }
+            m.finish()
+        })
+    });
+
+    g.bench_function("utrace_modeler", |b| {
+        b.iter(|| {
+            let mut m = UTraceModeler::new(10_000);
+            for &a in &materialized {
+                m.process(a);
+            }
+            m.finish()
+        })
+    });
+
+    g.bench_function("hierarchy_simulation", |b| {
+        let design = MemoryDesign {
+            icache: CacheConfig::from_bytes(1024, 1, 32),
+            dcache: CacheConfig::from_bytes(1024, 1, 32),
+            ucache: CacheConfig::from_bytes(16 * 1024, 2, 64),
+        };
+        b.iter(|| {
+            let mut h = Hierarchy::new(design, Penalties::default());
+            for &a in &materialized {
+                h.access(a);
+            }
+            h.stall_cycles()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Table 4: actual vs dilated vs estimated misses for all benchmarks.
+//!
+//! For each of the four cache configurations (1 KB and 16 KB instruction
+//! caches, 16 KB and 128 KB unified caches), each benchmark, and each
+//! target processor, reports three normalized miss counts:
+//!
+//! * **Act** — simulation of the target processor's actual trace;
+//! * **Dil** — simulation of the reference trace with every block dilated
+//!   by the text dilation (isolates the uniform-dilation error);
+//! * **Est** — the dilation model's analytic estimate (adds the model
+//!   error).
+//!
+//! All normalized to the reference processor's actual misses.
+
+use mhe_bench::{events, l1_large, l1_small, l2_large, l2_small, simulate_caches,
+                simulate_caches_dilated, SEED};
+use mhe_cache::CacheConfig;
+use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_trace::StreamKind;
+use mhe_vliw::ProcessorKind;
+use mhe_workload::Benchmark;
+
+struct BenchResult {
+    name: &'static str,
+    /// `[config][target] -> (act, dil, est)` normalized.
+    cells: Vec<Vec<(f64, f64, f64)>>,
+}
+
+fn main() {
+    let n = events();
+    let configs: [(StreamKind, CacheConfig, &str); 4] = [
+        (StreamKind::Instruction, l1_small(), "1 KB Icache"),
+        (StreamKind::Instruction, l1_large(), "16 KB Icache"),
+        (StreamKind::Unified, l2_small(), "16 KB Ucache"),
+        (StreamKind::Unified, l2_large(), "128 KB Ucache"),
+    ];
+    let plan: Vec<(StreamKind, CacheConfig)> =
+        configs.iter().map(|&(k, c, _)| (k, c)).collect();
+
+    let mut results = Vec::new();
+    for b in Benchmark::ALL {
+        eprintln!("[table4] {b} ...");
+        let eval = ReferenceEvaluation::for_benchmark(
+            b,
+            &ProcessorKind::P1111.mdes(),
+            EvalConfig { events: n, seed: SEED, ..EvalConfig::default() },
+            &[l1_small(), l1_large()],
+            &[],
+            &[l2_small(), l2_large()],
+        );
+        let program = eval.program();
+        // Reference actual misses (the normalization base).
+        let base = simulate_caches(program, eval.reference(), SEED, n, &plan);
+        let mut cells: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); 4];
+        for kind in ProcessorKind::TARGETS {
+            let target = eval.compile_target(&kind.mdes());
+            let d = eval.dilation_of(&kind.mdes());
+            let act = simulate_caches(program, &target, SEED, n, &plan);
+            let dil = simulate_caches_dilated(program, eval.reference(), d, SEED, n, &plan);
+            for (ci, &(stream, cfg, _)) in configs.iter().enumerate() {
+                let est = match stream {
+                    StreamKind::Instruction => {
+                        eval.estimate_icache_misses(cfg, d).expect("icache space")
+                    }
+                    _ => eval.estimate_ucache_misses(cfg, d).expect("ucache space"),
+                };
+                let b0 = base[ci].max(1) as f64;
+                cells[ci].push((act[ci] as f64 / b0, dil[ci] as f64 / b0, est / b0));
+            }
+        }
+        results.push(BenchResult { name: b.name(), cells });
+    }
+
+    for (ci, &(_, _, label)) in configs.iter().enumerate() {
+        println!("# Table 4: {label} — normalized Actual / Dilated / Estimated misses\n");
+        print!("{:<14}", "Benchmark");
+        for kind in ProcessorKind::TARGETS {
+            print!("  | {:^20}", kind.name());
+        }
+        println!();
+        print!("{:<14}", "");
+        for _ in ProcessorKind::TARGETS {
+            print!("  | {:>6} {:>6} {:>6}", "Act", "Dil", "Est");
+        }
+        println!();
+        for r in &results {
+            print!("{:<14}", r.name);
+            for &(a, d, e) in &r.cells[ci] {
+                print!("  | {a:>6.2} {d:>6.2} {e:>6.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("paper: estimates track actuals better for narrower processors and for");
+    println!("instruction caches than for unified caches; 6332 columns scatter most.");
+}

@@ -1,0 +1,96 @@
+//! Shared experiment plumbing for the table/figure reproduction binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! section (see DESIGN.md §5 for the index). Common choices live here so
+//! the experiments agree on cache configurations, processors, the dynamic
+//! window, and trace seeds.
+
+#![warn(missing_docs)]
+
+use mhe_cache::{Cache, CacheConfig};
+use mhe_trace::{StreamKind, TraceGenerator};
+use mhe_vliw::compile::Compiled;
+use mhe_workload::ir::Program;
+
+/// Seed used by every experiment (branch decisions + data patterns).
+pub const SEED: u64 = 0xC0FF_EE01;
+
+/// Dynamic window in basic-block events; override with `MHE_EVENTS`.
+pub fn events() -> usize {
+    std::env::var("MHE_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000)
+}
+
+/// The paper's small L1 configuration: 1 KB direct-mapped, 32-byte lines.
+pub fn l1_small() -> CacheConfig {
+    CacheConfig::from_bytes(1024, 1, 32)
+}
+
+/// The paper's large L1 configuration: 16 KB 2-way, 32-byte lines.
+pub fn l1_large() -> CacheConfig {
+    CacheConfig::from_bytes(16 * 1024, 2, 32)
+}
+
+/// The paper's small unified configuration: 16 KB 2-way, 64-byte lines.
+pub fn l2_small() -> CacheConfig {
+    CacheConfig::from_bytes(16 * 1024, 2, 64)
+}
+
+/// The paper's large unified configuration: 128 KB 4-way, 64-byte lines.
+pub fn l2_large() -> CacheConfig {
+    CacheConfig::from_bytes(128 * 1024, 4, 64)
+}
+
+/// Simulates several caches over *one* pass of a compiled target's trace.
+///
+/// Each entry pairs a stream filter with a cache; instruction caches see
+/// only instruction references, data caches only loads/stores, unified
+/// caches everything. Returns per-cache miss counts in input order.
+pub fn simulate_caches(
+    program: &Program,
+    compiled: &Compiled,
+    seed: u64,
+    events: usize,
+    plan: &[(StreamKind, CacheConfig)],
+) -> Vec<u64> {
+    let mut caches: Vec<(StreamKind, Cache)> =
+        plan.iter().map(|&(k, c)| (k, Cache::new(c))).collect();
+    for a in TraceGenerator::new(program, compiled, seed).with_event_limit(events) {
+        for (kind, cache) in &mut caches {
+            if kind.admits(a.kind) {
+                cache.access(a.addr);
+            }
+        }
+    }
+    caches.iter().map(|(_, c)| c.stats().misses).collect()
+}
+
+/// Like [`simulate_caches`] but over a dilated reference trace.
+pub fn simulate_caches_dilated(
+    program: &Program,
+    reference: &Compiled,
+    d: f64,
+    seed: u64,
+    events: usize,
+    plan: &[(StreamKind, CacheConfig)],
+) -> Vec<u64> {
+    let mut caches: Vec<(StreamKind, Cache)> =
+        plan.iter().map(|&(k, c)| (k, Cache::new(c))).collect();
+    for a in mhe_trace::DilatedTraceGenerator::new(program, reference, d, seed)
+        .with_event_limit(events)
+    {
+        for (kind, cache) in &mut caches {
+            if kind.admits(a.kind) {
+                cache.access(a.addr);
+            }
+        }
+    }
+    caches.iter().map(|(_, c)| c.stats().misses).collect()
+}
+
+/// Formats a ratio with two decimals, the paper's table style.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.2}")
+}

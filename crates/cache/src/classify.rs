@@ -1,0 +1,152 @@
+//! Miss classification: compulsory / capacity / conflict.
+//!
+//! The AHH model "characterizes cache misses into start-up, non-stationary
+//! and intrinsic interference misses" and the paper keeps only the
+//! steady-state interference term. This module measures that decomposition
+//! directly (the classic three-C taxonomy), which is how we check where
+//! the steady-state assumption is justified:
+//!
+//! * **compulsory** — first touch of a line (the start-up term);
+//! * **capacity** — missed even by a fully-associative LRU cache of the
+//!   same total size;
+//! * **conflict** — the remainder: present under full associativity but
+//!   evicted by set conflicts (the interference the `Coll` model targets).
+
+use crate::config::CacheConfig;
+use crate::sim::Cache;
+use std::collections::HashSet;
+
+/// A miss decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissBreakdown {
+    /// Total references.
+    pub accesses: u64,
+    /// First-touch misses.
+    pub compulsory: u64,
+    /// Misses shared with the equal-size fully-associative cache.
+    pub capacity: u64,
+    /// Misses only the set-associative cache suffers.
+    pub conflict: u64,
+}
+
+impl MissBreakdown {
+    /// Total misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Fraction of misses that are steady-state interference (conflict) —
+    /// the share the paper's model assumes dominates.
+    pub fn conflict_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.conflict as f64 / t as f64
+        }
+    }
+}
+
+/// Classifies every miss of `config` on `trace`.
+///
+/// Conflict misses can be *negative* in pathological traces (a
+/// set-associative cache can beat full LRU); following convention they are
+/// clamped at the access level: a miss that hits in the fully-associative
+/// twin counts as conflict, otherwise as capacity.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_cache::{classify::classify_misses, CacheConfig};
+/// // Two lines ping-ponging in one set of a 2-set direct-mapped cache.
+/// let trace = [0u64, 2, 0, 2, 0, 2];
+/// let b = classify_misses(CacheConfig::new(2, 1, 1), trace);
+/// assert_eq!(b.compulsory, 2);
+/// assert_eq!(b.conflict, 4); // a 2-line fully-associative cache would hit
+/// assert_eq!(b.capacity, 0);
+/// ```
+pub fn classify_misses(
+    config: CacheConfig,
+    trace: impl IntoIterator<Item = u64>,
+) -> MissBreakdown {
+    let mut cache = Cache::new(config);
+    // Equal-capacity fully-associative twin.
+    let twin_cfg = CacheConfig::new(1, config.sets * config.assoc, config.line_words);
+    let mut twin = Cache::new(twin_cfg);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = MissBreakdown::default();
+    for addr in trace {
+        out.accesses += 1;
+        let hit = cache.access(addr);
+        let twin_hit = twin.access(addr);
+        if hit {
+            continue;
+        }
+        let line = config.block_of(addr);
+        if seen.insert(line) {
+            out.compulsory += 1;
+        } else if twin_hit {
+            out.conflict += 1;
+        } else {
+            out.capacity += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_is_all_compulsory() {
+        let b = classify_misses(CacheConfig::new(8, 2, 4), (0..4096u64).map(|w| w));
+        assert_eq!(b.capacity, 0);
+        assert_eq!(b.conflict, 0);
+        assert_eq!(b.compulsory, 1024); // 4096 words / 4-word lines
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_is_capacity() {
+        // Loop over 64 lines through a 16-line fully-associative-equal cache
+        // with LRU: everything misses; after warmup they are capacity.
+        let trace: Vec<u64> = (0..10u64).flat_map(|_| 0..64).collect();
+        let b = classify_misses(CacheConfig::new(16, 1, 1), trace);
+        assert_eq!(b.compulsory, 64);
+        assert!(b.capacity > 0);
+        assert!(
+            b.capacity > b.conflict,
+            "LRU loop thrashing should be mostly capacity: {b:?}"
+        );
+    }
+
+    #[test]
+    fn ping_pong_in_one_set_is_conflict() {
+        let trace: Vec<u64> = (0..50u64).flat_map(|_| [0u64, 64]).collect();
+        // 64 lines map: line 0 and line 64 both to set 0 of 64 sets.
+        let b = classify_misses(CacheConfig::new(64, 1, 1), trace);
+        assert_eq!(b.compulsory, 2);
+        assert_eq!(b.capacity, 0);
+        assert_eq!(b.conflict, 98);
+        assert!(b.conflict_share() > 0.9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_simulator_misses() {
+        let trace: Vec<u64> = (0..20_000u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 16) % 4096)
+            .collect();
+        let cfg = CacheConfig::new(32, 2, 2);
+        let b = classify_misses(cfg, trace.iter().copied());
+        let direct = crate::sim::simulate(cfg, trace.iter().copied());
+        assert_eq!(b.total(), direct.misses);
+        assert_eq!(b.accesses, direct.accesses);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_breakdown() {
+        let b = classify_misses(CacheConfig::new(4, 1, 1), std::iter::empty());
+        assert_eq!(b, MissBreakdown::default());
+        assert_eq!(b.conflict_share(), 0.0);
+    }
+}

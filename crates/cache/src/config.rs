@@ -1,0 +1,149 @@
+//! Cache geometry.
+
+use std::fmt;
+
+/// Geometry of one cache: `C(S, A, L)` in the paper's notation.
+///
+/// `sets` and the line size must be powers of two ("a cache is feasible if
+/// its line size and number of sets are powers of two, and its associativity
+/// is an integer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in 4-byte words (power of two).
+    pub line_words: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, validating feasibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_words` is not a power of two, or if
+    /// `assoc == 0`.
+    pub fn new(sets: u32, assoc: u32, line_words: u32) -> Self {
+        assert!(sets.is_power_of_two(), "sets {sets} must be a power of two");
+        assert!(
+            line_words.is_power_of_two(),
+            "line size {line_words} words must be a power of two"
+        );
+        assert!(assoc >= 1, "associativity must be at least 1");
+        Self { sets, assoc, line_words }
+    }
+
+    /// Creates a configuration from a total size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not divisible into `assoc` power-of-two sets of
+    /// `line_bytes` lines, or if `line_bytes < 4`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_cache::CacheConfig;
+    /// // The paper's small config: 1 KB direct-mapped, 32-byte lines.
+    /// let c = CacheConfig::from_bytes(1024, 1, 32);
+    /// assert_eq!(c.sets, 32);
+    /// assert_eq!(c.line_words, 8);
+    /// assert_eq!(c.size_bytes(), 1024);
+    /// ```
+    pub fn from_bytes(size_bytes: u64, assoc: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes >= 4, "line must be at least one word");
+        assert_eq!(line_bytes % 4, 0, "line must be whole words");
+        let line_words = line_bytes / 4;
+        let denom = u64::from(assoc) * u64::from(line_bytes);
+        assert_eq!(
+            size_bytes % denom,
+            0,
+            "size {size_bytes} not divisible by assoc*line {denom}"
+        );
+        let sets = (size_bytes / denom) as u32;
+        Self::new(sets, assoc, line_words)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.assoc) * u64::from(self.line_words) * 4
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_words * 4
+    }
+
+    /// Memory block index of a word address.
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr / u64::from(self.line_words)
+    }
+
+    /// Set index of a word address.
+    pub fn set_of(&self, addr: u64) -> u32 {
+        (self.block_of(addr) % u64::from(self.sets)) as u32
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C(S={}, A={}, L={}B) [{} B]",
+            self.sets,
+            self.assoc,
+            self.line_bytes(),
+            self.size_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_decompose_correctly() {
+        // Small: 1KB DM 32B-line I/D, 16KB 2-way 64B-line unified.
+        let d1 = CacheConfig::from_bytes(1024, 1, 32);
+        assert_eq!((d1.sets, d1.assoc, d1.line_words), (32, 1, 8));
+        let u16 = CacheConfig::from_bytes(16 * 1024, 2, 64);
+        assert_eq!((u16.sets, u16.assoc, u16.line_words), (128, 2, 16));
+        // Large: 16KB 2-way 32B-line I/D, 128KB 4-way 64B-line unified.
+        let d16 = CacheConfig::from_bytes(16 * 1024, 2, 32);
+        assert_eq!((d16.sets, d16.assoc, d16.line_words), (256, 2, 8));
+        let u128 = CacheConfig::from_bytes(128 * 1024, 4, 64);
+        assert_eq!((u128.sets, u128.assoc, u128.line_words), (512, 4, 16));
+    }
+
+    #[test]
+    fn size_roundtrips() {
+        for (size, assoc, line) in [(1024u64, 1u32, 32u32), (8192, 4, 16), (65536, 8, 64)] {
+            let c = CacheConfig::from_bytes(size, assoc, line);
+            assert_eq!(c.size_bytes(), size);
+            assert_eq!(c.line_bytes(), line);
+        }
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let c = CacheConfig::new(4, 1, 8);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(8), 1);
+        assert_eq!(c.set_of(8 * 4), 0);
+        assert_eq!(c.set_of(7), 0); // same line
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new(3, 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_assoc_rejected() {
+        let _ = CacheConfig::new(4, 0, 8);
+    }
+}

@@ -1,0 +1,41 @@
+//! Cache simulation substrate: direct, single-pass, and hierarchical.
+//!
+//! Three simulators reproduce the paper's memory-simulation toolchain:
+//!
+//! * [`sim::Cache`] — a plain LRU set-associative simulator (the oracle);
+//! * [`single_pass::SinglePassSim`] — the Cheetah role: every configuration
+//!   sharing a line size in one pass over the trace, via per-set LRU stack
+//!   distances;
+//! * [`hierarchy::Hierarchy`] — an inclusion-respecting L1I/L1D/L2 system
+//!   with a stall-cycle model.
+//!
+//! All addresses are 4-byte-word addresses; line sizes are powers of two.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mhe_cache::single_pass::SinglePassSim;
+//! // Simulate every (sets, assoc) combination with 32-byte lines at once.
+//! let mut sim = SinglePassSim::new(8, &[32, 64, 128, 256], 4);
+//! sim.run((0..100_000u64).map(|i| (i * 3) % 8192));
+//! let m = sim.stats(64, 2);
+//! assert!(m.miss_rate() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classify;
+pub mod config;
+pub mod hierarchy;
+pub mod sim;
+pub mod single_pass;
+pub mod stack;
+pub mod write;
+
+pub use config::CacheConfig;
+pub use hierarchy::{Hierarchy, MemoryDesign, Penalties};
+pub use sim::{simulate, Cache, MissStats};
+pub use single_pass::SinglePassSim;
+pub use stack::StackSim;
+pub use classify::{classify_misses, MissBreakdown};

@@ -1,0 +1,282 @@
+//! Single-pass multi-configuration cache simulation (the Cheetah role).
+//!
+//! For a fixed line size, one pass over the address trace yields exact miss
+//! counts for *every* cache `C(S, A, L)` with `S` in a set of power-of-two
+//! set counts and `A` up to a maximum associativity. The associativity
+//! dimension exploits LRU stack inclusion (Mattson et al.): within a set,
+//! a reference at stack depth `p` hits every cache of associativity `> p`.
+//! The set-count dimension simply maintains one stack array per set count —
+//! still a single pass over the trace, which is what dominates cost.
+//!
+//! This is the paper's first efficiency pillar: "the number of simulations
+//! is reduced from the total number of caches in the design space to the
+//! number of distinct cache line sizes".
+
+use crate::config::CacheConfig;
+use crate::sim::MissStats;
+
+/// Single-pass simulator for a family of configurations sharing a line
+/// size.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_cache::single_pass::SinglePassSim;
+/// let mut sim = SinglePassSim::new(8, &[16, 32, 64], 4);
+/// for addr in (0..10_000u64).map(|i| (i * 17) % 4096) {
+///     sim.access(addr);
+/// }
+/// // Misses for any covered (sets, assoc) pair are now available:
+/// let m_dm = sim.misses(32, 1);
+/// let m_2w = sim.misses(32, 2);
+/// assert!(m_2w <= m_dm);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SinglePassSim {
+    line_words: u32,
+    max_assoc: u32,
+    set_counts: Vec<u32>,
+    /// Parallel to `set_counts`.
+    tables: Vec<StackTable>,
+    accesses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StackTable {
+    sets: u32,
+    /// Per-set LRU stack of block ids, MRU first, truncated at `max_assoc`.
+    stacks: Vec<Vec<u64>>,
+    /// `hits_at_depth[d]` = hits at stack depth `d` (so a cache with
+    /// associativity `A` hits `sum(hits_at_depth[..A])`).
+    hits_at_depth: Vec<u64>,
+}
+
+impl SinglePassSim {
+    /// Creates a simulator covering every `(sets, assoc)` with
+    /// `sets ∈ set_counts` and `1 <= assoc <= max_assoc`, for the given line
+    /// size in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` or any set count is not a power of two, if
+    /// `set_counts` is empty, or if `max_assoc == 0`.
+    pub fn new(line_words: u32, set_counts: &[u32], max_assoc: u32) -> Self {
+        assert!(line_words.is_power_of_two(), "line size must be a power of two");
+        assert!(!set_counts.is_empty(), "need at least one set count");
+        assert!(max_assoc >= 1, "max associativity must be at least 1");
+        let mut counts = set_counts.to_vec();
+        counts.sort_unstable();
+        counts.dedup();
+        let tables = counts
+            .iter()
+            .map(|&s| {
+                assert!(s.is_power_of_two(), "set count {s} must be a power of two");
+                StackTable {
+                    sets: s,
+                    stacks: vec![Vec::with_capacity(max_assoc as usize); s as usize],
+                    hits_at_depth: vec![0; max_assoc as usize],
+                }
+            })
+            .collect();
+        Self { line_words, max_assoc, set_counts: counts, tables, accesses: 0 }
+    }
+
+    /// Convenience: a simulator covering a whole [`CacheConfig`] family.
+    ///
+    /// All `configs` must share `line_words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or the line sizes disagree.
+    pub fn for_configs(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        let line = configs[0].line_words;
+        assert!(
+            configs.iter().all(|c| c.line_words == line),
+            "single-pass simulation requires a common line size"
+        );
+        let sets: Vec<u32> = configs.iter().map(|c| c.sets).collect();
+        let max_assoc = configs.iter().map(|c| c.assoc).max().unwrap();
+        Self::new(line, &sets, max_assoc)
+    }
+
+    /// References a word address in every covered configuration.
+    pub fn access(&mut self, addr: u64) {
+        self.accesses += 1;
+        let block = addr / u64::from(self.line_words);
+        for table in &mut self.tables {
+            let set = &mut table.stacks[(block % u64::from(table.sets)) as usize];
+            match set.iter().position(|&b| b == block) {
+                Some(pos) => {
+                    table.hits_at_depth[pos] += 1;
+                    set[..=pos].rotate_right(1);
+                }
+                None => {
+                    if set.len() == self.max_assoc as usize {
+                        set.pop();
+                    }
+                    set.insert(0, block);
+                }
+            }
+        }
+    }
+
+    /// Runs a whole trace.
+    pub fn run(&mut self, trace: impl IntoIterator<Item = u64>) {
+        for addr in trace {
+            self.access(addr);
+        }
+    }
+
+    /// Total references seen.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Line size in words.
+    pub fn line_words(&self) -> u32 {
+        self.line_words
+    }
+
+    /// Covered set counts (sorted).
+    pub fn set_counts(&self) -> &[u32] {
+        &self.set_counts
+    }
+
+    /// Maximum covered associativity.
+    pub fn max_assoc(&self) -> u32 {
+        self.max_assoc
+    }
+
+    /// Miss count for `C(sets, assoc, line)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` was not covered or `assoc > max_assoc`.
+    pub fn misses(&self, sets: u32, assoc: u32) -> u64 {
+        assert!(assoc >= 1 && assoc <= self.max_assoc, "assoc {assoc} not covered");
+        let table = self
+            .tables
+            .iter()
+            .find(|t| t.sets == sets)
+            .unwrap_or_else(|| panic!("set count {sets} not covered"));
+        let hits: u64 = table.hits_at_depth[..assoc as usize].iter().sum();
+        self.accesses - hits
+    }
+
+    /// Statistics for `C(sets, assoc, line)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`SinglePassSim::misses`].
+    pub fn stats(&self, sets: u32, assoc: u32) -> MissStats {
+        MissStats { accesses: self.accesses, misses: self.misses(sets, assoc) }
+    }
+
+    /// Enumerates all covered `(config, stats)` pairs.
+    pub fn all_results(&self) -> Vec<(CacheConfig, MissStats)> {
+        let mut out = Vec::new();
+        for &s in &self.set_counts {
+            for a in 1..=self.max_assoc {
+                out.push((CacheConfig::new(s, a, self.line_words), self.stats(s, a)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    fn pseudo_trace(n: usize, seed: u64) -> Vec<u64> {
+        // Mix of streaming and hot-set accesses.
+        let mut x = seed;
+        (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x % 3 == 0 {
+                    (i as u64) % 2048
+                } else {
+                    (x >> 33) % 1024
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_simulation_exactly() {
+        let trace = pseudo_trace(50_000, 42);
+        let mut sp = SinglePassSim::new(4, &[8, 16, 32, 64], 4);
+        sp.run(trace.iter().copied());
+        for &sets in &[8u32, 16, 32, 64] {
+            for assoc in 1..=4 {
+                let direct = simulate(CacheConfig::new(sets, assoc, 4), trace.iter().copied());
+                assert_eq!(
+                    sp.misses(sets, assoc),
+                    direct.misses,
+                    "mismatch at S={sets} A={assoc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misses_monotone_in_associativity() {
+        let trace = pseudo_trace(20_000, 7);
+        let mut sp = SinglePassSim::new(8, &[16, 64], 8);
+        sp.run(trace.iter().copied());
+        for &s in &[16u32, 64] {
+            for a in 1..8 {
+                assert!(sp.misses(s, a + 1) <= sp.misses(s, a));
+            }
+        }
+    }
+
+    #[test]
+    fn all_results_covers_grid() {
+        let mut sp = SinglePassSim::new(4, &[8, 16], 3);
+        sp.run(0..1000u64);
+        let results = sp.all_results();
+        assert_eq!(results.len(), 2 * 3);
+        for (cfg, st) in results {
+            assert_eq!(st.accesses, 1000);
+            assert_eq!(cfg.line_words, 4);
+        }
+    }
+
+    #[test]
+    fn for_configs_requires_common_line() {
+        let a = CacheConfig::new(8, 1, 4);
+        let b = CacheConfig::new(16, 2, 4);
+        let sp = SinglePassSim::for_configs(&[a, b]);
+        assert_eq!(sp.set_counts(), &[8, 16]);
+        assert_eq!(sp.max_assoc(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "common line size")]
+    fn for_configs_rejects_mixed_lines() {
+        let a = CacheConfig::new(8, 1, 4);
+        let b = CacheConfig::new(8, 1, 8);
+        let _ = SinglePassSim::for_configs(&[a, b]);
+    }
+
+    #[test]
+    fn sequential_trace_miss_count_is_line_count() {
+        // Streaming 4096 words with 8-word lines: 512 compulsory misses,
+        // regardless of cache size, when nothing is revisited.
+        let mut sp = SinglePassSim::new(8, &[32, 256], 2);
+        sp.run(0..4096u64);
+        assert_eq!(sp.misses(32, 1), 512);
+        assert_eq!(sp.misses(256, 2), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn querying_uncovered_sets_panics() {
+        let sp = SinglePassSim::new(4, &[8], 2);
+        let _ = sp.misses(16, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Fully-associative LRU stack simulation: every capacity in one pass.
+//!
+//! The other half of the Cheetah simulator's repertoire (Sugumar &
+//! Abraham): Mattson's stack algorithm. One pass over the trace builds the
+//! LRU stack-distance histogram, from which the exact miss count of a
+//! fully-associative LRU cache of *any* capacity follows — the classic way
+//! to read off capacity-miss curves and the basis for classifying misses
+//! (see [`crate::classify`]).
+
+use std::collections::HashMap;
+
+/// Single-pass fully-associative LRU simulator for all capacities.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_cache::stack::StackSim;
+/// let mut sim = StackSim::new(4); // 4-word lines
+/// // Touch lines 0,1,2 then re-touch line 0 (stack distance 3).
+/// for addr in [0u64, 4, 8, 0] {
+///     sim.access(addr);
+/// }
+/// assert_eq!(sim.misses(2), 4); // capacity 2 lines: distance 3 misses
+/// assert_eq!(sim.misses(3), 3); // capacity 3 lines: it hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackSim {
+    line_words: u32,
+    /// LRU stack of line ids, most recent first.
+    stack: Vec<u64>,
+    /// `position[line]` is maintained lazily via linear search; the map
+    /// only tracks membership to cut search cost on misses.
+    member: HashMap<u64, ()>,
+    /// `hist[d]` = accesses with stack distance exactly `d + 1`.
+    hist: Vec<u64>,
+    /// Accesses to lines never seen before (infinite distance).
+    cold: u64,
+    accesses: u64,
+}
+
+impl StackSim {
+    /// Creates a simulator for the given line size in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` is not a power of two.
+    pub fn new(line_words: u32) -> Self {
+        assert!(line_words.is_power_of_two(), "line size must be a power of two");
+        Self {
+            line_words,
+            stack: Vec::new(),
+            member: HashMap::new(),
+            hist: Vec::new(),
+            cold: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Processes one word address.
+    pub fn access(&mut self, addr: u64) {
+        self.accesses += 1;
+        let line = addr / u64::from(self.line_words);
+        if self.member.contains_key(&line) {
+            let pos = self
+                .stack
+                .iter()
+                .position(|&l| l == line)
+                .expect("member map and stack agree");
+            if self.hist.len() <= pos {
+                self.hist.resize(pos + 1, 0);
+            }
+            self.hist[pos] += 1;
+            self.stack[..=pos].rotate_right(1);
+        } else {
+            self.cold += 1;
+            self.member.insert(line, ());
+            self.stack.insert(0, line);
+        }
+    }
+
+    /// Runs a whole trace.
+    pub fn run(&mut self, trace: impl IntoIterator<Item = u64>) {
+        for a in trace {
+            self.access(a);
+        }
+    }
+
+    /// Total accesses processed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Compulsory (first-touch) misses — missed at any capacity.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Exact miss count of a fully-associative LRU cache holding
+    /// `capacity_lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_lines == 0`.
+    pub fn misses(&self, capacity_lines: u32) -> u64 {
+        assert!(capacity_lines >= 1, "capacity must be positive");
+        let cap = capacity_lines as usize;
+        let hits: u64 = self.hist.iter().take(cap).sum();
+        self.accesses - hits
+    }
+
+    /// The stack-distance histogram: entry `d` counts re-references at
+    /// distance `d + 1` (so they hit in caches of at least `d + 1` lines).
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// The smallest capacity (in lines) achieving a miss rate at most
+    /// `target`, if any capacity does (compulsory misses set the floor).
+    pub fn capacity_for_miss_rate(&self, target: f64) -> Option<u32> {
+        if self.accesses == 0 {
+            return Some(1);
+        }
+        let mut hits = 0u64;
+        for (d, &h) in self.hist.iter().enumerate() {
+            hits += h;
+            let miss_rate = (self.accesses - hits) as f64 / self.accesses as f64;
+            if miss_rate <= target {
+                return Some((d + 1) as u32);
+            }
+        }
+        let floor = self.cold as f64 / self.accesses as f64;
+        if floor <= target {
+            Some(self.hist.len().max(1) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::CacheConfig;
+
+    fn mixed_trace(n: usize) -> Vec<u64> {
+        let mut x = 0x12345u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 3 == 0 {
+                    (i as u64) % 512
+                } else {
+                    (x >> 30) % 2048
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_fully_associative_simulation() {
+        let trace = mixed_trace(20_000);
+        let mut sim = StackSim::new(4);
+        sim.run(trace.iter().copied());
+        for cap in [1u32, 2, 8, 32, 128, 512] {
+            let direct = simulate(CacheConfig::new(1, cap, 4), trace.iter().copied());
+            assert_eq!(sim.misses(cap), direct.misses, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn misses_monotone_in_capacity() {
+        let mut sim = StackSim::new(1);
+        sim.run(mixed_trace(10_000));
+        let mut prev = u64::MAX;
+        for cap in 1..200 {
+            let m = sim.misses(cap);
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn cold_misses_are_the_floor() {
+        let mut sim = StackSim::new(1);
+        sim.run(mixed_trace(10_000));
+        assert_eq!(sim.misses(u32::MAX), sim.cold_misses());
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_access() {
+        let mut sim = StackSim::new(2);
+        sim.run(mixed_trace(5_000));
+        let total: u64 = sim.histogram().iter().sum::<u64>() + sim.cold_misses();
+        assert_eq!(total, sim.accesses());
+    }
+
+    #[test]
+    fn capacity_for_miss_rate_is_consistent() {
+        let mut sim = StackSim::new(1);
+        sim.run(mixed_trace(20_000));
+        for target in [0.5, 0.2, 0.1] {
+            if let Some(cap) = sim.capacity_for_miss_rate(target) {
+                let rate = sim.misses(cap) as f64 / sim.accesses() as f64;
+                assert!(rate <= target + 1e-12, "cap {cap}: rate {rate} > {target}");
+                if cap > 1 {
+                    let before = sim.misses(cap - 1) as f64 / sim.accesses() as f64;
+                    assert!(before > target, "cap {cap} not minimal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_targets_return_none() {
+        let mut sim = StackSim::new(1);
+        // Pure streaming: every access cold.
+        sim.run(0..1000u64);
+        assert_eq!(sim.capacity_for_miss_rate(0.5), None);
+        assert_eq!(sim.cold_misses(), 1000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the single-pass simulator is exactly equivalent to
+//! direct simulation, and LRU inclusion properties hold.
+
+use mhe_cache::{simulate, CacheConfig, SinglePassSim};
+use proptest::prelude::*;
+
+/// Traces mixing streams, hot sets, and random addresses.
+fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..256,          // hot region
+            0u64..65_536,       // wider region
+            (0u64..4096).prop_map(|x| x * 7 % 4096), // strided
+        ],
+        50..2000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_pass_equals_direct_everywhere(
+        trace in trace_strategy(),
+        line_pow in 0u32..4,
+        max_assoc in 1u32..6,
+    ) {
+        let line = 1u32 << line_pow;
+        let set_counts = [4u32, 16, 64];
+        let mut sp = SinglePassSim::new(line, &set_counts, max_assoc);
+        sp.run(trace.iter().copied());
+        for &sets in &set_counts {
+            for assoc in 1..=max_assoc {
+                let direct = simulate(CacheConfig::new(sets, assoc, line), trace.iter().copied());
+                prop_assert_eq!(
+                    sp.misses(sets, assoc),
+                    direct.misses,
+                    "S={} A={} L={}", sets, assoc, line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lru_inclusion_in_associativity(
+        trace in trace_strategy(),
+        sets_pow in 2u32..8,
+    ) {
+        // For fixed sets and line, misses never increase with associativity.
+        let sets = 1u32 << sets_pow;
+        let mut prev = u64::MAX;
+        for assoc in [1u32, 2, 4, 8] {
+            let m = simulate(CacheConfig::new(sets, assoc, 4), trace.iter().copied()).misses;
+            prop_assert!(m <= prev, "assoc {}: {} > {}", assoc, m, prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn misses_bounded_by_accesses(
+        trace in trace_strategy(),
+        sets_pow in 0u32..8,
+        assoc in 1u32..8,
+        line_pow in 0u32..5,
+    ) {
+        let cfg = CacheConfig::new(1 << sets_pow, assoc, 1 << line_pow);
+        let s = simulate(cfg, trace.iter().copied());
+        prop_assert_eq!(s.accesses, trace.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        // Compulsory floor: the first touch of every distinct line misses in
+        // any cache, so misses >= distinct lines.
+        let mut lines: Vec<u64> = trace.iter().map(|a| a / (1 << line_pow) as u64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(s.misses as usize >= lines.len());
+        let _ = cfg;
+    }
+
+    #[test]
+    fn doubling_line_size_never_increases_compulsory_floor(
+        trace in trace_strategy(),
+    ) {
+        // The number of *distinct lines* halves or stays; with an infinite
+        // cache (huge assoc), misses = distinct lines, so misses with larger
+        // lines are <= misses with smaller lines.
+        let big = CacheConfig::new(1, 1 << 16, 8);
+        let small = CacheConfig::new(1, 1 << 16, 4);
+        let m_big = simulate(big, trace.iter().copied()).misses;
+        let m_small = simulate(small, trace.iter().copied()).misses;
+        prop_assert!(m_big <= m_small);
+    }
+}

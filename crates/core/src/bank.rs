@@ -1,0 +1,178 @@
+//! Multiple reference processors for feature-diverse design spaces.
+//!
+//! The dilation model's step-1 assumption requires the reference and target
+//! processors to share data-speculation and predication features, "because
+//! these features have a large impact on address traces. When the design
+//! space covers machines with differing predication/speculation features,
+//! we use several `Pref` processors, one for each unique combination of
+//! predication and speculation." [`ReferenceBank`] manages that set and
+//! routes each target machine to its feature-matched reference evaluation.
+
+use crate::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_cache::CacheConfig;
+use mhe_vliw::Mdes;
+use mhe_workload::ir::Program;
+use std::collections::HashMap;
+
+/// The feature combination that selects a reference processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureKey {
+    /// Load speculation supported.
+    pub speculation: bool,
+    /// Predicated execution supported.
+    pub predication: bool,
+}
+
+impl FeatureKey {
+    /// The feature key of a machine.
+    pub fn of(mdes: &Mdes) -> Self {
+        Self { speculation: mdes.speculation, predication: mdes.predication }
+    }
+}
+
+/// A set of reference evaluations, one per feature combination present in
+/// the design space.
+#[derive(Debug)]
+pub struct ReferenceBank {
+    evaluations: HashMap<FeatureKey, ReferenceEvaluation>,
+}
+
+impl ReferenceBank {
+    /// Builds one reference evaluation per distinct feature combination
+    /// among `targets`.
+    ///
+    /// Every reference machine is the narrow `1111` datapath with the
+    /// target combination's features — the paper's choice of a narrow-issue
+    /// `Pref` per feature class.
+    pub fn build(
+        program: &Program,
+        targets: &[Mdes],
+        config: EvalConfig,
+        icaches: &[CacheConfig],
+        dcaches: &[CacheConfig],
+        ucaches: &[CacheConfig],
+    ) -> Self {
+        let mut evaluations = HashMap::new();
+        for t in targets {
+            let key = FeatureKey::of(t);
+            if evaluations.contains_key(&key) {
+                continue;
+            }
+            let reference = Mdes::builder(format!(
+                "1111{}{}",
+                if key.speculation { "+spec" } else { "" },
+                if key.predication { "+pred" } else { "" },
+            ))
+            .units(1, 1, 1, 1)
+            .regs(32, 32)
+            .speculation(key.speculation)
+            .predication(key.predication)
+            .build();
+            let eval = ReferenceEvaluation::build(
+                program.clone(),
+                &reference,
+                config,
+                icaches,
+                dcaches,
+                ucaches,
+            );
+            evaluations.insert(key, eval);
+        }
+        Self { evaluations }
+    }
+
+    /// The reference evaluation matching a target machine's features.
+    pub fn for_target(&self, target: &Mdes) -> Option<&ReferenceEvaluation> {
+        self.evaluations.get(&FeatureKey::of(target))
+    }
+
+    /// Number of distinct reference processors.
+    pub fn len(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.evaluations.is_empty()
+    }
+
+    /// Estimated instruction-cache misses for `target`, using its
+    /// feature-matched reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when no reference matches the target's features or the
+    /// cache configuration was not simulated.
+    pub fn estimate_icache_misses(&self, target: &Mdes, config: CacheConfig) -> Result<f64, String> {
+        let eval = self
+            .for_target(target)
+            .ok_or_else(|| format!("no reference for features {:?}", FeatureKey::of(target)))?;
+        let d = eval.dilation_of(target);
+        eval.estimate_icache_misses(config, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhe_vliw::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn targets() -> Vec<Mdes> {
+        vec![
+            ProcessorKind::P2111.mdes(),
+            ProcessorKind::P3221.mdes(),
+            Mdes::builder("3221p").units(3, 2, 2, 1).regs(64, 48).predication(true).build(),
+            Mdes::builder("2111n").units(2, 1, 1, 1).speculation(false).build(),
+        ]
+    }
+
+    fn bank() -> ReferenceBank {
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        ReferenceBank::build(
+            &Benchmark::Unepic.generate(),
+            &targets(),
+            EvalConfig { events: 30_000, ..EvalConfig::default() },
+            &[ic],
+            &[],
+            &[],
+        )
+    }
+
+    #[test]
+    fn one_reference_per_feature_combination() {
+        let b = bank();
+        // spec+nopred, spec+pred, nospec+nopred -> 3 references.
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn targets_route_to_matching_reference() {
+        let b = bank();
+        for t in targets() {
+            let eval = b.for_target(&t).expect("reference exists");
+            assert_eq!(eval.reference().mdes.speculation, t.speculation);
+            assert_eq!(eval.reference().mdes.predication, t.predication);
+        }
+    }
+
+    #[test]
+    fn estimates_work_for_every_target() {
+        let b = bank();
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        for t in targets() {
+            let m = b.estimate_icache_misses(&t, ic).unwrap();
+            assert!(m > 0.0, "{}: no misses estimated", t.name);
+        }
+    }
+
+    #[test]
+    fn unknown_features_are_an_error() {
+        let b = bank();
+        let exotic =
+            Mdes::builder("x").units(2, 2, 2, 2).speculation(false).predication(true).build();
+        assert!(b.for_target(&exotic).is_none());
+        assert!(b.estimate_icache_misses(&exotic, CacheConfig::from_bytes(1024, 1, 32)).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Dilation coefficients and per-block dilation distributions.
+//!
+//! The model's step-2 assumption is that every basic block dilates by the
+//! *text* dilation `d` (the ratio of whole-program text sizes). Figure 5 of
+//! the paper examines how well that holds by plotting the cumulative
+//! distribution of per-block dilations, both unweighted ("static") and
+//! weighted by execution frequency ("dynamic"). [`DilationDistribution`]
+//! reproduces those curves.
+
+use mhe_vliw::compile::Compiled;
+use mhe_workload::exec::BlockFrequencies;
+use mhe_workload::ir::{BlockId, ProcId};
+
+pub use mhe_vliw::compile::text_dilation;
+
+/// Per-block dilation samples of one (reference, target) processor pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DilationDistribution {
+    /// `(dilation, dynamic_weight)` per block, sorted by dilation.
+    samples: Vec<(f64, u64)>,
+    /// Total dynamic weight.
+    dyn_total: u64,
+    /// Whole-program text dilation.
+    text_dilation: f64,
+}
+
+impl DilationDistribution {
+    /// Computes per-block dilations of `target` relative to `reference`.
+    ///
+    /// `freq` supplies the dynamic weights (blocks never executed get
+    /// weight 0 dynamically but still count statically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two compilations are for different programs (block
+    /// table shapes differ).
+    pub fn new(reference: &Compiled, target: &Compiled, freq: &BlockFrequencies) -> Self {
+        assert_eq!(
+            reference.binary.blocks.len(),
+            target.binary.blocks.len(),
+            "compilations must be of the same program"
+        );
+        let mut samples = Vec::new();
+        let mut dyn_total = 0u64;
+        for (pi, rblocks) in reference.binary.blocks.iter().enumerate() {
+            assert_eq!(rblocks.len(), target.binary.blocks[pi].len());
+            for (bi, rb) in rblocks.iter().enumerate() {
+                let tb = target.binary.blocks[pi][bi];
+                let d = f64::from(tb.words) / f64::from(rb.words.max(1));
+                let w = freq.count(ProcId(pi as u32), BlockId(bi as u32));
+                samples.push((d, w));
+                dyn_total += w;
+            }
+        }
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Self {
+            samples,
+            dyn_total,
+            text_dilation: text_dilation(reference, target),
+        }
+    }
+
+    /// The whole-program text dilation `d` (Table 3's quantity).
+    pub fn text_dilation(&self) -> f64 {
+        self.text_dilation
+    }
+
+    /// Static CDF: fraction of blocks with dilation `<= x` (Figure 5's
+    /// "Static" curves).
+    pub fn static_cdf(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.partition_point(|&(d, _)| d <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Dynamic CDF: execution-weighted fraction of blocks with dilation
+    /// `<= x` (Figure 5's "Dynamic" curves).
+    pub fn dynamic_cdf(&self, x: f64) -> f64 {
+        if self.dyn_total == 0 {
+            return 0.0;
+        }
+        let n = self.samples.partition_point(|&(d, _)| d <= x);
+        let w: u64 = self.samples[..n].iter().map(|&(_, w)| w).sum();
+        w as f64 / self.dyn_total as f64
+    }
+
+    /// Number of blocks sampled.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Static quantile: smallest dilation `x` with `static_cdf(x) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty or `q` outside `[0, 1]`.
+    pub fn static_quantile(&self, q: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "empty distribution");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        let idx = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[idx - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhe_vliw::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn dist(target: ProcessorKind) -> DilationDistribution {
+        let p = Benchmark::Unepic.generate();
+        let r = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        let t = Compiled::build(&p, &target.mdes(), None);
+        let f = BlockFrequencies::profile(&p, 11, 100_000);
+        DilationDistribution::new(&r, &t, &f)
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d = dist(ProcessorKind::P3221);
+        let mut prev = 0.0;
+        for x in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 5.0, 10.0] {
+            let s = d.static_cdf(x);
+            let y = d.dynamic_cdf(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((0.0..=1.0).contains(&y));
+            assert!(s >= prev);
+            prev = s;
+        }
+        assert!(d.static_cdf(100.0) > 0.999);
+    }
+
+    #[test]
+    fn text_dilation_sits_inside_the_distribution() {
+        // The paper: "text dilations typically fall in the middle of the
+        // range where the static and dynamic dilation distributions rise
+        // from 0 to 1".
+        let d = dist(ProcessorKind::P6332);
+        let td = d.text_dilation();
+        let below = d.static_cdf(td);
+        assert!(
+            (0.05..=0.95).contains(&below),
+            "text dilation {td} at CDF {below}"
+        );
+    }
+
+    #[test]
+    fn wider_target_shifts_distribution_right() {
+        let d2 = dist(ProcessorKind::P2111);
+        let d6 = dist(ProcessorKind::P6332);
+        assert!(d6.static_quantile(0.5) > d2.static_quantile(0.5));
+        assert!(d6.text_dilation() > d2.text_dilation());
+    }
+
+    #[test]
+    fn quantiles_are_consistent_with_cdf() {
+        let d = dist(ProcessorKind::P4221);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = d.static_quantile(q);
+            assert!(d.static_cdf(x) >= q - 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_block_count() {
+        let p = Benchmark::Unepic.generate();
+        let d = dist(ProcessorKind::P2111);
+        assert_eq!(d.len(), p.block_count());
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,449 @@
+//! The memory-hierarchy evaluator: measure once on the reference
+//! processor, estimate everywhere else.
+//!
+//! [`ReferenceEvaluation`] packages the paper's whole efficiency story for
+//! one application:
+//!
+//! 1. the application is compiled for the *reference* processor and its
+//!    traces generated once;
+//! 2. each stream's AHH trace parameters are measured in a single
+//!    simulation-like pass (`TraceModeler`);
+//! 3. every cache configuration in the design space — expanded with the
+//!    neighbouring power-of-two line sizes that dilation interpolation
+//!    needs — is simulated with the single-pass simulator, one pass per
+//!    distinct line size;
+//! 4. miss counts for *any* processor in the design space are then produced
+//!    analytically from its text dilation, with no further simulation
+//!    ([`ReferenceEvaluation::estimate_icache_misses`],
+//!    [`ReferenceEvaluation::estimate_ucache_misses`],
+//!    [`ReferenceEvaluation::dcache_misses`]).
+//!
+//! The module also provides the ground-truth helpers ([`actual_misses`],
+//! [`dilated_misses`]) used to validate the model (Tables 2/4, Figures
+//! 6/7).
+
+use crate::icache::estimate_icache_misses;
+use crate::ucache::estimate_ucache_misses;
+use mhe_cache::{Cache, CacheConfig, SinglePassSim};
+use mhe_model::ahh::UniqueLineModel;
+use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
+use mhe_model::{ITraceModeler, UTraceModeler};
+use mhe_trace::{DilatedTraceGenerator, StreamKind, TraceGenerator};
+use mhe_vliw::compile::Compiled;
+use mhe_vliw::Mdes;
+use mhe_workload::exec::BlockFrequencies;
+use mhe_workload::ir::Program;
+use std::collections::HashMap;
+
+/// Knobs of the reference evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Dynamic window: number of basic-block events per trace.
+    pub events: usize,
+    /// Seed for execution (branch decisions, random data patterns).
+    pub seed: u64,
+    /// Granule size for instruction-trace parameters.
+    pub i_granule: usize,
+    /// Granule size for unified-trace parameters.
+    pub u_granule: usize,
+    /// Largest dilation the evaluation must support (determines how many
+    /// smaller power-of-two line sizes are pre-simulated).
+    pub max_dilation: f64,
+    /// Which `u(L)` formula the estimators use.
+    pub model: UniqueLineModel,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            events: 400_000,
+            seed: 0xC0FF_EE01,
+            i_granule: I_GRANULE,
+            u_granule: U_GRANULE,
+            max_dilation: 4.0,
+            model: UniqueLineModel::RunBased,
+        }
+    }
+}
+
+/// Measured state of one application on the reference processor, ready to
+/// answer miss queries for any processor in the design space.
+#[derive(Debug)]
+pub struct ReferenceEvaluation {
+    config: EvalConfig,
+    program: Program,
+    freq: BlockFrequencies,
+    reference: Compiled,
+    iparams: TraceParams,
+    uparams: UnifiedParams,
+    imeasured: HashMap<CacheConfig, u64>,
+    dmeasured: HashMap<CacheConfig, u64>,
+    umeasured: HashMap<CacheConfig, u64>,
+}
+
+impl ReferenceEvaluation {
+    /// Compiles `program` for the reference machine, measures trace
+    /// parameters, and simulates the given cache design spaces on the
+    /// reference trace.
+    ///
+    /// Instruction-cache configurations are automatically expanded with the
+    /// smaller power-of-two line sizes required to interpolate up to
+    /// `config.max_dilation`.
+    pub fn build(
+        program: Program,
+        reference_mdes: &Mdes,
+        config: EvalConfig,
+        icaches: &[CacheConfig],
+        dcaches: &[CacheConfig],
+        ucaches: &[CacheConfig],
+    ) -> Self {
+        let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
+        let reference = Compiled::build(&program, reference_mdes, Some(&freq));
+
+        // --- Trace parameters (one modeler pass per stream). ---
+        let iparams = {
+            let mut m = ITraceModeler::new(config.i_granule);
+            for a in trace(&program, &reference, &config, StreamKind::Instruction) {
+                m.process(a.addr);
+            }
+            m.finish()
+        };
+        let uparams = {
+            let mut m = UTraceModeler::new(config.u_granule);
+            for a in trace(&program, &reference, &config, StreamKind::Unified) {
+                m.process(a);
+            }
+            m.finish()
+        };
+
+        // --- Single-pass simulations, grouped by line size. ---
+        let expanded = expand_line_sizes(icaches, config.max_dilation);
+        let imeasured = measure(&program, &reference, &config, StreamKind::Instruction, &expanded);
+        let dmeasured = measure(&program, &reference, &config, StreamKind::Data, dcaches);
+        let umeasured = measure(&program, &reference, &config, StreamKind::Unified, ucaches);
+
+        Self { config, program, freq, reference, iparams, uparams, imeasured, dmeasured, umeasured }
+    }
+
+    /// Convenience: build for a benchmark with the paper's cache spaces.
+    pub fn for_benchmark(
+        benchmark: mhe_workload::Benchmark,
+        reference_mdes: &Mdes,
+        config: EvalConfig,
+        icaches: &[CacheConfig],
+        dcaches: &[CacheConfig],
+        ucaches: &[CacheConfig],
+    ) -> Self {
+        Self::build(benchmark.generate(), reference_mdes, config, icaches, dcaches, ucaches)
+    }
+
+    /// The evaluation's configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The application program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The reference compilation.
+    pub fn reference(&self) -> &Compiled {
+        &self.reference
+    }
+
+    /// Instruction-trace AHH parameters.
+    pub fn iparams(&self) -> &TraceParams {
+        &self.iparams
+    }
+
+    /// Unified-trace AHH parameters (instruction and data components).
+    pub fn uparams(&self) -> &UnifiedParams {
+        &self.uparams
+    }
+
+    /// Text dilation of a target machine relative to the reference.
+    ///
+    /// This compiles the program for the target (cheap: no simulation),
+    /// using the same layout profile as the reference so that
+    /// `dilation_of(reference) == 1` exactly.
+    pub fn dilation_of(&self, target: &Mdes) -> f64 {
+        self.compile_target(target).text_words() as f64 / self.reference.text_words() as f64
+    }
+
+    /// Compiles the program for a target machine with the evaluation's
+    /// layout profile.
+    pub fn compile_target(&self, target: &Mdes) -> Compiled {
+        Compiled::build(&self.program, target, Some(&self.freq))
+    }
+
+    /// Measured reference-trace misses of an instruction cache, if
+    /// simulated.
+    pub fn icache_misses_measured(&self, config: CacheConfig) -> Option<u64> {
+        self.imeasured.get(&config).copied()
+    }
+
+    /// Measured reference-trace misses of a unified cache, if simulated.
+    pub fn ucache_misses_measured(&self, config: CacheConfig) -> Option<u64> {
+        self.umeasured.get(&config).copied()
+    }
+
+    /// Estimated instruction-cache misses under dilation `d`
+    /// (Lemma 1 + Eq. 4.12).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the required neighbouring line sizes were not in the
+    /// simulated space (build with a larger `max_dilation`).
+    pub fn estimate_icache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, String> {
+        let table = |cfg: CacheConfig| self.imeasured.get(&cfg).copied();
+        estimate_icache_misses(&self.iparams, &table, config, d, self.config.model)
+    }
+
+    /// Estimated unified-cache misses under dilation `d` (Eq. 4.15).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the configuration was not simulated.
+    pub fn estimate_ucache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, String> {
+        let measured = self
+            .umeasured
+            .get(&config)
+            .copied()
+            .ok_or_else(|| format!("missing measured unified misses for {config}"))?;
+        Ok(estimate_ucache_misses(&self.uparams, measured, config, d, self.config.model))
+    }
+
+    /// Data-cache misses for *any* processor (Eq. 4.1: the data trace is
+    /// assumed unchanged, so the reference measurement is the answer).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the configuration was not simulated.
+    pub fn dcache_misses(&self, config: CacheConfig) -> Result<u64, String> {
+        self.dmeasured
+            .get(&config)
+            .copied()
+            .ok_or_else(|| format!("missing measured data misses for {config}"))
+    }
+}
+
+fn trace<'a>(
+    program: &'a Program,
+    compiled: &'a Compiled,
+    config: &EvalConfig,
+    kind: StreamKind,
+) -> impl Iterator<Item = mhe_trace::Access> + 'a {
+    TraceGenerator::new(program, compiled, config.seed)
+        .with_event_limit(config.events)
+        .stream(kind)
+}
+
+/// Adds, for every instruction-cache configuration, the smaller
+/// power-of-two line sizes needed to interpolate contracted lines down to
+/// `L / max_dilation`.
+fn expand_line_sizes(configs: &[CacheConfig], max_dilation: f64) -> Vec<CacheConfig> {
+    let mut out: Vec<CacheConfig> = Vec::new();
+    for &c in configs {
+        let min_line = (f64::from(c.line_words) / max_dilation).floor().max(1.0) as u32;
+        let mut l = c.line_words;
+        loop {
+            out.push(CacheConfig::new(c.sets, c.assoc, l));
+            if l <= min_line || l == 1 {
+                break;
+            }
+            l /= 2;
+        }
+        // One step upward as well: dilations slightly below 1 occur when a
+        // target's code is *denser* than the reference's (e.g. the same
+        // width without speculation), and then L/d exceeds L.
+        out.push(CacheConfig::new(c.sets, c.assoc, c.line_words * 2));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Runs single-pass simulations for `configs` (grouped by line size) over
+/// the chosen stream of the reference trace.
+fn measure(
+    program: &Program,
+    compiled: &Compiled,
+    config: &EvalConfig,
+    kind: StreamKind,
+    configs: &[CacheConfig],
+) -> HashMap<CacheConfig, u64> {
+    let mut by_line: HashMap<u32, Vec<CacheConfig>> = HashMap::new();
+    for &c in configs {
+        by_line.entry(c.line_words).or_default().push(c);
+    }
+    let mut out = HashMap::new();
+    let mut lines: Vec<u32> = by_line.keys().copied().collect();
+    lines.sort_unstable();
+    for line in lines {
+        let group = &by_line[&line];
+        let mut sim = SinglePassSim::for_configs(group);
+        for a in trace(program, compiled, config, kind) {
+            sim.access(a.addr);
+        }
+        for &c in group {
+            out.insert(c, sim.misses(c.sets, c.assoc));
+        }
+    }
+    out
+}
+
+/// Ground truth: simulates `config` on the *actual* trace of a target
+/// compilation (the paper's "Actual" columns).
+pub fn actual_misses(
+    program: &Program,
+    target: &Compiled,
+    eval: &EvalConfig,
+    kind: StreamKind,
+    config: CacheConfig,
+) -> u64 {
+    let mut cache = Cache::new(config);
+    for a in TraceGenerator::new(program, target, eval.seed)
+        .with_event_limit(eval.events)
+        .stream(kind)
+    {
+        cache.access(a.addr);
+    }
+    cache.stats().misses
+}
+
+/// Ground truth for the model's step 3: simulates `config` on the
+/// reference trace *dilated by `d`* (the paper's "Dilated" columns).
+pub fn dilated_misses(
+    program: &Program,
+    reference: &Compiled,
+    d: f64,
+    eval: &EvalConfig,
+    kind: StreamKind,
+    config: CacheConfig,
+) -> u64 {
+    let mut cache = Cache::new(config);
+    for a in DilatedTraceGenerator::new(program, reference, d, eval.seed)
+        .with_event_limit(eval.events)
+        .stream(kind)
+    {
+        cache.access(a.addr);
+    }
+    cache.stats().misses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhe_vliw::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn small_eval() -> ReferenceEvaluation {
+        let cfg = EvalConfig { events: 60_000, ..EvalConfig::default() };
+        ReferenceEvaluation::for_benchmark(
+            Benchmark::Unepic,
+            &ProcessorKind::P1111.mdes(),
+            cfg,
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+        )
+    }
+
+    #[test]
+    fn build_measures_all_spaces() {
+        let e = small_eval();
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        assert!(e.icache_misses_measured(ic).is_some());
+        assert!(e.dcache_misses(CacheConfig::from_bytes(1024, 1, 32)).is_ok());
+        assert!(e
+            .ucache_misses_measured(CacheConfig::from_bytes(16 * 1024, 2, 64))
+            .is_some());
+        // Expanded line sizes present: 32B cache with max_dilation 4 needs
+        // 16B and 8B variants too.
+        assert!(e.icache_misses_measured(CacheConfig::new(32, 1, 4)).is_some());
+        assert!(e.icache_misses_measured(CacheConfig::new(32, 1, 2)).is_some());
+    }
+
+    #[test]
+    fn unit_dilation_estimate_equals_measurement() {
+        let e = small_eval();
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        let est = e.estimate_icache_misses(ic, 1.0).unwrap();
+        let measured = e.icache_misses_measured(ic).unwrap() as f64;
+        assert!((est - measured).abs() < 1e-6);
+        let uc = CacheConfig::from_bytes(16 * 1024, 2, 64);
+        let est_u = e.estimate_ucache_misses(uc, 1.0).unwrap();
+        let measured_u = e.ucache_misses_measured(uc).unwrap() as f64;
+        assert!((est_u - measured_u).abs() < 1e-6);
+    }
+
+    #[test]
+    fn icache_estimates_grow_with_dilation() {
+        let e = small_eval();
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        let m1 = e.estimate_icache_misses(ic, 1.0).unwrap();
+        let m2 = e.estimate_icache_misses(ic, 2.0).unwrap();
+        let m3 = e.estimate_icache_misses(ic, 3.0).unwrap();
+        assert!(m2 > m1 * 1.05, "d=2 should clearly exceed d=1: {m1} -> {m2}");
+        assert!(m3 > m2, "{m2} -> {m3}");
+    }
+
+    #[test]
+    fn estimate_tracks_dilated_simulation() {
+        // The model's step-3 accuracy claim, on a small instance: estimated
+        // misses track the simulated dilated-trace misses.
+        let e = small_eval();
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        let mut worst = 0.0f64;
+        let mut total = 0.0;
+        let ds = [1.5, 2.0, 2.5];
+        for d in ds {
+            let est = e.estimate_icache_misses(ic, d).unwrap();
+            let sim = dilated_misses(
+                e.program(),
+                e.reference(),
+                d,
+                e.config(),
+                StreamKind::Instruction,
+                ic,
+            ) as f64;
+            let rel = (est - sim).abs() / sim;
+            worst = worst.max(rel);
+            total += rel;
+        }
+        // Paper-comparable accuracy: Table 4 shows per-point errors of this
+        // order; require the average to be clearly informative and no
+        // single point to be wildly off.
+        let mean = total / ds.len() as f64;
+        assert!(mean < 0.30, "mean error {:.1}%", mean * 100.0);
+        assert!(worst < 0.50, "worst error {:.1}%", worst * 100.0);
+    }
+
+    #[test]
+    fn dilation_of_reference_is_one() {
+        let e = small_eval();
+        let d = e.dilation_of(&ProcessorKind::P1111.mdes());
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(e.dilation_of(&ProcessorKind::P6332.mdes()) > 2.0);
+    }
+
+    #[test]
+    fn missing_config_errors_cleanly() {
+        let e = small_eval();
+        let unknown = CacheConfig::from_bytes(4096, 4, 16);
+        assert!(e.estimate_ucache_misses(unknown, 1.5).is_err());
+        assert!(e.dcache_misses(unknown).is_err());
+    }
+
+    #[test]
+    fn expand_line_sizes_covers_dilation_range() {
+        let base = CacheConfig::from_bytes(1024, 1, 32); // 8-word lines
+        let out = expand_line_sizes(&[base], 4.0);
+        let lines: Vec<u32> = out.iter().map(|c| c.line_words).collect();
+        assert!(lines.contains(&8));
+        assert!(lines.contains(&4));
+        assert!(lines.contains(&2));
+        assert!(!lines.contains(&1), "dilation 4 on 8-word lines stops at 2");
+    }
+}

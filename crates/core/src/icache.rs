@@ -1,0 +1,222 @@
+//! Instruction-cache miss estimation under dilation (§4.3.1).
+//!
+//! Lemma 1: dilating the trace by `d` is equivalent to *contracting the
+//! line size* by `d`: `M(IC(S,A,L), Pref, d) = M(IC(S,A,L/d), Pref)`. Since
+//! `L/d` is generally not a power of two, the misses of the infeasible
+//! cache are interpolated between the two neighbouring feasible line sizes
+//! using the AHH collision count as the interpolation basis (Lemma 2 /
+//! Eq. 4.12) — misses are far too nonlinear in line size for plain linear
+//! interpolation, which the ablation benchmark demonstrates.
+
+use mhe_cache::CacheConfig;
+use mhe_model::ahh::{collisions, interpolate_linear_in, unique_lines, UniqueLineModel};
+use mhe_model::params::TraceParams;
+
+/// Source of measured reference-trace miss counts for feasible caches.
+///
+/// Implemented by the evaluator's tables; a closure works too.
+pub trait MeasuredMisses {
+    /// Misses of `config` on the (undilated) reference trace.
+    ///
+    /// Returns `None` if the configuration was not simulated.
+    fn misses(&self, config: CacheConfig) -> Option<u64>;
+}
+
+impl<F: Fn(CacheConfig) -> Option<u64>> MeasuredMisses for F {
+    fn misses(&self, config: CacheConfig) -> Option<u64> {
+        self(config)
+    }
+}
+
+/// Neighbouring feasible (power-of-two) line sizes around a contracted line
+/// size `l` (in words). Returns `(lower, upper)` with `lower <= l <= upper`.
+pub fn bracket_line_words(l: f64) -> (u32, u32) {
+    assert!(l > 0.0, "contracted line size must be positive");
+    if l <= 1.0 {
+        return (1, 1);
+    }
+    let lo = (l.log2().floor().exp2() as u32).max(1);
+    if (f64::from(lo) - l).abs() < 1e-9 {
+        (lo, lo)
+    } else {
+        (lo, lo * 2)
+    }
+}
+
+/// Estimates `M(IC(S,A,L), Pref, d)` — instruction-cache misses of the
+/// reference trace dilated by `d` — from measured reference-trace misses
+/// and the instruction-trace parameters.
+///
+/// # Errors
+///
+/// Returns `Err` naming the missing configuration if `measured` lacks a
+/// required neighbouring line size.
+///
+/// # Panics
+///
+/// Panics if `d <= 0`.
+pub fn estimate_icache_misses(
+    params: &TraceParams,
+    measured: &impl MeasuredMisses,
+    cache: CacheConfig,
+    d: f64,
+    model: UniqueLineModel,
+) -> Result<f64, String> {
+    assert!(d > 0.0, "dilation must be positive, got {d}");
+    // Lemma 1: contract the line size by the dilation.
+    let l_eff = f64::from(cache.line_words) / d;
+    let (lo, hi) = bracket_line_words(l_eff);
+    let m_lo = lookup(measured, cache, lo)?;
+    if lo == hi {
+        return Ok(m_lo as f64);
+    }
+    let m_hi = lookup(measured, cache, hi)?;
+    // Eq. 4.12: misses are linear in Coll; interpolate in that basis.
+    let coll = |l: f64| collisions(unique_lines(params, l, model), cache.sets, cache.assoc);
+    let g_lo = coll(f64::from(lo));
+    let g_hi = coll(f64::from(hi));
+    let g = coll(l_eff);
+    let est = interpolate_linear_in(m_lo as f64, g_lo, m_hi as f64, g_hi, g);
+    Ok(est.max(0.0))
+}
+
+/// Plain linear interpolation in the line size itself — the naive
+/// alternative the paper rejects. Kept public for the ablation benchmark.
+///
+/// # Errors
+///
+/// Returns `Err` naming the missing configuration, as for
+/// [`estimate_icache_misses`].
+pub fn estimate_icache_misses_linear(
+    measured: &impl MeasuredMisses,
+    cache: CacheConfig,
+    d: f64,
+) -> Result<f64, String> {
+    assert!(d > 0.0, "dilation must be positive, got {d}");
+    let l_eff = f64::from(cache.line_words) / d;
+    let (lo, hi) = bracket_line_words(l_eff);
+    let m_lo = lookup(measured, cache, lo)? as f64;
+    if lo == hi {
+        return Ok(m_lo);
+    }
+    let m_hi = lookup(measured, cache, hi)? as f64;
+    let t = (l_eff - f64::from(lo)) / f64::from(hi - lo);
+    Ok(m_lo + t * (m_hi - m_lo))
+}
+
+fn lookup(
+    measured: &impl MeasuredMisses,
+    cache: CacheConfig,
+    line_words: u32,
+) -> Result<u64, String> {
+    let cfg = CacheConfig::new(cache.sets, cache.assoc, line_words);
+    measured
+        .misses(cfg)
+        .ok_or_else(|| format!("missing measured misses for {cfg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn table(entries: &[(u32, u64)]) -> impl MeasuredMisses {
+        let map: HashMap<u32, u64> = entries.iter().copied().collect();
+        move |cfg: CacheConfig| {
+            if cfg.sets == 32 && cfg.assoc == 1 {
+                map.get(&cfg.line_words).copied()
+            } else {
+                None
+            }
+        }
+    }
+
+    fn params() -> TraceParams {
+        TraceParams { u1: 3000.0, p1: 0.1, lav: 16.0 }
+    }
+
+    #[test]
+    fn bracket_finds_neighbours() {
+        assert_eq!(bracket_line_words(3.0), (2, 4));
+        assert_eq!(bracket_line_words(4.0), (4, 4));
+        assert_eq!(bracket_line_words(5.7), (4, 8));
+        assert_eq!(bracket_line_words(1.0), (1, 1));
+        assert_eq!(bracket_line_words(0.4), (1, 1));
+    }
+
+    #[test]
+    fn unit_dilation_returns_measured_misses() {
+        let m = table(&[(8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        let est = estimate_icache_misses(&params(), &m, cfg, 1.0, UniqueLineModel::RunBased)
+            .unwrap();
+        assert!((est - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_of_two_dilation_maps_to_smaller_line() {
+        // d = 2 on a 8-word line = the 4-word-line cache, exactly.
+        let m = table(&[(4, 9000), (8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        let est = estimate_icache_misses(&params(), &m, cfg, 2.0, UniqueLineModel::RunBased)
+            .unwrap();
+        assert!((est - 9000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_dilation_lands_between_neighbours() {
+        let m = table(&[(4, 9000), (8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        for d in [1.3, 1.5, 1.9] {
+            let est =
+                estimate_icache_misses(&params(), &m, cfg, d, UniqueLineModel::RunBased).unwrap();
+            assert!(
+                (5000.0..=9000.0).contains(&est),
+                "d={d}: estimate {est} outside measured bracket"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_increase_with_dilation() {
+        // More dilation -> smaller effective line -> more misses (for a
+        // spatially local trace).
+        let m = table(&[(1, 20_000), (2, 14_000), (4, 9000), (8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        let mut prev = 0.0;
+        for d in [1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0] {
+            let est =
+                estimate_icache_misses(&params(), &m, cfg, d, UniqueLineModel::RunBased).unwrap();
+            assert!(est >= prev, "d={d}: {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn missing_configuration_is_an_error() {
+        let m = table(&[(8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        let err = estimate_icache_misses(&params(), &m, cfg, 1.5, UniqueLineModel::RunBased);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("missing measured misses"));
+    }
+
+    #[test]
+    fn linear_variant_interpolates_in_line_size() {
+        let m = table(&[(4, 9000), (8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        // l_eff = 8/1.6 = 5 -> t = 0.25 -> 9000 + 0.25*(-4000) = 8000.
+        let est = estimate_icache_misses_linear(&m, cfg, 1.6).unwrap();
+        assert!((est - 8000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ahh_and_linear_interpolation_differ_in_general() {
+        let m = table(&[(4, 9000), (8, 5000)]);
+        let cfg = CacheConfig::new(32, 1, 8);
+        let a = estimate_icache_misses(&params(), &m, cfg, 1.6, UniqueLineModel::RunBased)
+            .unwrap();
+        let b = estimate_icache_misses_linear(&m, cfg, 1.6).unwrap();
+        assert!((a - b).abs() > 1.0, "AHH ({a}) vs linear ({b}) suspiciously equal");
+    }
+}

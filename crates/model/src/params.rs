@@ -1,0 +1,337 @@
+//! Trace parameters and the granule-based trace modeler.
+//!
+//! The AHH model characterizes a trace by three parameters derived in a
+//! single simulation-like pass (the paper's `TraceModeler`):
+//!
+//! * `u(1)` — average unique word references per time granule,
+//! * `p1` — average fraction of unique references that are isolated
+//!   (no neighbouring reference in the granule),
+//! * `lav` — average run length (consecutive-address runs of length ≥ 2).
+//!
+//! [`ITraceModeler`] processes a single-component trace;
+//! [`UTraceModeler`] separates the instruction and data components of a
+//! unified trace (only the instruction component dilates). Default granule
+//! sizes follow the paper: 10,000 references for the instruction trace and
+//! 200,000 for the unified trace.
+
+use mhe_trace::{Access, AccessKind};
+
+/// Default granule size for instruction traces (paper §5.2).
+pub const I_GRANULE: usize = 10_000;
+
+/// Default granule size for unified traces (paper §5.2).
+pub const U_GRANULE: usize = 200_000;
+
+/// The three basic AHH parameters of one trace component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceParams {
+    /// Average unique references per granule, `u(1)`.
+    pub u1: f64,
+    /// Average isolated-reference fraction, `p1`.
+    pub p1: f64,
+    /// Average run length, `lav` (≥ 2 when any run exists).
+    pub lav: f64,
+}
+
+impl TraceParams {
+    /// The derived run-transition parameter `p2` (Eq. 4.4):
+    /// `p2 = (lav − (1 + p1)) / (lav − 1)`.
+    ///
+    /// Degenerates to 0 when `lav <= 1` (no runs at all).
+    pub fn p2(&self) -> f64 {
+        if self.lav <= 1.0 + 1e-9 {
+            0.0
+        } else {
+            (self.lav - (1.0 + self.p1)) / (self.lav - 1.0)
+        }
+    }
+
+    /// Measures parameters over a word-address stream with the given
+    /// granule size.
+    ///
+    /// Trailing partial granules (fewer than `granule` references) are
+    /// discarded, as partial windows bias `u(1)` low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0`.
+    pub fn measure(trace: impl IntoIterator<Item = u64>, granule: usize) -> TraceParams {
+        let mut m = ITraceModeler::new(granule);
+        for a in trace {
+            m.process(a);
+        }
+        m.finish()
+    }
+}
+
+/// Per-granule run statistics over a sorted unique-address set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct GranuleStats {
+    /// Unique references.
+    pub unique: u64,
+    /// Isolated (singular) references.
+    pub isolated: u64,
+    /// Runs of length ≥ 2.
+    pub runs: u64,
+    /// Total length of those runs.
+    pub run_len: u64,
+}
+
+/// Analyzes one granule's unique addresses (sorted in place).
+pub(crate) fn analyze_granule(addrs: &mut Vec<u64>) -> GranuleStats {
+    addrs.sort_unstable();
+    addrs.dedup();
+    let mut stats = GranuleStats { unique: addrs.len() as u64, ..Default::default() };
+    let mut i = 0;
+    while i < addrs.len() {
+        let mut j = i + 1;
+        while j < addrs.len() && addrs[j] == addrs[j - 1] + 1 {
+            j += 1;
+        }
+        let len = (j - i) as u64;
+        if len == 1 {
+            stats.isolated += 1;
+        } else {
+            stats.runs += 1;
+            stats.run_len += len;
+        }
+        i = j;
+    }
+    stats
+}
+
+/// Accumulates per-granule averages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct ParamAccum {
+    granules: u64,
+    u1_sum: f64,
+    p1_sum: f64,
+    lav_sum: f64,
+}
+
+impl ParamAccum {
+    pub(crate) fn add(&mut self, g: GranuleStats) {
+        if g.unique == 0 {
+            return;
+        }
+        self.granules += 1;
+        self.u1_sum += g.unique as f64;
+        self.p1_sum += g.isolated as f64 / g.unique as f64;
+        // A granule with no run of length >= 2 contributes lav = 1.
+        let lav = if g.runs > 0 { g.run_len as f64 / g.runs as f64 } else { 1.0 };
+        self.lav_sum += lav;
+    }
+
+    pub(crate) fn finish(&self) -> TraceParams {
+        if self.granules == 0 {
+            // Degenerate (empty trace): harmless neutral parameters.
+            return TraceParams { u1: 0.0, p1: 1.0, lav: 1.0 };
+        }
+        let n = self.granules as f64;
+        TraceParams {
+            u1: self.u1_sum / n,
+            p1: self.p1_sum / n,
+            lav: self.lav_sum / n,
+        }
+    }
+
+    pub(crate) fn granules(&self) -> u64 {
+        self.granules
+    }
+}
+
+/// Streaming modeler for a single-component trace (the paper's
+/// `ItraceModeler`).
+#[derive(Debug, Clone)]
+pub struct ITraceModeler {
+    granule: usize,
+    seen: usize,
+    addrs: Vec<u64>,
+    accum: ParamAccum,
+}
+
+impl ITraceModeler {
+    /// Creates a modeler with the given granule size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0`.
+    pub fn new(granule: usize) -> Self {
+        assert!(granule > 0, "granule size must be positive");
+        Self { granule, seen: 0, addrs: Vec::with_capacity(granule), accum: ParamAccum::default() }
+    }
+
+    /// Processes one reference.
+    pub fn process(&mut self, addr: u64) {
+        self.addrs.push(addr);
+        self.seen += 1;
+        if self.seen == self.granule {
+            let stats = analyze_granule(&mut self.addrs);
+            self.accum.add(stats);
+            self.addrs.clear();
+            self.seen = 0;
+        }
+    }
+
+    /// Number of complete granules processed so far.
+    pub fn granules(&self) -> u64 {
+        self.accum.granules()
+    }
+
+    /// Finishes, returning the averaged parameters (discarding any trailing
+    /// partial granule).
+    pub fn finish(self) -> TraceParams {
+        self.accum.finish()
+    }
+}
+
+/// Parameters of a unified trace: instruction and data components measured
+/// separately (only the instruction component dilates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnifiedParams {
+    /// Instruction-component parameters (`uI(1)`, `p1I`, `lavI`).
+    pub inst: TraceParams,
+    /// Data-component parameters (`uD(1)`, `p1D`, `lavD`).
+    pub data: TraceParams,
+}
+
+/// Streaming modeler for a unified trace (the paper's `UtraceModeler`):
+/// granule boundaries fall every `granule` *total* references, but the
+/// instruction and data addresses are sorted and analyzed separately.
+#[derive(Debug, Clone)]
+pub struct UTraceModeler {
+    granule: usize,
+    seen: usize,
+    iaddrs: Vec<u64>,
+    daddrs: Vec<u64>,
+    iaccum: ParamAccum,
+    daccum: ParamAccum,
+}
+
+impl UTraceModeler {
+    /// Creates a modeler with the given granule size (total references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule == 0`.
+    pub fn new(granule: usize) -> Self {
+        assert!(granule > 0, "granule size must be positive");
+        Self {
+            granule,
+            seen: 0,
+            iaddrs: Vec::new(),
+            daddrs: Vec::new(),
+            iaccum: ParamAccum::default(),
+            daccum: ParamAccum::default(),
+        }
+    }
+
+    /// Processes one access.
+    pub fn process(&mut self, access: Access) {
+        match access.kind {
+            AccessKind::Inst => self.iaddrs.push(access.addr),
+            AccessKind::Load | AccessKind::Store => self.daddrs.push(access.addr),
+        }
+        self.seen += 1;
+        if self.seen == self.granule {
+            self.iaccum.add(analyze_granule(&mut self.iaddrs));
+            self.daccum.add(analyze_granule(&mut self.daddrs));
+            self.iaddrs.clear();
+            self.daddrs.clear();
+            self.seen = 0;
+        }
+    }
+
+    /// Measures a whole access stream.
+    pub fn measure(trace: impl IntoIterator<Item = Access>, granule: usize) -> UnifiedParams {
+        let mut m = Self::new(granule);
+        for a in trace {
+            m.process(a);
+        }
+        m.finish()
+    }
+
+    /// Finishes, returning both components' parameters.
+    pub fn finish(self) -> UnifiedParams {
+        UnifiedParams { inst: self.iaccum.finish(), data: self.daccum.finish() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granule_analysis_identifies_runs_and_isolates() {
+        let mut addrs = vec![10, 11, 12, 20, 30, 31, 12, 11];
+        let g = analyze_granule(&mut addrs);
+        assert_eq!(g.unique, 6);
+        assert_eq!(g.isolated, 1); // 20
+        assert_eq!(g.runs, 2); // 10-12 and 30-31
+        assert_eq!(g.run_len, 5);
+    }
+
+    #[test]
+    fn all_isolated_gives_p1_one() {
+        let trace: Vec<u64> = (0..10_000u64).map(|i| i * 10).collect();
+        let p = TraceParams::measure(trace, 1000);
+        assert!((p.p1 - 1.0).abs() < 1e-12);
+        assert_eq!(p.lav, 1.0);
+        assert_eq!(p.p2(), 0.0);
+    }
+
+    #[test]
+    fn pure_streaming_gives_p1_zero_and_long_runs() {
+        let trace: Vec<u64> = (0..10_000u64).collect();
+        let p = TraceParams::measure(trace, 1000);
+        assert!(p.p1 < 1e-12);
+        // Each granule is one run of 1000 consecutive addresses.
+        assert!((p.lav - 1000.0).abs() < 1e-9);
+        assert!((p.u1 - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_addresses_do_not_inflate_u1() {
+        let trace: Vec<u64> = (0..1000u64).map(|i| i % 10).collect();
+        let p = TraceParams::measure(trace, 1000);
+        assert!((p.u1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_matches_formula() {
+        let p = TraceParams { u1: 100.0, p1: 0.2, lav: 5.0 };
+        let expect = (5.0 - 1.2) / 4.0;
+        assert!((p.p2() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trailing_granule_is_discarded() {
+        let mut m = ITraceModeler::new(100);
+        for a in 0..250u64 {
+            m.process(a);
+        }
+        assert_eq!(m.granules(), 2);
+    }
+
+    #[test]
+    fn unified_modeler_separates_components() {
+        use mhe_trace::Access;
+        let mut trace = Vec::new();
+        for i in 0..500u64 {
+            trace.push(Access::inst(i)); // streaming instructions
+            trace.push(Access::load(10_000 + i * 7)); // isolated data
+        }
+        let p = UTraceModeler::measure(trace, 1000);
+        assert!(p.inst.p1 < 0.02, "instructions stream: p1 {}", p.inst.p1);
+        assert!(p.data.p1 > 0.98, "data isolated: p1 {}", p.data.p1);
+        assert!((p.inst.u1 - 500.0).abs() < 1.0);
+        assert!((p.data.u1 - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_trace_degenerates_gracefully() {
+        let p = TraceParams::measure(std::iter::empty(), 100);
+        assert_eq!(p.u1, 0.0);
+        assert_eq!(p.p2(), 0.0);
+    }
+}

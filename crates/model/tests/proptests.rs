@@ -1,0 +1,114 @@
+//! Property tests for the AHH model: monotonicity, the equivalence of the
+//! two collision computations, and interpolation identities.
+
+use mhe_model::ahh::{
+    collisions, collisions_primary, collisions_tail, interpolate_linear_in, unique_lines,
+    UniqueLineModel,
+};
+use mhe_model::params::TraceParams;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = TraceParams> {
+    (10.0f64..100_000.0, 0.0f64..1.0, 1.0f64..64.0)
+        .prop_map(|(u1, p1, lav)| TraceParams { u1, p1, lav })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unique_lines_monotone_decreasing_in_l(p in params_strategy()) {
+        for model in [UniqueLineModel::RunBased, UniqueLineModel::PrintedAhh] {
+            let mut prev = f64::INFINITY;
+            for l in [1.0, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0, 32.0] {
+                let u = unique_lines(&p, l, model);
+                prop_assert!(u <= prev + 1e-9, "{:?}: u({}) = {} > {}", model, l, u, prev);
+                prop_assert!(u > 0.0);
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn unique_lines_at_one_is_u1(p in params_strategy()) {
+        for model in [UniqueLineModel::RunBased, UniqueLineModel::PrintedAhh] {
+            let u = unique_lines(&p, 1.0, model);
+            prop_assert!((u - p.u1).abs() < 1e-6 * p.u1, "{:?}: {} != {}", model, u, p.u1);
+        }
+    }
+
+    #[test]
+    fn collision_methods_agree(
+        u in 1.0f64..50_000.0,
+        sets_pow in 1u32..12,
+        assoc in 1u32..9,
+    ) {
+        let sets = 1u32 << sets_pow;
+        let p = collisions_primary(u, sets, assoc);
+        let t = collisions_tail(u, sets, assoc);
+        // Primary loses digits when the result is tiny; only compare where
+        // it is numerically meaningful.
+        if p > 1e-6 * u {
+            let rel = (p - t).abs() / p.max(t);
+            prop_assert!(rel < 1e-4, "u={} S={} A={}: primary {} vs tail {}", u, sets, assoc, p, t);
+        }
+    }
+
+    #[test]
+    fn collisions_bounded_by_u(
+        u in 0.0f64..50_000.0,
+        sets_pow in 0u32..12,
+        assoc in 1u32..9,
+    ) {
+        let c = collisions(u, 1 << sets_pow, assoc);
+        prop_assert!(c >= 0.0);
+        prop_assert!(c <= u + 1e-6, "Coll {} exceeds u {}", c, u);
+    }
+
+    #[test]
+    fn collisions_monotone_in_geometry(
+        u in 100.0f64..20_000.0,
+        sets_pow in 2u32..10,
+        assoc in 1u32..6,
+    ) {
+        let sets = 1u32 << sets_pow;
+        let c = collisions(u, sets, assoc);
+        prop_assert!(collisions(u, sets * 2, assoc) <= c + 1e-6);
+        prop_assert!(collisions(u, sets, assoc + 1) <= c + 1e-6);
+        prop_assert!(collisions(u * 1.1, sets, assoc) + 1e-6 >= c);
+    }
+
+    #[test]
+    fn interpolation_reproduces_linear_functions(
+        a in -100.0f64..100.0,
+        b in -1000.0f64..1000.0,
+        g1 in -100.0f64..100.0,
+        g2 in -100.0f64..100.0,
+        g in -100.0f64..100.0,
+    ) {
+        prop_assume!((g1 - g2).abs() > 1e-3);
+        let f = |x: f64| a * x + b;
+        let v = interpolate_linear_in(f(g1), g1, f(g2), g2, g);
+        let scale = f(g).abs().max(1.0);
+        prop_assert!((v - f(g)).abs() < 1e-6 * scale, "{} vs {}", v, f(g));
+    }
+
+    #[test]
+    fn measured_params_are_well_formed(seed in 0u64..1000) {
+        // Any deterministic pseudo-trace yields sane parameters.
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let trace: Vec<u64> = (0..5000u64)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 2 == 0 { i % 700 } else { (x >> 20) % 4096 }
+            })
+            .collect();
+        let p = TraceParams::measure(trace, 1000);
+        prop_assert!(p.u1 > 0.0 && p.u1 <= 1000.0);
+        prop_assert!((0.0..=1.0).contains(&p.p1));
+        prop_assert!(p.lav >= 1.0);
+        prop_assert!(p.p2() <= 1.0);
+    }
+}

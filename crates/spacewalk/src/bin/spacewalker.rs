@@ -1,0 +1,156 @@
+//! `spacewalker` — non-interactive design-space exploration from a
+//! specification file.
+//!
+//! The command-line face of the system (the paper's spacewalker executable
+//! driven by a `DesignSpaceSpec`):
+//!
+//! ```console
+//! $ spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]
+//! ```
+//!
+//! Reads the design-space specification, runs the reference evaluation once
+//! (the only simulation), walks the processor × memory space with the
+//! dilation model, and prints the cost/performance Pareto frontier. With
+//! `--db` the evaluation cache persists across runs; with `--heuristic`
+//! the per-cache walks use neighbourhood ascent instead of exhaustion.
+
+use mhe_core::evaluator::EvalConfig;
+use mhe_spacewalk::cache_db::EvaluationCache;
+use mhe_spacewalk::heuristic::walk_heuristic;
+use mhe_spacewalk::spec::Spec;
+use mhe_spacewalk::walker;
+use mhe_vliw::ProcessorKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path = None;
+    let mut db_path: Option<String> = None;
+    let mut heuristic = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                db_path = args.get(i).cloned();
+                if db_path.is_none() {
+                    eprintln!("--db needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--heuristic" => heuristic = true,
+            "--help" | "-h" => {
+                eprintln!("usage: spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if spec_path.replace(other.to_string()).is_some() {
+                    eprintln!("unexpected extra argument {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("usage: spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match Spec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "benchmark {} | {} processors x {} I$ x {} D$ x {} U$ = {} systems",
+        spec.benchmark,
+        spec.space.processors.len(),
+        spec.space.icache.enumerate().len(),
+        spec.space.dcache.enumerate().len(),
+        spec.space.ucache.enumerate().len(),
+        spec.space.combinations()
+    );
+
+    let mut db = match &db_path {
+        Some(p) if std::path::Path::new(p).exists() => match EvaluationCache::load(p) {
+            Ok(db) => {
+                eprintln!("loaded {} cached metrics from {p}", db.len());
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot load {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => EvaluationCache::new(),
+    };
+
+    eprintln!("building reference evaluation (the only simulation step)...");
+    let eval = walker::prepare_evaluation(
+        spec.benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: spec.events, ..EvalConfig::default() },
+        &spec.space,
+    );
+
+    if heuristic {
+        // Demonstrate the pruning on the instruction-cache walk at each
+        // processor's dilation.
+        for proc in &spec.space.processors {
+            let d = eval.dilation_of(proc);
+            let r = walk_heuristic(
+                &spec.space.icache,
+                &mut db,
+                &format!("{}/ic-h/d{d:.3}", eval.program().name),
+                |design| eval.estimate_icache_misses(design.config, d).unwrap(),
+            );
+            eprintln!(
+                "heuristic I$ walk @ {}: evaluated {}/{} designs, frontier {}",
+                proc.name,
+                r.evaluated,
+                r.space_size,
+                r.pareto.len()
+            );
+        }
+    }
+
+    let frontier = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>12} {:>14}",
+        "proc", "I$ B", "D$ B", "U$ B", "area", "cycles"
+    );
+    for p in frontier.points() {
+        let m = &p.design.memory;
+        println!(
+            "{:<6} {:>9} {:>9} {:>9} {:>12.0} {:>14.0}",
+            p.design.processor.name,
+            m.icache.config.size_bytes(),
+            m.dcache.config.size_bytes(),
+            m.ucache.config.size_bytes(),
+            p.cost,
+            p.time
+        );
+    }
+    let (hits, computes) = db.stats();
+    eprintln!("{} frontier designs; evaluation cache {hits} hits / {computes} computes", frontier.len());
+
+    if let Some(p) = db_path {
+        if let Err(e) = db.save(&p) {
+            eprintln!("cannot save {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("saved evaluation cache to {p}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,152 @@
+//! The evaluation cache: memoized metrics with optional persistence.
+//!
+//! The paper's `EvaluationCache` "first looks in a persistent disk-based
+//! database if a particular metric for a design is available; otherwise it
+//! invokes the Evaluators layer". This module provides the same contract
+//! with a small tab-separated text file as the persistent form.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Memoization table for design metrics, keyed by caller-chosen strings
+/// (e.g. `"085.gcc/IC(S=32,A=1,L=32B)/d=1.40/misses"`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvaluationCache {
+    entries: HashMap<String, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EvaluationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a metric, computing and recording it on a miss.
+    pub fn get_or_insert_with(&mut self, key: &str, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(&v) = self.entries.get(key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let v = compute();
+        self.entries.insert(key.to_string(), v);
+        v
+    }
+
+    /// Looks up a metric without computing.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Records a metric unconditionally.
+    pub fn insert(&mut self, key: impl Into<String>, value: f64) {
+        self.entries.insert(key.into(), value);
+    }
+
+    /// Number of stored metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters for `get_or_insert_with`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Saves to a tab-separated text file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort_unstable();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for k in keys {
+            writeln!(f, "{k}\t{}", self.entries[k])?;
+        }
+        Ok(())
+    }
+
+    /// Loads from a file written by [`EvaluationCache::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed lines produce
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut entries = HashMap::new();
+        for line in f.lines() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.rsplit_once('\t').ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad line: {line}"))
+            })?;
+            let value: f64 = v.parse().map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad value: {e}"))
+            })?;
+            entries.insert(k.to_string(), value);
+        }
+        Ok(Self { entries, hits: 0, misses: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_computes_once() {
+        let mut c = EvaluationCache::new();
+        let mut calls = 0;
+        for _ in 0..5 {
+            let v = c.get_or_insert_with("k", || {
+                calls += 1;
+                42.0
+            });
+            assert_eq!(v, 42.0);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.stats(), (4, 1));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut c = EvaluationCache::new();
+        c.insert("a/b/c", 1.5);
+        c.insert("with spaces in key", -3.25e10);
+        let path = std::env::temp_dir().join("mhe_eval_cache_test.tsv");
+        c.save(&path).unwrap();
+        let loaded = EvaluationCache::load(&path).unwrap();
+        assert_eq!(loaded.get("a/b/c"), Some(1.5));
+        assert_eq!(loaded.get("with spaces in key"), Some(-3.25e10));
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("mhe_eval_cache_bad.tsv");
+        std::fs::write(&path, "no-tab-here\n").unwrap();
+        assert!(EvaluationCache::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let c = EvaluationCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.get("nothing"), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Area-cost models for caches and systems.
+//!
+//! The paper computes "the area cost of a particular cache configuration
+//! […] readily from the cache parameters". This module provides a simple
+//! CACTI-flavoured analytical model: data + tag RAM bits, scaled by a port
+//! factor (multi-ported RAM cells grow roughly quadratically in the port
+//! count).
+
+use mhe_cache::CacheConfig;
+
+/// A cache design point: geometry plus port count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheDesign {
+    /// Geometry.
+    pub config: CacheConfig,
+    /// Access ports (≥ 1).
+    pub ports: u32,
+}
+
+impl CacheDesign {
+    /// Single-ported design.
+    pub fn single_ported(config: CacheConfig) -> Self {
+        Self { config, ports: 1 }
+    }
+}
+
+/// Physical word-address width assumed by the tag model.
+const ADDR_BITS: u32 = 32;
+
+/// Area of a cache in arbitrary units (thousands of bit-equivalents).
+///
+/// `area = (data_bits + tag_bits) · port_factor / 1000`, with
+/// `port_factor = 1 + 0.6·(ports−1) + 0.3·(ports−1)²`.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_cache::CacheConfig;
+/// use mhe_spacewalk::cost::{cache_area, CacheDesign};
+/// let small = CacheDesign::single_ported(CacheConfig::from_bytes(1024, 1, 32));
+/// let large = CacheDesign::single_ported(CacheConfig::from_bytes(16 * 1024, 2, 32));
+/// assert!(cache_area(&large) > 10.0 * cache_area(&small));
+/// ```
+pub fn cache_area(design: &CacheDesign) -> f64 {
+    let c = design.config;
+    let lines = u64::from(c.sets) * u64::from(c.assoc);
+    let data_bits = c.size_bytes() * 8;
+    // Tag: address bits minus set-index and line-offset bits, plus valid +
+    // LRU state per line.
+    let offset_bits = (c.line_words * 4).trailing_zeros();
+    let index_bits = c.sets.trailing_zeros();
+    let tag_width = ADDR_BITS.saturating_sub(offset_bits + index_bits) + 1 + c.assoc.max(2).trailing_zeros();
+    let tag_bits = lines * u64::from(tag_width);
+    let p = f64::from(design.ports.max(1) - 1);
+    let port_factor = 1.0 + 0.6 * p + 0.3 * p * p;
+    (data_bits + tag_bits) as f64 * port_factor / 1000.0
+}
+
+/// Total memory-system area: the three caches of a hierarchy.
+pub fn memory_area(icache: &CacheDesign, dcache: &CacheDesign, ucache: &CacheDesign) -> f64 {
+    cache_area(icache) + cache_area(dcache) + cache_area(ucache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_with_size() {
+        let mut prev = 0.0;
+        for kb in [1u64, 2, 4, 8, 16, 32] {
+            let a = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
+                kb * 1024,
+                1,
+                32,
+            )));
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn ports_scale_superlinearly() {
+        let cfg = CacheConfig::from_bytes(8 * 1024, 2, 32);
+        let a1 = cache_area(&CacheDesign { config: cfg, ports: 1 });
+        let a2 = cache_area(&CacheDesign { config: cfg, ports: 2 });
+        let a3 = cache_area(&CacheDesign { config: cfg, ports: 3 });
+        assert!(a2 > a1);
+        assert!(a3 - a2 > a2 - a1, "marginal port cost must grow");
+    }
+
+    #[test]
+    fn smaller_lines_mean_more_tag_area() {
+        // Same capacity, smaller lines -> more lines -> more tag bits.
+        let coarse = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
+            8 * 1024,
+            1,
+            64,
+        )));
+        let fine = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
+            8 * 1024,
+            1,
+            16,
+        )));
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn memory_area_is_additive() {
+        let c = CacheDesign::single_ported(CacheConfig::from_bytes(1024, 1, 32));
+        let u = CacheDesign::single_ported(CacheConfig::from_bytes(16 * 1024, 2, 64));
+        let total = memory_area(&c, &c, &u);
+        assert!((total - (2.0 * cache_area(&c) + cache_area(&u))).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Design-space exploration: the spacewalker.
+//!
+//! Reproduces the paper's exploration layer (Figure 4's `Walkers` /
+//! `Pareto` / `EvaluationCache` stack):
+//!
+//! * [`space`] — design-space specifications and enumeration;
+//! * [`cost`] — cache/memory area models;
+//! * [`pareto`] — Pareto-frontier accumulation;
+//! * [`cache_db`] — memoized metrics with text-file persistence;
+//! * [`walker`] — instruction/data/unified/memory/system walkers built on
+//!   the dilation-model evaluator from `mhe-core`.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use mhe_core::evaluator::EvalConfig;
+//! use mhe_cache::Penalties;
+//! use mhe_spacewalk::{cache_db::EvaluationCache, space::SystemSpace, walker};
+//! use mhe_vliw::ProcessorKind;
+//! use mhe_workload::Benchmark;
+//!
+//! let space = SystemSpace::paper_default();
+//! let eval = walker::prepare_evaluation(
+//!     Benchmark::Epic.generate(),
+//!     &ProcessorKind::P1111.mdes(),
+//!     EvalConfig::default(),
+//!     &space,
+//! );
+//! let mut db = EvaluationCache::new();
+//! let frontier = walker::walk_system(&eval, &space, Penalties::default(), &mut db);
+//! for p in frontier.points() {
+//!     println!("{}  cost={:.0}  cycles={:.0}", p.design.processor.name, p.cost, p.time);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache_db;
+pub mod heuristic;
+pub mod cost;
+pub mod pareto;
+pub mod space;
+pub mod spec;
+pub mod walker;
+
+pub use cache_db::EvaluationCache;
+pub use cost::{cache_area, CacheDesign};
+pub use pareto::{ParetoPoint, ParetoSet};
+pub use space::{CacheSpace, SystemSpace};
+pub use walker::{walk_memory, walk_system, MemoryPoint, SystemPoint};

@@ -1,0 +1,160 @@
+//! Pareto-set accumulation.
+//!
+//! "A Pareto set consists of designs that are superior in performance to
+//! all other designs with the same or lower cost." Here *performance* is a
+//! time-like metric (misses, stall cycles, execution cycles): lower is
+//! better, as is lower cost.
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint<T> {
+    /// The design.
+    pub design: T,
+    /// Cost (area, arbitrary units; lower is better).
+    pub cost: f64,
+    /// Time-like performance metric (lower is better).
+    pub time: f64,
+}
+
+/// An accumulating Pareto frontier over (cost, time).
+///
+/// # Examples
+///
+/// ```
+/// use mhe_spacewalk::pareto::ParetoSet;
+/// let mut p = ParetoSet::new();
+/// assert!(p.insert("a", 1.0, 10.0));
+/// assert!(p.insert("b", 2.0, 5.0));   // more cost, faster: kept
+/// assert!(!p.insert("c", 3.0, 7.0));  // dominated by b
+/// assert!(p.insert("d", 0.5, 20.0));  // cheapest so far: kept
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoSet<T> {
+    points: Vec<ParetoPoint<T>>,
+}
+
+impl<T> Default for ParetoSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ParetoSet<T> {
+    /// Creates an empty frontier.
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Inserts a design if it is not dominated; evicts designs it
+    /// dominates. Returns whether the design was kept.
+    ///
+    /// Domination: `a` dominates `b` when `a.cost <= b.cost` and
+    /// `a.time <= b.time`, with at least one strict. Exact ties on both
+    /// axes keep the incumbent.
+    pub fn insert(&mut self, design: T, cost: f64, time: f64) -> bool {
+        let dominated = self
+            .points
+            .iter()
+            .any(|p| p.cost <= cost && p.time <= time);
+        if dominated {
+            return false;
+        }
+        self.points.retain(|p| !(cost <= p.cost && time <= p.time));
+        self.points.push(ParetoPoint { design, cost, time });
+        true
+    }
+
+    /// The frontier, sorted by increasing cost.
+    pub fn points(&self) -> Vec<&ParetoPoint<T>> {
+        let mut v: Vec<&ParetoPoint<T>> = self.points.iter().collect();
+        v.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Number of frontier designs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The lowest-time point, if any.
+    pub fn fastest(&self) -> Option<&ParetoPoint<T>> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The lowest-cost point, if any.
+    pub fn cheapest(&self) -> Option<&ParetoPoint<T>> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_monotone_after_sorting() {
+        let mut p = ParetoSet::new();
+        // Insert a grid; the frontier must be strictly decreasing in time
+        // as cost increases.
+        for c in 1..=5 {
+            for t in 1..=5 {
+                p.insert((c, t), f64::from(c), f64::from(t) + 10.0 / f64::from(c));
+            }
+        }
+        let pts = p.points();
+        for w in pts.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+            assert!(w[0].time > w[1].time, "non-dominating frontier member");
+        }
+    }
+
+    #[test]
+    fn dominated_insertions_are_rejected() {
+        let mut p = ParetoSet::new();
+        assert!(p.insert("good", 1.0, 1.0));
+        assert!(!p.insert("worse-both", 2.0, 2.0));
+        assert!(!p.insert("tie", 1.0, 1.0), "exact tie keeps incumbent");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn dominating_insertion_evicts_many() {
+        let mut p = ParetoSet::new();
+        p.insert("a", 2.0, 8.0);
+        p.insert("b", 3.0, 7.0);
+        p.insert("c", 4.0, 6.0);
+        assert!(p.insert("super", 1.0, 1.0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.points()[0].design, "super");
+    }
+
+    #[test]
+    fn accessors_find_extremes() {
+        let mut p = ParetoSet::new();
+        p.insert("cheap", 1.0, 9.0);
+        p.insert("fast", 9.0, 1.0);
+        assert_eq!(p.cheapest().unwrap().design, "cheap");
+        assert_eq!(p.fastest().unwrap().design, "fast");
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut p = ParetoSet::new();
+        for i in 0..10 {
+            let c = f64::from(i);
+            assert!(p.insert(i, c, 10.0 - c));
+        }
+        assert_eq!(p.len(), 10);
+    }
+}

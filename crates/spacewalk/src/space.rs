@@ -1,0 +1,174 @@
+//! Design-space specifications.
+//!
+//! A [`CacheSpace`] names ranges for each cache parameter (size,
+//! associativity, line size, ports) and enumerates the feasible
+//! [`CacheDesign`]s inside them — the role of the paper's
+//! `DesignSpaceSpec` input. [`SystemSpace`] adds the processor dimension.
+
+use crate::cost::CacheDesign;
+use mhe_cache::CacheConfig;
+use mhe_vliw::Mdes;
+
+/// Parameter ranges for one cache's design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSpace {
+    /// Capacities in bytes (each a power of two).
+    pub sizes_bytes: Vec<u64>,
+    /// Associativities.
+    pub assocs: Vec<u32>,
+    /// Line sizes in bytes.
+    pub line_bytes: Vec<u32>,
+    /// Port counts.
+    pub ports: Vec<u32>,
+}
+
+impl CacheSpace {
+    /// A small instruction/data-cache space comparable to the paper's
+    /// "20 or more possible cache designs for each of the three cache
+    /// types".
+    pub fn level1_default() -> Self {
+        Self {
+            sizes_bytes: vec![1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10],
+            assocs: vec![1, 2],
+            line_bytes: vec![16, 32],
+            ports: vec![1],
+        }
+    }
+
+    /// A default unified-cache (L2) space.
+    pub fn level2_default() -> Self {
+        Self {
+            sizes_bytes: vec![16 << 10, 32 << 10, 64 << 10, 128 << 10],
+            assocs: vec![2, 4],
+            line_bytes: vec![64],
+            ports: vec![1],
+        }
+    }
+
+    /// Enumerates every feasible design in the space.
+    ///
+    /// Combinations whose size is not divisible into power-of-two sets are
+    /// skipped (infeasible geometry), mirroring the feasibility rule of the
+    /// paper.
+    pub fn enumerate(&self) -> Vec<CacheDesign> {
+        let mut out = Vec::new();
+        for &size in &self.sizes_bytes {
+            for &assoc in &self.assocs {
+                for &line in &self.line_bytes {
+                    let denom = u64::from(assoc) * u64::from(line);
+                    if size % denom != 0 {
+                        continue;
+                    }
+                    let sets = size / denom;
+                    if sets == 0 || !sets.is_power_of_two() || sets > u64::from(u32::MAX) {
+                        continue;
+                    }
+                    for &ports in &self.ports {
+                        out.push(CacheDesign {
+                            config: CacheConfig::from_bytes(size, assoc, line),
+                            ports,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The distinct line sizes (in words) of the space — the number of
+    /// single-pass simulation runs needed per stream.
+    pub fn distinct_line_words(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.line_bytes.iter().map(|b| b / 4).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Plain geometry list (ports stripped), deduplicated.
+    pub fn configs(&self) -> Vec<CacheConfig> {
+        let mut v: Vec<CacheConfig> = self.enumerate().iter().map(|d| d.config).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The complete system design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpace {
+    /// Candidate processors.
+    pub processors: Vec<Mdes>,
+    /// Instruction-cache space.
+    pub icache: CacheSpace,
+    /// Data-cache space.
+    pub dcache: CacheSpace,
+    /// Unified-cache space.
+    pub ucache: CacheSpace,
+}
+
+impl SystemSpace {
+    /// The paper's experimental space: the five processors and the default
+    /// cache spaces.
+    pub fn paper_default() -> Self {
+        Self {
+            processors: mhe_vliw::ProcessorKind::ALL.iter().map(|k| k.mdes()).collect(),
+            icache: CacheSpace::level1_default(),
+            dcache: CacheSpace::level1_default(),
+            ucache: CacheSpace::level2_default(),
+        }
+    }
+
+    /// Total number of raw design combinations (the quantity that makes
+    /// exhaustive simulation infeasible).
+    pub fn combinations(&self) -> u64 {
+        self.processors.len() as u64
+            * self.icache.enumerate().len() as u64
+            * self.dcache.enumerate().len() as u64
+            * self.ucache.enumerate().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spaces_are_nontrivial() {
+        let l1 = CacheSpace::level1_default();
+        assert!(l1.enumerate().len() >= 20, "paper speaks of 20+ designs");
+        let l2 = CacheSpace::level2_default();
+        assert!(l2.enumerate().len() >= 8);
+    }
+
+    #[test]
+    fn enumerate_skips_infeasible_geometry() {
+        let space = CacheSpace {
+            sizes_bytes: vec![1024],
+            assocs: vec![3], // 1024 / (3*32) is not an integer
+            line_bytes: vec![32],
+            ports: vec![1],
+        };
+        assert!(space.enumerate().is_empty());
+    }
+
+    #[test]
+    fn distinct_line_words_deduplicates() {
+        let l1 = CacheSpace::level1_default();
+        assert_eq!(l1.distinct_line_words(), vec![4, 8]);
+    }
+
+    #[test]
+    fn combinations_are_large() {
+        let s = SystemSpace::paper_default();
+        assert!(s.combinations() > 10_000, "got {}", s.combinations());
+    }
+
+    #[test]
+    fn configs_strip_ports() {
+        let mut space = CacheSpace::level1_default();
+        space.ports = vec![1, 2];
+        let designs = space.enumerate();
+        let configs = space.configs();
+        assert_eq!(designs.len(), 2 * configs.len());
+    }
+}

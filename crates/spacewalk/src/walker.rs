@@ -1,0 +1,305 @@
+//! Walkers: exhaustive exploration of the cache and system design spaces.
+//!
+//! Mirrors the paper's `MemoryWalker`/`IcacheWalker`/... hierarchy: each
+//! walker binds (application, design, dilation) into experiments, obtains
+//! metrics through the [`EvaluationCache`], and accumulates Pareto sets.
+//! Because cache stalls are additive and independent across the three
+//! caches (given a dilation), the memory walker may combine the
+//! *per-cache* Pareto survivors instead of the raw cross product — a large
+//! reduction that loses no Pareto-optimal combination (any combination
+//! containing a dominated component is itself dominated by swapping that
+//! component; the inclusion constraint is checked on the combined design).
+
+use crate::cache_db::EvaluationCache;
+use crate::cost::{cache_area, CacheDesign};
+use crate::pareto::ParetoSet;
+use crate::space::{CacheSpace, SystemSpace};
+use mhe_cache::{MemoryDesign, Penalties};
+use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_core::system::processor_cycles;
+use mhe_vliw::Mdes;
+use mhe_workload::ir::Program;
+
+/// Scale factor translating [`Mdes::cost`] units into the cache-area units
+/// of [`crate::cost::cache_area`], so system cost is a single number.
+pub const PROCESSOR_AREA_SCALE: f64 = 25.0;
+
+/// A complete memory-hierarchy design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryPoint {
+    /// Instruction cache.
+    pub icache: CacheDesign,
+    /// Data cache.
+    pub dcache: CacheDesign,
+    /// Unified cache.
+    pub ucache: CacheDesign,
+}
+
+impl MemoryPoint {
+    /// The geometry-only view.
+    pub fn design(&self) -> MemoryDesign {
+        MemoryDesign {
+            icache: self.icache.config,
+            dcache: self.dcache.config,
+            ucache: self.ucache.config,
+        }
+    }
+}
+
+/// A complete system design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemPoint {
+    /// The processor.
+    pub processor: Mdes,
+    /// The memory hierarchy.
+    pub memory: MemoryPoint,
+}
+
+/// Builds the reference evaluation needed to walk `space`.
+///
+/// This is the only simulation work in the whole exploration; everything
+/// after is analytic.
+pub fn prepare_evaluation(
+    program: Program,
+    reference: &Mdes,
+    config: EvalConfig,
+    space: &SystemSpace,
+) -> ReferenceEvaluation {
+    ReferenceEvaluation::build(
+        program,
+        reference,
+        config,
+        &space.icache.configs(),
+        &space.dcache.configs(),
+        &space.ucache.configs(),
+    )
+}
+
+/// Walks the instruction-cache space at one dilation; time = estimated
+/// misses.
+pub fn walk_icache(
+    eval: &ReferenceEvaluation,
+    space: &CacheSpace,
+    dilation: f64,
+    db: &mut EvaluationCache,
+) -> ParetoSet<CacheDesign> {
+    let mut pareto = ParetoSet::new();
+    for design in space.enumerate() {
+        let key = format!("{}/ic/{}/p{}/d{dilation:.3}", eval.program().name, design.config, design.ports);
+        let misses = db.get_or_insert_with(&key, || {
+            eval.estimate_icache_misses(design.config, dilation)
+                .expect("icache space was pre-simulated")
+        });
+        pareto.insert(design, cache_area(&design), misses);
+    }
+    pareto
+}
+
+/// Walks the data-cache space (dilation-independent by Eq. 4.1).
+pub fn walk_dcache(
+    eval: &ReferenceEvaluation,
+    space: &CacheSpace,
+    db: &mut EvaluationCache,
+) -> ParetoSet<CacheDesign> {
+    let mut pareto = ParetoSet::new();
+    for design in space.enumerate() {
+        let key = format!("{}/dc/{}/p{}", eval.program().name, design.config, design.ports);
+        let misses = db.get_or_insert_with(&key, || {
+            eval.dcache_misses(design.config).expect("dcache space was pre-simulated") as f64
+        });
+        pareto.insert(design, cache_area(&design), misses);
+    }
+    pareto
+}
+
+/// Walks the unified-cache space at one dilation.
+pub fn walk_ucache(
+    eval: &ReferenceEvaluation,
+    space: &CacheSpace,
+    dilation: f64,
+    db: &mut EvaluationCache,
+) -> ParetoSet<CacheDesign> {
+    let mut pareto = ParetoSet::new();
+    for design in space.enumerate() {
+        let key = format!("{}/uc/{}/p{}/d{dilation:.3}", eval.program().name, design.config, design.ports);
+        let misses = db.get_or_insert_with(&key, || {
+            eval.estimate_ucache_misses(design.config, dilation)
+                .expect("ucache space was pre-simulated")
+        });
+        pareto.insert(design, cache_area(&design), misses);
+    }
+    pareto
+}
+
+/// Walks the whole memory space at one dilation; time = stall cycles.
+pub fn walk_memory(
+    eval: &ReferenceEvaluation,
+    space: &SystemSpace,
+    dilation: f64,
+    penalties: Penalties,
+    db: &mut EvaluationCache,
+) -> ParetoSet<MemoryPoint> {
+    let ic = walk_icache(eval, &space.icache, dilation, db);
+    let dc = walk_dcache(eval, &space.dcache, db);
+    let uc = walk_ucache(eval, &space.ucache, dilation, db);
+    let mut pareto = ParetoSet::new();
+    for i in ic.points() {
+        for d in dc.points() {
+            for u in uc.points() {
+                let point = MemoryPoint {
+                    icache: i.design,
+                    dcache: d.design,
+                    ucache: u.design,
+                };
+                if !point.design().satisfies_inclusion() {
+                    continue;
+                }
+                let stalls = (i.time + d.time) * penalties.l1_miss as f64
+                    + u.time * penalties.l2_miss as f64;
+                let cost = i.cost + d.cost + u.cost;
+                pareto.insert(point, cost, stalls);
+            }
+        }
+    }
+    pareto
+}
+
+/// Walks the joint processor × memory space; time = total execution cycles.
+///
+/// For each processor this computes its dilation and compute cycles once,
+/// then combines with the memory frontier at that dilation.
+pub fn walk_system(
+    eval: &ReferenceEvaluation,
+    space: &SystemSpace,
+    penalties: Penalties,
+    db: &mut EvaluationCache,
+) -> ParetoSet<SystemPoint> {
+    let mut pareto = ParetoSet::new();
+    let cfg = *eval.config();
+    for proc in &space.processors {
+        let d = eval.dilation_of(proc);
+        let cycles_key = format!("{}/proc/{}/cycles", eval.program().name, proc.name);
+        let compute = db.get_or_insert_with(&cycles_key, || {
+            let compiled = eval.compile_target(proc);
+            processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64
+        });
+        let memory = walk_memory(eval, space, d, penalties, db);
+        for m in memory.points() {
+            let time = compute + m.time;
+            let cost = proc.cost() * PROCESSOR_AREA_SCALE + m.cost;
+            pareto.insert(
+                SystemPoint { processor: proc.clone(), memory: m.design },
+                cost,
+                time,
+            );
+        }
+    }
+    pareto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhe_vliw::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn small_space() -> SystemSpace {
+        SystemSpace {
+            processors: vec![ProcessorKind::P1111.mdes(), ProcessorKind::P3221.mdes()],
+            icache: CacheSpace {
+                sizes_bytes: vec![1024, 4096],
+                assocs: vec![1, 2],
+                line_bytes: vec![32],
+                ports: vec![1],
+            },
+            dcache: CacheSpace {
+                sizes_bytes: vec![1024, 4096],
+                assocs: vec![1],
+                line_bytes: vec![32],
+                ports: vec![1],
+            },
+            ucache: CacheSpace {
+                sizes_bytes: vec![16 << 10, 64 << 10],
+                assocs: vec![2],
+                line_bytes: vec![64],
+                ports: vec![1],
+            },
+        }
+    }
+
+    fn eval_for(space: &SystemSpace) -> ReferenceEvaluation {
+        prepare_evaluation(
+            Benchmark::Unepic.generate(),
+            &ProcessorKind::P1111.mdes(),
+            EvalConfig { events: 40_000, ..EvalConfig::default() },
+            space,
+        )
+    }
+
+    #[test]
+    fn icache_walk_produces_frontier() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let mut db = EvaluationCache::new();
+        let p = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        assert!(!p.is_empty());
+        assert!(p.len() <= space.icache.enumerate().len());
+        // Frontier is strictly improving in time as cost rises.
+        let pts = p.points();
+        for w in pts.windows(2) {
+            assert!(w[0].time > w[1].time);
+        }
+    }
+
+    #[test]
+    fn evaluation_cache_avoids_recomputation() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let mut db = EvaluationCache::new();
+        let _ = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        let before = db.stats();
+        let _ = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        let after = db.stats();
+        assert_eq!(before.1, after.1, "second walk must be all hits");
+        assert!(after.0 > before.0);
+    }
+
+    #[test]
+    fn memory_walk_respects_inclusion() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let mut db = EvaluationCache::new();
+        let p = walk_memory(&eval, &space, 1.0, Penalties::default(), &mut db);
+        assert!(!p.is_empty());
+        for pt in p.points() {
+            assert!(pt.design.design().satisfies_inclusion());
+        }
+    }
+
+    #[test]
+    fn system_walk_contains_multiple_processors_or_dominates() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let mut db = EvaluationCache::new();
+        let p = walk_system(&eval, &space, Penalties::default(), &mut db);
+        assert!(!p.is_empty());
+        // The cheapest system should use the narrow processor.
+        let cheapest = p.cheapest().unwrap();
+        assert_eq!(cheapest.design.processor.name, "1111");
+        // With memory stalls priced at zero the wide processor's compute
+        // advantage must win outright — the interesting case is that with
+        // real penalties it may not (that tension is the paper's premise).
+        let free_mem = Penalties { l1_miss: 0, l2_miss: 0 };
+        let q = walk_system(&eval, &space, free_mem, &mut db);
+        assert_eq!(q.fastest().unwrap().design.processor.name, "3221");
+    }
+
+    #[test]
+    fn dcache_walk_is_dilation_independent() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let mut db = EvaluationCache::new();
+        let p = walk_dcache(&eval, &space.dcache, &mut db);
+        assert!(!p.is_empty());
+    }
+}

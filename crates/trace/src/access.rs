@@ -1,0 +1,101 @@
+//! Address-trace primitives.
+//!
+//! All addresses are 4-byte-word addresses, as in the paper.
+
+/// What kind of reference an [`Access`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Inst,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this is a data (load or store) reference.
+    pub fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+}
+
+/// One reference of an address trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Word address.
+    pub addr: u64,
+    /// Reference kind.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates an instruction-fetch reference.
+    pub fn inst(addr: u64) -> Self {
+        Self { addr, kind: AccessKind::Inst }
+    }
+
+    /// Creates a load reference.
+    pub fn load(addr: u64) -> Self {
+        Self { addr, kind: AccessKind::Load }
+    }
+
+    /// Creates a store reference.
+    pub fn store(addr: u64) -> Self {
+        Self { addr, kind: AccessKind::Store }
+    }
+}
+
+/// Which component of the joint trace a consumer wants.
+///
+/// The paper's trace generator "is configurable to create instruction, data,
+/// or joint instruction/data traces as needed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Instruction references only (drives the L1 instruction cache).
+    Instruction,
+    /// Data references only (drives the L1 data cache).
+    Data,
+    /// The joint trace (drives the L2 unified cache).
+    Unified,
+}
+
+impl StreamKind {
+    /// Whether an access belongs to this stream.
+    pub fn admits(self, kind: AccessKind) -> bool {
+        match self {
+            StreamKind::Instruction => kind == AccessKind::Inst,
+            StreamKind::Data => kind.is_data(),
+            StreamKind::Unified => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        assert!(!AccessKind::Inst.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Access::inst(5).kind, AccessKind::Inst);
+        assert_eq!(Access::load(5).kind, AccessKind::Load);
+        assert_eq!(Access::store(5).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn stream_admission() {
+        assert!(StreamKind::Instruction.admits(AccessKind::Inst));
+        assert!(!StreamKind::Instruction.admits(AccessKind::Load));
+        assert!(StreamKind::Data.admits(AccessKind::Store));
+        assert!(!StreamKind::Data.admits(AccessKind::Inst));
+        assert!(StreamKind::Unified.admits(AccessKind::Inst));
+        assert!(StreamKind::Unified.admits(AccessKind::Load));
+    }
+}

@@ -1,0 +1,282 @@
+//! Construction of *dilated* reference traces (Section 4 of the paper).
+//!
+//! "A trace, dilated by `d`, is derived from `T_ref` as follows. The length
+//! of each basic block in `T_ref` is increased by a multiplicative factor
+//! `d`. Additionally, the starting address of each basic block is adjusted
+//! to ensure that the dilated basic blocks do not overlap […] The lengths
+//! and offsets of basic blocks are rounded to the nearest word so that
+//! contiguous basic blocks in the original trace remain contiguous but do
+//! not overlap."
+//!
+//! Simulating caches on these traces gives the paper's "Dilated" columns —
+//! the ground truth that the analytic dilation model (in `mhe-core`) is
+//! judged against, isolating model error from the uniform-dilation
+//! assumption's error.
+
+use crate::access::{Access, StreamKind};
+use mhe_vliw::compile::Compiled;
+use mhe_vliw::link::TEXT_BASE;
+use mhe_vliw::sched::MemRef;
+use mhe_workload::data::{spill_address, PatternEngine};
+use mhe_workload::exec::{BlockEvent, Executor};
+use mhe_workload::ir::{BlockId, ProcId, Program};
+
+/// A block placement table for a dilated image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DilatedLayout {
+    /// `(start, words)` per `[proc][block]`.
+    blocks: Vec<Vec<(u64, u32)>>,
+    /// Total dilated text size in words.
+    pub text_words: u64,
+}
+
+impl DilatedLayout {
+    /// Scales the reference image's block offsets and sizes by `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d <= 0`.
+    pub fn new(reference: &Compiled, d: f64) -> Self {
+        assert!(d > 0.0, "dilation must be positive, got {d}");
+        // Process blocks in address order so contiguity is preserved.
+        let mut order: Vec<(u64, usize, usize)> = Vec::new();
+        for (pi, blocks) in reference.binary.blocks.iter().enumerate() {
+            for (bi, b) in blocks.iter().enumerate() {
+                order.push((b.start, pi, bi));
+            }
+        }
+        order.sort_unstable();
+        let mut blocks: Vec<Vec<(u64, u32)>> = reference
+            .binary
+            .blocks
+            .iter()
+            .map(|v| vec![(0u64, 0u32); v.len()])
+            .collect();
+        let mut prev_end = TEXT_BASE;
+        let mut max_end = TEXT_BASE;
+        for (start, pi, bi) in order {
+            let offset = start - TEXT_BASE;
+            let words = reference.binary.blocks[pi][bi].words;
+            // B + d·O, rounded to the nearest word, non-overlap enforced.
+            let new_start = (TEXT_BASE + (offset as f64 * d).round() as u64).max(prev_end);
+            let new_words = ((f64::from(words) * d).round() as u32).max(1);
+            blocks[pi][bi] = (new_start, new_words);
+            prev_end = new_start + u64::from(new_words);
+            max_end = max_end.max(prev_end);
+        }
+        Self { blocks, text_words: max_end - TEXT_BASE }
+    }
+
+    /// Placement of one block in the dilated image.
+    pub fn block(&self, proc: ProcId, block: BlockId) -> (u64, u32) {
+        self.blocks[proc.0 as usize][block.0 as usize]
+    }
+}
+
+/// Streaming generator for the dilated reference trace.
+///
+/// With `d = 1` this produces exactly the reference trace of
+/// [`crate::gen::TraceGenerator`] (same seed, same compiled image).
+///
+/// # Examples
+///
+/// ```
+/// use mhe_trace::dilate::DilatedTraceGenerator;
+/// use mhe_vliw::{compile::Compiled, mdes::ProcessorKind};
+/// use mhe_workload::Benchmark;
+///
+/// let program = Benchmark::Unepic.generate();
+/// let reference = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+/// let trace: Vec<_> = DilatedTraceGenerator::new(&program, &reference, 1.4, 42)
+///     .take(1000)
+///     .collect();
+/// assert_eq!(trace.len(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct DilatedTraceGenerator<'a> {
+    program: &'a Program,
+    reference: &'a Compiled,
+    layout: DilatedLayout,
+    events: Executor<'a>,
+    engine: PatternEngine,
+    buffer: Vec<Access>,
+    pos: usize,
+    events_left: Option<usize>,
+}
+
+impl<'a> DilatedTraceGenerator<'a> {
+    /// Creates a generator for the reference trace dilated by `d`.
+    ///
+    /// `seed` must match the seed used for the undilated reference trace for
+    /// the two traces to be comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d <= 0`.
+    pub fn new(program: &'a Program, reference: &'a Compiled, d: f64, seed: u64) -> Self {
+        Self {
+            program,
+            reference,
+            layout: DilatedLayout::new(reference, d),
+            events: Executor::new(program, seed),
+            engine: PatternEngine::new(program, seed ^ 0xD11A_7107_5EED_0001),
+            buffer: Vec::with_capacity(64),
+            pos: 0,
+            events_left: None,
+        }
+    }
+
+    /// Bounds the trace to the first `n` basic-block events, so traces of
+    /// different processors (or dilations) cover the *same* dynamic program
+    /// window — the comparison the paper's normalized miss counts need.
+    pub fn with_event_limit(mut self, n: usize) -> Self {
+        self.events_left = Some(n);
+        self
+    }
+
+    /// Restricts the stream to one component.
+    pub fn stream(self, kind: StreamKind) -> impl Iterator<Item = Access> + 'a {
+        self.filter(move |a| kind.admits(a.kind))
+    }
+
+    fn fill(&mut self, ev: BlockEvent) {
+        self.buffer.clear();
+        self.pos = 0;
+        let (start, words) = self.layout.block(ev.proc, ev.block);
+        for w in 0..u64::from(words) {
+            self.buffer.push(Access::inst(start + w));
+        }
+        // The data component is the *reference* schedule's, undilated.
+        let sched = self.reference.sched.block(ev.proc, ev.block);
+        for cycle in &sched.cycles {
+            for op in cycle {
+                let Some(mem) = op.mem else { continue };
+                let access = match mem {
+                    MemRef::Pattern(pid) => {
+                        let addr = self.engine.next(self.program, pid, ev.depth);
+                        if op.class == mhe_workload::ir::OpClass::Store {
+                            Access::store(addr)
+                        } else {
+                            Access::load(addr)
+                        }
+                    }
+                    MemRef::Speculative(pid) => {
+                        Access::load(self.engine.peek(self.program, pid, ev.depth))
+                    }
+                    MemRef::SpillStore(slot) => Access::store(spill_address(ev.depth, slot)),
+                    MemRef::SpillLoad(slot) => Access::load(spill_address(ev.depth, slot)),
+                };
+                self.buffer.push(access);
+            }
+        }
+    }
+}
+
+impl Iterator for DilatedTraceGenerator<'_> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        while self.pos >= self.buffer.len() {
+            if let Some(left) = &mut self.events_left {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+            }
+            let ev = self.events.next()?;
+            self.fill(ev);
+        }
+        let a = self.buffer[self.pos];
+        self.pos += 1;
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use mhe_vliw::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn reference() -> (Program, Compiled) {
+        let p = Benchmark::Unepic.generate();
+        let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        (p, c)
+    }
+
+    #[test]
+    fn unit_dilation_reproduces_reference_trace() {
+        let (p, c) = reference();
+        let a: Vec<_> = TraceGenerator::new(&p, &c, 7).take(50_000).collect();
+        let b: Vec<_> = DilatedTraceGenerator::new(&p, &c, 1.0, 7).take(50_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dilated_blocks_do_not_overlap() {
+        let (_, c) = reference();
+        for d in [1.3, 2.0, 2.7] {
+            let layout = DilatedLayout::new(&c, d);
+            let mut spans: Vec<(u64, u64)> = layout
+                .blocks
+                .iter()
+                .flatten()
+                .map(|&(s, w)| (s, s + u64::from(w)))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "d={d}: overlap {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_text_scales_with_d() {
+        let (_, c) = reference();
+        let base = DilatedLayout::new(&c, 1.0).text_words as f64;
+        for d in [1.5, 2.0, 3.0] {
+            let t = DilatedLayout::new(&c, d).text_words as f64;
+            let ratio = t / base;
+            assert!(
+                (ratio / d - 1.0).abs() < 0.02,
+                "d={d}: text scaled by {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_lengths_scale_individually() {
+        let (_, c) = reference();
+        let d = 2.0;
+        let layout = DilatedLayout::new(&c, d);
+        for (pi, blocks) in c.binary.blocks.iter().enumerate() {
+            for (bi, b) in blocks.iter().enumerate() {
+                let (_, w) = layout.blocks[pi][bi];
+                let expect = (f64::from(b.words) * d).round() as u32;
+                assert_eq!(w, expect.max(1), "proc {pi} block {bi}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_component_is_unchanged_by_dilation() {
+        let (p, c) = reference();
+        let a: Vec<_> = TraceGenerator::new(&p, &c, 7)
+            .stream(StreamKind::Data)
+            .take(20_000)
+            .collect();
+        let b: Vec<_> = DilatedTraceGenerator::new(&p, &c, 2.5, 7)
+            .stream(StreamKind::Data)
+            .take(20_000)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation must be positive")]
+    fn zero_dilation_panics() {
+        let (_, c) = reference();
+        let _ = DilatedLayout::new(&c, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Trace file I/O in the classic `din` (dinero) format.
+//!
+//! The paper's toolchain pipes traces between separate executables (probed
+//! executable → Etrans → Cheetah); this module provides the equivalent
+//! interchange capability: any access stream can be written to, and read
+//! back from, the three-column dinero format that 1990s cache tools
+//! (dineroIII/IV, Cheetah) consumed:
+//!
+//! ```text
+//! <label> <hex address>
+//! ```
+//!
+//! with labels `0` = load, `1` = store, `2` = instruction fetch. Addresses
+//! are word addresses, matching the rest of the crate.
+
+use crate::access::{Access, AccessKind};
+use std::io::{BufRead, Write};
+
+/// Writes an access stream in `din` format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_trace::{io::{read_din, write_din}, Access};
+/// let trace = vec![Access::inst(0x100), Access::load(0x9000), Access::store(0x9001)];
+/// let mut buf = Vec::new();
+/// write_din(&mut buf, trace.iter().copied())?;
+/// let back = read_din(buf.as_slice())?;
+/// assert_eq!(back, trace);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_din<W: Write>(
+    mut w: W,
+    trace: impl IntoIterator<Item = Access>,
+) -> std::io::Result<()> {
+    for a in trace {
+        let label = match a.kind {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::Inst => 2,
+        };
+        writeln!(w, "{label} {:x}", a.addr)?;
+    }
+    Ok(())
+}
+
+/// Reads a `din`-format trace written by [`write_din`] (or any dinero
+/// producer using labels 0/1/2).
+///
+/// Blank lines are skipped; anything else malformed is an
+/// [`std::io::ErrorKind::InvalidData`] error naming the line.
+///
+/// # Errors
+///
+/// Propagates I/O errors and reports malformed lines.
+pub fn read_din<R: BufRead>(r: R) -> std::io::Result<Vec<Access>> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let bad = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed din line {}: {text:?}", i + 1),
+            )
+        };
+        let mut parts = text.split_whitespace();
+        let label = parts.next().ok_or_else(bad)?;
+        let addr_text = parts.next().ok_or_else(bad)?;
+        let addr = u64::from_str_radix(addr_text, 16).map_err(|_| bad())?;
+        let kind = match label {
+            "0" => AccessKind::Load,
+            "1" => AccessKind::Store,
+            "2" => AccessKind::Inst,
+            _ => return Err(bad()),
+        };
+        out.push(Access { addr, kind });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use mhe_vliw::{compile::Compiled, ProcessorKind};
+    use mhe_workload::Benchmark;
+
+    #[test]
+    fn roundtrip_preserves_real_traces() {
+        let p = Benchmark::Unepic.generate();
+        let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        let trace: Vec<Access> = TraceGenerator::new(&p, &c, 9).take(20_000).collect();
+        let mut buf = Vec::new();
+        write_din(&mut buf, trace.iter().copied()).unwrap();
+        let back = read_din(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn labels_match_dinero_convention() {
+        let mut buf = Vec::new();
+        write_din(&mut buf, [Access::load(16), Access::store(17), Access::inst(0x40)]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "0 10\n1 11\n2 40\n");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let back = read_din("0 10\n\n  \n2 20\n".as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_name_their_position() {
+        let err = read_din("0 10\nnot-a-line\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn unknown_labels_rejected() {
+        assert!(read_din("7 10\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_hex_addresses_rejected() {
+        assert!(read_din("0 zz\n".as_bytes()).is_err());
+    }
+}

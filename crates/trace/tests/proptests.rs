@@ -1,0 +1,82 @@
+//! Property tests for dilated-trace construction and trace generation.
+
+use mhe_trace::dilate::{DilatedLayout, DilatedTraceGenerator};
+use mhe_trace::gen::TraceGenerator;
+use mhe_vliw::{compile::Compiled, ProcessorKind};
+use mhe_workload::Benchmark;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn reference() -> &'static (mhe_workload::Program, Compiled) {
+    static CELL: OnceLock<(mhe_workload::Program, Compiled)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let p = Benchmark::Unepic.generate();
+        let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        (p, c)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dilated_layouts_never_overlap(d in 0.5f64..5.0) {
+        let (program, compiled) = reference();
+        let layout = DilatedLayout::new(compiled, d);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (pi, proc) in program.procedures.iter().enumerate() {
+            for bi in 0..proc.blocks.len() {
+                let (s, w) = layout.block(
+                    mhe_workload::ir::ProcId(pi as u32),
+                    mhe_workload::ir::BlockId(bi as u32),
+                );
+                prop_assert!(w >= 1);
+                spans.push((s, s + u64::from(w)));
+            }
+        }
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn dilated_text_scales_linearly(d in 1.0f64..4.0) {
+        let (_, compiled) = reference();
+        let base = DilatedLayout::new(compiled, 1.0).text_words as f64;
+        let t = DilatedLayout::new(compiled, d).text_words as f64;
+        let ratio = t / base;
+        prop_assert!((ratio / d - 1.0).abs() < 0.03, "d={}, ratio={}", d, ratio);
+    }
+
+    #[test]
+    fn data_component_invariant_under_dilation(d in 0.8f64..4.0, seed in 0u64..50) {
+        let (program, compiled) = reference();
+        let a: Vec<u64> = TraceGenerator::new(program, compiled, seed)
+            .with_event_limit(2_000)
+            .filter(|x| x.kind.is_data())
+            .map(|x| x.addr)
+            .collect();
+        let b: Vec<u64> = DilatedTraceGenerator::new(program, compiled, d, seed)
+            .with_event_limit(2_000)
+            .filter(|x| x.kind.is_data())
+            .map(|x| x.addr)
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_limit_is_exact_and_composable(n in 1usize..5_000, seed in 0u64..50) {
+        let (program, compiled) = reference();
+        // The trace of the first n events is a prefix of the trace of the
+        // first 2n events.
+        let short: Vec<_> = TraceGenerator::new(program, compiled, seed)
+            .with_event_limit(n)
+            .collect();
+        let long: Vec<_> = TraceGenerator::new(program, compiled, seed)
+            .with_event_limit(2 * n)
+            .collect();
+        prop_assert!(long.len() >= short.len());
+        prop_assert_eq!(&long[..short.len()], &short[..]);
+    }
+}

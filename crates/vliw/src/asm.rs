@@ -1,0 +1,226 @@
+//! Assembler: encodes scheduled blocks using greedy template selection.
+//!
+//! For every schedule cycle the assembler picks the smallest template whose
+//! slot multiset covers the cycle's operations (the paper's first selection
+//! criterion); runs of empty cycles (latency stalls) are absorbed into the
+//! preceding instruction's multi-no-op field when short enough (the second
+//! criterion) and otherwise encoded as explicit no-op instructions using the
+//! smallest template.
+
+use crate::format::{InstructionFormat, SlotSet, MAX_NOOP_RUN};
+use crate::mdes::FuKind;
+use crate::sched::{ScheduledBlock, ScheduledProgram};
+use mhe_workload::ir::{BlockId, ProcId};
+
+/// An encoded basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledBlock {
+    /// Encoded words contributed by each schedule cycle (0 for cycles
+    /// absorbed into a multi-no-op field).
+    pub words_per_cycle: Vec<u32>,
+    /// Total encoded size in words.
+    pub words: u32,
+}
+
+/// A fully assembled program (relocatable: addresses assigned by the
+/// linker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledProgram {
+    /// Encoded blocks, indexed `[proc][block]`.
+    pub procs: Vec<Vec<AssembledBlock>>,
+    /// The instruction format used.
+    pub format: InstructionFormat,
+}
+
+impl AssembledProgram {
+    /// Encodes every block of a scheduled program.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_vliw::{asm::AssembledProgram, mdes::ProcessorKind, sched::ScheduledProgram};
+    /// use mhe_workload::Benchmark;
+    /// let program = Benchmark::Unepic.generate();
+    /// let sched = ScheduledProgram::schedule(&program, &ProcessorKind::P1111.mdes());
+    /// let asm = AssembledProgram::assemble(&sched);
+    /// assert!(asm.text_words() > 0);
+    /// ```
+    pub fn assemble(sched: &ScheduledProgram) -> Self {
+        let format = InstructionFormat::synthesize(&sched.mdes);
+        let procs = sched
+            .procs
+            .iter()
+            .map(|blocks| blocks.iter().map(|b| assemble_block(b, &format)).collect())
+            .collect();
+        Self { procs, format }
+    }
+
+    /// One block's encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn block(&self, proc: ProcId, block: BlockId) -> &AssembledBlock {
+        &self.procs[proc.0 as usize][block.0 as usize]
+    }
+
+    /// Total encoded text in words, before linking (no alignment padding).
+    pub fn text_words(&self) -> u64 {
+        self.procs
+            .iter()
+            .flatten()
+            .map(|b| u64::from(b.words))
+            .sum()
+    }
+}
+
+fn assemble_block(block: &ScheduledBlock, format: &InstructionFormat) -> AssembledBlock {
+    let n = block.cycles.len();
+    let mut words_per_cycle = vec![0u32; n];
+    let mut i = 0;
+    while i < n {
+        let cycle = &block.cycles[i];
+        if cycle.is_empty() {
+            // An empty cycle not absorbed by a predecessor's no-op field:
+            // encode an explicit no-op instruction, which itself can absorb
+            // a following run.
+            words_per_cycle[i] = format.min_template_words();
+        } else {
+            let need = slot_needs(cycle);
+            words_per_cycle[i] = format.cycle_words(&need);
+        }
+        // Absorb up to MAX_NOOP_RUN following empty cycles for free.
+        let mut run = 0;
+        while run < MAX_NOOP_RUN && i + 1 + (run as usize) < n {
+            if block.cycles[i + 1 + run as usize].is_empty() {
+                run += 1;
+            } else {
+                break;
+            }
+        }
+        i += 1 + run as usize;
+    }
+    let words = words_per_cycle.iter().sum();
+    AssembledBlock { words_per_cycle, words }
+}
+
+fn slot_needs(cycle: &[crate::sched::ScheduledOp]) -> SlotSet {
+    let mut need = SlotSet::default();
+    for op in cycle {
+        match FuKind::for_op(op.class) {
+            FuKind::Int => need.int += 1,
+            FuKind::Float => need.float += 1,
+            FuKind::Mem => need.mem += 1,
+            FuKind::Branch => need.branch += 1,
+        }
+    }
+    need
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdes::ProcessorKind;
+    use crate::sched::ScheduledProgram;
+    use mhe_workload::Benchmark;
+
+    fn assemble_for(kind: ProcessorKind) -> AssembledProgram {
+        let p = Benchmark::Unepic.generate();
+        AssembledProgram::assemble(&ScheduledProgram::schedule(&p, &kind.mdes()))
+    }
+
+    #[test]
+    fn every_block_has_positive_size() {
+        let asm = assemble_for(ProcessorKind::P1111);
+        for proc in &asm.procs {
+            for b in proc {
+                assert!(b.words > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn words_equal_sum_of_cycle_words() {
+        let asm = assemble_for(ProcessorKind::P3221);
+        for proc in &asm.procs {
+            for b in proc {
+                assert_eq!(b.words, b.words_per_cycle.iter().sum::<u32>());
+            }
+        }
+    }
+
+    #[test]
+    fn wider_machines_produce_larger_text() {
+        let p = Benchmark::Gcc.generate();
+        let sizes: Vec<u64> = ProcessorKind::ALL
+            .iter()
+            .map(|k| {
+                AssembledProgram::assemble(&ScheduledProgram::schedule(&p, &k.mdes()))
+                    .text_words()
+            })
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "text must grow with width: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn text_dilation_is_in_papers_range() {
+        // Table 3: dilations roughly 1.26-1.40 (2111), 1.66-2.00 (3221),
+        // 1.80-2.51 (4221), 2.47-3.25 (6332). Allow generous bands: the
+        // synthetic formats only need the same regime.
+        let p = Benchmark::Gcc.generate();
+        let text = |k: ProcessorKind| {
+            AssembledProgram::assemble(&ScheduledProgram::schedule(&p, &k.mdes())).text_words()
+                as f64
+        };
+        let base = text(ProcessorKind::P1111);
+        let d2111 = text(ProcessorKind::P2111) / base;
+        let d3221 = text(ProcessorKind::P3221) / base;
+        let d4221 = text(ProcessorKind::P4221) / base;
+        let d6332 = text(ProcessorKind::P6332) / base;
+        assert!((1.1..=1.7).contains(&d2111), "2111 dilation {d2111}");
+        assert!((1.4..=2.4).contains(&d3221), "3221 dilation {d3221}");
+        assert!((1.6..=2.8).contains(&d4221), "4221 dilation {d4221}");
+        assert!((2.2..=3.6).contains(&d6332), "6332 dilation {d6332}");
+        assert!(d2111 < d3221 && d3221 < d4221 && d4221 < d6332);
+    }
+
+    #[test]
+    fn noop_runs_are_free_when_short() {
+        use crate::format::InstructionFormat;
+        use crate::sched::{ScheduledBlock, ScheduledOp};
+        use mhe_workload::ir::OpClass;
+        let format = InstructionFormat::synthesize(&ProcessorKind::P1111.mdes());
+        let op = ScheduledOp { class: OpClass::IntAlu, mem: None };
+        // op, 2 empty cycles (latency gap), op.
+        let block = ScheduledBlock {
+            cycles: vec![vec![op], vec![], vec![], vec![op]],
+            spills: 0,
+            spec_loads: 0,
+        };
+        let enc = assemble_block(&block, &format);
+        assert_eq!(enc.words_per_cycle[1], 0);
+        assert_eq!(enc.words_per_cycle[2], 0);
+        assert_eq!(enc.words, enc.words_per_cycle[0] + enc.words_per_cycle[3]);
+    }
+
+    #[test]
+    fn long_noop_runs_need_explicit_noops() {
+        use crate::format::InstructionFormat;
+        use crate::sched::{ScheduledBlock, ScheduledOp};
+        use mhe_workload::ir::OpClass;
+        let format = InstructionFormat::synthesize(&ProcessorKind::P1111.mdes());
+        let op = ScheduledOp { class: OpClass::IntAlu, mem: None };
+        // op followed by 5 empty cycles: 3 absorbed, the 4th needs an
+        // explicit no-op, which absorbs the 5th.
+        let block = ScheduledBlock {
+            cycles: vec![vec![op], vec![], vec![], vec![], vec![], vec![]],
+            spills: 0,
+            spec_loads: 0,
+        };
+        let enc = assemble_block(&block, &format);
+        assert_eq!(enc.words_per_cycle[4], format.min_template_words());
+        assert_eq!(enc.words_per_cycle[5], 0);
+    }
+}

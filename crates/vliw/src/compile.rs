@@ -1,0 +1,101 @@
+//! End-to-end compilation pipeline: schedule → assemble → link.
+
+use crate::asm::AssembledProgram;
+use crate::link::Binary;
+use crate::mdes::Mdes;
+use crate::sched::ScheduledProgram;
+use mhe_workload::exec::BlockFrequencies;
+use mhe_workload::ir::Program;
+
+/// A program compiled for one machine: the schedule (dynamic behaviour),
+/// the encoding (code size), and the linked image (addresses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiled {
+    /// Target machine.
+    pub mdes: Mdes,
+    /// Per-block schedules.
+    pub sched: ScheduledProgram,
+    /// Per-block encodings.
+    pub asm: AssembledProgram,
+    /// Linked image.
+    pub binary: Binary,
+}
+
+impl Compiled {
+    /// Compiles `program` for `mdes`, optionally profile-guided.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_vliw::{compile::Compiled, mdes::ProcessorKind};
+    /// use mhe_workload::Benchmark;
+    /// let program = Benchmark::Unepic.generate();
+    /// let narrow = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+    /// let wide = Compiled::build(&program, &ProcessorKind::P6332.mdes(), None);
+    /// let dilation = wide.text_words() as f64 / narrow.text_words() as f64;
+    /// assert!(dilation > 1.5);
+    /// ```
+    pub fn build(program: &Program, mdes: &Mdes, freq: Option<&BlockFrequencies>) -> Self {
+        let sched = ScheduledProgram::schedule(program, mdes);
+        let asm = AssembledProgram::assemble(&sched);
+        let binary = Binary::link(program, &asm, freq);
+        Self { mdes: mdes.clone(), sched, asm, binary }
+    }
+
+    /// Total linked text size in words.
+    pub fn text_words(&self) -> u64 {
+        self.binary.text_words
+    }
+}
+
+/// Text dilation of `target` relative to `reference` (the paper's `d`).
+///
+/// # Examples
+///
+/// ```
+/// use mhe_vliw::{compile::{Compiled, text_dilation}, mdes::ProcessorKind};
+/// use mhe_workload::Benchmark;
+/// let program = Benchmark::Unepic.generate();
+/// let r = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+/// let t = Compiled::build(&program, &ProcessorKind::P2111.mdes(), None);
+/// let d = text_dilation(&r, &t);
+/// assert!(d >= 1.0);
+/// ```
+pub fn text_dilation(reference: &Compiled, target: &Compiled) -> f64 {
+    target.text_words() as f64 / reference.text_words() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    #[test]
+    fn compile_is_deterministic() {
+        let p = Benchmark::Epic.generate();
+        let a = Compiled::build(&p, &ProcessorKind::P3221.mdes(), None);
+        let b = Compiled::build(&p, &ProcessorKind::P3221.mdes(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dilation_of_reference_is_one() {
+        let p = Benchmark::Epic.generate();
+        let r = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        assert!((text_dilation(&r, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dilation_increases_with_width() {
+        let p = Benchmark::Rasta.generate();
+        let r = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        let mut prev = 1.0;
+        for kind in ProcessorKind::TARGETS {
+            let t = Compiled::build(&p, &kind.mdes(), None);
+            let d = text_dilation(&r, &t);
+            assert!(d > prev, "{kind}: dilation {d} <= previous {prev}");
+            prev = d;
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Instruction-format synthesis.
+//!
+//! Following the paper's co-synthesized variable-length, multi-template
+//! formats, each machine gets a small ladder of templates: the full-width
+//! template plus progressively narrower ones. A template is a multiset of
+//! kind-specific operation slots plus a header carrying the template id and
+//! a multi-no-op field (a run length of empty cycles following the
+//! instruction, encoded for free).
+//!
+//! Two properties of the synthesis drive the paper's dilation effect:
+//!
+//! * slot operand fields widen with the register files (`reg_bits`), and
+//! * the narrowest available template grows with machine width (decoder
+//!   granularity), so sparsely filled cycles on wide machines waste bits.
+
+use crate::mdes::{bits_for, FuKind, Mdes};
+
+/// Bits for an opcode field in any slot.
+const OPCODE_BITS: u32 = 8;
+
+/// Bits of the multi-no-op run-length field in every instruction header.
+const NOOP_RUN_BITS: u32 = 2;
+
+/// Maximum run of empty cycles encodable in the multi-no-op field.
+pub const MAX_NOOP_RUN: u32 = (1 << NOOP_RUN_BITS) - 1;
+
+/// Slot counts per functional-unit kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotSet {
+    /// Integer slots.
+    pub int: u32,
+    /// Float slots.
+    pub float: u32,
+    /// Memory slots.
+    pub mem: u32,
+    /// Branch slots.
+    pub branch: u32,
+}
+
+impl SlotSet {
+    /// Total slots.
+    pub fn total(&self) -> u32 {
+        self.int + self.float + self.mem + self.branch
+    }
+
+    /// Whether `self` has at least the slots of `need` in every kind.
+    pub fn covers(&self, need: &SlotSet) -> bool {
+        self.int >= need.int
+            && self.float >= need.float
+            && self.mem >= need.mem
+            && self.branch >= need.branch
+    }
+}
+
+/// One instruction template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Template {
+    /// Slot multiset.
+    pub slots: SlotSet,
+    /// Encoded size in bits, including the header.
+    pub bits: u32,
+    /// Encoded size in 32-bit words (instructions are word-quantized).
+    pub words: u32,
+}
+
+/// A synthesized instruction format for one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionFormat {
+    templates: Vec<Template>,
+    /// Header bits (template id + multi-no-op field).
+    pub header_bits: u32,
+    /// Fetch-packet size in words (power of two covering the full template).
+    pub packet_words: u32,
+}
+
+impl InstructionFormat {
+    /// Synthesizes the template ladder for `mdes`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_vliw::{format::InstructionFormat, mdes::ProcessorKind};
+    /// let narrow = InstructionFormat::synthesize(&ProcessorKind::P1111.mdes());
+    /// let wide = InstructionFormat::synthesize(&ProcessorKind::P6332.mdes());
+    /// assert!(wide.min_template_words() > narrow.min_template_words());
+    /// ```
+    pub fn synthesize(mdes: &Mdes) -> Self {
+        let width = mdes.width();
+        // Decoder granularity: the narrowest mixed template grows with
+        // width; only narrow machines (width <= 6) afford single-slot
+        // templates.
+        let min_size = if width <= 6 { 1 } else { width.div_ceil(4) };
+        let mut sizes = vec![width, width.div_ceil(2), width.div_ceil(4).max(min_size), min_size];
+        sizes.sort_unstable();
+        sizes.dedup();
+
+        // Count templates first so the header width is known: one mixed
+        // template per ladder size, plus — on narrow machines — per-kind
+        // single-slot templates and the common two-op pair templates
+        // (int+mem, int+branch, mem+branch, float+branch).
+        let singles = if min_size == 1 { 4 + 4 } else { 0 };
+        let n_templates = (sizes.len() + singles) as u32;
+        let header_bits = bits_for(n_templates) + NOOP_RUN_BITS;
+
+        let mut templates = Vec::new();
+        if min_size == 1 {
+            for kind in FuKind::ALL {
+                let mut slots = SlotSet::default();
+                match kind {
+                    FuKind::Int => slots.int = 1,
+                    FuKind::Float => slots.float = 1,
+                    FuKind::Mem => slots.mem = 1,
+                    FuKind::Branch => slots.branch = 1,
+                }
+                templates.push(make_template(mdes, slots, header_bits));
+            }
+            let pairs = [
+                SlotSet { int: 1, mem: 1, ..Default::default() },
+                SlotSet { int: 1, branch: 1, ..Default::default() },
+                SlotSet { mem: 1, branch: 1, ..Default::default() },
+                SlotSet { float: 1, branch: 1, ..Default::default() },
+            ];
+            for slots in pairs {
+                templates.push(make_template(mdes, slots, header_bits));
+            }
+        }
+        for &size in &sizes {
+            if size == 1 && min_size == 1 {
+                continue; // covered by the single-slot templates
+            }
+            let slots = proportional_slots(mdes, size);
+            templates.push(make_template(mdes, slots, header_bits));
+        }
+        templates.sort_by_key(|t| (t.bits, t.slots.total()));
+        templates.dedup();
+
+        let full_words = templates
+            .iter()
+            .map(|t| t.words)
+            .max()
+            .expect("format always has templates");
+        Self {
+            templates,
+            header_bits,
+            packet_words: full_words.next_power_of_two(),
+        }
+    }
+
+    /// The templates, ordered by increasing size.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Smallest template size in words (the cost of a one-op or no-op
+    /// instruction).
+    pub fn min_template_words(&self) -> u32 {
+        self.templates.first().map(|t| t.words).unwrap_or(1)
+    }
+
+    /// Greedy template selection: the smallest template covering `need`.
+    ///
+    /// Returns `None` if no template covers it (cannot happen for cycles
+    /// produced by the scheduler for the same machine, whose full template
+    /// covers every legal cycle).
+    pub fn select(&self, need: &SlotSet) -> Option<&Template> {
+        self.templates.iter().find(|t| t.slots.covers(need))
+    }
+
+    /// Words needed to encode one schedule cycle with the given slot needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no template covers `need` (a scheduler/format mismatch).
+    pub fn cycle_words(&self, need: &SlotSet) -> u32 {
+        self.select(need)
+            .unwrap_or_else(|| panic!("no template covers {need:?}"))
+            .words
+    }
+}
+
+/// Bits to encode one slot of the given kind on the given machine.
+fn slot_bits(mdes: &Mdes, kind: FuKind) -> u32 {
+    let pred = if mdes.predication { 4 } else { 0 };
+    let base = match kind {
+        // dst + two sources.
+        FuKind::Int => OPCODE_BITS + 3 * mdes.reg_bits(FuKind::Int),
+        FuKind::Float => OPCODE_BITS + 3 * mdes.reg_bits(FuKind::Float),
+        // reg + address reg + short literal offset.
+        FuKind::Mem => OPCODE_BITS + 2 * mdes.reg_bits(FuKind::Int) + 6,
+        // 16-bit displacement.
+        FuKind::Branch => OPCODE_BITS + 16,
+    };
+    base + pred
+}
+
+/// Instruction-size quantum in words: wider machines disperse operations to
+/// unit clusters at a coarser granularity, so their instructions are
+/// quantized to multi-word units (cf. EPIC bundle/dispersal granularity).
+pub(crate) fn quantum_words(mdes: &Mdes) -> u32 {
+    1 + mdes.width() / 9
+}
+
+fn make_template(mdes: &Mdes, slots: SlotSet, header_bits: u32) -> Template {
+    let bits = header_bits
+        + slots.int * slot_bits(mdes, FuKind::Int)
+        + slots.float * slot_bits(mdes, FuKind::Float)
+        + slots.mem * slot_bits(mdes, FuKind::Mem)
+        + slots.branch * slot_bits(mdes, FuKind::Branch);
+    let q = quantum_words(mdes);
+    let words = bits.div_ceil(32).div_ceil(q) * q;
+    Template { slots, bits, words }
+}
+
+/// Allocates `size` slots across kinds proportionally to the machine's unit
+/// counts (largest-remainder method, weighted toward common classes).
+fn proportional_slots(mdes: &Mdes, size: u32) -> SlotSet {
+    let width = mdes.width();
+    let units = [
+        (FuKind::Int, mdes.int_units, 1.0f64),
+        (FuKind::Float, mdes.float_units, 0.6),
+        (FuKind::Mem, mdes.mem_units, 0.9),
+        (FuKind::Branch, mdes.branch_units, 0.7),
+    ];
+    let mut counts = [0u32; 4];
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(4);
+    let mut assigned = 0;
+    for (i, &(_, n, w)) in units.iter().enumerate() {
+        let exact = f64::from(n * size) / f64::from(width);
+        counts[i] = (exact.floor() as u32).min(n);
+        assigned += counts[i];
+        remainders.push((i, (exact - exact.floor()) * w));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut k = 0;
+    while assigned < size {
+        let (i, _) = remainders[k % 4];
+        if counts[i] < units[i].1 {
+            counts[i] += 1;
+            assigned += 1;
+        }
+        k += 1;
+        if k > 16 {
+            break; // every kind saturated: template equals the full machine
+        }
+    }
+    SlotSet { int: counts[0], float: counts[1], mem: counts[2], branch: counts[3] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdes::ProcessorKind;
+
+    #[test]
+    fn full_template_covers_machine_width() {
+        for kind in ProcessorKind::ALL {
+            let m = kind.mdes();
+            let f = InstructionFormat::synthesize(&m);
+            let full = SlotSet {
+                int: m.int_units,
+                float: m.float_units,
+                mem: m.mem_units,
+                branch: m.branch_units,
+            };
+            assert!(
+                f.select(&full).is_some(),
+                "{kind}: full-width cycle must be encodable"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_machine_has_one_word_instructions() {
+        let f = InstructionFormat::synthesize(&ProcessorKind::P1111.mdes());
+        assert_eq!(f.min_template_words(), 1);
+    }
+
+    #[test]
+    fn wide_machine_min_template_is_larger() {
+        let f6332 = InstructionFormat::synthesize(&ProcessorKind::P6332.mdes());
+        assert!(f6332.min_template_words() >= 3, "got {}", f6332.min_template_words());
+    }
+
+    #[test]
+    fn selection_is_smallest_covering() {
+        let f = InstructionFormat::synthesize(&ProcessorKind::P3221.mdes());
+        let one_int = SlotSet { int: 1, ..Default::default() };
+        let t = f.select(&one_int).unwrap();
+        // Every other covering template must be at least as large.
+        for other in f.templates() {
+            if other.slots.covers(&one_int) {
+                assert!(other.bits >= t.bits);
+            }
+        }
+    }
+
+    #[test]
+    fn templates_sorted_ascending() {
+        for kind in ProcessorKind::ALL {
+            let f = InstructionFormat::synthesize(&kind.mdes());
+            for w in f.templates().windows(2) {
+                assert!(w[0].bits <= w[1].bits);
+            }
+        }
+    }
+
+    #[test]
+    fn packet_is_power_of_two_and_covers_full_template() {
+        for kind in ProcessorKind::ALL {
+            let f = InstructionFormat::synthesize(&kind.mdes());
+            assert!(f.packet_words.is_power_of_two());
+            let max_words = f.templates().iter().map(|t| t.words).max().unwrap();
+            assert!(f.packet_words >= max_words);
+        }
+    }
+
+    #[test]
+    fn slots_never_exceed_units() {
+        for kind in ProcessorKind::ALL {
+            let m = kind.mdes();
+            for t in InstructionFormat::synthesize(&m).templates() {
+                assert!(t.slots.int <= m.int_units);
+                assert!(t.slots.float <= m.float_units);
+                assert!(t.slots.mem <= m.mem_units);
+                assert!(t.slots.branch <= m.branch_units);
+            }
+        }
+    }
+
+    #[test]
+    fn predication_widens_slots() {
+        let plain = crate::mdes::Mdes::builder("a").units(2, 1, 1, 1).build();
+        let pred = crate::mdes::Mdes::builder("b").units(2, 1, 1, 1).predication(true).build();
+        let fp = InstructionFormat::synthesize(&plain);
+        let fq = InstructionFormat::synthesize(&pred);
+        let full = SlotSet { int: 2, float: 1, mem: 1, branch: 1 };
+        assert!(fq.select(&full).unwrap().bits > fp.select(&full).unwrap().bits);
+    }
+
+    #[test]
+    fn covers_is_componentwise() {
+        let a = SlotSet { int: 2, float: 1, mem: 1, branch: 1 };
+        let b = SlotSet { int: 1, float: 0, mem: 1, branch: 0 };
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        let c = SlotSet { int: 0, float: 2, mem: 0, branch: 0 };
+        assert!(!a.covers(&c));
+    }
+}

@@ -1,0 +1,236 @@
+//! Linker: code layout, instruction alignment, and address assignment.
+//!
+//! Responsibilities mirror the paper's linker: inter-procedural layout
+//! (profile-guided: frequently executed procedures first, increasing spatial
+//! locality), packet-boundary alignment for branch targets (avoiding fetch
+//! stalls at the cost of slightly larger code), and final address
+//! assignment. Intra-procedural layout keeps the generator's block order,
+//! which already chains fall-through paths.
+
+use crate::asm::AssembledProgram;
+use mhe_workload::exec::BlockFrequencies;
+use mhe_workload::ir::{BlockId, ProcId, Program, Terminator};
+
+/// Base word address of the text segment.
+pub const TEXT_BASE: u64 = 0x0010_0000;
+
+/// Placement of one block in the executable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// First word address of the block.
+    pub start: u64,
+    /// Size in words.
+    pub words: u32,
+}
+
+/// A linked executable image (addresses only; the bits themselves are never
+/// materialized — the trace generator needs only addresses and sizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binary {
+    /// Block placements, indexed `[proc][block]`.
+    pub blocks: Vec<Vec<BlockLayout>>,
+    /// Total text size in words, including alignment padding.
+    pub text_words: u64,
+    /// Procedure layout order (hot first when profile-guided).
+    pub proc_order: Vec<ProcId>,
+}
+
+impl Binary {
+    /// Links an assembled program.
+    ///
+    /// If `freq` is provided, procedures are laid out in decreasing dynamic
+    /// frequency (profile-guided layout); otherwise in index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_vliw::{asm::AssembledProgram, link::Binary, mdes::ProcessorKind,
+    ///               sched::ScheduledProgram};
+    /// use mhe_workload::Benchmark;
+    /// let program = Benchmark::Unepic.generate();
+    /// let sched = ScheduledProgram::schedule(&program, &ProcessorKind::P1111.mdes());
+    /// let asm = AssembledProgram::assemble(&sched);
+    /// let bin = Binary::link(&program, &asm, None);
+    /// assert!(bin.text_words >= asm.text_words());
+    /// ```
+    pub fn link(program: &Program, asm: &AssembledProgram, freq: Option<&BlockFrequencies>) -> Self {
+        let nprocs = program.procedures.len();
+        let mut proc_order: Vec<ProcId> = (0..nprocs as u32).map(ProcId).collect();
+        if let Some(f) = freq {
+            proc_order.sort_by_key(|&p| std::cmp::Reverse(f.proc_count(p)));
+        }
+
+        let mut aligned = alignment_targets(program);
+        // Profile-guided builds only pay alignment padding for blocks that
+        // actually execute ("branch targets ... at the expense of slightly
+        // larger code size"); cold code stays packed.
+        if let Some(f) = freq {
+            for (pi, blocks) in aligned.iter_mut().enumerate() {
+                for (bi, a) in blocks.iter_mut().enumerate() {
+                    if f.count(ProcId(pi as u32), BlockId(bi as u32)) == 0 {
+                        *a = false;
+                    }
+                }
+            }
+        }
+        let packet = u64::from(asm.format.packet_words);
+
+        let mut blocks: Vec<Vec<BlockLayout>> = program
+            .procedures
+            .iter()
+            .map(|p| vec![BlockLayout { start: 0, words: 0 }; p.blocks.len()])
+            .collect();
+        let mut addr = TEXT_BASE;
+        for &proc in &proc_order {
+            // Procedure entries are always packet-aligned.
+            addr = round_up(addr, packet);
+            let pi = proc.0 as usize;
+            for bi in 0..program.procedures[pi].blocks.len() {
+                if aligned[pi][bi] {
+                    addr = round_up(addr, packet);
+                }
+                let words = asm.procs[pi][bi].words;
+                blocks[pi][bi] = BlockLayout { start: addr, words };
+                addr += u64::from(words);
+            }
+        }
+        Self { blocks, text_words: addr - TEXT_BASE, proc_order }
+    }
+
+    /// Placement of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn block(&self, proc: ProcId, block: BlockId) -> BlockLayout {
+        self.blocks[proc.0 as usize][block.0 as usize]
+    }
+
+    /// Text size in bytes.
+    pub fn text_bytes(&self) -> u64 {
+        self.text_words * 4
+    }
+}
+
+/// Marks blocks that are branch targets (paper: aligned on packet
+/// boundaries to avoid fetch stalls). Procedure entries are handled
+/// separately by the linker.
+fn alignment_targets(program: &Program) -> Vec<Vec<bool>> {
+    let mut aligned: Vec<Vec<bool>> = program
+        .procedures
+        .iter()
+        .map(|p| vec![false; p.blocks.len()])
+        .collect();
+    for (pi, proc) in program.procedures.iter().enumerate() {
+        for block in &proc.blocks {
+            match block.terminator {
+                Terminator::Jump { target } => aligned[pi][target.0 as usize] = true,
+                Terminator::Branch { taken, .. } => {
+                    // Only the taken target breaks the fall-through fetch
+                    // stream; fall-through needs no alignment.
+                    aligned[pi][taken.0 as usize] = true;
+                }
+                Terminator::Call { ret, .. } => aligned[pi][ret.0 as usize] = true,
+                Terminator::Return | Terminator::Exit => {}
+            }
+        }
+    }
+    aligned
+}
+
+fn round_up(addr: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (addr + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdes::ProcessorKind;
+    use crate::sched::ScheduledProgram;
+    use mhe_workload::Benchmark;
+
+    fn link_unepic(kind: ProcessorKind) -> (mhe_workload::Program, AssembledProgram, Binary) {
+        let p = Benchmark::Unepic.generate();
+        let s = ScheduledProgram::schedule(&p, &kind.mdes());
+        let a = AssembledProgram::assemble(&s);
+        let b = Binary::link(&p, &a, None);
+        (p, a, b)
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let (_, _, bin) = link_unepic(ProcessorKind::P2111);
+        let mut spans: Vec<(u64, u64)> = bin
+            .blocks
+            .iter()
+            .flatten()
+            .map(|b| (b.start, b.start + u64::from(b.words)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn text_starts_at_base_and_covers_all_blocks() {
+        let (_, _, bin) = link_unepic(ProcessorKind::P1111);
+        let min = bin.blocks.iter().flatten().map(|b| b.start).min().unwrap();
+        let max = bin
+            .blocks
+            .iter()
+            .flatten()
+            .map(|b| b.start + u64::from(b.words))
+            .max()
+            .unwrap();
+        assert_eq!(min, TEXT_BASE);
+        assert_eq!(max - TEXT_BASE, bin.text_words);
+    }
+
+    #[test]
+    fn padding_is_bounded() {
+        let (_, asm, bin) = link_unepic(ProcessorKind::P6332);
+        let raw = asm.text_words();
+        assert!(bin.text_words >= raw);
+        // Alignment should cost well under 40% even on the widest machine.
+        assert!(
+            (bin.text_words as f64) < raw as f64 * 1.4,
+            "padding too large: raw {raw}, linked {}",
+            bin.text_words
+        );
+    }
+
+    #[test]
+    fn branch_targets_are_packet_aligned() {
+        let (p, asm, bin) = link_unepic(ProcessorKind::P3221);
+        let packet = u64::from(asm.format.packet_words);
+        for (pi, proc) in p.procedures.iter().enumerate() {
+            for block in &proc.blocks {
+                if let Terminator::Branch { taken, .. } = block.terminator {
+                    let t = bin.blocks[pi][taken.0 as usize];
+                    assert_eq!(t.start % packet, 0, "unaligned branch target");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_guided_layout_puts_hot_procs_first() {
+        let p = Benchmark::Unepic.generate();
+        let s = ScheduledProgram::schedule(&p, &ProcessorKind::P1111.mdes());
+        let a = AssembledProgram::assemble(&s);
+        let f = BlockFrequencies::profile(&p, 99, 100_000);
+        let bin = Binary::link(&p, &a, Some(&f));
+        for w in bin.proc_order.windows(2) {
+            assert!(f.proc_count(w[0]) >= f.proc_count(w[1]));
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let (_, _, a) = link_unepic(ProcessorKind::P4221);
+        let (_, _, b) = link_unepic(ProcessorKind::P4221);
+        assert_eq!(a, b);
+    }
+}

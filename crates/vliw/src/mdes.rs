@@ -1,0 +1,333 @@
+//! Machine descriptions (mdes) for the parameterized VLIW design space.
+//!
+//! A [`Mdes`] describes one single-cluster heterogeneous VLIW processor:
+//! functional-unit counts per class, register-file sizes, and architectural
+//! features. The paper's experiments use a narrow `1111` reference processor
+//! and wider `2111`, `3221`, `4221`, `6332` targets (digits = number of
+//! integer, float, memory, branch units); [`ProcessorKind`] provides those
+//! presets, and arbitrary machines can be built with [`Mdes::builder`].
+
+use mhe_workload::ir::OpClass;
+
+/// Functional-unit classes of the VLIW datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU.
+    Int,
+    /// Floating-point unit.
+    Float,
+    /// Memory (load/store) unit.
+    Mem,
+    /// Branch unit.
+    Branch,
+}
+
+impl FuKind {
+    /// All unit kinds in canonical order.
+    pub const ALL: [FuKind; 4] = [FuKind::Int, FuKind::Float, FuKind::Mem, FuKind::Branch];
+
+    /// The unit kind an operation class executes on.
+    pub fn for_op(class: OpClass) -> FuKind {
+        match class {
+            OpClass::IntAlu => FuKind::Int,
+            OpClass::FloatAlu => FuKind::Float,
+            OpClass::Load | OpClass::Store => FuKind::Mem,
+            OpClass::Branch => FuKind::Branch,
+        }
+    }
+}
+
+/// A VLIW processor description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mdes {
+    /// Human-readable name, e.g. `"3221"`.
+    pub name: String,
+    /// Number of integer units.
+    pub int_units: u32,
+    /// Number of floating-point units.
+    pub float_units: u32,
+    /// Number of memory units.
+    pub mem_units: u32,
+    /// Number of branch units.
+    pub branch_units: u32,
+    /// Integer register-file size.
+    pub int_regs: u32,
+    /// Floating-point register-file size.
+    pub float_regs: u32,
+    /// Whether the processor supports control speculation of loads.
+    pub speculation: bool,
+    /// Whether the processor supports predicated execution.
+    pub predication: bool,
+}
+
+impl Mdes {
+    /// Starts building a custom machine.
+    pub fn builder(name: impl Into<String>) -> MdesBuilder {
+        MdesBuilder {
+            mdes: Mdes {
+                name: name.into(),
+                int_units: 1,
+                float_units: 1,
+                mem_units: 1,
+                branch_units: 1,
+                int_regs: 32,
+                float_regs: 32,
+                speculation: true,
+                predication: false,
+            },
+        }
+    }
+
+    /// Total issue width (operations per cycle).
+    pub fn width(&self) -> u32 {
+        self.int_units + self.float_units + self.mem_units + self.branch_units
+    }
+
+    /// Number of units of a kind.
+    pub fn units(&self, kind: FuKind) -> u32 {
+        match kind {
+            FuKind::Int => self.int_units,
+            FuKind::Float => self.float_units,
+            FuKind::Mem => self.mem_units,
+            FuKind::Branch => self.branch_units,
+        }
+    }
+
+    /// Register-specifier width in bits for a unit kind's operands.
+    pub fn reg_bits(&self, kind: FuKind) -> u32 {
+        let regs = match kind {
+            FuKind::Float => self.float_regs,
+            _ => self.int_regs,
+        };
+        bits_for(regs)
+    }
+
+    /// A crude area-cost estimate used by the spacewalker (arbitrary units).
+    ///
+    /// Functional units dominate; register files scale with port count,
+    /// which grows with issue width.
+    pub fn cost(&self) -> f64 {
+        let fu = f64::from(self.int_units) * 1.0
+            + f64::from(self.float_units) * 3.0
+            + f64::from(self.mem_units) * 1.5
+            + f64::from(self.branch_units) * 0.5;
+        let ports = f64::from(self.width());
+        let rf = (f64::from(self.int_regs) + 2.0 * f64::from(self.float_regs)) * ports / 64.0;
+        fu + rf
+    }
+}
+
+/// Builder for custom [`Mdes`] values.
+#[derive(Debug, Clone)]
+pub struct MdesBuilder {
+    mdes: Mdes,
+}
+
+impl MdesBuilder {
+    /// Sets functional-unit counts (integer, float, memory, branch).
+    pub fn units(mut self, int: u32, float: u32, mem: u32, branch: u32) -> Self {
+        self.mdes.int_units = int;
+        self.mdes.float_units = float;
+        self.mdes.mem_units = mem;
+        self.mdes.branch_units = branch;
+        self
+    }
+
+    /// Sets register-file sizes.
+    pub fn regs(mut self, int: u32, float: u32) -> Self {
+        self.mdes.int_regs = int;
+        self.mdes.float_regs = float;
+        self
+    }
+
+    /// Enables or disables load speculation.
+    pub fn speculation(mut self, on: bool) -> Self {
+        self.mdes.speculation = on;
+        self
+    }
+
+    /// Enables or disables predication.
+    pub fn predication(mut self, on: bool) -> Self {
+        self.mdes.predication = on;
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unit count is zero or a register file has fewer than
+    /// 8 registers — such machines cannot run the generated workloads.
+    pub fn build(self) -> Mdes {
+        let m = self.mdes;
+        assert!(
+            m.int_units >= 1 && m.float_units >= 1 && m.mem_units >= 1 && m.branch_units >= 1,
+            "every unit class needs at least one unit"
+        );
+        assert!(m.int_regs >= 8 && m.float_regs >= 8, "register files too small");
+        m
+    }
+}
+
+/// The five processors of the paper's experiments.
+///
+/// The digits name the number of integer, float, memory, and branch units;
+/// `P1111` is the narrow reference processor, the others are progressively
+/// wider targets (issue widths 4, 5, 8, 9, 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcessorKind {
+    /// Reference processor: 1 unit of each kind (width 4).
+    P1111,
+    /// 2 integer units (width 5).
+    P2111,
+    /// 3/2/2/1 units (width 8).
+    P3221,
+    /// 4/2/2/1 units (width 9).
+    P4221,
+    /// 6/3/3/2 units (width 14).
+    P6332,
+}
+
+impl ProcessorKind {
+    /// All five processors in paper order (narrow to wide).
+    pub const ALL: [ProcessorKind; 5] = [
+        ProcessorKind::P1111,
+        ProcessorKind::P2111,
+        ProcessorKind::P3221,
+        ProcessorKind::P4221,
+        ProcessorKind::P6332,
+    ];
+
+    /// The four non-reference target processors.
+    pub const TARGETS: [ProcessorKind; 4] = [
+        ProcessorKind::P2111,
+        ProcessorKind::P3221,
+        ProcessorKind::P4221,
+        ProcessorKind::P6332,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessorKind::P1111 => "1111",
+            ProcessorKind::P2111 => "2111",
+            ProcessorKind::P3221 => "3221",
+            ProcessorKind::P4221 => "4221",
+            ProcessorKind::P6332 => "6332",
+        }
+    }
+
+    /// The machine description for this preset.
+    ///
+    /// Register files grow with issue width, as the paper notes ("operand
+    /// formats of the wider processor are also typically larger due to
+    /// larger register files").
+    pub fn mdes(self) -> Mdes {
+        match self {
+            ProcessorKind::P1111 => {
+                Mdes::builder("1111").units(1, 1, 1, 1).regs(32, 32).build()
+            }
+            ProcessorKind::P2111 => {
+                Mdes::builder("2111").units(2, 1, 1, 1).regs(48, 32).build()
+            }
+            ProcessorKind::P3221 => {
+                Mdes::builder("3221").units(3, 2, 2, 1).regs(64, 48).build()
+            }
+            ProcessorKind::P4221 => {
+                Mdes::builder("4221").units(4, 2, 2, 1).regs(80, 64).build()
+            }
+            ProcessorKind::P6332 => {
+                Mdes::builder("6332").units(6, 3, 3, 2).regs(96, 64).build()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bits needed to encode `n` distinct values (`ceil(log2(n))`).
+pub(crate) fn bits_for(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_widths_match_paper() {
+        let widths: Vec<u32> = ProcessorKind::ALL.iter().map(|p| p.mdes().width()).collect();
+        // "the reference processor can issue up to 4 operations per cycle and
+        //  the 2111, 3221, 4221, and 6332 target processors can issue up to
+        //  5, 8, 9, and 14 operations per cycle"
+        assert_eq!(widths, vec![4, 5, 8, 9, 14]);
+    }
+
+    #[test]
+    fn bits_for_is_ceil_log2() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(32), 5);
+        assert_eq!(bits_for(33), 6);
+        assert_eq!(bits_for(48), 6);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(96), 7);
+    }
+
+    #[test]
+    fn wider_machines_cost_more() {
+        let costs: Vec<f64> = ProcessorKind::ALL.iter().map(|p| p.mdes().cost()).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1], "cost must increase with width: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn reg_bits_reflect_register_files() {
+        let m = ProcessorKind::P6332.mdes();
+        assert_eq!(m.reg_bits(FuKind::Int), 7); // 96 registers
+        assert_eq!(m.reg_bits(FuKind::Float), 6); // 64 registers
+        let r = ProcessorKind::P1111.mdes();
+        assert_eq!(r.reg_bits(FuKind::Int), 5); // 32 registers
+    }
+
+    #[test]
+    fn units_accessor_matches_fields() {
+        let m = ProcessorKind::P3221.mdes();
+        assert_eq!(m.units(FuKind::Int), 3);
+        assert_eq!(m.units(FuKind::Float), 2);
+        assert_eq!(m.units(FuKind::Mem), 2);
+        assert_eq!(m.units(FuKind::Branch), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn builder_rejects_zero_units() {
+        let _ = Mdes::builder("bad").units(0, 1, 1, 1).build();
+    }
+
+    #[test]
+    fn fu_kind_for_op_covers_all_classes() {
+        assert_eq!(FuKind::for_op(OpClass::IntAlu), FuKind::Int);
+        assert_eq!(FuKind::for_op(OpClass::FloatAlu), FuKind::Float);
+        assert_eq!(FuKind::for_op(OpClass::Load), FuKind::Mem);
+        assert_eq!(FuKind::for_op(OpClass::Store), FuKind::Mem);
+        assert_eq!(FuKind::for_op(OpClass::Branch), FuKind::Branch);
+    }
+
+    #[test]
+    fn builder_customizes_features() {
+        let m = Mdes::builder("x").units(2, 2, 2, 2).speculation(false).predication(true).build();
+        assert!(!m.speculation);
+        assert!(m.predication);
+        assert_eq!(m.width(), 8);
+    }
+}

@@ -1,0 +1,542 @@
+//! List scheduler: maps IR basic blocks onto a VLIW machine.
+//!
+//! The scheduler plays the role of the paper's Elcor back-end. For every
+//! basic block it produces a resource- and dependence-legal schedule (one
+//! [`Vec<ScheduledOp>`] per cycle), inserts spill code when block register
+//! pressure exceeds the allocator's budget, and — on machines with
+//! speculation — hoists loads from a block's likely successor into its free
+//! memory slots. Schedule *shape* is what the rest of the system consumes:
+//! cycle counts determine processor performance, scheduled memory operations
+//! determine the data trace, and cycles × instruction-format encoding
+//! determine code size (and therefore dilation).
+
+use crate::mdes::{FuKind, Mdes};
+use mhe_workload::ir::{BlockId, OpClass, PatternId, ProcId, Program, RegClass, Terminator};
+
+/// How a scheduled memory operation produces its address at trace time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRef {
+    /// An original IR memory operation: advances its pattern's counter.
+    Pattern(PatternId),
+    /// A speculatively hoisted load: *peeks* the pattern without advancing,
+    /// so the original operation (if it executes) sees the same address.
+    Speculative(PatternId),
+    /// Spill store to the given frame spill slot.
+    SpillStore(u32),
+    /// Spill reload from the given frame spill slot.
+    SpillLoad(u32),
+}
+
+/// One operation placed in a schedule cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Operation class (determines the functional unit consumed).
+    pub class: OpClass,
+    /// Address source for memory operations.
+    pub mem: Option<MemRef>,
+}
+
+/// A scheduled basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledBlock {
+    /// Operations per cycle; empty cycles (latency stalls) are legal.
+    pub cycles: Vec<Vec<ScheduledOp>>,
+    /// Number of spill store/load *pairs* inserted.
+    pub spills: u32,
+    /// Number of speculative loads hoisted into this block.
+    pub spec_loads: u32,
+}
+
+impl ScheduledBlock {
+    /// Schedule length in cycles.
+    pub fn len_cycles(&self) -> u32 {
+        self.cycles.len() as u32
+    }
+
+    /// Total scheduled operations (including spills and speculative dups).
+    pub fn op_count(&self) -> usize {
+        self.cycles.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over memory references in schedule order.
+    pub fn mem_refs(&self) -> impl Iterator<Item = MemRef> + '_ {
+        self.cycles.iter().flatten().filter_map(|op| op.mem)
+    }
+}
+
+/// A fully scheduled program for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledProgram {
+    /// Scheduled blocks, indexed `[proc][block]`.
+    pub procs: Vec<Vec<ScheduledBlock>>,
+    /// The machine this schedule targets.
+    pub mdes: Mdes,
+}
+
+impl ScheduledProgram {
+    /// Schedules every block of `program` for `mdes`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_vliw::{mdes::ProcessorKind, sched::ScheduledProgram};
+    /// use mhe_workload::Benchmark;
+    /// let program = Benchmark::Unepic.generate();
+    /// let narrow = ScheduledProgram::schedule(&program, &ProcessorKind::P1111.mdes());
+    /// let wide = ScheduledProgram::schedule(&program, &ProcessorKind::P6332.mdes());
+    /// assert!(wide.total_cycles() < narrow.total_cycles());
+    /// ```
+    pub fn schedule(program: &Program, mdes: &Mdes) -> Self {
+        let mut procs = Vec::with_capacity(program.procedures.len());
+        for proc in &program.procedures {
+            let mut blocks = Vec::with_capacity(proc.blocks.len());
+            for block in &proc.blocks {
+                blocks.push(schedule_block(block, mdes));
+            }
+            procs.push(blocks);
+        }
+        let mut sp = Self { procs, mdes: mdes.clone() };
+        if mdes.speculation {
+            speculate(program, &mut sp);
+        }
+        sp
+    }
+
+    /// The schedule for one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn block(&self, proc: ProcId, block: BlockId) -> &ScheduledBlock {
+        &self.procs[proc.0 as usize][block.0 as usize]
+    }
+
+    /// Sum of schedule lengths over all static blocks (a static measure;
+    /// dynamic cycle counts weight by execution frequency).
+    pub fn total_cycles(&self) -> u64 {
+        self.procs
+            .iter()
+            .flatten()
+            .map(|b| u64::from(b.len_cycles()))
+            .sum()
+    }
+
+    /// Total speculative loads inserted program-wide.
+    pub fn total_spec_loads(&self) -> u64 {
+        self.procs.iter().flatten().map(|b| u64::from(b.spec_loads)).sum()
+    }
+
+    /// Total spill pairs inserted program-wide.
+    pub fn total_spills(&self) -> u64 {
+        self.procs.iter().flatten().map(|b| u64::from(b.spills)).sum()
+    }
+}
+
+/// Fraction of a register file the allocator grants to block-local values.
+/// The remainder is held for live-in/live-out values and the global
+/// allocator.
+const LOCAL_REG_FRACTION: u32 = 4;
+
+#[allow(clippy::needless_range_loop)] // paired index access into ops and preds
+fn schedule_block(block: &mhe_workload::ir::BasicBlock, mdes: &Mdes) -> ScheduledBlock {
+    let n = block.ops.len();
+    // --- Dependence edges: preds[j] = list of (i, latency_i). ---
+    let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let opj = &block.ops[j];
+        for i in 0..j {
+            let opi = &block.ops[i];
+            let raw = opi.dst.is_some_and(|d| opj.srcs.contains(&d));
+            let waw = opi.dst.is_some() && opi.dst == opj.dst;
+            let war = opj.dst.is_some_and(|d| opi.srcs.contains(&d));
+            let mem = match (opi.class, opj.class) {
+                (OpClass::Store, OpClass::Store) => true,
+                (OpClass::Store, OpClass::Load) | (OpClass::Load, OpClass::Store) => {
+                    opi.pattern == opj.pattern
+                }
+                _ => false,
+            };
+            if raw || mem {
+                preds[j].push((i, opi.class.latency()));
+            } else if waw || war {
+                // Same-cycle issue is fine for anti/output deps on a VLIW
+                // with register read-before-write semantics; order only.
+                preds[j].push((i, 0));
+            }
+        }
+    }
+    // --- Priorities: longest path to a sink. ---
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        // height[i] = max over successors; compute via preds of later ops.
+        for j in (i + 1)..n {
+            if let Some(&(_, lat)) = preds[j].iter().find(|&&(p, _)| p == i) {
+                height[i] = height[i].max(height[j] + lat.max(1));
+            }
+        }
+    }
+    // --- List scheduling. ---
+    let mut issue = vec![usize::MAX; n];
+    let mut cycles: Vec<Vec<ScheduledOp>> = Vec::new();
+    let mut scheduled = 0usize;
+    let mut cycle = 0usize;
+    while scheduled < n {
+        let mut free = [
+            mdes.int_units,
+            mdes.float_units,
+            mdes.mem_units,
+            mdes.branch_units,
+        ];
+        // Ready ops in priority order.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&j| issue[j] == usize::MAX)
+            .filter(|&j| {
+                preds[j].iter().all(|&(p, lat)| {
+                    issue[p] != usize::MAX && issue[p] + lat as usize <= cycle
+                })
+            })
+            .collect();
+        ready.sort_by_key(|&j| (std::cmp::Reverse(height[j]), j));
+        let mut this_cycle = Vec::new();
+        for j in ready {
+            let kind = FuKind::for_op(block.ops[j].class);
+            let slot = kind_index(kind);
+            if free[slot] > 0 {
+                free[slot] -= 1;
+                issue[j] = cycle;
+                this_cycle.push(ScheduledOp {
+                    class: block.ops[j].class,
+                    mem: block.ops[j].pattern.map(MemRef::Pattern),
+                });
+                scheduled += 1;
+            }
+        }
+        cycles.push(this_cycle);
+        cycle += 1;
+    }
+    if cycles.is_empty() {
+        cycles.push(Vec::new());
+    }
+    // --- Terminator branch: in the final cycle if a branch unit is free,
+    //     otherwise a new cycle. ---
+    let branch = ScheduledOp { class: OpClass::Branch, mem: None };
+    let last = cycles.len() - 1;
+    let brs_in_last = cycles[last]
+        .iter()
+        .filter(|o| o.class == OpClass::Branch)
+        .count() as u32;
+    if brs_in_last < mdes.branch_units {
+        cycles[last].push(branch);
+    } else {
+        cycles.push(vec![branch]);
+    }
+    // --- Spills. ---
+    let spills = insert_spills(block, &issue, &mut cycles, mdes);
+    ScheduledBlock { cycles, spills, spec_loads: 0 }
+}
+
+fn kind_index(kind: FuKind) -> usize {
+    match kind {
+        FuKind::Int => 0,
+        FuKind::Float => 1,
+        FuKind::Mem => 2,
+        FuKind::Branch => 3,
+    }
+}
+
+/// Computes block-local register pressure and inserts spill code for the
+/// values that exceed the budget. Returns the number of spill pairs.
+fn insert_spills(
+    block: &mhe_workload::ir::BasicBlock,
+    issue: &[usize],
+    cycles: &mut Vec<Vec<ScheduledOp>>,
+    mdes: &Mdes,
+) -> u32 {
+    let n_cycles = cycles.len();
+    let mut pressure = 0u32;
+    for (class, regs) in [
+        (RegClass::Int, mdes.int_regs),
+        (RegClass::Float, mdes.float_regs),
+    ] {
+        // Live interval of each def: [issue, last use] (through block end if
+        // unused locally — it may be live-out).
+        let mut intervals: Vec<(usize, usize)> = Vec::new();
+        for (i, op) in block.ops.iter().enumerate() {
+            let Some(dst) = op.dst else { continue };
+            if dst.class != class {
+                continue;
+            }
+            let mut last_use: Option<usize> = None;
+            for (j, later) in block.ops.iter().enumerate().skip(i + 1) {
+                if later.srcs.contains(&dst) {
+                    last_use = Some(last_use.map_or(issue[j], |u| u.max(issue[j])));
+                }
+                if later.dst == Some(dst) {
+                    break; // redefinition kills the range
+                }
+            }
+            // Only locally-used values compete for the block-local budget;
+            // live-out values are the global allocator's problem (they hold
+            // the registers the budget already excludes).
+            let Some(end) = last_use else { continue };
+            intervals.push((issue[i], end.max(issue[i])));
+        }
+        let budget = (regs / LOCAL_REG_FRACTION).max(4);
+        let peak = peak_overlap(&intervals, n_cycles);
+        pressure += peak.saturating_sub(budget);
+    }
+    // Each spilled value costs a store after definition and a reload before
+    // use; place them in free memory slots, appending cycles if needed.
+    for s in 0..pressure {
+        place_mem_op(cycles, mdes, MemRef::SpillStore(s), OpClass::Store);
+        place_mem_op(cycles, mdes, MemRef::SpillLoad(s), OpClass::Load);
+    }
+    pressure
+}
+
+fn peak_overlap(intervals: &[(usize, usize)], n_cycles: usize) -> u32 {
+    let mut delta = vec![0i32; n_cycles + 1];
+    for &(s, e) in intervals {
+        delta[s] += 1;
+        delta[(e + 1).min(n_cycles)] -= 1;
+    }
+    let mut cur = 0i32;
+    let mut peak = 0i32;
+    for d in delta {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as u32
+}
+
+/// Places a memory op in the first cycle with a free memory unit, or in a
+/// fresh trailing cycle.
+fn place_mem_op(cycles: &mut Vec<Vec<ScheduledOp>>, mdes: &Mdes, mem: MemRef, class: OpClass) {
+    let op = ScheduledOp { class, mem: Some(mem) };
+    for c in cycles.iter_mut() {
+        let used = c.iter().filter(|o| o.class.is_mem()).count() as u32;
+        if used < mdes.mem_units {
+            c.push(op);
+            return;
+        }
+    }
+    cycles.push(vec![op]);
+}
+
+/// Program-wide speculation pass: hoist the leading loads of each block's
+/// likely successor into the block's free memory slots.
+fn speculate(program: &Program, sp: &mut ScheduledProgram) {
+    // Budget grows with spare memory units and with issue width: wider
+    // machines have more idle slots worth filling. The narrow reference
+    // machine (width 4, one memory unit) gets no budget at all — exactly
+    // the asymmetry the paper attributes wider processors' extra loads to.
+    let budget = sp.mdes.mem_units.saturating_sub(1)
+        + u32::from(sp.mdes.width() >= 5)
+        + u32::from(sp.mdes.width() >= 8);
+    if budget == 0 {
+        return;
+    }
+    for (pi, proc) in program.procedures.iter().enumerate() {
+        for (bi, block) in proc.blocks.iter().enumerate() {
+            let Terminator::Branch { taken, fall, p_taken } = block.terminator else {
+                continue;
+            };
+            let likely = if p_taken >= 0.5 { taken } else { fall };
+            let succ = &proc.blocks[likely.0 as usize];
+            let loads: Vec<PatternId> = succ
+                .ops
+                .iter()
+                .filter(|o| o.class == OpClass::Load)
+                .filter_map(|o| o.pattern)
+                .take(budget as usize)
+                .collect();
+            if loads.is_empty() {
+                continue;
+            }
+            let sb = &mut sp.procs[pi][bi];
+            let mut inserted = 0u32;
+            'outer: for pid in loads {
+                for c in sb.cycles.iter_mut() {
+                    let used = c.iter().filter(|o| o.class.is_mem()).count() as u32;
+                    if used < sp.mdes.mem_units {
+                        c.push(ScheduledOp {
+                            class: OpClass::Load,
+                            mem: Some(MemRef::Speculative(pid)),
+                        });
+                        inserted += 1;
+                        continue 'outer;
+                    }
+                }
+                break; // no free slots anywhere: stop hoisting
+            }
+            sb.spec_loads = inserted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn sched(kind: ProcessorKind) -> (mhe_workload::Program, ScheduledProgram) {
+        let p = Benchmark::Unepic.generate();
+        let s = ScheduledProgram::schedule(&p, &kind.mdes());
+        (p, s)
+    }
+
+    #[test]
+    fn every_block_has_at_least_one_cycle() {
+        let (p, s) = sched(ProcessorKind::P1111);
+        for (pi, proc) in p.procedures.iter().enumerate() {
+            for bi in 0..proc.blocks.len() {
+                assert!(!s.procs[pi][bi].cycles.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn resource_constraints_hold_every_cycle() {
+        for kind in ProcessorKind::ALL {
+            let m = kind.mdes();
+            let (_, s) = sched(kind);
+            for proc in &s.procs {
+                for blk in proc {
+                    for cyc in &blk.cycles {
+                        let mut used = [0u32; 4];
+                        for op in cyc {
+                            used[kind_index(FuKind::for_op(op.class))] += 1;
+                        }
+                        assert!(used[0] <= m.int_units);
+                        assert!(used[1] <= m.float_units);
+                        assert!(used[2] <= m.mem_units);
+                        assert!(used[3] <= m.branch_units);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_original_ops_are_scheduled() {
+        let (p, s) = sched(ProcessorKind::P3221);
+        for (pi, proc) in p.procedures.iter().enumerate() {
+            for (bi, block) in proc.blocks.iter().enumerate() {
+                let sb = &s.procs[pi][bi];
+                let original: usize = sb
+                    .cycles
+                    .iter()
+                    .flatten()
+                    .filter(|o| {
+                        !matches!(
+                            o.mem,
+                            Some(MemRef::Speculative(_))
+                                | Some(MemRef::SpillStore(_))
+                                | Some(MemRef::SpillLoad(_))
+                        )
+                    })
+                    .count();
+                // Original ops + exactly one terminator branch.
+                assert_eq!(original, block.ops.len() + 1, "proc {pi} block {bi}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_machines_schedule_fewer_or_equal_cycles() {
+        let p = Benchmark::Rasta.generate();
+        let narrow = ScheduledProgram::schedule(&p, &ProcessorKind::P1111.mdes());
+        let wide = ScheduledProgram::schedule(&p, &ProcessorKind::P6332.mdes());
+        assert!(wide.total_cycles() < narrow.total_cycles());
+    }
+
+    #[test]
+    fn wider_machines_speculate_more() {
+        let p = Benchmark::Gcc.generate();
+        let spec: Vec<u64> = ProcessorKind::ALL
+            .iter()
+            .map(|k| ScheduledProgram::schedule(&p, &k.mdes()).total_spec_loads())
+            .collect();
+        assert!(spec[0] == 0, "1111 has one mem unit: no speculation budget");
+        assert!(
+            spec[4] > spec[1],
+            "6332 should speculate more than 2111: {spec:?}"
+        );
+    }
+
+    #[test]
+    fn disabling_speculation_removes_spec_loads() {
+        let p = Benchmark::Epic.generate();
+        let m = crate::mdes::Mdes::builder("wide-nospec")
+            .units(6, 3, 3, 2)
+            .regs(96, 64)
+            .speculation(false)
+            .build();
+        let s = ScheduledProgram::schedule(&p, &m);
+        assert_eq!(s.total_spec_loads(), 0);
+    }
+
+    #[test]
+    fn branch_terminator_present_exactly_once_per_block() {
+        let (_, s) = sched(ProcessorKind::P2111);
+        for proc in &s.procs {
+            for blk in proc {
+                let branches = blk
+                    .cycles
+                    .iter()
+                    .flatten()
+                    .filter(|o| o.class == OpClass::Branch)
+                    .count();
+                assert_eq!(branches, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dependences_respected_by_issue_cycles() {
+        // A hand-built chain: op1 -> op2 -> op3 (RAW each) must serialize
+        // even on the widest machine.
+        use mhe_workload::ir::{BasicBlock, Op, Terminator, Vreg};
+        let chain = BasicBlock::new(
+            vec![
+                Op::compute(OpClass::IntAlu, Some(Vreg::int(100)), vec![]),
+                Op::compute(OpClass::IntAlu, Some(Vreg::int(101)), vec![Vreg::int(100)]),
+                Op::compute(OpClass::IntAlu, Some(Vreg::int(102)), vec![Vreg::int(101)]),
+            ],
+            Terminator::Return,
+        );
+        let m = ProcessorKind::P6332.mdes();
+        let sb = schedule_block(&chain, &m);
+        // 3 dependent 1-cycle ops need at least 3 cycles.
+        assert!(sb.len_cycles() >= 3, "chain scheduled in {} cycles", sb.len_cycles());
+    }
+
+    #[test]
+    fn independent_ops_pack_on_wide_machine() {
+        use mhe_workload::ir::{BasicBlock, Op, Terminator, Vreg};
+        let parallel = BasicBlock::new(
+            (0..6)
+                .map(|i| Op::compute(OpClass::IntAlu, Some(Vreg::int(200 + i)), vec![]))
+                .collect(),
+            Terminator::Return,
+        );
+        let wide = schedule_block(&parallel, &ProcessorKind::P6332.mdes());
+        let narrow = schedule_block(&parallel, &ProcessorKind::P1111.mdes());
+        assert_eq!(wide.len_cycles(), 1, "6 independent int ops fit one 6332 cycle");
+        assert!(narrow.len_cycles() >= 6);
+    }
+
+    #[test]
+    fn spec_loads_peek_patterns() {
+        let p = Benchmark::Gcc.generate();
+        let s = ScheduledProgram::schedule(&p, &ProcessorKind::P6332.mdes());
+        let any_spec = s
+            .procs
+            .iter()
+            .flatten()
+            .flat_map(|b| b.mem_refs())
+            .any(|m| matches!(m, MemRef::Speculative(_)));
+        assert!(any_spec, "wide machine should have hoisted some loads");
+    }
+}

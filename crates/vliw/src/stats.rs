@@ -1,0 +1,185 @@
+//! Schedule statistics: utilization, ILP, and code-size accounting.
+//!
+//! The paper's evaluator derives processor performance "using schedule
+//! lengths and profile statistics"; this module provides those statistics
+//! plus the utilization view that explains *why* wide machines dilate:
+//! low slot utilization means most of a wide instruction's bits encode
+//! no-ops.
+
+use crate::compile::Compiled;
+use crate::mdes::FuKind;
+use crate::sched::ScheduledProgram;
+use mhe_workload::exec::BlockFrequencies;
+use mhe_workload::ir::{BlockId, ProcId};
+
+/// Aggregate schedule statistics for one compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleStats {
+    /// Static schedule cycles over all blocks.
+    pub cycles: u64,
+    /// Scheduled operations (including spills and speculative loads).
+    pub ops: u64,
+    /// Cycles with no operation at all (latency bubbles).
+    pub empty_cycles: u64,
+    /// Static operations per cycle.
+    pub ilp: f64,
+    /// Fraction of issue slots actually filled.
+    pub slot_utilization: f64,
+}
+
+/// Computes static schedule statistics.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_vliw::{mdes::ProcessorKind, sched::ScheduledProgram, stats::schedule_stats};
+/// use mhe_workload::Benchmark;
+/// let p = Benchmark::Unepic.generate();
+/// let narrow = schedule_stats(&ScheduledProgram::schedule(&p, &ProcessorKind::P1111.mdes()));
+/// let wide = schedule_stats(&ScheduledProgram::schedule(&p, &ProcessorKind::P6332.mdes()));
+/// assert!(wide.ilp > narrow.ilp);
+/// assert!(wide.slot_utilization < narrow.slot_utilization);
+/// ```
+pub fn schedule_stats(sched: &ScheduledProgram) -> ScheduleStats {
+    let width = u64::from(sched.mdes.width());
+    let mut cycles = 0u64;
+    let mut ops = 0u64;
+    let mut empty = 0u64;
+    for block in sched.procs.iter().flatten() {
+        cycles += block.cycles.len() as u64;
+        for c in &block.cycles {
+            ops += c.len() as u64;
+            if c.is_empty() {
+                empty += 1;
+            }
+        }
+    }
+    ScheduleStats {
+        cycles,
+        ops,
+        empty_cycles: empty,
+        ilp: if cycles == 0 { 0.0 } else { ops as f64 / cycles as f64 },
+        slot_utilization: if cycles == 0 {
+            0.0
+        } else {
+            ops as f64 / (cycles * width) as f64
+        },
+    }
+}
+
+/// Per-unit-kind utilization: fraction of that kind's slots filled, over
+/// the static schedule.
+pub fn unit_utilization(sched: &ScheduledProgram) -> [(FuKind, f64); 4] {
+    let mut used = [0u64; 4];
+    let mut cycles = 0u64;
+    for block in sched.procs.iter().flatten() {
+        cycles += block.cycles.len() as u64;
+        for c in &block.cycles {
+            for op in c {
+                match FuKind::for_op(op.class) {
+                    FuKind::Int => used[0] += 1,
+                    FuKind::Float => used[1] += 1,
+                    FuKind::Mem => used[2] += 1,
+                    FuKind::Branch => used[3] += 1,
+                }
+            }
+        }
+    }
+    let denom = |n: u32| (cycles * u64::from(n)).max(1) as f64;
+    [
+        (FuKind::Int, used[0] as f64 / denom(sched.mdes.int_units)),
+        (FuKind::Float, used[1] as f64 / denom(sched.mdes.float_units)),
+        (FuKind::Mem, used[2] as f64 / denom(sched.mdes.mem_units)),
+        (FuKind::Branch, used[3] as f64 / denom(sched.mdes.branch_units)),
+    ]
+}
+
+/// Bytes of code per *executed* operation, weighted by block frequency —
+/// the dynamic code-density metric behind instruction-cache pressure.
+pub fn dynamic_code_density(compiled: &Compiled, freq: &BlockFrequencies) -> f64 {
+    let mut bytes = 0u64;
+    let mut ops = 0u64;
+    for (pi, blocks) in compiled.binary.blocks.iter().enumerate() {
+        for (bi, layout) in blocks.iter().enumerate() {
+            let n = freq.count(ProcId(pi as u32), BlockId(bi as u32));
+            if n == 0 {
+                continue;
+            }
+            bytes += n * u64::from(layout.words) * 4;
+            ops += n * compiled.sched.procs[pi][bi].op_count() as u64;
+        }
+    }
+    if ops == 0 {
+        0.0
+    } else {
+        bytes as f64 / ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiled;
+    use crate::mdes::ProcessorKind;
+    use mhe_workload::Benchmark;
+
+    fn stats_for(kind: ProcessorKind) -> ScheduleStats {
+        let p = Benchmark::Epic.generate();
+        schedule_stats(&ScheduledProgram::schedule(&p, &kind.mdes()))
+    }
+
+    #[test]
+    fn ilp_grows_and_utilization_falls_with_width() {
+        let mut prev_ilp = 0.0;
+        for kind in ProcessorKind::ALL {
+            let s = stats_for(kind);
+            assert!(s.ilp >= prev_ilp * 0.98, "{kind}: ilp {0} fell", s.ilp);
+            prev_ilp = s.ilp;
+        }
+        // Slot utilization falls from the narrow to the wide end (it need
+        // not be strictly monotone between adjacent widths: width 4 -> 5
+        // adds the slot the schedule can actually use).
+        let narrow = stats_for(ProcessorKind::P1111);
+        let wide = stats_for(ProcessorKind::P6332);
+        assert!(
+            wide.slot_utilization < 0.7 * narrow.slot_utilization,
+            "utilization should fall: {} -> {}",
+            narrow.slot_utilization,
+            wide.slot_utilization
+        );
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        for kind in ProcessorKind::ALL {
+            let s = stats_for(kind);
+            assert!(s.slot_utilization > 0.0 && s.slot_utilization <= 1.0);
+            assert!(s.ilp <= f64::from(kind.mdes().width()));
+        }
+    }
+
+    #[test]
+    fn unit_utilization_is_sane() {
+        let p = Benchmark::Go.generate();
+        let s = ScheduledProgram::schedule(&p, &ProcessorKind::P3221.mdes());
+        for (kind, u) in unit_utilization(&s) {
+            assert!((0.0..=1.0).contains(&u), "{kind:?}: {u}");
+        }
+        // On an integer benchmark (1% float ops) the branch unit — one
+        // branch per block — is far busier than the float units.
+        let u = unit_utilization(&s);
+        assert!(u[3].1 > u[1].1, "branch {} vs float {}", u[3].1, u[1].1);
+    }
+
+    #[test]
+    fn code_density_worsens_with_width() {
+        let p = Benchmark::Gcc.generate();
+        let freq = mhe_workload::BlockFrequencies::profile(&p, 7, 100_000);
+        let narrow = Compiled::build(&p, &ProcessorKind::P1111.mdes(), Some(&freq));
+        let wide = Compiled::build(&p, &ProcessorKind::P6332.mdes(), Some(&freq));
+        let dn = dynamic_code_density(&narrow, &freq);
+        let dw = dynamic_code_density(&wide, &freq);
+        assert!(dn > 0.0);
+        assert!(dw > 1.5 * dn, "wide density {dw} vs narrow {dn}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Data-access patterns and the deterministic address engine.
+//!
+//! Every static memory operation in a [`crate::ir::Program`] references a
+//! [`DataPattern`]. At execution time, the n-th dynamic instance of that
+//! operation produces an address that is a pure function of
+//! `(pattern, seed, n, call depth)` — see [`PatternEngine`]. This
+//! counter-based construction is what lets the reference-processor trace and
+//! every non-reference-processor trace share *identical* data addresses for
+//! identically-executed operations (the paper's step-1 assumption), while
+//! still letting a wider processor's speculated or spilled memory operations
+//! inject extra, deterministic addresses.
+
+use crate::ir::{PatternId, Program};
+use crate::rng::SplitMix64;
+
+/// Base word address of the data segment used by generated workloads.
+pub const DATA_BASE: u64 = 0x0800_0000;
+
+/// Base word address of the downward-growing call stack.
+pub const STACK_BASE: u64 = 0x0FF0_0000;
+
+/// Words reserved per call frame (locals plus spill area).
+pub const FRAME_WORDS: u64 = 256;
+
+/// Offset within a frame where the spill area begins.
+pub const SPILL_AREA_OFFSET: u64 = 128;
+
+/// A static data-access pattern.
+///
+/// All sizes and addresses are in 4-byte words, matching the paper's use of
+/// word addresses throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPattern {
+    /// Frame-local access: `STACK_BASE - depth·FRAME_WORDS + offset`.
+    /// Models scalars and locals; extremely high locality.
+    Stack {
+        /// Offset of the slot within the frame (`< SPILL_AREA_OFFSET`).
+        offset: u64,
+    },
+    /// Small hot region accessed sequentially with wrap-around. Models
+    /// global scalars and small tables.
+    Hot {
+        /// First word of the region.
+        base: u64,
+        /// Region length in words.
+        len_words: u64,
+    },
+    /// Streaming access over an array: the n-th access touches
+    /// `base + (n·stride mod len_words)`. Models media kernels.
+    Stream {
+        /// First word of the array.
+        base: u64,
+        /// Array length in words.
+        len_words: u64,
+        /// Stride in words between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniform random access within a working set. Models pointer-chasing
+    /// and hash-table codes.
+    Random {
+        /// First word of the working set.
+        base: u64,
+        /// Working-set size in words.
+        len_words: u64,
+    },
+}
+
+impl DataPattern {
+    /// Address of dynamic instance `counter` of this pattern.
+    ///
+    /// `seed` individualizes [`DataPattern::Random`] streams; `depth` is the
+    /// current call depth (for [`DataPattern::Stack`]).
+    pub fn address(&self, seed: u64, pid: PatternId, counter: u64, depth: u32) -> u64 {
+        match *self {
+            DataPattern::Stack { offset } => {
+                let frame_top = STACK_BASE - u64::from(depth) * FRAME_WORDS;
+                frame_top + offset % SPILL_AREA_OFFSET
+            }
+            DataPattern::Hot { base, len_words } => base + counter % len_words.max(1),
+            DataPattern::Stream { base, len_words, stride } => {
+                base + (counter.wrapping_mul(stride)) % len_words.max(1)
+            }
+            DataPattern::Random { base, len_words } => {
+                let h = SplitMix64::new(seed ^ (u64::from(pid.0) << 32) ^ counter).next_u64();
+                base + h % len_words.max(1)
+            }
+        }
+    }
+}
+
+/// Address of a spill slot given call depth and slot index.
+///
+/// Spill code is inserted per-processor by the VLIW back-end; its addresses
+/// live in the frame's spill area so they have the same high locality as the
+/// paper assumes ("likely to have high locality and not increase the number
+/// of data cache misses significantly").
+pub fn spill_address(depth: u32, slot: u32) -> u64 {
+    let frame_top = STACK_BASE - u64::from(depth) * FRAME_WORDS;
+    frame_top + SPILL_AREA_OFFSET + u64::from(slot) % (FRAME_WORDS - SPILL_AREA_OFFSET)
+}
+
+/// Deterministic, replayable address generator for a program's patterns.
+///
+/// Two engines constructed with the same program and seed produce identical
+/// address sequences for identical operation-execution sequences, regardless
+/// of what *other* operations execute in between ([`PatternEngine::peek`]
+/// does not advance state). This property underpins the reproduction of the
+/// paper's "data trace is identical across processors" assumption.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_workload::{Benchmark, data::PatternEngine};
+/// let program = Benchmark::Epic.generate();
+/// let mut engine = PatternEngine::new(&program, 1);
+/// let pid = mhe_workload::ir::PatternId(0);
+/// let a = engine.peek(&program, pid, 0);
+/// let b = engine.next(&program, pid, 0);
+/// assert_eq!(a, b, "peek must preview exactly what next produces");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternEngine {
+    counters: Vec<u64>,
+    seed: u64,
+}
+
+impl PatternEngine {
+    /// Creates an engine with one counter per pattern of `program`.
+    pub fn new(program: &Program, seed: u64) -> Self {
+        Self { counters: vec![0; program.patterns.len()], seed }
+    }
+
+    /// Produces the next address of pattern `pid`, advancing its counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for `program`.
+    pub fn next(&mut self, program: &Program, pid: PatternId, depth: u32) -> u64 {
+        let c = &mut self.counters[pid.0 as usize];
+        let addr = program.patterns[pid.0 as usize].address(self.seed, pid, *c, depth);
+        *c += 1;
+        addr
+    }
+
+    /// Previews the next address of pattern `pid` without advancing.
+    ///
+    /// Used for speculatively-hoisted loads: the speculated copy observes the
+    /// address the original would produce, without perturbing the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range for `program`.
+    pub fn peek(&self, program: &Program, pid: PatternId, depth: u32) -> u64 {
+        let c = self.counters[pid.0 as usize];
+        program.patterns[pid.0 as usize].address(self.seed, pid, c, depth)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::PatternId;
+
+    #[test]
+    fn stack_addresses_track_depth() {
+        let p = DataPattern::Stack { offset: 5 };
+        let a0 = p.address(0, PatternId(0), 0, 0);
+        let a1 = p.address(0, PatternId(0), 0, 1);
+        assert_eq!(a0 - a1, FRAME_WORDS);
+    }
+
+    #[test]
+    fn hot_wraps_within_region() {
+        let p = DataPattern::Hot { base: 100, len_words: 4 };
+        let addrs: Vec<u64> = (0..8).map(|c| p.address(0, PatternId(0), c, 0)).collect();
+        assert_eq!(addrs, vec![100, 101, 102, 103, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn stream_respects_stride_and_wrap() {
+        let p = DataPattern::Stream { base: 1000, len_words: 10, stride: 3 };
+        let addrs: Vec<u64> = (0..5).map(|c| p.address(0, PatternId(0), c, 0)).collect();
+        assert_eq!(addrs, vec![1000, 1003, 1006, 1009, 1002]);
+    }
+
+    #[test]
+    fn random_stays_in_region_and_is_deterministic() {
+        let p = DataPattern::Random { base: 5000, len_words: 64 };
+        for c in 0..1000 {
+            let a = p.address(7, PatternId(3), c, 0);
+            assert!((5000..5064).contains(&a));
+            assert_eq!(a, p.address(7, PatternId(3), c, 0));
+        }
+    }
+
+    #[test]
+    fn random_streams_differ_by_pattern_id() {
+        let p = DataPattern::Random { base: 0, len_words: 1 << 20 };
+        let s1: Vec<u64> = (0..16).map(|c| p.address(7, PatternId(1), c, 0)).collect();
+        let s2: Vec<u64> = (0..16).map(|c| p.address(7, PatternId(2), c, 0)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn spill_addresses_live_in_spill_area() {
+        let a = spill_address(2, 3);
+        let frame_top = STACK_BASE - 2 * FRAME_WORDS;
+        assert!(a >= frame_top + SPILL_AREA_OFFSET);
+        assert!(a < frame_top + FRAME_WORDS);
+    }
+
+    #[test]
+    fn zero_length_regions_do_not_divide_by_zero() {
+        let p = DataPattern::Hot { base: 10, len_words: 0 };
+        assert_eq!(p.address(0, PatternId(0), 5, 0), 10);
+    }
+}

@@ -1,0 +1,535 @@
+//! Seeded synthesis of benchmark-like programs.
+//!
+//! [`ProgramGenerator`] turns a [`Profile`] into a [`Program`] by building,
+//! for every procedure, a structured control-flow graph out of four region
+//! kinds — straight-line blocks, if-then-else diamonds, bottom-tested loops,
+//! and call sites — and filling blocks with operations drawn from the
+//! profile's class mix. The call graph is a DAG (procedure *i* only calls
+//! procedures with larger indices), which bounds call depth and guarantees
+//! probabilistic termination of every run.
+
+use crate::data::{DataPattern, DATA_BASE, SPILL_AREA_OFFSET};
+use crate::ir::{
+    BasicBlock, BlockId, Op, OpClass, PatternId, ProcId, Procedure, Program, RegClass, Terminator,
+    Vreg,
+};
+use crate::profile::Profile;
+use crate::rng::Xoshiro256;
+
+/// Number of low-index virtual registers treated as live-in values
+/// (parameters and global-like values) per class.
+const LIVE_IN_VREGS: u32 = 12;
+
+/// Hard cap on operations in one generated block.
+const MAX_OPS_PER_BLOCK: u64 = 24;
+
+/// Synthesizes a [`Program`] from a [`Profile`].
+///
+/// # Examples
+///
+/// ```
+/// use mhe_workload::{gen::ProgramGenerator, Benchmark};
+/// let program = ProgramGenerator::new(Benchmark::Rasta.profile()).generate();
+/// assert!(program.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    profile: Profile,
+    rng: Xoshiro256,
+    patterns: Vec<DataPattern>,
+    /// Pattern ids of the shared hot regions.
+    hot_patterns: Vec<PatternId>,
+    /// Base and length of the shared random-access working set.
+    ws_base: u64,
+    /// Next free word in the data segment for stream arrays.
+    next_data: u64,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator for the given profile.
+    pub fn new(profile: Profile) -> Self {
+        let rng = Xoshiro256::seed_from(profile.seed);
+        Self {
+            rng,
+            patterns: Vec::new(),
+            hot_patterns: Vec::new(),
+            ws_base: 0,
+            next_data: DATA_BASE,
+            profile,
+        }
+    }
+
+    /// Runs synthesis, consuming the generator.
+    pub fn generate(mut self) -> Program {
+        self.allocate_shared_regions();
+        let nprocs = self.profile.procs;
+        let mut procedures = Vec::with_capacity(nprocs);
+        procedures.push(self.generate_driver(nprocs));
+        for p in 1..nprocs {
+            procedures.push(self.generate_procedure(p, nprocs));
+        }
+        let program = Program {
+            name: self.profile.name.to_string(),
+            procedures,
+            patterns: self.patterns,
+            entry: ProcId(0),
+        };
+        debug_assert_eq!(program.validate(), Ok(()));
+        program
+    }
+
+    fn allocate_shared_regions(&mut self) {
+        // A handful of hot regions shared program-wide.
+        let n_hot = 4usize;
+        let per = (self.profile.hot_words / n_hot as u64).max(8);
+        for _ in 0..n_hot {
+            let pid = PatternId(self.patterns.len() as u32);
+            self.patterns.push(DataPattern::Hot { base: self.next_data, len_words: per });
+            self.next_data += per;
+            self.hot_patterns.push(pid);
+        }
+        self.ws_base = self.next_data;
+        self.next_data += self.profile.ws_words;
+    }
+
+    /// Builds the entry procedure: an application driver loop whose body
+    /// calls phase procedures spread across the whole program, guaranteeing
+    /// broad dynamic code coverage (an application's `main` calling its
+    /// processing phases).
+    fn generate_driver(&mut self, nprocs: usize) -> Procedure {
+        let mut builder = ProcBuilder {
+            blocks: Vec::new(),
+            int_vregs: LIVE_IN_VREGS,
+            float_vregs: LIVE_IN_VREGS,
+        };
+        let n_calls = (nprocs - 1).clamp(1, 8);
+        let preheader = self.new_block(&mut builder);
+        let mut sites = Vec::with_capacity(n_calls);
+        for _ in 0..n_calls {
+            sites.push(self.new_block(&mut builder));
+        }
+        let latch = self.new_block(&mut builder);
+        let exit = self.new_block(&mut builder);
+        builder.blocks[preheader.0 as usize].terminator =
+            Terminator::Jump { target: sites[0] };
+        for (k, &site) in sites.iter().enumerate() {
+            // Spread callees across [1, nprocs) with per-program jitter.
+            let lo = 1 + k * (nprocs - 1) / n_calls;
+            let hi = 1 + (k + 1) * (nprocs - 1) / n_calls;
+            let callee = ProcId(self.rng.range_inclusive(lo as u64, (hi - 1).max(lo) as u64) as u32);
+            let ret = if k + 1 < n_calls { sites[k + 1] } else { latch };
+            builder.blocks[site.0 as usize].terminator = Terminator::Call { callee, ret };
+        }
+        // Re-run the phase loop a few times per program run.
+        builder.blocks[latch.0 as usize].terminator =
+            Terminator::Branch { taken: sites[0], fall: exit, p_taken: 0.75 };
+        builder.blocks[exit.0 as usize].terminator = Terminator::Exit;
+        Procedure {
+            name: format!("{}_main", self.profile.name.replace('.', "_")),
+            blocks: builder.blocks,
+            int_vregs: builder.int_vregs,
+            float_vregs: builder.float_vregs,
+        }
+    }
+
+    fn generate_procedure(&mut self, index: usize, nprocs: usize) -> Procedure {
+        let (lo, hi) = self.profile.regions_per_proc;
+        let budget = self.rng.range_inclusive(lo as u64, hi as u64) as usize;
+        let mut builder = ProcBuilder {
+            blocks: Vec::new(),
+            int_vregs: LIVE_IN_VREGS,
+            float_vregs: LIVE_IN_VREGS,
+        };
+        let (entry, exit) = self.build_region(&mut builder, budget, index, nprocs);
+        debug_assert_eq!(entry, BlockId(0), "entry region must start at block 0");
+        let final_term = if index == 0 { Terminator::Exit } else { Terminator::Return };
+        builder.blocks[exit.0 as usize].terminator = final_term;
+        Procedure {
+            name: format!("{}_{index}", self.profile.name.replace('.', "_")),
+            blocks: builder.blocks,
+            int_vregs: builder.int_vregs,
+            float_vregs: builder.float_vregs,
+        }
+    }
+
+    /// Builds a single-entry/single-exit region; returns (entry, exit) block
+    /// ids. The exit block's terminator is a placeholder the caller patches.
+    fn build_region(
+        &mut self,
+        b: &mut ProcBuilder,
+        budget: usize,
+        proc_index: usize,
+        nprocs: usize,
+    ) -> (BlockId, BlockId) {
+        if budget <= 1 {
+            let blk = self.new_block(b);
+            return (blk, blk);
+        }
+        let p = &self.profile;
+        let can_call = proc_index + 1 < nprocs;
+        let w_call = if can_call { p.p_call } else { 0.0 };
+        let kind = self.rng.weighted_index(&[
+            p.p_loop,
+            p.p_if,
+            w_call,
+            (1.0 - p.p_loop - p.p_if - w_call).max(0.05),
+        ]);
+        match kind {
+            0 => self.build_loop(b, budget, proc_index, nprocs),
+            1 => self.build_if(b, budget, proc_index, nprocs),
+            2 => self.build_call(b, budget, proc_index, nprocs),
+            _ => self.build_seq(b, budget, proc_index, nprocs),
+        }
+    }
+
+    fn build_seq(
+        &mut self,
+        b: &mut ProcBuilder,
+        budget: usize,
+        proc_index: usize,
+        nprocs: usize,
+    ) -> (BlockId, BlockId) {
+        let first = budget / 2;
+        let (e1, x1) = self.build_region(b, first.max(1), proc_index, nprocs);
+        let (e2, x2) = self.build_region(b, (budget - first).max(1), proc_index, nprocs);
+        b.blocks[x1.0 as usize].terminator = Terminator::Jump { target: e2 };
+        (e1, x2)
+    }
+
+    fn build_if(
+        &mut self,
+        b: &mut ProcBuilder,
+        budget: usize,
+        proc_index: usize,
+        nprocs: usize,
+    ) -> (BlockId, BlockId) {
+        let cond = self.new_block(b);
+        let arm_budget = ((budget - 1) / 2).max(1);
+        let (te, tx) = self.build_region(b, arm_budget, proc_index, nprocs);
+        let (fe, fx) = self.build_region(b, arm_budget, proc_index, nprocs);
+        let join = self.new_block(b);
+        // Branch biases drawn from a small palette; real branches are rarely
+        // 50/50, which matters for the dynamic dilation distribution.
+        let p_taken = *pick(&mut self.rng, &[0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9]);
+        b.blocks[cond.0 as usize].terminator =
+            Terminator::Branch { taken: te, fall: fe, p_taken };
+        b.blocks[tx.0 as usize].terminator = Terminator::Jump { target: join };
+        b.blocks[fx.0 as usize].terminator = Terminator::Jump { target: join };
+        (cond, join)
+    }
+
+    fn build_loop(
+        &mut self,
+        b: &mut ProcBuilder,
+        budget: usize,
+        proc_index: usize,
+        nprocs: usize,
+    ) -> (BlockId, BlockId) {
+        let preheader = self.new_block(b);
+        let (be, bx) = self.build_region(b, budget.saturating_sub(2).max(1), proc_index, nprocs);
+        let exit = self.new_block(b);
+        let trip = self.rng.geometric_min1(self.profile.mean_trip).max(2) as f64;
+        let p_back = 1.0 - 1.0 / trip;
+        b.blocks[preheader.0 as usize].terminator = Terminator::Jump { target: be };
+        // Bottom-tested loop: the body exit conditionally branches back.
+        b.blocks[bx.0 as usize].terminator =
+            Terminator::Branch { taken: be, fall: exit, p_taken: p_back };
+        (preheader, exit)
+    }
+
+    fn build_call(
+        &mut self,
+        b: &mut ProcBuilder,
+        budget: usize,
+        proc_index: usize,
+        nprocs: usize,
+    ) -> (BlockId, BlockId) {
+        let site = self.new_block(b);
+        let rest = budget.saturating_sub(1);
+        let (re, rx) = if rest > 1 {
+            self.build_region(b, rest, proc_index, nprocs)
+        } else {
+            let blk = self.new_block(b);
+            (blk, blk)
+        };
+        // DAG call graph: callees have strictly larger indices. Mostly near
+        // callees (realistic depth and reuse) with occasional far calls so
+        // the whole program is dynamically reachable.
+        let span = (nprocs - proc_index - 1) as u64;
+        let hop = if self.rng.chance(0.7) {
+            1 + self.rng.range_u64(span.min(12))
+        } else {
+            1 + self.rng.range_u64(span)
+        };
+        let callee = ProcId((proc_index as u64 + hop) as u32);
+        b.blocks[site.0 as usize].terminator = Terminator::Call { callee, ret: re };
+        (site, rx)
+    }
+
+    /// Allocates a new block filled with operations; terminator placeholder
+    /// is `Return` until patched.
+    ///
+    /// Operations are distributed round-robin across a few independent
+    /// dependence *strands* (the profile's `ilp_strands`), modeling the
+    /// loop-level parallelism that unrolling compilers expose — this is
+    /// what lets wider processors actually run faster.
+    fn new_block(&mut self, b: &mut ProcBuilder) -> BlockId {
+        let n = self
+            .rng
+            .geometric_min1(self.profile.mean_ops_per_block)
+            .min(MAX_OPS_PER_BLOCK) as usize;
+        let (slo, shi) = self.profile.ilp_strands;
+        let strands = self.rng.range_inclusive(u64::from(slo.max(1)), u64::from(shi.max(1)))
+            as usize;
+        let mut ops = Vec::with_capacity(n);
+        let mut recent_int: Vec<Vec<Vreg>> = vec![Vec::new(); strands];
+        let mut recent_float: Vec<Vec<Vreg>> = vec![Vec::new(); strands];
+        for i in 0..n {
+            let s = i % strands;
+            let op = self.new_op(b, &mut recent_int[s], &mut recent_float[s]);
+            ops.push(op);
+        }
+        let id = BlockId(b.blocks.len() as u32);
+        b.blocks.push(BasicBlock::new(ops, Terminator::Return));
+        id
+    }
+
+    fn new_op(
+        &mut self,
+        b: &mut ProcBuilder,
+        recent_int: &mut Vec<Vreg>,
+        recent_float: &mut Vec<Vreg>,
+    ) -> Op {
+        let (frac_load, frac_store, frac_float) =
+            (self.profile.frac_load, self.profile.frac_store, self.profile.frac_float);
+        let r = self.rng.f64();
+        if r < frac_load {
+            let pid = self.pick_pattern();
+            let is_float = self.rng.chance(frac_float);
+            let dst = self.fresh_vreg(b, if is_float { RegClass::Float } else { RegClass::Int });
+            push_recent(if is_float { recent_float } else { recent_int }, dst);
+            let addr_src = pick_src(&mut self.rng, recent_int, b.int_vregs, RegClass::Int);
+            Op::load(dst, vec![addr_src], pid)
+        } else if r < frac_load + frac_store {
+            let pid = self.pick_pattern();
+            let is_float = self.rng.chance(frac_float);
+            let val = if is_float {
+                pick_src(&mut self.rng, recent_float, b.float_vregs, RegClass::Float)
+            } else {
+                pick_src(&mut self.rng, recent_int, b.int_vregs, RegClass::Int)
+            };
+            let addr = pick_src(&mut self.rng, recent_int, b.int_vregs, RegClass::Int);
+            Op::store(vec![val, addr], pid)
+        } else if self.rng.chance(frac_float) {
+            let s1 = pick_src(&mut self.rng, recent_float, b.float_vregs, RegClass::Float);
+            let s2 = pick_src(&mut self.rng, recent_float, b.float_vregs, RegClass::Float);
+            let dst = self.fresh_vreg(b, RegClass::Float);
+            push_recent(recent_float, dst);
+            Op::compute(OpClass::FloatAlu, Some(dst), vec![s1, s2])
+        } else {
+            let s1 = pick_src(&mut self.rng, recent_int, b.int_vregs, RegClass::Int);
+            let s2 = pick_src(&mut self.rng, recent_int, b.int_vregs, RegClass::Int);
+            let dst = self.fresh_vreg(b, RegClass::Int);
+            push_recent(recent_int, dst);
+            Op::compute(OpClass::IntAlu, Some(dst), vec![s1, s2])
+        }
+    }
+
+    fn fresh_vreg(&mut self, b: &mut ProcBuilder, class: RegClass) -> Vreg {
+        match class {
+            RegClass::Int => {
+                let v = Vreg::int(b.int_vregs);
+                b.int_vregs += 1;
+                v
+            }
+            RegClass::Float => {
+                let v = Vreg::float(b.float_vregs);
+                b.float_vregs += 1;
+                v
+            }
+            RegClass::Pred => unreachable!("generator does not allocate predicate registers"),
+        }
+    }
+
+    fn pick_pattern(&mut self) -> PatternId {
+        let m = self.profile.pattern_mix;
+        match self.rng.weighted_index(&[m.stack, m.hot, m.stream, m.random]) {
+            0 => {
+                let pid = PatternId(self.patterns.len() as u32);
+                let offset = self.rng.range_u64(SPILL_AREA_OFFSET);
+                self.patterns.push(DataPattern::Stack { offset });
+                pid
+            }
+            1 => *pick(&mut self.rng, &self.hot_patterns.clone()),
+            2 => {
+                let (lo, hi) = self.profile.stream_len;
+                let len = self.rng.range_inclusive(lo, hi);
+                let stride = *pick(&mut self.rng, &[1u64, 1, 1, 2, 4]);
+                let pid = PatternId(self.patterns.len() as u32);
+                self.patterns.push(DataPattern::Stream {
+                    base: self.next_data,
+                    len_words: len,
+                    stride,
+                });
+                self.next_data += len;
+                pid
+            }
+            _ => {
+                let pid = PatternId(self.patterns.len() as u32);
+                self.patterns.push(DataPattern::Random {
+                    base: self.ws_base,
+                    len_words: self.profile.ws_words,
+                });
+                pid
+            }
+        }
+    }
+}
+
+/// Mutable per-procedure build state.
+#[derive(Debug)]
+struct ProcBuilder {
+    blocks: Vec<BasicBlock>,
+    int_vregs: u32,
+    float_vregs: u32,
+}
+
+fn push_recent(recent: &mut Vec<Vreg>, v: Vreg) {
+    recent.push(v);
+    if recent.len() > 6 {
+        recent.remove(0);
+    }
+}
+
+/// Picks a source register: usually a recent definition (creating a
+/// dependence chain), otherwise a live-in.
+fn pick_src(rng: &mut Xoshiro256, recent: &[Vreg], _next: u32, class: RegClass) -> Vreg {
+    if !recent.is_empty() && rng.chance(0.6) {
+        recent[rng.range_usize(recent.len())]
+    } else {
+        Vreg { class, index: rng.range_u64(u64::from(LIVE_IN_VREGS)) as u32 }
+    }
+}
+
+fn pick<'a, T>(rng: &mut Xoshiro256, items: &'a [T]) -> &'a T {
+    &items[rng.range_usize(items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Benchmark::Gcc.generate();
+        let b = Benchmark::Gcc.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_benchmarks_generate_valid_programs() {
+        for b in Benchmark::ALL {
+            let p = b.generate();
+            assert_eq!(p.validate(), Ok(()), "{b}");
+            assert_eq!(p.procedures.len(), b.profile().procs);
+        }
+    }
+
+    #[test]
+    fn programs_have_expected_size_ordering() {
+        let gcc = Benchmark::Gcc.generate();
+        let epic = Benchmark::Epic.generate();
+        assert!(
+            gcc.static_ops() > 2 * epic.static_ops(),
+            "gcc ({} ops) should be much larger than epic ({} ops)",
+            gcc.static_ops(),
+            epic.static_ops()
+        );
+    }
+
+    #[test]
+    fn programs_contain_all_op_classes() {
+        let p = Benchmark::Rasta.generate();
+        let mut has = [false; 4];
+        for proc in &p.procedures {
+            for blk in &proc.blocks {
+                for op in &blk.ops {
+                    match op.class {
+                        OpClass::IntAlu => has[0] = true,
+                        OpClass::FloatAlu => has[1] = true,
+                        OpClass::Load => has[2] = true,
+                        OpClass::Store => has[3] = true,
+                        OpClass::Branch => {}
+                    }
+                }
+            }
+        }
+        assert!(has.iter().all(|&h| h), "missing op class: {has:?}");
+    }
+
+    #[test]
+    fn call_graph_is_a_dag() {
+        for b in [Benchmark::Gcc, Benchmark::Unepic] {
+            let p = b.generate();
+            for (i, proc) in p.procedures.iter().enumerate() {
+                for blk in &proc.blocks {
+                    if let Terminator::Call { callee, .. } = blk.terminator {
+                        assert!(
+                            callee.0 as usize > i,
+                            "{b}: proc {i} calls {callee} (not a DAG)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_proc_exits_others_return() {
+        let p = Benchmark::Mipmap.generate();
+        let has_exit = p.procedures[0]
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator, Terminator::Exit));
+        assert!(has_exit, "entry procedure must contain Exit");
+        for proc in &p.procedures[1..] {
+            assert!(
+                proc.blocks.iter().any(|b| matches!(b.terminator, Terminator::Return)),
+                "non-entry procedure must contain Return"
+            );
+            assert!(
+                !proc.blocks.iter().any(|b| matches!(b.terminator, Terminator::Exit)),
+                "only the entry procedure may Exit"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_arrays_do_not_overlap() {
+        let p = Benchmark::Epic.generate();
+        let mut regions: Vec<(u64, u64)> = p
+            .patterns
+            .iter()
+            .filter_map(|pat| match *pat {
+                DataPattern::Stream { base, len_words, .. } => Some((base, base + len_words)),
+                DataPattern::Hot { base, len_words } => Some((base, base + len_words)),
+                _ => None,
+            })
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping data regions: {w:?}");
+        }
+    }
+
+    #[test]
+    fn blocks_respect_op_cap() {
+        let p = Benchmark::Go.generate();
+        for proc in &p.procedures {
+            for blk in &proc.blocks {
+                assert!(blk.ops.len() <= MAX_OPS_PER_BLOCK as usize);
+            }
+        }
+    }
+}

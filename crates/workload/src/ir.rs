@@ -1,0 +1,414 @@
+//! Machine-independent program representation.
+//!
+//! A [`Program`] is a set of procedures, each a control-flow graph of
+//! [`BasicBlock`]s whose operations are classified only by the functional
+//! unit they need ([`OpClass`]) and, for memory operations, by the
+//! [`crate::data::DataPattern`] that generates their addresses. This is the
+//! common input to the VLIW back-end (`mhe-vliw`), the execution engine
+//! ([`crate::exec`]), and ultimately the trace generator.
+
+use std::fmt;
+
+/// Identifies a procedure within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a basic block within a procedure (index into
+/// [`Procedure::blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Identifies a static data-access pattern (index into
+/// [`Program::patterns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternId(pub u32);
+
+/// Register class of a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// General-purpose integer register.
+    Int,
+    /// Floating-point register.
+    Float,
+    /// Predicate register (one bit).
+    Pred,
+}
+
+/// A virtual register: class plus per-procedure index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vreg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the procedure's namespace for this class.
+    pub index: u32,
+}
+
+impl Vreg {
+    /// Convenience constructor for an integer virtual register.
+    pub fn int(index: u32) -> Self {
+        Self { class: RegClass::Int, index }
+    }
+
+    /// Convenience constructor for a floating-point virtual register.
+    pub fn float(index: u32) -> Self {
+        Self { class: RegClass::Float, index }
+    }
+}
+
+/// Functional-unit class an operation executes on.
+///
+/// Mirrors the paper's four unit types (integer, float, memory, branch);
+/// memory is split into loads and stores because only they carry data
+/// patterns and because stores matter separately to cache simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation.
+    IntAlu,
+    /// Floating-point operation.
+    FloatAlu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Branch/control operation.
+    Branch,
+}
+
+impl OpClass {
+    /// Nominal execution latency in cycles, used by the list scheduler.
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::FloatAlu => 2,
+            OpClass::Load => 2,
+            OpClass::Store => 1,
+            OpClass::Branch => 1,
+        }
+    }
+
+    /// Whether this class accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// One operation of a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Functional-unit class.
+    pub class: OpClass,
+    /// Destination register, if the operation produces a value.
+    pub dst: Option<Vreg>,
+    /// Source registers.
+    pub srcs: Vec<Vreg>,
+    /// For [`OpClass::Load`]/[`OpClass::Store`]: the data pattern that
+    /// generates this operation's addresses.
+    pub pattern: Option<PatternId>,
+}
+
+impl Op {
+    /// Creates a non-memory compute operation.
+    pub fn compute(class: OpClass, dst: Option<Vreg>, srcs: Vec<Vreg>) -> Self {
+        debug_assert!(!class.is_mem());
+        Self { class, dst, srcs, pattern: None }
+    }
+
+    /// Creates a load from the given pattern.
+    pub fn load(dst: Vreg, srcs: Vec<Vreg>, pattern: PatternId) -> Self {
+        Self { class: OpClass::Load, dst: Some(dst), srcs, pattern: Some(pattern) }
+    }
+
+    /// Creates a store driven by the given pattern.
+    pub fn store(srcs: Vec<Vreg>, pattern: PatternId) -> Self {
+        Self { class: OpClass::Store, dst: None, srcs, pattern: Some(pattern) }
+    }
+}
+
+/// Control transfer terminating a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump to a block in the same procedure.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch.
+    Branch {
+        /// Target when the branch is taken.
+        taken: BlockId,
+        /// Fall-through target.
+        fall: BlockId,
+        /// Probability the branch is taken (used by the execution engine and
+        /// recorded as profile information for layout).
+        p_taken: f64,
+    },
+    /// Call another procedure; control resumes at `ret` in this procedure.
+    Call {
+        /// Callee procedure.
+        callee: ProcId,
+        /// Block to resume at after the callee returns.
+        ret: BlockId,
+    },
+    /// Return to the caller.
+    Return,
+    /// Terminate the program run.
+    Exit,
+}
+
+impl Terminator {
+    /// Whether this terminator occupies a branch unit in the schedule.
+    ///
+    /// Every control transfer except a pure fall-through needs an explicit
+    /// branch operation; in this IR all terminators are explicit.
+    pub fn needs_branch_op(&self) -> bool {
+        true
+    }
+}
+
+/// A basic block: straight-line operations plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Operations in program order (terminator excluded).
+    pub ops: Vec<Op>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block.
+    pub fn new(ops: Vec<Op>, terminator: Terminator) -> Self {
+        Self { ops, terminator }
+    }
+
+    /// Number of memory operations in the block.
+    pub fn mem_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.class.is_mem()).count()
+    }
+}
+
+/// A procedure: an entry block (index 0) plus its CFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Human-readable name.
+    pub name: String,
+    /// Blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Count of integer virtual registers used.
+    pub int_vregs: u32,
+    /// Count of floating-point virtual registers used.
+    pub float_vregs: u32,
+}
+
+impl Procedure {
+    /// Validates intra-procedure block references.
+    ///
+    /// Returns an error string naming the first dangling reference, if any.
+    pub fn validate(&self, program: &Program) -> Result<(), String> {
+        let nb = self.blocks.len() as u32;
+        let check = |b: BlockId, what: &str| -> Result<(), String> {
+            if b.0 < nb {
+                Ok(())
+            } else {
+                Err(format!("{}: {what} target {b} out of range ({nb} blocks)", self.name))
+            }
+        };
+        for (i, blk) in self.blocks.iter().enumerate() {
+            match &blk.terminator {
+                Terminator::Jump { target } => check(*target, "jump")?,
+                Terminator::Branch { taken, fall, p_taken } => {
+                    check(*taken, "branch-taken")?;
+                    check(*fall, "branch-fall")?;
+                    if !(0.0..=1.0).contains(p_taken) {
+                        return Err(format!(
+                            "{} block {i}: p_taken {p_taken} outside [0,1]",
+                            self.name
+                        ));
+                    }
+                }
+                Terminator::Call { callee, ret } => {
+                    check(*ret, "call-return")?;
+                    if callee.0 as usize >= program.procedures.len() {
+                        return Err(format!("{} block {i}: callee {callee} out of range", self.name));
+                    }
+                }
+                Terminator::Return | Terminator::Exit => {}
+            }
+            for op in &blk.ops {
+                if op.class.is_mem() {
+                    let pid = op
+                        .pattern
+                        .ok_or_else(|| format!("{} block {i}: memory op without pattern", self.name))?;
+                    if pid.0 as usize >= program.patterns.len() {
+                        return Err(format!("{} block {i}: pattern {:?} out of range", self.name, pid));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Program name (benchmark name for generated workloads).
+    pub name: String,
+    /// Procedures; [`Program::entry`] indexes into this.
+    pub procedures: Vec<Procedure>,
+    /// Static data-access patterns referenced by memory operations.
+    pub patterns: Vec<crate::data::DataPattern>,
+    /// Entry procedure.
+    pub entry: ProcId,
+}
+
+impl Program {
+    /// Validates the whole program (block references, pattern references,
+    /// entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entry.0 as usize >= self.procedures.len() {
+            return Err(format!("entry {} out of range", self.entry));
+        }
+        for proc in &self.procedures {
+            proc.validate(self)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of static operations, including one branch per block for
+    /// the terminator.
+    pub fn static_ops(&self) -> usize {
+        self.procedures
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .map(|b| b.ops.len() + 1)
+            .sum()
+    }
+
+    /// Total number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.procedures.iter().map(|p| p.blocks.len()).sum()
+    }
+
+    /// Looks up a procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn proc(&self, id: ProcId) -> &Procedure {
+        &self.procedures[id.0 as usize]
+    }
+
+    /// Looks up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn block(&self, proc: ProcId, block: BlockId) -> &BasicBlock {
+        &self.procedures[proc.0 as usize].blocks[block.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataPattern;
+
+    fn tiny_program() -> Program {
+        Program {
+            name: "tiny".into(),
+            procedures: vec![Procedure {
+                name: "main".into(),
+                blocks: vec![
+                    BasicBlock::new(
+                        vec![
+                            Op::compute(OpClass::IntAlu, Some(Vreg::int(0)), vec![]),
+                            Op::load(Vreg::int(1), vec![Vreg::int(0)], PatternId(0)),
+                        ],
+                        Terminator::Branch { taken: BlockId(0), fall: BlockId(1), p_taken: 0.9 },
+                    ),
+                    BasicBlock::new(vec![], Terminator::Exit),
+                ],
+                int_vregs: 2,
+                float_vregs: 0,
+            }],
+            patterns: vec![DataPattern::Hot { base: 0x100, len_words: 16 }],
+            entry: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn valid_program_passes_validation() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn dangling_jump_fails_validation() {
+        let mut p = tiny_program();
+        p.procedures[0].blocks[1].terminator = Terminator::Jump { target: BlockId(99) };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_probability_fails_validation() {
+        let mut p = tiny_program();
+        p.procedures[0].blocks[0].terminator =
+            Terminator::Branch { taken: BlockId(0), fall: BlockId(1), p_taken: 1.5 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn missing_pattern_fails_validation() {
+        let mut p = tiny_program();
+        p.procedures[0].blocks[0].ops[1].pattern = None;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_out_of_range_fails_validation() {
+        let mut p = tiny_program();
+        p.procedures[0].blocks[0].ops[1].pattern = Some(PatternId(7));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn static_op_count_includes_terminators() {
+        let p = tiny_program();
+        // 2 ops + 2 terminators.
+        assert_eq!(p.static_ops(), 4);
+        assert_eq!(p.block_count(), 2);
+    }
+
+    #[test]
+    fn op_constructors_classify() {
+        let l = Op::load(Vreg::int(0), vec![], PatternId(0));
+        assert!(l.class.is_mem());
+        let s = Op::store(vec![Vreg::int(0)], PatternId(0));
+        assert!(s.class.is_mem());
+        assert!(s.dst.is_none());
+        let c = Op::compute(OpClass::FloatAlu, Some(Vreg::float(1)), vec![Vreg::float(0)]);
+        assert!(!c.class.is_mem());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for c in [OpClass::IntAlu, OpClass::FloatAlu, OpClass::Load, OpClass::Store, OpClass::Branch] {
+            assert!(c.latency() >= 1);
+        }
+    }
+}

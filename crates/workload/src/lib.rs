@@ -1,0 +1,44 @@
+//! Synthetic workloads for memory-hierarchy evaluation.
+//!
+//! This crate is the substrate that stands in for the paper's benchmark
+//! applications (a MediaBench subset plus three SPEC programs) and for the
+//! IMPACT-based emulator that produced their event traces. It provides:
+//!
+//! * a machine-independent program IR ([`ir`]),
+//! * deterministic data-access patterns and the counter-based address
+//!   engine ([`data`]),
+//! * seeded program synthesis with ten benchmark presets ([`gen`],
+//!   [`profile`]),
+//! * an execution engine producing basic-block event traces ([`exec`]).
+//!
+//! Everything downstream (the VLIW back-end, trace generation, cache
+//! simulation, the dilation model) consumes these types.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mhe_workload::{Benchmark, exec::Executor};
+//!
+//! let program = Benchmark::Epic.generate();
+//! assert!(program.validate().is_ok());
+//!
+//! // The event trace: a deterministic stream of executed basic blocks.
+//! let trace: Vec<_> = Executor::new(&program, 42).take(100).collect();
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod build;
+pub mod data;
+pub mod exec;
+pub mod gen;
+pub mod ir;
+pub mod profile;
+pub mod rng;
+
+pub use build::ProgramBuilder;
+pub use exec::{BlockEvent, BlockFrequencies, Executor};
+pub use ir::Program;
+pub use profile::{Benchmark, Profile};

@@ -1,0 +1,75 @@
+//! Property tests: program synthesis is valid and execution well-behaved
+//! for arbitrary profile parameters, not just the ten presets.
+
+use mhe_workload::exec::Executor;
+use mhe_workload::gen::ProgramGenerator;
+use mhe_workload::profile::{PatternMix, Profile};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (
+        1u64..u64::MAX,
+        4usize..40,
+        (2usize..8, 8usize..24),
+        2.0f64..12.0,
+        0.0f64..0.5,
+        (0.05f64..0.3, 0.02f64..0.2),
+        (0.05f64..0.3, 0.1f64..0.4, 0.05f64..0.25),
+        3.0f64..30.0,
+    )
+        .prop_map(
+            |(seed, procs, (rlo, rhi), ops, ff, (fl, fs), (pl, pi, pc), trip)| Profile {
+                name: "prop",
+                seed,
+                procs,
+                regions_per_proc: (rlo, rlo + rhi),
+                mean_ops_per_block: ops,
+                frac_float: ff,
+                frac_load: fl,
+                frac_store: fs,
+                pattern_mix: PatternMix { stack: 0.3, hot: 0.2, stream: 0.3, random: 0.2 },
+                ws_words: 1 << 12,
+                stream_len: (64, 1024),
+                hot_words: 128,
+                mean_trip: trip,
+                p_loop: pl,
+                p_if: pi,
+                p_call: pc,
+                ilp_strands: (1, 4),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_profiles_generate_valid_programs(profile in profile_strategy()) {
+        let program = ProgramGenerator::new(profile).generate();
+        prop_assert_eq!(program.validate(), Ok(()));
+        prop_assert!(program.block_count() >= program.procedures.len());
+    }
+
+    #[test]
+    fn execution_never_leaves_the_program(profile in profile_strategy(), seed in 0u64..100) {
+        let program = ProgramGenerator::new(profile).generate();
+        for ev in Executor::new(&program, seed).take(5_000) {
+            let proc = program.proc(ev.proc);
+            prop_assert!((ev.block.0 as usize) < proc.blocks.len());
+            prop_assert!(ev.depth < 4096);
+        }
+    }
+
+    #[test]
+    fn execution_depth_returns_to_zero(profile in profile_strategy(), seed in 0u64..100) {
+        // The DAG call graph guarantees every call eventually returns; the
+        // executor must therefore revisit depth 0 (either by returning or
+        // by restarting after Exit).
+        let program = ProgramGenerator::new(profile).generate();
+        let zero_visits = Executor::new(&program, seed)
+            .take(50_000)
+            .filter(|ev| ev.depth == 0)
+            .count();
+        prop_assert!(zero_visits >= 2, "never returned to depth 0");
+    }
+}

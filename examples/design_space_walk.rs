@@ -1,0 +1,64 @@
+//! Design-space exploration: find the cost/performance Pareto frontier of
+//! a joint processor × memory-hierarchy space for one application.
+//!
+//! This is the paper's headline use case: the spacewalker evaluates
+//! thousands of combinations, but all cache simulation happened once, on
+//! the reference processor's traces.
+//!
+//! Run with: `cargo run --release --example design_space_walk`
+
+use mhe::cache::Penalties;
+use mhe::core::evaluator::EvalConfig;
+use mhe::spacewalk::{cache_db::EvaluationCache, space::SystemSpace, walker};
+use mhe::vliw::ProcessorKind;
+use mhe::workload::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::PgpDecode;
+    let space = SystemSpace::paper_default();
+    println!("benchmark: {benchmark}");
+    println!(
+        "design space: {} processors x {} I$ x {} D$ x {} U$ = {} systems\n",
+        space.processors.len(),
+        space.icache.enumerate().len(),
+        space.dcache.enumerate().len(),
+        space.ucache.enumerate().len(),
+        space.combinations(),
+    );
+
+    let eval = walker::prepare_evaluation(
+        benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: 150_000, ..EvalConfig::default() },
+        &space,
+    );
+
+    let mut db = EvaluationCache::new();
+    let frontier = walker::walk_system(&eval, &space, Penalties::default(), &mut db);
+
+    println!("Pareto-optimal systems (cost ascending):");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "proc", "I$ B", "D$ B", "U$ B", "area", "cycles"
+    );
+    for p in frontier.points() {
+        let m = &p.design.memory;
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>12.0} {:>14.0}",
+            p.design.processor.name,
+            m.icache.config.size_bytes(),
+            m.dcache.config.size_bytes(),
+            m.ucache.config.size_bytes(),
+            p.cost,
+            p.time,
+        );
+    }
+    let (hits, misses) = db.stats();
+    println!(
+        "\n{} frontier designs out of {} combinations; evaluation cache: {} hits / {} computes",
+        frontier.len(),
+        space.combinations(),
+        hits,
+        misses
+    );
+}

@@ -1,0 +1,68 @@
+//! Dilation study: sweep the dilation coefficient and compare the model's
+//! estimates against simulation of explicitly dilated traces (a compact
+//! version of the paper's Figure 6).
+//!
+//! Run with: `cargo run --release --example dilation_study`
+
+use mhe::cache::CacheConfig;
+use mhe::core::evaluator::{dilated_misses, EvalConfig, ReferenceEvaluation};
+use mhe::trace::StreamKind;
+use mhe::vliw::ProcessorKind;
+use mhe::workload::Benchmark;
+
+fn main() -> Result<(), String> {
+    let benchmark = Benchmark::Rasta;
+    let icache = CacheConfig::from_bytes(1024, 1, 32);
+    let ucache = CacheConfig::from_bytes(16 * 1024, 2, 64);
+    let config = EvalConfig { events: 120_000, ..EvalConfig::default() };
+    let eval = ReferenceEvaluation::for_benchmark(
+        benchmark,
+        &ProcessorKind::P1111.mdes(),
+        config,
+        &[icache],
+        &[],
+        &[ucache],
+    );
+
+    println!("benchmark: {benchmark}");
+    println!("I$: {icache}   U$: {ucache}\n");
+    println!(
+        "{:>5} {:>14} {:>14} {:>8}   {:>14} {:>14} {:>8}",
+        "d", "I$ dilated", "I$ estimated", "err", "U$ dilated", "U$ estimated", "err"
+    );
+    let mut d = 1.0;
+    while d <= 3.5 + 1e-9 {
+        let i_est = eval.estimate_icache_misses(icache, d)?;
+        let i_sim = dilated_misses(
+            eval.program(),
+            eval.reference(),
+            d,
+            eval.config(),
+            StreamKind::Instruction,
+            icache,
+        );
+        let u_est = eval.estimate_ucache_misses(ucache, d)?;
+        let u_sim = dilated_misses(
+            eval.program(),
+            eval.reference(),
+            d,
+            eval.config(),
+            StreamKind::Unified,
+            ucache,
+        );
+        println!(
+            "{:>5.2} {:>14} {:>14.0} {:>7.1}%   {:>14} {:>14.0} {:>7.1}%",
+            d,
+            i_sim,
+            i_est,
+            100.0 * (i_est - i_sim as f64) / i_sim as f64,
+            u_sim,
+            u_est,
+            100.0 * (u_est - u_sim as f64) / u_sim as f64,
+        );
+        d += 0.5;
+    }
+    println!("\n'dilated' columns are simulations of explicitly dilated traces;");
+    println!("'estimated' columns cost no simulation at all.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Miss anatomy: where do a benchmark's instruction-cache misses come
+//! from, and when is the dilation model's steady-state assumption safe?
+//!
+//! The AHH model keeps only the steady-state *interference* term,
+//! discarding start-up and non-stationary misses. This example measures
+//! the compulsory/capacity/conflict decomposition across cache sizes
+//! (three-C taxonomy), plus the Mattson stack profile that gives every
+//! fully-associative capacity in one pass — the two analyses that tell you
+//! whether that simplification is justified for a workload.
+//!
+//! Run with: `cargo run --release --example miss_anatomy`
+
+use mhe::cache::{classify_misses, CacheConfig, StackSim};
+use mhe::trace::{StreamKind, TraceGenerator};
+use mhe::vliw::{compile::Compiled, ProcessorKind};
+use mhe::workload::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::Gcc;
+    let program = benchmark.generate();
+    let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+    let events = 120_000;
+    let trace: Vec<u64> = TraceGenerator::new(&program, &compiled, 42)
+        .with_event_limit(events)
+        .stream(StreamKind::Instruction)
+        .map(|a| a.addr)
+        .collect();
+    println!("benchmark: {benchmark}; instruction trace of {} references\n", trace.len());
+
+    // --- Three-C decomposition across direct-mapped cache sizes. ---
+    println!("## Miss decomposition (direct-mapped, 32 B lines)\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10} {:>14}",
+        "size", "misses", "compulsory", "capacity", "conflict", "conflict share"
+    );
+    for kb in [1u64, 2, 4, 8, 16, 32] {
+        let cfg = CacheConfig::from_bytes(kb * 1024, 1, 32);
+        let b = classify_misses(cfg, trace.iter().copied());
+        println!(
+            "{:>6}KB {:>10} {:>12} {:>10} {:>10} {:>13.1}%",
+            kb,
+            b.total(),
+            b.compulsory,
+            b.capacity,
+            b.conflict,
+            100.0 * b.conflict_share()
+        );
+    }
+
+    // --- Stack profile: every fully-associative capacity at once. ---
+    let mut stack = StackSim::new(8);
+    stack.run(trace.iter().copied());
+    println!("\n## Fully-associative miss-rate curve (one stack pass)\n");
+    println!("{:>10} {:>12} {:>10}", "capacity", "misses", "rate");
+    for lines in [8u32, 16, 32, 64, 128, 256, 512, 1024] {
+        let m = stack.misses(lines);
+        println!(
+            "{:>7} ln {:>12} {:>9.2}%",
+            lines,
+            m,
+            100.0 * m as f64 / stack.accesses() as f64
+        );
+    }
+    for target in [0.05, 0.02, 0.01] {
+        match stack.capacity_for_miss_rate(target) {
+            Some(lines) => println!(
+                "smallest fully-associative cache with miss rate <= {:.0}%: {} lines ({} KB)",
+                target * 100.0,
+                lines,
+                lines * 32 / 1024
+            ),
+            None => println!(
+                "no capacity reaches {:.0}% (compulsory floor {:.2}%)",
+                target * 100.0,
+                100.0 * stack.cold_misses() as f64 / stack.accesses() as f64
+            ),
+        }
+    }
+    println!("\nWhere the conflict share is high and compulsory misses are few, the");
+    println!("paper's steady-state interference model is on safe ground.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: estimate a wide processor's cache misses without ever
+//! simulating its trace — then check the estimate against ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mhe::cache::CacheConfig;
+use mhe::core::evaluator::{actual_misses, EvalConfig, ReferenceEvaluation};
+use mhe::trace::StreamKind;
+use mhe::vliw::ProcessorKind;
+use mhe::workload::Benchmark;
+
+fn main() -> Result<(), String> {
+    // The paper's "small" memory configuration.
+    let icache = CacheConfig::from_bytes(1024, 1, 32); // 1 KB direct-mapped
+    let dcache = CacheConfig::from_bytes(1024, 1, 32);
+    let ucache = CacheConfig::from_bytes(16 * 1024, 2, 64); // 16 KB 2-way
+
+    let benchmark = Benchmark::Epic;
+    println!("benchmark: {benchmark}");
+    println!("reference processor: 1111 (1 int / 1 float / 1 mem / 1 branch)\n");
+
+    // Measure ONCE on the reference processor: trace parameters + a
+    // single-pass simulation per distinct line size.
+    let config = EvalConfig { events: 150_000, ..EvalConfig::default() };
+    let eval = ReferenceEvaluation::for_benchmark(
+        benchmark,
+        &ProcessorKind::P1111.mdes(),
+        config,
+        &[icache],
+        &[dcache],
+        &[ucache],
+    );
+    println!(
+        "reference trace parameters (instruction stream): u(1) = {:.0}, p1 = {:.3}, lav = {:.1}\n",
+        eval.iparams().u1,
+        eval.iparams().p1,
+        eval.iparams().lav
+    );
+
+    println!("{:<6} {:>9} {:>16} {:>16} {:>8}", "proc", "dilation", "est. I$ misses", "actual misses", "error");
+    for kind in ProcessorKind::ALL {
+        let d = eval.dilation_of(&kind.mdes());
+        // The dilation-model estimate: pure arithmetic, no simulation.
+        let est = eval.estimate_icache_misses(icache, d)?;
+        // Ground truth: compile for the target and simulate its real trace.
+        let target = eval.compile_target(&kind.mdes());
+        let act = actual_misses(eval.program(), &target, eval.config(), StreamKind::Instruction, icache);
+        let err = 100.0 * (est - act as f64) / act as f64;
+        println!("{:<6} {:>9.2} {:>16.0} {:>16} {:>7.1}%", kind.name(), d, est, act, err);
+    }
+    println!("\nThe estimate is produced from reference-trace measurements alone;");
+    println!("'actual' required generating and simulating each processor's trace.");
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Integration tests of the exploration layer: spec file → spacewalker →
+//! Pareto frontier, end to end.
+
+use mhe::cache::Penalties;
+use mhe::core::evaluator::EvalConfig;
+use mhe::spacewalk::cache_db::EvaluationCache;
+use mhe::spacewalk::spec::Spec;
+use mhe::spacewalk::walker;
+use mhe::vliw::ProcessorKind;
+
+const SPEC: &str = r#"
+[processors]
+kinds = 1111 3221
+
+[icache]
+sizes_kb = 1 2 4
+assocs = 1 2
+line_bytes = 32
+
+[dcache]
+sizes_kb = 1 4
+assocs = 1
+line_bytes = 32
+
+[ucache]
+sizes_kb = 16 64
+assocs = 2
+line_bytes = 64
+
+[eval]
+benchmark = unepic
+events = 40000
+"#;
+
+#[test]
+fn spec_to_frontier_end_to_end() {
+    let spec = Spec::parse(SPEC).expect("valid spec");
+    let eval = walker::prepare_evaluation(
+        spec.benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: spec.events, ..EvalConfig::default() },
+        &spec.space,
+    );
+    let mut db = EvaluationCache::new();
+    let frontier = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
+    assert!(!frontier.is_empty());
+    // Frontier correctness: no member dominates another.
+    let pts = frontier.points();
+    for (i, a) in pts.iter().enumerate() {
+        for (j, b) in pts.iter().enumerate() {
+            if i != j {
+                assert!(
+                    !(a.cost <= b.cost && a.time <= b.time),
+                    "frontier member dominated: {:?} vs {:?}",
+                    (a.cost, a.time),
+                    (b.cost, b.time)
+                );
+            }
+        }
+    }
+    // Every frontier memory design satisfies inclusion.
+    for p in pts {
+        assert!(p.design.memory.design().satisfies_inclusion());
+    }
+}
+
+#[test]
+fn frontier_shrinks_when_memory_is_free() {
+    // With zero penalties, memory no longer differentiates performance;
+    // the frontier should collapse to (roughly) one design per processor:
+    // the cheapest memory with the fastest compute at each cost level.
+    let spec = Spec::parse(SPEC).expect("valid spec");
+    let eval = walker::prepare_evaluation(
+        spec.benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: spec.events, ..EvalConfig::default() },
+        &spec.space,
+    );
+    let mut db = EvaluationCache::new();
+    let priced = walk_len(&eval, &spec, Penalties::default(), &mut db);
+    let free = walk_len(&eval, &spec, Penalties { l1_miss: 0, l2_miss: 0 }, &mut db);
+    assert!(free <= spec.space.processors.len());
+    assert!(priced >= free);
+}
+
+fn walk_len(
+    eval: &mhe::core::evaluator::ReferenceEvaluation,
+    spec: &Spec,
+    penalties: Penalties,
+    db: &mut EvaluationCache,
+) -> usize {
+    walker::walk_system(eval, &spec.space, penalties, db).len()
+}
+
+#[test]
+fn evaluation_cache_round_trips_through_disk() {
+    let spec = Spec::parse(SPEC).expect("valid spec");
+    let eval = walker::prepare_evaluation(
+        spec.benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: spec.events, ..EvalConfig::default() },
+        &spec.space,
+    );
+    let mut db = EvaluationCache::new();
+    let a = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
+    let path = std::env::temp_dir().join("mhe_exploration_db.tsv");
+    db.save(&path).expect("save");
+    let mut reloaded = EvaluationCache::load(&path).expect("load");
+    let b = walker::walk_system(&eval, &spec.space, spec.penalties, &mut reloaded);
+    // A warm cache must reproduce the frontier without recomputation.
+    assert_eq!(a.len(), b.len());
+    let (_, computes) = reloaded.stats();
+    assert_eq!(computes, 0, "warm cache must not recompute");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the whole pipeline from benchmark
+//! synthesis to dilation-model estimates.
+
+use mhe::cache::{Cache, CacheConfig};
+use mhe::core::evaluator::{actual_misses, dilated_misses, EvalConfig, ReferenceEvaluation};
+use mhe::trace::{StreamKind, TraceGenerator};
+use mhe::vliw::{compile::Compiled, ProcessorKind};
+use mhe::workload::Benchmark;
+
+const EVENTS: usize = 60_000;
+
+fn eval(b: Benchmark) -> ReferenceEvaluation {
+    ReferenceEvaluation::for_benchmark(
+        b,
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: EVENTS, ..EvalConfig::default() },
+        &[CacheConfig::from_bytes(1024, 1, 32), CacheConfig::from_bytes(16 * 1024, 2, 32)],
+        &[CacheConfig::from_bytes(1024, 1, 32)],
+        &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+    )
+}
+
+#[test]
+fn lemma1_holds_exactly_in_simulation() {
+    // Lemma 1: M(IC(S,A,L), Pref, d) = M(IC(S,A,L/d), Pref) when L/d is
+    // feasible. Our dilated-trace generator and cache simulator satisfy the
+    // lemma's premises exactly, so at d = 2 the dilated-trace misses of an
+    // 8-word-line cache must equal the reference-trace misses of the
+    // 4-word-line cache — to the miss.
+    let e = eval(Benchmark::Unepic);
+    let l8 = CacheConfig::new(32, 1, 8);
+    let l4 = CacheConfig::new(32, 1, 4);
+    let dilated =
+        dilated_misses(e.program(), e.reference(), 2.0, e.config(), StreamKind::Instruction, l8);
+    let contracted = e.icache_misses_measured(l4).expect("expanded line size");
+    assert_eq!(dilated, contracted, "Lemma 1 violated");
+}
+
+#[test]
+fn estimates_equal_measurement_at_unit_dilation_everywhere() {
+    let e = eval(Benchmark::Mipmap);
+    for cfg in [CacheConfig::from_bytes(1024, 1, 32), CacheConfig::from_bytes(16 * 1024, 2, 32)] {
+        let est = e.estimate_icache_misses(cfg, 1.0).unwrap();
+        assert!((est - e.icache_misses_measured(cfg).unwrap() as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn model_beats_the_constant_memory_assumption() {
+    // The paper's bottom line (Fig. 7): assuming memory behaviour is
+    // width-independent (normalized misses = 1.0) is much worse than the
+    // dilation model. Check on the 6332 target.
+    let e = eval(Benchmark::Gcc);
+    let ic = CacheConfig::from_bytes(1024, 1, 32);
+    let d = e.dilation_of(&ProcessorKind::P6332.mdes());
+    assert!(d > 2.0, "6332 dilation {d}");
+    let target = e.compile_target(&ProcessorKind::P6332.mdes());
+    let act = actual_misses(e.program(), &target, e.config(), StreamKind::Instruction, ic) as f64;
+    let ref_misses = e.icache_misses_measured(ic).unwrap() as f64;
+    let est = e.estimate_icache_misses(ic, d).unwrap();
+    let err_model = (est - act).abs();
+    let err_constant = (ref_misses - act).abs();
+    assert!(
+        err_model < 0.5 * err_constant,
+        "model error {err_model:.0} should be far below constant-assumption error {err_constant:.0}"
+    );
+}
+
+#[test]
+fn actual_misses_increase_with_processor_width() {
+    let e = eval(Benchmark::Vortex);
+    let ic = CacheConfig::from_bytes(1024, 1, 32);
+    let mut prev = 0u64;
+    for kind in ProcessorKind::ALL {
+        let target = e.compile_target(&kind.mdes());
+        let m = actual_misses(e.program(), &target, e.config(), StreamKind::Instruction, ic);
+        assert!(m > prev, "{kind}: misses {m} <= previous {prev}");
+        prev = m;
+    }
+}
+
+#[test]
+fn unified_estimate_is_between_reference_and_double() {
+    // Sanity corridor for the extrapolation at moderate dilation.
+    let e = eval(Benchmark::Rasta);
+    let uc = CacheConfig::from_bytes(16 * 1024, 2, 64);
+    let base = e.ucache_misses_measured(uc).unwrap() as f64;
+    let est = e.estimate_ucache_misses(uc, 1.8).unwrap();
+    assert!(est >= base, "dilated estimate below reference: {est} < {base}");
+    assert!(est < 3.0 * base, "unified estimate exploded: {est} vs {base}");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let e = eval(Benchmark::PgpEncode);
+        let ic = CacheConfig::from_bytes(1024, 1, 32);
+        let d = e.dilation_of(&ProcessorKind::P4221.mdes());
+        (d, e.estimate_icache_misses(ic, d).unwrap())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn single_pass_results_match_direct_cache_on_real_traces() {
+    // End-to-end cross-check of the two simulators on a real (not random)
+    // instruction trace.
+    let program = Benchmark::Epic.generate();
+    let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+    let cfg = CacheConfig::new(64, 2, 8);
+    let mut direct = Cache::new(cfg);
+    let mut single = mhe::cache::SinglePassSim::for_configs(&[cfg]);
+    for a in TraceGenerator::new(&program, &compiled, 3)
+        .with_event_limit(EVENTS)
+        .stream(StreamKind::Instruction)
+    {
+        direct.access(a.addr);
+        single.access(a.addr);
+    }
+    assert_eq!(direct.stats().misses, single.misses(64, 2));
+}
