@@ -11,11 +11,18 @@
 //!   error).
 //!
 //! All normalized to the reference processor's actual misses.
+//!
+//! This is the heaviest binary: ten benchmarks, each needing a reference
+//! evaluation plus eight ground-truth simulations. The benchmarks fan out
+//! over a [`ParallelSweep`]; the outer sweep owns all the parallelism, so
+//! each job builds its evaluation with `threads: 1` (nesting would
+//! oversubscribe without helping). Rows come back in benchmark order.
 
 use mhe_bench::{events, l1_large, l1_small, l2_large, l2_small, simulate_caches,
                 simulate_caches_dilated, SEED};
 use mhe_cache::CacheConfig;
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_core::parallel::ParallelSweep;
 use mhe_trace::StreamKind;
 use mhe_vliw::ProcessorKind;
 use mhe_workload::Benchmark;
@@ -37,13 +44,12 @@ fn main() {
     let plan: Vec<(StreamKind, CacheConfig)> =
         configs.iter().map(|&(k, c, _)| (k, c)).collect();
 
-    let mut results = Vec::new();
-    for b in Benchmark::ALL {
+    let (results, sweep) = ParallelSweep::new().map_timed(Benchmark::ALL.to_vec(), |b| {
         eprintln!("[table4] {b} ...");
         let eval = ReferenceEvaluation::for_benchmark(
             b,
             &ProcessorKind::P1111.mdes(),
-            EvalConfig { events: n, seed: SEED, ..EvalConfig::default() },
+            EvalConfig { events: n, seed: SEED, threads: 1, ..EvalConfig::default() },
             &[l1_small(), l1_large()],
             &[],
             &[l2_small(), l2_large()],
@@ -68,8 +74,8 @@ fn main() {
                 cells[ci].push((act[ci] as f64 / b0, dil[ci] as f64 / b0, est / b0));
             }
         }
-        results.push(BenchResult { name: b.name(), cells });
-    }
+        BenchResult { name: b.name(), cells }
+    });
 
     for (ci, &(_, _, label)) in configs.iter().enumerate() {
         println!("# Table 4: {label} — normalized Actual / Dilated / Estimated misses\n");
@@ -94,4 +100,5 @@ fn main() {
     }
     println!("paper: estimates track actuals better for narrower processors and for");
     println!("instruction caches than for unified caches; 6332 columns scatter most.");
+    eprintln!("[table4] benchmark sweep: {sweep}");
 }

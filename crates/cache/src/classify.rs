@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn streaming_is_all_compulsory() {
-        let b = classify_misses(CacheConfig::new(8, 2, 4), (0..4096u64).map(|w| w));
+        let b = classify_misses(CacheConfig::new(8, 2, 4), 0..4096u64);
         assert_eq!(b.capacity, 0);
         assert_eq!(b.conflict, 0);
         assert_eq!(b.compulsory, 1024); // 4096 words / 4-word lines

@@ -39,3 +39,15 @@ pub use sim::{simulate, Cache, MissStats};
 pub use single_pass::SinglePassSim;
 pub use stack::StackSim;
 pub use classify::{classify_misses, MissBreakdown};
+
+// The parallel evaluation engine (mhe-core) moves simulator state across
+// scoped worker threads; keep that guarantee explicit so a future field
+// (an Rc, a raw pointer) can't silently break the fan-out.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SinglePassSim>();
+    assert_send_sync::<Cache>();
+    assert_send_sync::<Hierarchy>();
+    assert_send_sync::<CacheConfig>();
+    assert_send_sync::<MissStats>();
+};

@@ -196,7 +196,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if x % 3 == 0 {
+                if x.is_multiple_of(3) {
                     (i as u64) % 2048
                 } else {
                     (x >> 33) % 1024

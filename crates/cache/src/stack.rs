@@ -150,7 +150,7 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                if x % 3 == 0 {
+                if x.is_multiple_of(3) {
                     (i as u64) % 512
                 } else {
                     (x >> 30) % 2048

@@ -57,6 +57,65 @@ proptest! {
     }
 
     #[test]
+    fn lru_inclusion_in_sets(
+        trace in trace_strategy(),
+        assoc in 1u32..5,
+        line_pow in 0u32..3,
+    ) {
+        // Bit-selection indexing with power-of-two set counts: the blocks
+        // that map to a set of the doubled cache are a subset of those that
+        // map to its image set in the half-size cache, so with LRU the
+        // doubled cache hits whenever the smaller one does. Misses are
+        // monotone non-increasing in set count at fixed assoc and line.
+        let line = 1u32 << line_pow;
+        let mut prev = u64::MAX;
+        for sets_pow in 2u32..=7 {
+            let m = simulate(
+                CacheConfig::new(1 << sets_pow, assoc, line),
+                trace.iter().copied(),
+            ).misses;
+            prop_assert!(m <= prev, "sets {}: {} > {}", 1 << sets_pow, m, prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn single_pass_respects_inclusion_in_both_axes(
+        trace in trace_strategy(),
+        line_pow in 0u32..3,
+    ) {
+        // The same two monotonicities — in associativity at fixed sets and
+        // in sets at fixed associativity — read out of one single-pass
+        // simulation, each point cross-checked against the direct Cache.
+        // (Growing either axis grows total cache size at fixed line, so
+        // together these give "misses never increase with cache size".)
+        let line = 1u32 << line_pow;
+        let set_counts = [8u32, 16, 32, 64];
+        let max_assoc = 4;
+        let mut sp = SinglePassSim::new(line, &set_counts, max_assoc);
+        sp.run(trace.iter().copied());
+        for &sets in &set_counts {
+            let mut prev = u64::MAX;
+            for assoc in 1..=max_assoc {
+                let m = sp.misses(sets, assoc);
+                let direct =
+                    simulate(CacheConfig::new(sets, assoc, line), trace.iter().copied());
+                prop_assert_eq!(m, direct.misses, "S={} A={} L={}", sets, assoc, line);
+                prop_assert!(m <= prev, "assoc {} at S={}: {} > {}", assoc, sets, m, prev);
+                prev = m;
+            }
+        }
+        for assoc in 1..=max_assoc {
+            let mut prev = u64::MAX;
+            for &sets in &set_counts {
+                let m = sp.misses(sets, assoc);
+                prop_assert!(m <= prev, "sets {} at A={}: {} > {}", sets, assoc, m, prev);
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
     fn misses_bounded_by_accesses(
         trace in trace_strategy(),
         sets_pow in 0u32..8,

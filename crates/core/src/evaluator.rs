@@ -21,19 +21,30 @@
 //! The module also provides the ground-truth helpers ([`actual_misses`],
 //! [`dilated_misses`]) used to validate the model (Tables 2/4, Figures
 //! 6/7).
+//!
+//! The reference trace is materialised once into shared buffers and the
+//! modeler and simulation passes fan out across a scoped-thread worker
+//! pool ([`crate::parallel`]). Every pass is independent, so miss counts
+//! are bit-identical for any worker count; [`EvalConfig::threads`] and the
+//! `MHE_THREADS` environment variable control the pool size, and
+//! [`ReferenceEvaluation::metrics`] reports where the time went.
 
 use crate::icache::estimate_icache_misses;
+use crate::metrics::{EvalMetrics, PassMetrics};
+use crate::parallel::ParallelSweep;
 use crate::ucache::estimate_ucache_misses;
 use mhe_cache::{Cache, CacheConfig, SinglePassSim};
 use mhe_model::ahh::UniqueLineModel;
 use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
 use mhe_model::{ITraceModeler, UTraceModeler};
-use mhe_trace::{DilatedTraceGenerator, StreamKind, TraceGenerator};
+use mhe_trace::{Access, DilatedTraceGenerator, StreamKind, TraceGenerator};
 use mhe_vliw::compile::Compiled;
 use mhe_vliw::Mdes;
 use mhe_workload::exec::BlockFrequencies;
 use mhe_workload::ir::Program;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Knobs of the reference evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +62,10 @@ pub struct EvalConfig {
     pub max_dilation: f64,
     /// Which `u(L)` formula the estimators use.
     pub model: UniqueLineModel,
+    /// Worker threads for the measurement fan-out; `0` means automatic
+    /// (`MHE_THREADS`, else available parallelism). Results are
+    /// bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -62,6 +77,18 @@ impl Default for EvalConfig {
             u_granule: U_GRANULE,
             max_dilation: 4.0,
             model: UniqueLineModel::RunBased,
+            threads: 0,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The effective worker count (resolves `threads == 0`).
+    pub fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            crate::parallel::worker_threads()
         }
     }
 }
@@ -79,6 +106,76 @@ pub struct ReferenceEvaluation {
     imeasured: HashMap<CacheConfig, u64>,
     dmeasured: HashMap<CacheConfig, u64>,
     umeasured: HashMap<CacheConfig, u64>,
+    metrics: EvalMetrics,
+}
+
+/// One unit of fan-out work: a modeler pass or a single-pass simulation.
+enum MeasureTask {
+    IModel { addrs: Arc<[u64]>, granule: usize },
+    UModel { trace: Arc<[Access]>, granule: usize },
+    Sim { kind: StreamKind, line: u32, configs: Vec<CacheConfig>, addrs: Arc<[u64]> },
+}
+
+enum MeasureResult {
+    IModel(TraceParams, Duration),
+    UModel(UnifiedParams, Duration),
+    Sim { kind: StreamKind, rows: Vec<(CacheConfig, u64)>, pass: PassMetrics },
+}
+
+fn run_measure_task(task: MeasureTask) -> MeasureResult {
+    match task {
+        MeasureTask::IModel { addrs, granule } => {
+            let start = Instant::now();
+            let mut m = ITraceModeler::new(granule);
+            for &a in addrs.iter() {
+                m.process(a);
+            }
+            MeasureResult::IModel(m.finish(), start.elapsed())
+        }
+        MeasureTask::UModel { trace, granule } => {
+            let start = Instant::now();
+            let mut m = UTraceModeler::new(granule);
+            for &a in trace.iter() {
+                m.process(a);
+            }
+            MeasureResult::UModel(m.finish(), start.elapsed())
+        }
+        MeasureTask::Sim { kind, line, configs, addrs } => {
+            let start = Instant::now();
+            let mut sim = SinglePassSim::for_configs(&configs);
+            for &a in addrs.iter() {
+                sim.access(a);
+            }
+            let rows: Vec<(CacheConfig, u64)> =
+                configs.iter().map(|&c| (c, sim.misses(c.sets, c.assoc))).collect();
+            let pass = PassMetrics {
+                stream: kind,
+                line_words: line,
+                configs: configs.len(),
+                addresses: addrs.len() as u64,
+                wall: start.elapsed(),
+            };
+            MeasureResult::Sim { kind, rows, pass }
+        }
+    }
+}
+
+/// Groups configurations by line size (deterministically ordered) and
+/// emits one simulation task per group.
+fn sim_tasks(kind: StreamKind, configs: &[CacheConfig], addrs: &Arc<[u64]>) -> Vec<MeasureTask> {
+    let mut by_line: BTreeMap<u32, Vec<CacheConfig>> = BTreeMap::new();
+    for &c in configs {
+        by_line.entry(c.line_words).or_default().push(c);
+    }
+    by_line
+        .into_iter()
+        .map(|(line, group)| MeasureTask::Sim {
+            kind,
+            line,
+            configs: group,
+            addrs: Arc::clone(addrs),
+        })
+        .collect()
 }
 
 impl ReferenceEvaluation {
@@ -97,32 +194,97 @@ impl ReferenceEvaluation {
         dcaches: &[CacheConfig],
         ucaches: &[CacheConfig],
     ) -> Self {
+        let build_start = Instant::now();
         let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
         let reference = Compiled::build(&program, reference_mdes, Some(&freq));
 
-        // --- Trace parameters (one modeler pass per stream). ---
-        let iparams = {
-            let mut m = ITraceModeler::new(config.i_granule);
-            for a in trace(&program, &reference, &config, StreamKind::Instruction) {
-                m.process(a.addr);
-            }
-            m.finish()
-        };
-        let uparams = {
-            let mut m = UTraceModeler::new(config.u_granule);
-            for a in trace(&program, &reference, &config, StreamKind::Unified) {
-                m.process(a);
-            }
-            m.finish()
-        };
+        // --- Materialise the reference trace once; every pass below reads
+        // the shared buffers instead of regenerating the trace. ---
+        let trace_start = Instant::now();
+        let unified: Vec<Access> = TraceGenerator::new(&program, &reference, config.seed)
+            .with_event_limit(config.events)
+            .collect();
+        let iaddrs: Arc<[u64]> = unified
+            .iter()
+            .filter(|a| StreamKind::Instruction.admits(a.kind))
+            .map(|a| a.addr)
+            .collect();
+        let daddrs: Arc<[u64]> = unified
+            .iter()
+            .filter(|a| StreamKind::Data.admits(a.kind))
+            .map(|a| a.addr)
+            .collect();
+        let uaddrs: Arc<[u64]> = unified.iter().map(|a| a.addr).collect();
+        let unified: Arc<[Access]> = unified.into();
+        let trace_wall = trace_start.elapsed();
 
-        // --- Single-pass simulations, grouped by line size. ---
+        // --- Fan out: two modeler passes plus one single-pass simulation
+        // per (stream, line size), all independent. ---
         let expanded = expand_line_sizes(icaches, config.max_dilation);
-        let imeasured = measure(&program, &reference, &config, StreamKind::Instruction, &expanded);
-        let dmeasured = measure(&program, &reference, &config, StreamKind::Data, dcaches);
-        let umeasured = measure(&program, &reference, &config, StreamKind::Unified, ucaches);
+        let mut tasks = vec![
+            MeasureTask::IModel { addrs: Arc::clone(&iaddrs), granule: config.i_granule },
+            MeasureTask::UModel { trace: Arc::clone(&unified), granule: config.u_granule },
+        ];
+        tasks.extend(sim_tasks(StreamKind::Instruction, &expanded, &iaddrs));
+        tasks.extend(sim_tasks(StreamKind::Data, dcaches, &daddrs));
+        tasks.extend(sim_tasks(StreamKind::Unified, ucaches, &uaddrs));
 
-        Self { config, program, freq, reference, iparams, uparams, imeasured, dmeasured, umeasured }
+        let sweep = ParallelSweep::with_threads(config.worker_threads());
+        let sim_start = Instant::now();
+        let results = sweep.map(tasks, run_measure_task);
+        let sim_wall = sim_start.elapsed();
+
+        // --- Merge (input order, so metrics are deterministic too). ---
+        let mut iparams = None;
+        let mut uparams = None;
+        let mut model_wall = Duration::ZERO;
+        let mut imeasured = HashMap::new();
+        let mut dmeasured = HashMap::new();
+        let mut umeasured = HashMap::new();
+        let mut passes = Vec::new();
+        for result in results {
+            match result {
+                MeasureResult::IModel(p, wall) => {
+                    iparams = Some(p);
+                    model_wall += wall;
+                }
+                MeasureResult::UModel(p, wall) => {
+                    uparams = Some(p);
+                    model_wall += wall;
+                }
+                MeasureResult::Sim { kind, rows, pass } => {
+                    let map = match kind {
+                        StreamKind::Instruction => &mut imeasured,
+                        StreamKind::Data => &mut dmeasured,
+                        StreamKind::Unified => &mut umeasured,
+                    };
+                    map.extend(rows);
+                    passes.push(pass);
+                }
+            }
+        }
+        let metrics = EvalMetrics {
+            threads: sweep.threads(),
+            trace_len: uaddrs.len() as u64,
+            trace_wall,
+            model_wall,
+            sim_wall,
+            build_wall: build_start.elapsed(),
+            passes,
+        };
+
+        Self {
+            config,
+            program,
+            freq,
+            reference,
+            iparams: iparams.expect("instruction modeler task ran"),
+            uparams: uparams.expect("unified modeler task ran"),
+            imeasured,
+            dmeasured,
+            umeasured,
+            metrics,
+        }
     }
 
     /// Convenience: build for a benchmark with the paper's cache spaces.
@@ -177,6 +339,27 @@ impl ReferenceEvaluation {
         Compiled::build(&self.program, target, Some(&self.freq))
     }
 
+    /// Where the build's time went (trace, modelers, simulation fan-out).
+    pub fn metrics(&self) -> &EvalMetrics {
+        &self.metrics
+    }
+
+    /// All measured instruction-cache miss counts (including the expanded
+    /// line sizes).
+    pub fn imeasured(&self) -> &HashMap<CacheConfig, u64> {
+        &self.imeasured
+    }
+
+    /// All measured data-cache miss counts.
+    pub fn dmeasured(&self) -> &HashMap<CacheConfig, u64> {
+        &self.dmeasured
+    }
+
+    /// All measured unified-cache miss counts.
+    pub fn umeasured(&self) -> &HashMap<CacheConfig, u64> {
+        &self.umeasured
+    }
+
     /// Measured reference-trace misses of an instruction cache, if
     /// simulated.
     pub fn icache_misses_measured(&self, config: CacheConfig) -> Option<u64> {
@@ -228,17 +411,6 @@ impl ReferenceEvaluation {
     }
 }
 
-fn trace<'a>(
-    program: &'a Program,
-    compiled: &'a Compiled,
-    config: &EvalConfig,
-    kind: StreamKind,
-) -> impl Iterator<Item = mhe_trace::Access> + 'a {
-    TraceGenerator::new(program, compiled, config.seed)
-        .with_event_limit(config.events)
-        .stream(kind)
-}
-
 /// Adds, for every instruction-cache configuration, the smaller
 /// power-of-two line sizes needed to interpolate contracted lines down to
 /// `L / max_dilation`.
@@ -261,35 +433,6 @@ fn expand_line_sizes(configs: &[CacheConfig], max_dilation: f64) -> Vec<CacheCon
     }
     out.sort_unstable();
     out.dedup();
-    out
-}
-
-/// Runs single-pass simulations for `configs` (grouped by line size) over
-/// the chosen stream of the reference trace.
-fn measure(
-    program: &Program,
-    compiled: &Compiled,
-    config: &EvalConfig,
-    kind: StreamKind,
-    configs: &[CacheConfig],
-) -> HashMap<CacheConfig, u64> {
-    let mut by_line: HashMap<u32, Vec<CacheConfig>> = HashMap::new();
-    for &c in configs {
-        by_line.entry(c.line_words).or_default().push(c);
-    }
-    let mut out = HashMap::new();
-    let mut lines: Vec<u32> = by_line.keys().copied().collect();
-    lines.sort_unstable();
-    for line in lines {
-        let group = &by_line[&line];
-        let mut sim = SinglePassSim::for_configs(group);
-        for a in trace(program, compiled, config, kind) {
-            sim.access(a.addr);
-        }
-        for &c in group {
-            out.insert(c, sim.misses(c.sets, c.assoc));
-        }
-    }
     out
 }
 

@@ -53,6 +53,8 @@ pub mod bank;
 pub mod dilation;
 pub mod evaluator;
 pub mod icache;
+pub mod metrics;
+pub mod parallel;
 pub mod system;
 pub mod ucache;
 
@@ -60,4 +62,6 @@ pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
 pub use dilation::{text_dilation, DilationDistribution};
 pub use evaluator::{actual_misses, dilated_misses, EvalConfig, ReferenceEvaluation};
+pub use metrics::{EvalMetrics, PassMetrics};
+pub use parallel::{worker_threads, ParallelSweep, SweepMetrics};
 pub use system::{evaluate_system, processor_cycles, SystemDesign, SystemPerformance};

@@ -1,0 +1,179 @@
+//! Observability for the evaluation engine: where the time goes and how
+//! fast addresses move through the simulators.
+//!
+//! [`ReferenceEvaluation::build`](crate::evaluator::ReferenceEvaluation::build)
+//! fills an [`EvalMetrics`] as it runs; the bench binaries print it so the
+//! effect of `MHE_THREADS` is visible (sims/second, parallel efficiency).
+
+use mhe_trace::StreamKind;
+use std::time::Duration;
+
+/// Cost of one single-pass simulation over one stream at one line size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassMetrics {
+    /// Which stream the pass simulated.
+    pub stream: StreamKind,
+    /// The pass's common line size in words.
+    pub line_words: u32,
+    /// Number of cache configurations covered by the pass.
+    pub configs: usize,
+    /// Addresses simulated.
+    pub addresses: u64,
+    /// Wall time of the pass on its worker thread.
+    pub wall: Duration,
+}
+
+impl PassMetrics {
+    /// Addresses simulated per second within this pass.
+    pub fn addresses_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.addresses as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// End-to-end accounting of one [`ReferenceEvaluation::build`] call.
+///
+/// [`ReferenceEvaluation::build`]: crate::evaluator::ReferenceEvaluation::build
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvalMetrics {
+    /// Worker threads the measurement fan-out used.
+    pub threads: usize,
+    /// Length of the materialised unified reference trace.
+    pub trace_len: u64,
+    /// Wall time to generate and materialise the reference trace.
+    pub trace_wall: Duration,
+    /// Wall time of the two trace-parameter modeler passes.
+    pub model_wall: Duration,
+    /// Wall time of the whole simulation fan-out (not the per-pass sum).
+    pub sim_wall: Duration,
+    /// Wall time of the whole build.
+    pub build_wall: Duration,
+    /// One entry per single-pass simulation.
+    pub passes: Vec<PassMetrics>,
+}
+
+impl EvalMetrics {
+    /// Total addresses pushed through single-pass simulators.
+    pub fn simulated_addresses(&self) -> u64 {
+        self.passes.iter().map(|p| p.addresses).sum()
+    }
+
+    /// Total cache configurations measured.
+    pub fn simulated_configs(&self) -> usize {
+        self.passes.iter().map(|p| p.configs).sum()
+    }
+
+    /// Sum of per-pass wall times — the serial cost of the same work.
+    pub fn cpu_sim_time(&self) -> Duration {
+        self.passes.iter().map(|p| p.wall).sum()
+    }
+
+    /// Single-pass simulations completed per wall-clock second.
+    pub fn sims_per_second(&self) -> f64 {
+        if self.sim_wall.is_zero() {
+            0.0
+        } else {
+            self.passes.len() as f64 / self.sim_wall.as_secs_f64()
+        }
+    }
+
+    /// Addresses simulated per wall-clock second across all passes.
+    pub fn addresses_per_second(&self) -> f64 {
+        if self.sim_wall.is_zero() {
+            0.0
+        } else {
+            self.simulated_addresses() as f64 / self.sim_wall.as_secs_f64()
+        }
+    }
+
+    /// Ratio of the serial cost of all fan-out tasks (modeler + simulation
+    /// passes) to the fan-out's wall time (1.0 = no overlap).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.sim_wall.is_zero() {
+            1.0
+        } else {
+            (self.cpu_sim_time() + self.model_wall).as_secs_f64() / self.sim_wall.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace {} refs in {:.3}s; {} passes / {} configs / {} addrs in {:.3}s wall \
+             ({:.2} Maddr/s, {:.1} sims/s, {} threads, overlap {:.2}x); build {:.3}s",
+            self.trace_len,
+            self.trace_wall.as_secs_f64(),
+            self.passes.len(),
+            self.simulated_configs(),
+            self.simulated_addresses(),
+            self.sim_wall.as_secs_f64(),
+            self.addresses_per_second() / 1e6,
+            self.sims_per_second(),
+            self.threads,
+            self.parallel_speedup(),
+            self.build_wall.as_secs_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(stream: StreamKind, line: u32, configs: usize, addrs: u64, ms: u64) -> PassMetrics {
+        PassMetrics {
+            stream,
+            line_words: line,
+            configs,
+            addresses: addrs,
+            wall: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_passes() {
+        let m = EvalMetrics {
+            threads: 4,
+            trace_len: 1000,
+            sim_wall: Duration::from_millis(100),
+            passes: vec![
+                pass(StreamKind::Instruction, 8, 3, 600, 80),
+                pass(StreamKind::Data, 8, 1, 400, 40),
+            ],
+            ..EvalMetrics::default()
+        };
+        assert_eq!(m.simulated_addresses(), 1000);
+        assert_eq!(m.simulated_configs(), 4);
+        assert_eq!(m.cpu_sim_time(), Duration::from_millis(120));
+        assert!((m.parallel_speedup() - 1.2).abs() < 1e-9);
+        assert!((m.sims_per_second() - 20.0).abs() < 1e-9);
+        assert!((m.addresses_per_second() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_times_do_not_divide_by_zero() {
+        let m = EvalMetrics::default();
+        assert_eq!(m.sims_per_second(), 0.0);
+        assert_eq!(m.addresses_per_second(), 0.0);
+        assert_eq!(m.parallel_speedup(), 1.0);
+        let p = pass(StreamKind::Unified, 16, 2, 0, 0);
+        assert_eq!(p.addresses_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_threads_and_passes() {
+        let m = EvalMetrics {
+            threads: 8,
+            passes: vec![pass(StreamKind::Instruction, 4, 2, 100, 10)],
+            ..EvalMetrics::default()
+        };
+        let s = format!("{m}");
+        assert!(s.contains("8 threads"), "{s}");
+        assert!(s.contains("1 passes"), "{s}");
+    }
+}

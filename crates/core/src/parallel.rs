@@ -1,0 +1,223 @@
+//! Deterministic fan-out of independent evaluation work across threads.
+//!
+//! The paper's efficiency story is throughput: hierarchical evaluation
+//! plus single-pass simulation already collapse the *number* of
+//! simulations, and this module makes the remaining independent passes run
+//! concurrently. Two invariants keep parallelism invisible to results:
+//!
+//! * work items are independent (no shared mutable state), and
+//! * results are returned in **input order**, so every consumer sees
+//!   exactly the sequence a serial loop would have produced.
+//!
+//! Together these make the engine bit-deterministic: miss counts and
+//! estimates are identical for any worker count, including one.
+//!
+//! Thread-count control: [`worker_threads`] honours the `MHE_THREADS`
+//! environment variable and falls back to the machine's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default worker count: `MHE_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn worker_threads() -> usize {
+    match std::env::var("MHE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Wall-clock accounting for one [`ParallelSweep`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepMetrics {
+    /// Number of work items processed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall time of the whole fan-out.
+    pub wall: Duration,
+}
+
+impl SweepMetrics {
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.jobs as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for SweepMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} jobs on {} threads in {:.3}s ({:.2} jobs/s)",
+            self.jobs,
+            self.threads,
+            self.wall.as_secs_f64(),
+            self.jobs_per_second()
+        )
+    }
+}
+
+/// A scoped-thread worker pool over independent work items.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_core::parallel::ParallelSweep;
+/// let squares = ParallelSweep::with_threads(4).map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSweep {
+    threads: usize,
+}
+
+impl Default for ParallelSweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelSweep {
+    /// A sweep using [`worker_threads`] workers.
+    pub fn new() -> Self {
+        Self { threads: worker_threads() }
+    }
+
+    /// A sweep with an explicit worker count (`0` means [`worker_threads`]).
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            Self::new()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, concurrently, returning results in input
+    /// order.
+    ///
+    /// Work is claimed dynamically (an atomic cursor), so uneven item costs
+    /// balance across workers; a panicking item propagates the panic to the
+    /// caller once the scope joins.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                    let r = f(item);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker completed item"))
+            .collect()
+    }
+
+    /// Like [`ParallelSweep::map`], also reporting the fan-out's wall time.
+    pub fn map_timed<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<R>, SweepMetrics)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let jobs = items.len();
+        let start = Instant::now();
+        let out = self.map(items, f);
+        (out, SweepMetrics { jobs, threads: self.threads.min(jobs).max(1), wall: start.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = ParallelSweep::with_threads(threads).map(items.clone(), |x| x * 2 + 1);
+            assert_eq!(out, items.iter().map(|x| x * 2 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let sweep = ParallelSweep::with_threads(4);
+        assert_eq!(sweep.map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(sweep.map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // The determinism contract at the pool level: any worker count
+        // produces the same output sequence.
+        let items: Vec<u64> = (0..100).map(|i| i * 37 % 91).collect();
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let one = ParallelSweep::with_threads(1).map(items.clone(), f);
+        for threads in [2, 5, 16] {
+            assert_eq!(ParallelSweep::with_threads(threads).map(items.clone(), f), one);
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_falls_back_to_auto() {
+        assert!(ParallelSweep::with_threads(0).threads() >= 1);
+    }
+
+    #[test]
+    fn map_timed_reports_jobs() {
+        let (out, m) = ParallelSweep::with_threads(2).map_timed(vec![1, 2, 3], |x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(m.jobs, 3);
+        assert!(m.threads >= 1);
+        assert!(format!("{m}").contains("3 jobs"));
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        // Items with wildly different costs still all complete and land in
+        // their own slots.
+        let items: Vec<u64> = vec![200_000, 1, 1, 120_000, 1, 80_000, 1, 1];
+        let out = ParallelSweep::with_threads(4).map(items.clone(), |n| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(i ^ (acc >> 3));
+            }
+            (n, acc)
+        });
+        for (i, (n, _)) in out.iter().enumerate() {
+            assert_eq!(*n, items[i]);
+        }
+    }
+}

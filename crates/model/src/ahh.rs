@@ -290,7 +290,7 @@ mod tests {
         let u = 300.0;
         let (s, a) = (4096, 8);
         let t = collisions_tail(u, s, a);
-        assert!(t >= 0.0 && t < 1.0, "tail {t}");
+        assert!((0.0..1.0).contains(&t), "tail {t}");
         let auto = collisions(u, s, a);
         assert!((auto - t).abs() <= 1e-9_f64.max(1e-6 * t));
     }
@@ -328,7 +328,7 @@ mod tests {
                 x ^= x << 17;
                 counts[(x % s) as usize] += 1;
             }
-            total += counts.iter().filter(|&&c| c > a).map(|&c| c).sum::<u64>();
+            total += counts.iter().filter(|&&c| c > a).copied().sum::<u64>();
         }
         let mc = total as f64 / trials as f64;
         let model = collisions(u as f64, s as u32, a as u32);

@@ -16,6 +16,7 @@ use crate::pareto::ParetoSet;
 use crate::space::{CacheSpace, SystemSpace};
 use mhe_cache::{MemoryDesign, Penalties};
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe_core::parallel::ParallelSweep;
 use mhe_core::system::processor_cycles;
 use mhe_vliw::Mdes;
 use mhe_workload::ir::Program;
@@ -167,7 +168,12 @@ pub fn walk_memory(
 /// Walks the joint processor × memory space; time = total execution cycles.
 ///
 /// For each processor this computes its dilation and compute cycles once,
-/// then combines with the memory frontier at that dilation.
+/// then combines with the memory frontier at that dilation. The expensive
+/// per-processor work — compiling the target and symbolically executing it
+/// for compute cycles — is independent across processors, so it fans out
+/// over a [`ParallelSweep`]; the [`EvaluationCache`] is consulted before
+/// the fan-out and updated after it, in processor order, so the walk is
+/// deterministic and the cache's hit/compute accounting is unchanged.
 pub fn walk_system(
     eval: &ReferenceEvaluation,
     space: &SystemSpace,
@@ -176,12 +182,25 @@ pub fn walk_system(
 ) -> ParetoSet<SystemPoint> {
     let mut pareto = ParetoSet::new();
     let cfg = *eval.config();
-    for proc in &space.processors {
-        let d = eval.dilation_of(proc);
-        let cycles_key = format!("{}/proc/{}/cycles", eval.program().name, proc.name);
-        let compute = db.get_or_insert_with(&cycles_key, || {
-            let compiled = eval.compile_target(proc);
-            processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64
+    let cycles_key = |proc: &Mdes| format!("{}/proc/{}/cycles", eval.program().name, proc.name);
+    let jobs: Vec<(&Mdes, bool)> = space
+        .processors
+        .iter()
+        .map(|proc| (proc, db.get(&cycles_key(proc)).is_some()))
+        .collect();
+    let prepared = ParallelSweep::new().map(jobs, |(proc, cached)| {
+        let compiled = eval.compile_target(proc);
+        let d = compiled.text_words() as f64 / eval.reference().text_words() as f64;
+        let cycles = if cached {
+            None
+        } else {
+            Some(processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64)
+        };
+        (d, cycles)
+    });
+    for (proc, (d, cycles)) in space.processors.iter().zip(prepared) {
+        let compute = db.get_or_insert_with(&cycles_key(proc), || {
+            cycles.expect("cycles computed for uncached processor")
         });
         let memory = walk_memory(eval, space, d, penalties, db);
         for m in memory.points() {

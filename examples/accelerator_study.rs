@@ -51,7 +51,7 @@ fn main() {
             mdes.cost() + accel.cost
         );
         for (cycles, cost, label) in [
-            (base as f64, mdes.cost(), format!("{}", kind.name())),
+            (base as f64, mdes.cost(), kind.name().to_string()),
             (with as f64, mdes.cost() + accel.cost, format!("{}+accel", kind.name())),
         ] {
             // "Best" = lowest cycles·cost product, a crude efficiency score.

@@ -1,0 +1,388 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of proptest's API its test suites actually use:
+//! strategies over numeric ranges, tuples, mapped strategies, vectors and
+//! unions, plus the `proptest!`, `prop_assert*` and `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are fully deterministic (there is no `PROPTEST_CASES` / persistence);
+//! * failing inputs are reported but **not shrunk**.
+
+/// Deterministic pseudo-random generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An rng seeded from an arbitrary tag (the test name).
+    pub fn deterministic(tag: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tag.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f` of this strategy's values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u128 - self.start as u128;
+                let off = u128::from(rng.next_u64()) % span;
+                (self.start as u128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 => 0, S1 => 1);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// A union over the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty union strategy");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A strategy for vectors of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l, r,
+                file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    file!(), "::", stringify!($name)
+                ));
+                let mut rejected: u32 = 0;
+                for case in 0..cfg.cases {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => rejected += 1,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {case}/{} failed: {msg}", cfg.cases);
+                        }
+                    }
+                }
+                assert!(
+                    rejected < cfg.cases,
+                    "every generated case was rejected by prop_assume!"
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = crate::TestRng::deterministic("full");
+        for _ in 0..100 {
+            let _ = (1u64..u64::MAX).generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..100, v in prop::collection::vec(0u8..10, 1..20)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assume!(x != 1_000_000);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![0u64..10, (100u64..200).prop_map(|v| v * 2)]) {
+            prop_assert!(x < 10 || (200..400).contains(&x), "x = {}", x);
+        }
+    }
+}
