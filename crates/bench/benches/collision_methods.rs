@@ -9,12 +9,8 @@ fn bench(c: &mut Criterion) {
 
     // A regime where both forms are fine (small unified cache).
     let (u_hot, s_hot, a_hot) = (20_000.0f64, 128u32, 2u32);
-    g.bench_function("primary_hot_regime", |b| {
-        b.iter(|| collisions_primary(u_hot, s_hot, a_hot))
-    });
-    g.bench_function("tail_hot_regime", |b| {
-        b.iter(|| collisions_tail(u_hot, s_hot, a_hot))
-    });
+    g.bench_function("primary_hot_regime", |b| b.iter(|| collisions_primary(u_hot, s_hot, a_hot)));
+    g.bench_function("tail_hot_regime", |b| b.iter(|| collisions_tail(u_hot, s_hot, a_hot)));
 
     // A cancellation regime (large cache, small footprint): the tail series
     // is the only accurate option; measure what the stability costs.
@@ -23,9 +19,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| collisions_tail(u_cold, s_cold, a_cold))
     });
     g.bench_function("auto_selection", |b| {
-        b.iter(|| {
-            collisions(u_hot, s_hot, a_hot) + collisions(u_cold, s_cold, a_cold)
-        })
+        b.iter(|| collisions(u_hot, s_hot, a_hot) + collisions(u_cold, s_cold, a_cold))
     });
 
     g.finish();

@@ -52,10 +52,7 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("direct_8_configs_8_passes", |b| {
         b.iter(|| {
-            configs
-                .iter()
-                .map(|&cfg| simulate(cfg, trace.iter().copied()))
-                .collect::<Vec<_>>()
+            configs.iter().map(|&cfg| simulate(cfg, trace.iter().copied())).collect::<Vec<_>>()
         })
     });
 

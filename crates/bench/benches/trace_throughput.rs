@@ -6,8 +6,8 @@
 //! what transfer).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mhe_cache::{Hierarchy, MemoryDesign, Penalties};
 use mhe_cache::CacheConfig;
+use mhe_cache::{Hierarchy, MemoryDesign, Penalties};
 use mhe_model::{ITraceModeler, UTraceModeler};
 use mhe_trace::TraceGenerator;
 use mhe_vliw::{compile::Compiled, ProcessorKind};
@@ -17,12 +17,9 @@ fn bench(c: &mut Criterion) {
     let program = Benchmark::Unepic.generate();
     let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
     let events = 10_000usize;
-    let refs = TraceGenerator::new(&program, &compiled, 42)
-        .with_event_limit(events)
-        .count() as u64;
-    let materialized: Vec<mhe_trace::Access> = TraceGenerator::new(&program, &compiled, 42)
-        .with_event_limit(events)
-        .collect();
+    let refs = TraceGenerator::new(&program, &compiled, 42).with_event_limit(events).count() as u64;
+    let materialized: Vec<mhe_trace::Access> =
+        TraceGenerator::new(&program, &compiled, 42).with_event_limit(events).collect();
 
     let mut g = c.benchmark_group("pipeline_throughput");
     g.sample_size(20);

@@ -42,8 +42,14 @@ fn main() {
     println!(
         "{:>5} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
         "d",
-        "I1K-dil", "I1K-est", "I16K-dil", "I16K-est",
-        "U16K-dil", "U16K-est", "U128K-dil", "U128K-est"
+        "I1K-dil",
+        "I1K-est",
+        "I16K-dil",
+        "I16K-est",
+        "U16K-dil",
+        "U16K-est",
+        "U128K-dil",
+        "U128K-est"
     );
     let ds: Vec<f64> = (0..=12).map(|i| 1.0 + 0.25 * f64::from(i)).collect();
     let (rows, sweep) = ParallelSweep::new().map_timed(ds, |d| {

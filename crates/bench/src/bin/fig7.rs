@@ -9,8 +9,9 @@
 //! dilated traces) is independent across processors, so targets fan out
 //! over a [`ParallelSweep`]; results come back in target order.
 
-use mhe_bench::{events, l1_large, l1_small, l2_large, l2_small, simulate_caches,
-                simulate_caches_dilated, SEED};
+use mhe_bench::{
+    events, l1_large, l1_small, l2_large, l2_small, simulate_caches, simulate_caches_dilated, SEED,
+};
 use mhe_cache::CacheConfig;
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe_core::parallel::ParallelSweep;
@@ -39,8 +40,7 @@ fn main() {
         (StreamKind::Unified, l2_small(), "Misses for 16 KB Unified Cache"),
         (StreamKind::Unified, l2_large(), "Misses for 128 KB Unified Cache"),
     ];
-    let plan: Vec<(StreamKind, CacheConfig)> =
-        configs.iter().map(|&(k, c, _)| (k, c)).collect();
+    let plan: Vec<(StreamKind, CacheConfig)> = configs.iter().map(|&(k, c, _)| (k, c)).collect();
     let base = simulate_caches(eval.program(), eval.reference(), SEED, n, &plan);
 
     // One job per target processor; each yields a column of
@@ -50,8 +50,7 @@ fn main() {
             let target = eval.compile_target(&kind.mdes());
             let d = eval.dilation_of(&kind.mdes());
             let act = simulate_caches(eval.program(), &target, SEED, n, &plan);
-            let dil =
-                simulate_caches_dilated(eval.program(), eval.reference(), d, SEED, n, &plan);
+            let dil = simulate_caches_dilated(eval.program(), eval.reference(), d, SEED, n, &plan);
             configs
                 .iter()
                 .enumerate()

@@ -38,10 +38,7 @@ fn cache_space() -> (Vec<CacheConfig>, Vec<CacheConfig>, Vec<CacheConfig>) {
     let ucaches: Vec<CacheConfig> = lines
         .iter()
         .flat_map(|&l| {
-            [
-                CacheConfig::from_bytes(16 * 1024, 2, l),
-                CacheConfig::from_bytes(128 * 1024, 4, l),
-            ]
+            [CacheConfig::from_bytes(16 * 1024, 2, l), CacheConfig::from_bytes(128 * 1024, 4, l)]
         })
         .collect();
     (icaches, dcaches, ucaches)
@@ -84,10 +81,8 @@ fn main() {
     // Section 2: fan-out across independent benchmark evaluations.
     let benches = vec![Benchmark::Epic, Benchmark::Unepic, Benchmark::Mipmap, Benchmark::Rasta];
     let start = Instant::now();
-    let serial_misses: Vec<u64> = benches
-        .iter()
-        .map(|&b| build(b, 1, n).imeasured().values().sum())
-        .collect();
+    let serial_misses: Vec<u64> =
+        benches.iter().map(|&b| build(b, 1, n).imeasured().values().sum()).collect();
     let wall1 = start.elapsed();
     let (par_misses, sweep) = ParallelSweep::new()
         .map_timed(benches.clone(), |b| build(b, 1, n).imeasured().values().sum::<u64>());

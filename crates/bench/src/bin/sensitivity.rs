@@ -46,10 +46,7 @@ fn main() {
         )[0];
         let err = (est - act as f64) / act as f64;
         errors.push(err);
-        println!(
-            "{seed:>12x} {d:>9.3} {act:>12} {est:>12.0} {:>8.1}%",
-            100.0 * err
-        );
+        println!("{seed:>12x} {d:>9.3} {act:>12} {est:>12.0} {:>8.1}%", 100.0 * err);
     }
     let mean = errors.iter().map(|e| e.abs()).sum::<f64>() / errors.len() as f64;
     let spread = errors.iter().cloned().fold(f64::MIN, f64::max)

@@ -66,6 +66,8 @@ fn main() {
         }
         println!();
     }
-    println!("paper: large-cache ratios mostly 0.99-1.16; small-cache ratios scatter more (0.82-1.90).");
+    println!(
+        "paper: large-cache ratios mostly 0.99-1.16; small-cache ratios scatter more (0.82-1.90)."
+    );
     eprintln!("[table2] benchmark sweep: {sweep}");
 }

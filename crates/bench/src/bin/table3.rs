@@ -25,5 +25,7 @@ fn main() {
         }
         println!();
     }
-    println!("\npaper bands: 2111 in 1.26-1.40, 3221 in 1.66-2.00, 4221 in 1.80-2.51, 6332 in 2.47-3.25");
+    println!(
+        "\npaper bands: 2111 in 1.26-1.40, 3221 in 1.66-2.00, 4221 in 1.80-2.51, 6332 in 2.47-3.25"
+    );
 }

@@ -18,8 +18,9 @@
 //! each job builds its evaluation with `threads: 1` (nesting would
 //! oversubscribe without helping). Rows come back in benchmark order.
 
-use mhe_bench::{events, l1_large, l1_small, l2_large, l2_small, simulate_caches,
-                simulate_caches_dilated, SEED};
+use mhe_bench::{
+    events, l1_large, l1_small, l2_large, l2_small, simulate_caches, simulate_caches_dilated, SEED,
+};
 use mhe_cache::CacheConfig;
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe_core::parallel::ParallelSweep;
@@ -41,8 +42,7 @@ fn main() {
         (StreamKind::Unified, l2_small(), "16 KB Ucache"),
         (StreamKind::Unified, l2_large(), "128 KB Ucache"),
     ];
-    let plan: Vec<(StreamKind, CacheConfig)> =
-        configs.iter().map(|&(k, c, _)| (k, c)).collect();
+    let plan: Vec<(StreamKind, CacheConfig)> = configs.iter().map(|&(k, c, _)| (k, c)).collect();
 
     let (results, sweep) = ParallelSweep::new().map_timed(Benchmark::ALL.to_vec(), |b| {
         eprintln!("[table4] {b} ...");

@@ -10,17 +10,17 @@
 use mhe_cache::{Cache, CacheConfig};
 use mhe_trace::{StreamKind, TraceGenerator};
 use mhe_vliw::compile::Compiled;
+use mhe_vliw::Mdes;
+use mhe_workload::exec::BlockFrequencies;
 use mhe_workload::ir::Program;
+use mhe_workload::Benchmark;
 
 /// Seed used by every experiment (branch decisions + data patterns).
 pub const SEED: u64 = 0xC0FF_EE01;
 
 /// Dynamic window in basic-block events; override with `MHE_EVENTS`.
 pub fn events() -> usize {
-    std::env::var("MHE_EVENTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000)
+    std::env::var("MHE_EVENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
 }
 
 /// The paper's small L1 configuration: 1 KB direct-mapped, 32-byte lines.
@@ -78,8 +78,8 @@ pub fn simulate_caches_dilated(
 ) -> Vec<u64> {
     let mut caches: Vec<(StreamKind, Cache)> =
         plan.iter().map(|&(k, c)| (k, Cache::new(c))).collect();
-    for a in mhe_trace::DilatedTraceGenerator::new(program, reference, d, seed)
-        .with_event_limit(events)
+    for a in
+        mhe_trace::DilatedTraceGenerator::new(program, reference, d, seed).with_event_limit(events)
     {
         for (kind, cache) in &mut caches {
             if kind.admits(a.kind) {
@@ -93,4 +93,19 @@ pub fn simulate_caches_dilated(
 /// Formats a ratio with two decimals, the paper's table style.
 pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.2}")
+}
+
+/// Looks up a benchmark by its paper-table name (case-insensitive),
+/// e.g. `085.gcc` or `unepic`.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+/// Compiles a program exactly as `ReferenceEvaluation::build` compiles its
+/// reference: with the layout profile from [`SEED`] over the standard
+/// 200 000-event profiling window. Traces generated from this compilation
+/// are therefore bit-identical to the evaluator's reference trace.
+pub fn reference_compilation(program: &Program, mdes: &Mdes) -> Compiled {
+    let freq = BlockFrequencies::profile(program, SEED, 200_000);
+    Compiled::build(program, mdes, Some(&freq))
 }

@@ -65,10 +65,7 @@ impl MissBreakdown {
 /// assert_eq!(b.conflict, 4); // a 2-line fully-associative cache would hit
 /// assert_eq!(b.capacity, 0);
 /// ```
-pub fn classify_misses(
-    config: CacheConfig,
-    trace: impl IntoIterator<Item = u64>,
-) -> MissBreakdown {
+pub fn classify_misses(config: CacheConfig, trace: impl IntoIterator<Item = u64>) -> MissBreakdown {
     let mut cache = Cache::new(config);
     // Equal-capacity fully-associative twin.
     let twin_cfg = CacheConfig::new(1, config.sets * config.assoc, config.line_words);
@@ -114,10 +111,7 @@ mod tests {
         let b = classify_misses(CacheConfig::new(16, 1, 1), trace);
         assert_eq!(b.compulsory, 64);
         assert!(b.capacity > 0);
-        assert!(
-            b.capacity > b.conflict,
-            "LRU loop thrashing should be mostly capacity: {b:?}"
-        );
+        assert!(b.capacity > b.conflict, "LRU loop thrashing should be mostly capacity: {b:?}");
     }
 
     #[test]
@@ -133,9 +127,8 @@ mod tests {
 
     #[test]
     fn breakdown_sums_to_simulator_misses() {
-        let trace: Vec<u64> = (0..20_000u64)
-            .map(|i| (i.wrapping_mul(2654435761) >> 16) % 4096)
-            .collect();
+        let trace: Vec<u64> =
+            (0..20_000u64).map(|i| (i.wrapping_mul(2654435761) >> 16) % 4096).collect();
         let cfg = CacheConfig::new(32, 2, 2);
         let b = classify_misses(cfg, trace.iter().copied());
         let direct = crate::sim::simulate(cfg, trace.iter().copied());

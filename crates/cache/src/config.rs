@@ -56,11 +56,7 @@ impl CacheConfig {
         assert_eq!(line_bytes % 4, 0, "line must be whole words");
         let line_words = line_bytes / 4;
         let denom = u64::from(assoc) * u64::from(line_bytes);
-        assert_eq!(
-            size_bytes % denom,
-            0,
-            "size {size_bytes} not divisible by assoc*line {denom}"
-        );
+        assert_eq!(size_bytes % denom, 0, "size {size_bytes} not divisible by assoc*line {denom}");
         let sets = (size_bytes / denom) as u32;
         Self::new(sets, assoc, line_words)
     }

@@ -86,10 +86,7 @@ impl Hierarchy {
     ///
     /// Panics if the design violates the inclusion precondition.
     pub fn new(design: MemoryDesign, penalties: Penalties) -> Self {
-        assert!(
-            design.satisfies_inclusion(),
-            "memory design violates inclusion: {design:?}"
-        );
+        assert!(design.satisfies_inclusion(), "memory design violates inclusion: {design:?}");
         Self {
             icache: Cache::new(design.icache),
             dcache: Cache::new(design.dcache),
@@ -159,12 +156,7 @@ mod tests {
     #[test]
     fn references_route_by_kind() {
         let mut h = Hierarchy::new(small_design(), Penalties::default());
-        h.run([
-            Access::inst(0),
-            Access::load(1000),
-            Access::store(1001),
-            Access::inst(1),
-        ]);
+        h.run([Access::inst(0), Access::load(1000), Access::store(1001), Access::inst(1)]);
         assert_eq!(h.icache_stats().accesses, 2);
         assert_eq!(h.dcache_stats().accesses, 2);
         assert_eq!(h.ucache_stats().accesses, 4);
@@ -187,9 +179,9 @@ mod tests {
         let p = Penalties { l1_miss: 10, l2_miss: 50 };
         let mut h = Hierarchy::new(small_design(), p);
         h.access(Access::inst(0)); // both miss: 60
-        // Evict line 0 from the direct-mapped 1KB L1 (wraps every 256
-        // words) with addresses that map to *different* L2 sets, so the
-        // 16KB L2 retains it.
+                                   // Evict line 0 from the direct-mapped 1KB L1 (wraps every 256
+                                   // words) with addresses that map to *different* L2 sets, so the
+                                   // 16KB L2 retains it.
         for i in 1..4u64 {
             h.access(Access::inst(i * 256));
         }

@@ -33,12 +33,12 @@ pub mod single_pass;
 pub mod stack;
 pub mod write;
 
+pub use classify::{classify_misses, MissBreakdown};
 pub use config::CacheConfig;
 pub use hierarchy::{Hierarchy, MemoryDesign, Penalties};
 pub use sim::{simulate, Cache, MissStats};
 pub use single_pass::SinglePassSim;
 pub use stack::StackSim;
-pub use classify::{classify_misses, MissBreakdown};
 
 // The parallel evaluation engine (mhe-core) moves simulator state across
 // scoped worker threads; keep that guarantee explicit so a future field

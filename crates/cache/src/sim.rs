@@ -5,6 +5,7 @@
 //! building block of the multi-level hierarchy.
 
 use crate::config::CacheConfig;
+use mhe_trace::{Access, StreamKind};
 
 /// Hit/miss counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,6 +91,24 @@ impl Cache {
     pub fn run(&mut self, trace: impl IntoIterator<Item = u64>) -> MissStats {
         for addr in trace {
             self.access(addr);
+        }
+        self.stats
+    }
+
+    /// Feeds a chunk of an access stream, admitting only the references
+    /// that belong to `stream`.
+    ///
+    /// State carries across calls, so captured traces can be replayed
+    /// chunk by chunk; chunking never changes the resulting statistics.
+    pub fn run_stream(
+        &mut self,
+        stream: StreamKind,
+        chunk: impl IntoIterator<Item = Access>,
+    ) -> MissStats {
+        for a in chunk {
+            if stream.admits(a.kind) {
+                self.access(a.addr);
+            }
         }
         self.stats
     }
@@ -184,6 +203,28 @@ mod tests {
         c.reset();
         assert_eq!(c.stats(), MissStats::default());
         assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn run_stream_matches_filtered_run() {
+        let accesses: Vec<Access> = (0..5_000u64)
+            .map(|i| match i % 3 {
+                0 => Access::inst((i * 37) % 512),
+                1 => Access::load((i * 13) % 900),
+                _ => Access::store((i * 7) % 300),
+            })
+            .collect();
+        for stream in [StreamKind::Instruction, StreamKind::Data, StreamKind::Unified] {
+            let direct = simulate(
+                CacheConfig::new(8, 2, 4),
+                accesses.iter().filter(|a| stream.admits(a.kind)).map(|a| a.addr),
+            );
+            let mut chunked = Cache::new(CacheConfig::new(8, 2, 4));
+            for chunk in accesses.chunks(123) {
+                chunked.run_stream(stream, chunk.iter().copied());
+            }
+            assert_eq!(chunked.stats(), direct, "{stream:?}");
+        }
     }
 
     #[test]

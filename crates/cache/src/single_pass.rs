@@ -14,6 +14,7 @@
 
 use crate::config::CacheConfig;
 use crate::sim::MissStats;
+use mhe_trace::{Access, StreamKind};
 
 /// Single-pass simulator for a family of configurations sharing a line
 /// size.
@@ -128,6 +129,21 @@ impl SinglePassSim {
         }
     }
 
+    /// Feeds a chunk of an access stream, admitting only the references
+    /// that belong to `stream`.
+    ///
+    /// The simulator is stateful across calls, so an arbitrarily long
+    /// trace can be replayed chunk by chunk in bounded memory; feeding
+    /// the same accesses in the same order yields bit-identical miss
+    /// counts no matter how the stream is chunked.
+    pub fn run_stream(&mut self, stream: StreamKind, chunk: impl IntoIterator<Item = Access>) {
+        for a in chunk {
+            if stream.admits(a.kind) {
+                self.access(a.addr);
+            }
+        }
+    }
+
     /// Total references seen.
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -213,11 +229,7 @@ mod tests {
         for &sets in &[8u32, 16, 32, 64] {
             for assoc in 1..=4 {
                 let direct = simulate(CacheConfig::new(sets, assoc, 4), trace.iter().copied());
-                assert_eq!(
-                    sp.misses(sets, assoc),
-                    direct.misses,
-                    "mismatch at S={sets} A={assoc}"
-                );
+                assert_eq!(sp.misses(sets, assoc), direct.misses, "mismatch at S={sets} A={assoc}");
             }
         }
     }
@@ -278,5 +290,38 @@ mod tests {
     fn querying_uncovered_sets_panics() {
         let sp = SinglePassSim::new(4, &[8], 2);
         let _ = sp.misses(16, 1);
+    }
+
+    #[test]
+    fn run_stream_filters_and_is_chunk_invariant() {
+        let trace: Vec<Access> = pseudo_trace(30_000, 11)
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| match i % 3 {
+                0 => Access::inst(a),
+                1 => Access::load(a),
+                _ => Access::store(a),
+            })
+            .collect();
+        for stream in [StreamKind::Instruction, StreamKind::Data, StreamKind::Unified] {
+            let mut whole = SinglePassSim::new(4, &[16, 64], 4);
+            whole.run_stream(stream, trace.iter().copied());
+            for chunk_size in [1usize, 7, 1024, 30_000] {
+                let mut chunked = SinglePassSim::new(4, &[16, 64], 4);
+                for chunk in trace.chunks(chunk_size) {
+                    chunked.run_stream(stream, chunk.iter().copied());
+                }
+                assert_eq!(chunked.accesses(), whole.accesses());
+                for &s in &[16u32, 64] {
+                    for a in 1..=4 {
+                        assert_eq!(
+                            chunked.misses(s, a),
+                            whole.misses(s, a),
+                            "{stream:?} S={s} A={a} chunk={chunk_size}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -61,11 +61,8 @@ impl StackSim {
         self.accesses += 1;
         let line = addr / u64::from(self.line_words);
         if self.member.contains_key(&line) {
-            let pos = self
-                .stack
-                .iter()
-                .position(|&l| l == line)
-                .expect("member map and stack agree");
+            let pos =
+                self.stack.iter().position(|&l| l == line).expect("member map and stack agree");
             if self.hist.len() <= pos {
                 self.hist.resize(pos + 1, 0);
             }

@@ -281,9 +281,8 @@ mod tests {
 
     #[test]
     fn policies_agree_on_loads_only() {
-        let trace: Vec<(u64, bool)> = (0..5000u64)
-            .map(|i| ((i.wrapping_mul(2654435761) >> 16) % 256, false))
-            .collect();
+        let trace: Vec<(u64, bool)> =
+            (0..5000u64).map(|i| ((i.wrapping_mul(2654435761) >> 16) % 256, false)).collect();
         let a = WriteCache::new(cfg(), WriteConfig::default()).run(trace.iter().copied());
         let w = WriteConfig { policy: WriteMissPolicy::NoWriteAllocate, ..Default::default() };
         let b = WriteCache::new(cfg(), w).run(trace.iter().copied());

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(
         prop_oneof![
-            0u64..256,          // hot region
-            0u64..65_536,       // wider region
+            0u64..256,                               // hot region
+            0u64..65_536,                            // wider region
             (0u64..4096).prop_map(|x| x * 7 % 4096), // strided
         ],
         50..2000,

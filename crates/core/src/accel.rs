@@ -167,10 +167,7 @@ mod tests {
         let events = 50_000;
         let base = processor_cycles(&p, &c, 5, events);
         let accelerated = accelerated_cycles(&p, &c, &map, &accel, 5, events);
-        assert!(
-            accelerated < base,
-            "accelerator should help: {accelerated} vs {base}"
-        );
+        assert!(accelerated < base, "accelerator should help: {accelerated} vs {base}");
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl ReferenceBank {
     ///
     /// Returns `Err` when no reference matches the target's features or the
     /// cache configuration was not simulated.
-    pub fn estimate_icache_misses(&self, target: &Mdes, config: CacheConfig) -> Result<f64, String> {
+    pub fn estimate_icache_misses(
+        &self,
+        target: &Mdes,
+        config: CacheConfig,
+    ) -> Result<f64, String> {
         let eval = self
             .for_target(target)
             .ok_or_else(|| format!("no reference for features {:?}", FeatureKey::of(target)))?;

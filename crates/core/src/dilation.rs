@@ -53,11 +53,7 @@ impl DilationDistribution {
             }
         }
         samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        Self {
-            samples,
-            dyn_total,
-            text_dilation: text_dilation(reference, target),
-        }
+        Self { samples, dyn_total, text_dilation: text_dilation(reference, target) }
     }
 
     /// The whole-program text dilation `d` (Table 3's quantity).
@@ -104,8 +100,7 @@ impl DilationDistribution {
     pub fn static_quantile(&self, q: f64) -> f64 {
         assert!(!self.samples.is_empty(), "empty distribution");
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
-        let idx = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let idx = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[idx - 1].0
     }
 }
@@ -147,10 +142,7 @@ mod tests {
         let d = dist(ProcessorKind::P6332);
         let td = d.text_dilation();
         let below = d.static_cdf(td);
-        assert!(
-            (0.05..=0.95).contains(&below),
-            "text dilation {td} at CDF {below}"
-        );
+        assert!((0.05..=0.95).contains(&below), "text dilation {td} at CDF {below}");
     }
 
     #[test]

@@ -28,21 +28,40 @@
 //! are bit-identical for any worker count; [`EvalConfig::threads`] and the
 //! `MHE_THREADS` environment variable control the pool size, and
 //! [`ReferenceEvaluation::metrics`] reports where the time went.
+//!
+//! The same measurement also runs **streaming**:
+//! [`ReferenceEvaluation::build_from_trace`] consumes any access stream in
+//! fixed-size chunks, and [`ReferenceEvaluation::replay_file`] replays a
+//! captured `.mtr` or `.din` trace file from disk in bounded memory
+//! ([`ReferenceEvaluation::capture_mtr`] and
+//! [`ReferenceEvaluation::capture_din`] write them). Chunks fan out across
+//! the same worker pool into *stateful* modelers and simulators, so the
+//! results are bit-identical to the in-memory path for any chunk size and
+//! worker count; [`crate::metrics::ReplayMetrics`] reports decode
+//! throughput and the on-disk compression ratio.
 
 use crate::icache::estimate_icache_misses;
-use crate::metrics::{EvalMetrics, PassMetrics};
+use crate::metrics::{EvalMetrics, PassMetrics, ReplayMetrics};
 use crate::parallel::ParallelSweep;
 use crate::ucache::estimate_ucache_misses;
 use mhe_cache::{Cache, CacheConfig, SinglePassSim};
 use mhe_model::ahh::UniqueLineModel;
 use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
 use mhe_model::{ITraceModeler, UTraceModeler};
-use mhe_trace::{Access, DilatedTraceGenerator, StreamKind, TraceGenerator};
+use mhe_trace::codec::write_mtr;
+use mhe_trace::io::{read_din_iter, write_din};
+use mhe_trace::stats::din_text_bytes;
+use mhe_trace::{
+    Access, CodecStats, DilatedTraceGenerator, StreamKind, TraceGenerator, TraceReader,
+};
 use mhe_vliw::compile::Compiled;
 use mhe_vliw::Mdes;
 use mhe_workload::exec::BlockFrequencies;
 use mhe_workload::ir::Program;
 use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{self, BufReader, Write};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +85,11 @@ pub struct EvalConfig {
     /// (`MHE_THREADS`, else available parallelism). Results are
     /// bit-identical for every value.
     pub threads: usize,
+    /// Accesses per chunk when streaming a trace through the measurement
+    /// tasks ([`ReferenceEvaluation::build_from_trace`] and `.din`
+    /// replay; `.mtr` replay uses the file's own frame size). Results are
+    /// bit-identical for every value.
+    pub chunk_accesses: usize,
 }
 
 impl Default for EvalConfig {
@@ -78,6 +102,7 @@ impl Default for EvalConfig {
             max_dilation: 4.0,
             model: UniqueLineModel::RunBased,
             threads: 0,
+            chunk_accesses: 1 << 16,
         }
     }
 }
@@ -178,6 +203,172 @@ fn sim_tasks(kind: StreamKind, configs: &[CacheConfig], addrs: &Arc<[u64]>) -> V
         .collect()
 }
 
+/// One stateful unit of the streaming fan-out, fed one trace chunk at a
+/// time across many [`ParallelSweep::for_each_mut`] rounds.
+enum StreamTask {
+    IModel { modeler: ITraceModeler, wall: Duration },
+    UModel { modeler: UTraceModeler, wall: Duration },
+    Sim { kind: StreamKind, sim: SinglePassSim, configs: Vec<CacheConfig>, wall: Duration },
+}
+
+impl StreamTask {
+    fn feed(&mut self, chunk: &[Access]) {
+        let start = Instant::now();
+        match self {
+            StreamTask::IModel { modeler, wall } => {
+                for a in chunk {
+                    if StreamKind::Instruction.admits(a.kind) {
+                        modeler.process(a.addr);
+                    }
+                }
+                *wall += start.elapsed();
+            }
+            StreamTask::UModel { modeler, wall } => {
+                for &a in chunk {
+                    modeler.process(a);
+                }
+                *wall += start.elapsed();
+            }
+            StreamTask::Sim { kind, sim, wall, .. } => {
+                sim.run_stream(*kind, chunk.iter().copied());
+                *wall += start.elapsed();
+            }
+        }
+    }
+}
+
+/// Streaming counterpart of [`sim_tasks`]: one *stateful* single-pass
+/// simulator per distinct line size, ready to be fed chunks.
+fn stream_sim_tasks(kind: StreamKind, configs: &[CacheConfig]) -> Vec<StreamTask> {
+    let mut by_line: BTreeMap<u32, Vec<CacheConfig>> = BTreeMap::new();
+    for &c in configs {
+        by_line.entry(c.line_words).or_default().push(c);
+    }
+    by_line
+        .into_values()
+        .map(|group| StreamTask::Sim {
+            kind,
+            sim: SinglePassSim::for_configs(&group),
+            configs: group,
+            wall: Duration::ZERO,
+        })
+        .collect()
+}
+
+/// Everything the streaming fan-out measures, before assembly into a
+/// [`ReferenceEvaluation`].
+struct StreamOutcome {
+    threads: usize,
+    iparams: TraceParams,
+    uparams: UnifiedParams,
+    imeasured: HashMap<CacheConfig, u64>,
+    dmeasured: HashMap<CacheConfig, u64>,
+    umeasured: HashMap<CacheConfig, u64>,
+    passes: Vec<PassMetrics>,
+    trace_len: u64,
+    din_bytes: u64,
+    chunks: u64,
+    decode_wall: Duration,
+    sim_wall: Duration,
+    model_wall: Duration,
+}
+
+/// Pulls chunks from `next_chunk` until it yields `Ok(None)`, feeding
+/// every stateful measurement task each chunk through the worker pool.
+///
+/// Each task sees the whole access stream in order regardless of the
+/// chunking, and modelers and simulators are deterministic, so the
+/// outcome is bit-identical to the materialised fan-out in
+/// [`ReferenceEvaluation::build`] for any chunk size and worker count.
+fn measure_streaming(
+    config: &EvalConfig,
+    icaches: &[CacheConfig],
+    dcaches: &[CacheConfig],
+    ucaches: &[CacheConfig],
+    next_chunk: &mut dyn FnMut() -> io::Result<Option<Vec<Access>>>,
+) -> io::Result<StreamOutcome> {
+    let expanded = expand_line_sizes(icaches, config.max_dilation);
+    let mut tasks = vec![
+        StreamTask::IModel { modeler: ITraceModeler::new(config.i_granule), wall: Duration::ZERO },
+        StreamTask::UModel { modeler: UTraceModeler::new(config.u_granule), wall: Duration::ZERO },
+    ];
+    tasks.extend(stream_sim_tasks(StreamKind::Instruction, &expanded));
+    tasks.extend(stream_sim_tasks(StreamKind::Data, dcaches));
+    tasks.extend(stream_sim_tasks(StreamKind::Unified, ucaches));
+
+    let sweep = ParallelSweep::with_threads(config.worker_threads());
+    let mut trace_len = 0u64;
+    let mut din_bytes = 0u64;
+    let mut chunks = 0u64;
+    let mut decode_wall = Duration::ZERO;
+    let mut sim_wall = Duration::ZERO;
+    loop {
+        let decode_start = Instant::now();
+        let chunk = next_chunk()?;
+        decode_wall += decode_start.elapsed();
+        let Some(chunk) = chunk else { break };
+        if chunk.is_empty() {
+            continue;
+        }
+        trace_len += chunk.len() as u64;
+        din_bytes += din_text_bytes(chunk.iter().copied());
+        chunks += 1;
+        let sim_start = Instant::now();
+        sweep.for_each_mut(&mut tasks, |t| t.feed(&chunk));
+        sim_wall += sim_start.elapsed();
+    }
+
+    let mut iparams = None;
+    let mut uparams = None;
+    let mut model_wall = Duration::ZERO;
+    let mut imeasured = HashMap::new();
+    let mut dmeasured = HashMap::new();
+    let mut umeasured = HashMap::new();
+    let mut passes = Vec::new();
+    for task in tasks {
+        match task {
+            StreamTask::IModel { modeler, wall } => {
+                iparams = Some(modeler.finish());
+                model_wall += wall;
+            }
+            StreamTask::UModel { modeler, wall } => {
+                uparams = Some(modeler.finish());
+                model_wall += wall;
+            }
+            StreamTask::Sim { kind, sim, configs, wall } => {
+                let map = match kind {
+                    StreamKind::Instruction => &mut imeasured,
+                    StreamKind::Data => &mut dmeasured,
+                    StreamKind::Unified => &mut umeasured,
+                };
+                map.extend(configs.iter().map(|&c| (c, sim.misses(c.sets, c.assoc))));
+                passes.push(PassMetrics {
+                    stream: kind,
+                    line_words: sim.line_words(),
+                    configs: configs.len(),
+                    addresses: sim.accesses(),
+                    wall,
+                });
+            }
+        }
+    }
+    Ok(StreamOutcome {
+        threads: sweep.threads(),
+        iparams: iparams.expect("instruction modeler task ran"),
+        uparams: uparams.expect("unified modeler task ran"),
+        imeasured,
+        dmeasured,
+        umeasured,
+        passes,
+        trace_len,
+        din_bytes,
+        chunks,
+        decode_wall,
+        sim_wall,
+        model_wall,
+    })
+}
+
 impl ReferenceEvaluation {
     /// Compiles `program` for the reference machine, measures trace
     /// parameters, and simulates the given cache design spaces on the
@@ -209,11 +400,8 @@ impl ReferenceEvaluation {
             .filter(|a| StreamKind::Instruction.admits(a.kind))
             .map(|a| a.addr)
             .collect();
-        let daddrs: Arc<[u64]> = unified
-            .iter()
-            .filter(|a| StreamKind::Data.admits(a.kind))
-            .map(|a| a.addr)
-            .collect();
+        let daddrs: Arc<[u64]> =
+            unified.iter().filter(|a| StreamKind::Data.admits(a.kind)).map(|a| a.addr).collect();
         let uaddrs: Arc<[u64]> = unified.iter().map(|a| a.addr).collect();
         let unified: Arc<[Access]> = unified.into();
         let trace_wall = trace_start.elapsed();
@@ -271,6 +459,7 @@ impl ReferenceEvaluation {
             sim_wall,
             build_wall: build_start.elapsed(),
             passes,
+            replay: None,
         };
 
         Self {
@@ -285,6 +474,149 @@ impl ReferenceEvaluation {
             umeasured,
             metrics,
         }
+    }
+
+    /// Assembles an evaluation from the streaming fan-out's outcome.
+    fn from_outcome(
+        program: Program,
+        freq: BlockFrequencies,
+        reference: Compiled,
+        config: EvalConfig,
+        outcome: StreamOutcome,
+        replay: Option<ReplayMetrics>,
+        build_start: Instant,
+    ) -> Self {
+        let metrics = EvalMetrics {
+            threads: outcome.threads,
+            trace_len: outcome.trace_len,
+            trace_wall: outcome.decode_wall,
+            model_wall: outcome.model_wall,
+            sim_wall: outcome.sim_wall,
+            build_wall: build_start.elapsed(),
+            passes: outcome.passes,
+            replay,
+        };
+        Self {
+            config,
+            program,
+            freq,
+            reference,
+            iparams: outcome.iparams,
+            uparams: outcome.uparams,
+            imeasured: outcome.imeasured,
+            dmeasured: outcome.dmeasured,
+            umeasured: outcome.umeasured,
+            metrics,
+        }
+    }
+
+    /// Like [`ReferenceEvaluation::build`], but measures an explicitly
+    /// supplied access stream instead of generating the reference trace:
+    /// the stream *is* taken to be the reference trace.
+    ///
+    /// The stream is consumed in chunks of [`EvalConfig::chunk_accesses`]
+    /// fanned out across the worker pool into stateful modelers and
+    /// simulators, so arbitrarily long traces run in bounded memory.
+    /// Whenever the stream equals the generated reference trace, every
+    /// miss count and parameter is bit-identical to `build`'s.
+    pub fn build_from_trace(
+        program: Program,
+        reference_mdes: &Mdes,
+        config: EvalConfig,
+        trace: impl IntoIterator<Item = Access>,
+        icaches: &[CacheConfig],
+        dcaches: &[CacheConfig],
+        ucaches: &[CacheConfig],
+    ) -> Self {
+        let build_start = Instant::now();
+        let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
+        let reference = Compiled::build(&program, reference_mdes, Some(&freq));
+        let chunk_size = config.chunk_accesses.max(1);
+        let mut iter = trace.into_iter();
+        let mut next = move || -> io::Result<Option<Vec<Access>>> {
+            let chunk: Vec<Access> = iter.by_ref().take(chunk_size).collect();
+            Ok(if chunk.is_empty() { None } else { Some(chunk) })
+        };
+        let outcome = measure_streaming(&config, icaches, dcaches, ucaches, &mut next)
+            .expect("in-memory trace source cannot fail");
+        Self::from_outcome(program, freq, reference, config, outcome, None, build_start)
+    }
+
+    /// Replays a captured trace file as the reference trace.
+    ///
+    /// `.mtr` files are decoded frame by frame (each frame is one chunk);
+    /// `.din` text is parsed in chunks of [`EvalConfig::chunk_accesses`].
+    /// Either way the file streams through the measurement in bounded
+    /// memory, and the resulting evaluation is bit-identical to building
+    /// from the same trace in memory. [`EvalMetrics::replay`] records
+    /// bytes read, decode throughput, and the compression ratio relative
+    /// to `din` text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decode errors; rejects file extensions other
+    /// than `mtr` or `din` with [`io::ErrorKind::InvalidInput`].
+    pub fn replay_file(
+        program: Program,
+        reference_mdes: &Mdes,
+        config: EvalConfig,
+        path: impl AsRef<Path>,
+        icaches: &[CacheConfig],
+        dcaches: &[CacheConfig],
+        ucaches: &[CacheConfig],
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        let build_start = Instant::now();
+        let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
+        let reference = Compiled::build(&program, reference_mdes, Some(&freq));
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        let file = BufReader::new(File::open(path)?);
+        let (outcome, bytes_read) = match ext {
+            "mtr" => {
+                let mut reader = TraceReader::new(file)?;
+                let outcome = {
+                    let mut next = || reader.next_frame();
+                    measure_streaming(&config, icaches, dcaches, ucaches, &mut next)?
+                };
+                let bytes = reader.stats().bytes;
+                (outcome, bytes)
+            }
+            "din" => {
+                let mut lines = read_din_iter(file);
+                let chunk_size = config.chunk_accesses.max(1);
+                let outcome = {
+                    let mut next = || -> io::Result<Option<Vec<Access>>> {
+                        let mut chunk = Vec::new();
+                        for item in lines.by_ref() {
+                            chunk.push(item?);
+                            if chunk.len() >= chunk_size {
+                                break;
+                            }
+                        }
+                        Ok(if chunk.is_empty() { None } else { Some(chunk) })
+                    };
+                    measure_streaming(&config, icaches, dcaches, ucaches, &mut next)?
+                };
+                // din is the uncompressed baseline: what we read is the
+                // text itself.
+                let bytes = outcome.din_bytes;
+                (outcome, bytes)
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown trace extension {other:?} (expected mtr or din)"),
+                ));
+            }
+        };
+        let replay = ReplayMetrics {
+            bytes_read,
+            accesses: outcome.trace_len,
+            din_bytes: outcome.din_bytes,
+            chunks: outcome.chunks,
+            decode_wall: outcome.decode_wall,
+        };
+        Ok(Self::from_outcome(program, freq, reference, config, outcome, Some(replay), build_start))
     }
 
     /// Convenience: build for a benchmark with the paper's cache spaces.
@@ -342,6 +674,35 @@ impl ReferenceEvaluation {
     /// Where the build's time went (trace, modelers, simulation fan-out).
     pub fn metrics(&self) -> &EvalMetrics {
         &self.metrics
+    }
+
+    /// The reference trace, regenerated on demand as a stream.
+    ///
+    /// Trace generation is deterministic, so this is exactly the access
+    /// sequence the evaluation measured; capturing it and replaying the
+    /// file reproduces the evaluation bit for bit.
+    pub fn reference_trace(&self) -> impl Iterator<Item = Access> + '_ {
+        TraceGenerator::new(&self.program, &self.reference, self.config.seed)
+            .with_event_limit(self.config.events)
+    }
+
+    /// Captures the reference trace as a compact `.mtr` binary stream,
+    /// returning the codec's size accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn capture_mtr<W: Write>(&self, w: W) -> io::Result<CodecStats> {
+        write_mtr(w, self.reference_trace())
+    }
+
+    /// Captures the reference trace as classic `din` text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn capture_din<W: Write>(&self, w: W) -> io::Result<()> {
+        write_din(w, self.reference_trace())
     }
 
     /// All measured instruction-cache miss counts (including the expanded
@@ -446,9 +807,8 @@ pub fn actual_misses(
     config: CacheConfig,
 ) -> u64 {
     let mut cache = Cache::new(config);
-    for a in TraceGenerator::new(program, target, eval.seed)
-        .with_event_limit(eval.events)
-        .stream(kind)
+    for a in
+        TraceGenerator::new(program, target, eval.seed).with_event_limit(eval.events).stream(kind)
     {
         cache.access(a.addr);
     }
@@ -499,9 +859,7 @@ mod tests {
         let ic = CacheConfig::from_bytes(1024, 1, 32);
         assert!(e.icache_misses_measured(ic).is_some());
         assert!(e.dcache_misses(CacheConfig::from_bytes(1024, 1, 32)).is_ok());
-        assert!(e
-            .ucache_misses_measured(CacheConfig::from_bytes(16 * 1024, 2, 64))
-            .is_some());
+        assert!(e.ucache_misses_measured(CacheConfig::from_bytes(16 * 1024, 2, 64)).is_some());
         // Expanded line sizes present: 32B cache with max_dilation 4 needs
         // 16B and 8B variants too.
         assert!(e.icache_misses_measured(CacheConfig::new(32, 1, 4)).is_some());
@@ -577,6 +935,83 @@ mod tests {
         let unknown = CacheConfig::from_bytes(4096, 4, 16);
         assert!(e.estimate_ucache_misses(unknown, 1.5).is_err());
         assert!(e.dcache_misses(unknown).is_err());
+    }
+
+    #[test]
+    fn build_from_trace_matches_build() {
+        let e = small_eval();
+        let trace: Vec<Access> = e.reference_trace().collect();
+        let ic = [CacheConfig::from_bytes(1024, 1, 32)];
+        let dc = [CacheConfig::from_bytes(1024, 1, 32)];
+        let uc = [CacheConfig::from_bytes(16 * 1024, 2, 64)];
+        for chunk_accesses in [999, 1 << 16] {
+            let cfg = EvalConfig { events: 60_000, chunk_accesses, ..EvalConfig::default() };
+            let s = ReferenceEvaluation::build_from_trace(
+                e.program().clone(),
+                &ProcessorKind::P1111.mdes(),
+                cfg,
+                trace.iter().copied(),
+                &ic,
+                &dc,
+                &uc,
+            );
+            assert_eq!(s.imeasured(), e.imeasured(), "chunk {chunk_accesses}");
+            assert_eq!(s.dmeasured(), e.dmeasured(), "chunk {chunk_accesses}");
+            assert_eq!(s.umeasured(), e.umeasured(), "chunk {chunk_accesses}");
+            let est =
+                |ev: &ReferenceEvaluation| ev.estimate_icache_misses(ic[0], 2.0).unwrap().to_bits();
+            assert_eq!(est(&s), est(&e));
+            assert_eq!(s.metrics().trace_len, e.metrics().trace_len);
+            assert!(s.metrics().replay.is_none());
+        }
+    }
+
+    #[test]
+    fn replay_mtr_file_matches_build() {
+        let e = small_eval();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mhe_eval_unit_{}.mtr", std::process::id()));
+        let stats = e.capture_mtr(std::fs::File::create(&path).unwrap()).unwrap();
+        assert!(stats.compression_ratio() > 1.0);
+        let r = ReferenceEvaluation::replay_file(
+            e.program().clone(),
+            &ProcessorKind::P1111.mdes(),
+            *e.config(),
+            &path,
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r.imeasured(), e.imeasured());
+        assert_eq!(r.dmeasured(), e.dmeasured());
+        assert_eq!(r.umeasured(), e.umeasured());
+        let replay = r.metrics().replay.expect("file replay records metrics");
+        assert_eq!(replay.accesses, e.metrics().trace_len);
+        assert_eq!(replay.bytes_read, stats.bytes);
+        assert!(replay.chunks > 0);
+        assert!(replay.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn replay_rejects_unknown_extension() {
+        let e = small_eval();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mhe_eval_unit_{}.txt", std::process::id()));
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = ReferenceEvaluation::replay_file(
+            e.program().clone(),
+            &ProcessorKind::P1111.mdes(),
+            *e.config(),
+            &path,
+            &[],
+            &[],
+            &[],
+        )
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -110,9 +110,7 @@ fn lookup(
     line_words: u32,
 ) -> Result<u64, String> {
     let cfg = CacheConfig::new(cache.sets, cache.assoc, line_words);
-    measured
-        .misses(cfg)
-        .ok_or_else(|| format!("missing measured misses for {cfg}"))
+    measured.misses(cfg).ok_or_else(|| format!("missing measured misses for {cfg}"))
 }
 
 #[cfg(test)]
@@ -148,8 +146,8 @@ mod tests {
     fn unit_dilation_returns_measured_misses() {
         let m = table(&[(8, 5000)]);
         let cfg = CacheConfig::new(32, 1, 8);
-        let est = estimate_icache_misses(&params(), &m, cfg, 1.0, UniqueLineModel::RunBased)
-            .unwrap();
+        let est =
+            estimate_icache_misses(&params(), &m, cfg, 1.0, UniqueLineModel::RunBased).unwrap();
         assert!((est - 5000.0).abs() < 1e-9);
     }
 
@@ -158,8 +156,8 @@ mod tests {
         // d = 2 on a 8-word line = the 4-word-line cache, exactly.
         let m = table(&[(4, 9000), (8, 5000)]);
         let cfg = CacheConfig::new(32, 1, 8);
-        let est = estimate_icache_misses(&params(), &m, cfg, 2.0, UniqueLineModel::RunBased)
-            .unwrap();
+        let est =
+            estimate_icache_misses(&params(), &m, cfg, 2.0, UniqueLineModel::RunBased).unwrap();
         assert!((est - 9000.0).abs() < 1e-9);
     }
 
@@ -214,8 +212,7 @@ mod tests {
     fn ahh_and_linear_interpolation_differ_in_general() {
         let m = table(&[(4, 9000), (8, 5000)]);
         let cfg = CacheConfig::new(32, 1, 8);
-        let a = estimate_icache_misses(&params(), &m, cfg, 1.6, UniqueLineModel::RunBased)
-            .unwrap();
+        let a = estimate_icache_misses(&params(), &m, cfg, 1.6, UniqueLineModel::RunBased).unwrap();
         let b = estimate_icache_misses_linear(&m, cfg, 1.6).unwrap();
         assert!((a - b).abs() > 1.0, "AHH ({a}) vs linear ({b}) suspiciously equal");
     }

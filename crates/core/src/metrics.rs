@@ -34,6 +34,69 @@ impl PassMetrics {
     }
 }
 
+/// Accounting of a trace replayed from disk (the `.mtr`/`.din` path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayMetrics {
+    /// Encoded bytes consumed from the trace file (including headers).
+    pub bytes_read: u64,
+    /// Accesses decoded from the file.
+    pub accesses: u64,
+    /// Size of the same access stream as `din` text, for the compression
+    /// ratio.
+    pub din_bytes: u64,
+    /// Chunks the stream was replayed in.
+    pub chunks: u64,
+    /// Wall time spent reading and decoding (excludes simulation).
+    pub decode_wall: Duration,
+}
+
+impl ReplayMetrics {
+    /// How many times smaller the file is than the equivalent `din` text;
+    /// 0 when nothing was read.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_read == 0 {
+            0.0
+        } else {
+            self.din_bytes as f64 / self.bytes_read as f64
+        }
+    }
+
+    /// Accesses decoded per second; 0 for an instantaneous decode.
+    pub fn decode_accesses_per_second(&self) -> f64 {
+        if self.decode_wall.is_zero() {
+            0.0
+        } else {
+            self.accesses as f64 / self.decode_wall.as_secs_f64()
+        }
+    }
+
+    /// Encoded megabytes decoded per second; 0 for an instantaneous
+    /// decode.
+    pub fn decode_mb_per_second(&self) -> f64 {
+        if self.decode_wall.is_zero() {
+            0.0
+        } else {
+            self.bytes_read as f64 / 1e6 / self.decode_wall.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay {} accs from {} B in {} chunks ({:.2}x smaller than din, \
+             {:.2} Maddr/s / {:.1} MB/s decode)",
+            self.accesses,
+            self.bytes_read,
+            self.chunks,
+            self.compression_ratio(),
+            self.decode_accesses_per_second() / 1e6,
+            self.decode_mb_per_second(),
+        )
+    }
+}
+
 /// End-to-end accounting of one [`ReferenceEvaluation::build`] call.
 ///
 /// [`ReferenceEvaluation::build`]: crate::evaluator::ReferenceEvaluation::build
@@ -53,6 +116,9 @@ pub struct EvalMetrics {
     pub build_wall: Duration,
     /// One entry per single-pass simulation.
     pub passes: Vec<PassMetrics>,
+    /// Present when the trace was replayed from a captured file instead
+    /// of generated in memory.
+    pub replay: Option<ReplayMetrics>,
 }
 
 impl EvalMetrics {
@@ -117,7 +183,11 @@ impl std::fmt::Display for EvalMetrics {
             self.threads,
             self.parallel_speedup(),
             self.build_wall.as_secs_f64(),
-        )
+        )?;
+        if let Some(replay) = &self.replay {
+            write!(f, "; {replay}")?;
+        }
+        Ok(())
     }
 }
 
@@ -175,5 +245,34 @@ mod tests {
         let s = format!("{m}");
         assert!(s.contains("8 threads"), "{s}");
         assert!(s.contains("1 passes"), "{s}");
+        assert!(!s.contains("replay"), "generated traces must not report replay: {s}");
+    }
+
+    #[test]
+    fn replay_metrics_ratios_and_throughput() {
+        let r = ReplayMetrics {
+            bytes_read: 1_000,
+            accesses: 500,
+            din_bytes: 8_000,
+            chunks: 4,
+            decode_wall: Duration::from_millis(100),
+        };
+        assert!((r.compression_ratio() - 8.0).abs() < 1e-9);
+        assert!((r.decode_accesses_per_second() - 5_000.0).abs() < 1e-6);
+        assert!((r.decode_mb_per_second() - 0.01).abs() < 1e-9);
+        let zero = ReplayMetrics::default();
+        assert_eq!(zero.compression_ratio(), 0.0);
+        assert_eq!(zero.decode_accesses_per_second(), 0.0);
+        assert_eq!(zero.decode_mb_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_appends_replay_when_present() {
+        let m = EvalMetrics {
+            replay: Some(ReplayMetrics { bytes_read: 10, accesses: 2, ..Default::default() }),
+            ..EvalMetrics::default()
+        };
+        let s = format!("{m}");
+        assert!(s.contains("replay 2 accs from 10 B"), "{s}");
     }
 }

@@ -121,8 +121,7 @@ impl ParallelSweep {
         if workers <= 1 {
             return items.into_iter().map(f).collect();
         }
-        let slots: Vec<Mutex<Option<T>>> =
-            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -142,6 +141,42 @@ impl ParallelSweep {
             .into_iter()
             .map(|m| m.into_inner().unwrap().expect("worker completed item"))
             .collect()
+    }
+
+    /// Applies `f` to every item **in place**, concurrently.
+    ///
+    /// The streaming-replay counterpart of [`ParallelSweep::map`]: the
+    /// items stay owned by the caller, so stateful workers (simulators,
+    /// modelers) can be fed one trace chunk per call across many calls
+    /// without moving in and out of the pool. Work is claimed dynamically;
+    /// each item is visited exactly once per call.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut guard = slots[i].lock().unwrap();
+                    f(&mut **guard);
+                });
+            }
+        });
     }
 
     /// Like [`ParallelSweep::map`], also reporting the fan-out's wall time.
@@ -193,6 +228,27 @@ mod tests {
     #[test]
     fn with_threads_zero_falls_back_to_auto() {
         assert!(ParallelSweep::with_threads(0).threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut items: Vec<u64> = (0..97).collect();
+            ParallelSweep::with_threads(threads).for_each_mut(&mut items, |x| *x += 1000);
+            assert_eq!(items, (1000..1097).collect::<Vec<u64>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_accumulates_state_across_calls() {
+        // The chunked-replay shape: stateful items fed repeatedly.
+        let mut sums = vec![0u64; 16];
+        let sweep = ParallelSweep::with_threads(4);
+        for chunk in 1..=10u64 {
+            sweep.for_each_mut(&mut sums, |s| *s += chunk);
+        }
+        assert_eq!(sums, vec![55u64; 16]);
+        sweep.for_each_mut(&mut [], |_: &mut u64| unreachable!("empty slice has no items"));
     }
 
     #[test]

@@ -136,10 +136,10 @@ mod tests {
     #[test]
     fn wider_processor_fewer_compute_cycles_more_icache_misses() {
         let e = eval();
-        let narrow = evaluate_system(&e, &design(ProcessorKind::P1111), Penalties::default())
-            .unwrap();
-        let wide = evaluate_system(&e, &design(ProcessorKind::P6332), Penalties::default())
-            .unwrap();
+        let narrow =
+            evaluate_system(&e, &design(ProcessorKind::P1111), Penalties::default()).unwrap();
+        let wide =
+            evaluate_system(&e, &design(ProcessorKind::P6332), Penalties::default()).unwrap();
         assert!(wide.processor_cycles < narrow.processor_cycles);
         assert!(wide.icache_misses > narrow.icache_misses);
         assert!(wide.ucache_misses >= narrow.ucache_misses);

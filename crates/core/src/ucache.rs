@@ -83,8 +83,7 @@ mod tests {
         let cfg = CacheConfig::from_bytes(16 * 1024, 2, 64);
         let mut prev = 0.0;
         for d in [1.0, 1.4, 2.0, 2.8, 3.5] {
-            let est =
-                estimate_ucache_misses(&params(), 7000, cfg, d, UniqueLineModel::RunBased);
+            let est = estimate_ucache_misses(&params(), 7000, cfg, d, UniqueLineModel::RunBased);
             assert!(est >= prev, "d={d}: {est} < {prev}");
             prev = est;
         }

@@ -161,7 +161,6 @@ pub fn scale_misses(m_base: f64, coll_base: f64, coll_target: f64) -> f64 {
     }
 }
 
-
 /// Projects measured misses from one cache configuration to another using
 /// the AHH model end-to-end (Eq. 4.7 with modeled `u(L)` on both sides):
 /// `m(C2) = Coll(C2) / Coll(C1) · m(C1)`.
@@ -359,7 +358,6 @@ mod tests {
         assert!((v - 6.0).abs() < 1e-12);
     }
 
-
     #[test]
     fn projection_is_identity_on_same_config() {
         let p = params();
@@ -370,7 +368,8 @@ mod tests {
     #[test]
     fn projection_orders_cache_improvements() {
         let p = params();
-        let base = project_misses(&p, (64, 1, 8.0), 5000.0, (64, 1, 8.0), UniqueLineModel::RunBased);
+        let base =
+            project_misses(&p, (64, 1, 8.0), 5000.0, (64, 1, 8.0), UniqueLineModel::RunBased);
         let more_sets =
             project_misses(&p, (64, 1, 8.0), 5000.0, (128, 1, 8.0), UniqueLineModel::RunBased);
         let more_ways =

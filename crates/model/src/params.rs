@@ -128,11 +128,7 @@ impl ParamAccum {
             return TraceParams { u1: 0.0, p1: 1.0, lav: 1.0 };
         }
         let n = self.granules as f64;
-        TraceParams {
-            u1: self.u1_sum / n,
-            p1: self.p1_sum / n,
-            lav: self.lav_sum / n,
-        }
+        TraceParams { u1: self.u1_sum / n, p1: self.p1_sum / n, lav: self.lav_sum / n }
     }
 
     pub(crate) fn granules(&self) -> u64 {

@@ -9,8 +9,11 @@ use mhe_model::params::TraceParams;
 use proptest::prelude::*;
 
 fn params_strategy() -> impl Strategy<Value = TraceParams> {
-    (10.0f64..100_000.0, 0.0f64..1.0, 1.0f64..64.0)
-        .prop_map(|(u1, p1, lav)| TraceParams { u1, p1, lav })
+    (10.0f64..100_000.0, 0.0f64..1.0, 1.0f64..64.0).prop_map(|(u1, p1, lav)| TraceParams {
+        u1,
+        p1,
+        lav,
+    })
 }
 
 proptest! {

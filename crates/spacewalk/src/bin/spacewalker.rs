@@ -143,7 +143,10 @@ fn main() -> ExitCode {
         );
     }
     let (hits, computes) = db.stats();
-    eprintln!("{} frontier designs; evaluation cache {hits} hits / {computes} computes", frontier.len());
+    eprintln!(
+        "{} frontier designs; evaluation cache {hits} hits / {computes} computes",
+        frontier.len()
+    );
 
     if let Some(p) = db_path {
         if let Err(e) = db.save(&p) {

@@ -49,7 +49,8 @@ pub fn cache_area(design: &CacheDesign) -> f64 {
     // LRU state per line.
     let offset_bits = (c.line_words * 4).trailing_zeros();
     let index_bits = c.sets.trailing_zeros();
-    let tag_width = ADDR_BITS.saturating_sub(offset_bits + index_bits) + 1 + c.assoc.max(2).trailing_zeros();
+    let tag_width =
+        ADDR_BITS.saturating_sub(offset_bits + index_bits) + 1 + c.assoc.max(2).trailing_zeros();
     let tag_bits = lines * u64::from(tag_width);
     let p = f64::from(design.ports.max(1) - 1);
     let port_factor = 1.0 + 0.6 * p + 0.3 * p * p;
@@ -69,11 +70,8 @@ mod tests {
     fn area_grows_with_size() {
         let mut prev = 0.0;
         for kb in [1u64, 2, 4, 8, 16, 32] {
-            let a = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
-                kb * 1024,
-                1,
-                32,
-            )));
+            let a =
+                cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(kb * 1024, 1, 32)));
             assert!(a > prev);
             prev = a;
         }
@@ -92,16 +90,10 @@ mod tests {
     #[test]
     fn smaller_lines_mean_more_tag_area() {
         // Same capacity, smaller lines -> more lines -> more tag bits.
-        let coarse = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
-            8 * 1024,
-            1,
-            64,
-        )));
-        let fine = cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(
-            8 * 1024,
-            1,
-            16,
-        )));
+        let coarse =
+            cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(8 * 1024, 1, 64)));
+        let fine =
+            cache_area(&CacheDesign::single_ported(CacheConfig::from_bytes(8 * 1024, 1, 16)));
         assert!(fine > coarse);
     }
 

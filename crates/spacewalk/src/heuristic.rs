@@ -48,15 +48,9 @@ pub fn walk_heuristic(
     // miss behaviour non-monotonically, so every line size gets a start).
     let mut seeds: Vec<CacheDesign> = Vec::new();
     for &line in &space.line_bytes {
-        if let Some(d) = all
-            .iter()
-            .filter(|d| d.config.line_bytes() == line)
-            .min_by(|a, b| {
-                cache_area(a)
-                    .partial_cmp(&cache_area(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-        {
+        if let Some(d) = all.iter().filter(|d| d.config.line_bytes() == line).min_by(|a, b| {
+            cache_area(a).partial_cmp(&cache_area(b)).unwrap_or(std::cmp::Ordering::Equal)
+        }) {
             seeds.push(*d);
         }
     }
@@ -69,10 +63,7 @@ pub fn walk_heuristic(
         if !visited.insert(design) {
             continue;
         }
-        let key = format!(
-            "{key_prefix}/{}/p{}",
-            design.config, design.ports
-        );
+        let key = format!("{key_prefix}/{}/p{}", design.config, design.ports);
         let time = db.get_or_insert_with(&key, || evaluate(design));
         evaluated += 1;
         let kept = pareto.insert(design, cache_area(&design), time);
@@ -103,10 +94,7 @@ fn neighbours(d: CacheDesign) -> Vec<CacheDesign> {
     // Grow associativity (and capacity).
     out.push(CacheDesign { config: CacheConfig::new(c.sets, c.assoc * 2, c.line_words), ..d });
     // Change line size at same capacity.
-    out.push(CacheDesign {
-        config: CacheConfig::new(c.sets, c.assoc, c.line_words * 2),
-        ..d
-    });
+    out.push(CacheDesign { config: CacheConfig::new(c.sets, c.assoc, c.line_words * 2), ..d });
     if c.line_words >= 2 && c.sets >= 2 {
         out.push(CacheDesign {
             config: CacheConfig::new(c.sets * 2, c.assoc, c.line_words / 2),
@@ -121,8 +109,8 @@ fn neighbours(d: CacheDesign) -> Vec<CacheDesign> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::walker::{prepare_evaluation, walk_icache};
     use crate::space::SystemSpace;
+    use crate::walker::{prepare_evaluation, walk_icache};
     use mhe_core::evaluator::EvalConfig;
     use mhe_vliw::ProcessorKind;
     use mhe_workload::Benchmark;
@@ -153,8 +141,18 @@ mod tests {
         let system = SystemSpace {
             processors: vec![ProcessorKind::P1111.mdes()],
             icache: space(),
-            dcache: CacheSpace { sizes_bytes: vec![1024], assocs: vec![1], line_bytes: vec![32], ports: vec![1] },
-            ucache: CacheSpace { sizes_bytes: vec![64 << 10], assocs: vec![4], line_bytes: vec![64], ports: vec![1] },
+            dcache: CacheSpace {
+                sizes_bytes: vec![1024],
+                assocs: vec![1],
+                line_bytes: vec![32],
+                ports: vec![1],
+            },
+            ucache: CacheSpace {
+                sizes_bytes: vec![64 << 10],
+                assocs: vec![4],
+                line_bytes: vec![64],
+                ports: vec![1],
+            },
         };
         let eval = prepare_evaluation(
             Benchmark::Unepic.generate(),
@@ -171,11 +169,8 @@ mod tests {
         });
         // The heuristic must recover every exhaustive frontier point (same
         // cost/time pairs).
-        let mut ex: Vec<(u64, u64)> = exhaustive
-            .points()
-            .iter()
-            .map(|p| (p.cost.to_bits(), p.time.to_bits()))
-            .collect();
+        let mut ex: Vec<(u64, u64)> =
+            exhaustive.points().iter().map(|p| (p.cost.to_bits(), p.time.to_bits())).collect();
         let mut he: Vec<(u64, u64)> = heuristic
             .pareto
             .points()

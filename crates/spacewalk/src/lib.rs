@@ -37,8 +37,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache_db;
-pub mod heuristic;
 pub mod cost;
+pub mod heuristic;
 pub mod pareto;
 pub mod space;
 pub mod spec;

@@ -53,10 +53,7 @@ impl<T> ParetoSet<T> {
     /// `a.time <= b.time`, with at least one strict. Exact ties on both
     /// axes keep the incumbent.
     pub fn insert(&mut self, design: T, cost: f64, time: f64) -> bool {
-        let dominated = self
-            .points
-            .iter()
-            .any(|p| p.cost <= cost && p.time <= time);
+        let dominated = self.points.iter().any(|p| p.cost <= cost && p.time <= time);
         if dominated {
             return false;
         }

@@ -86,7 +86,12 @@ pub fn walk_icache(
 ) -> ParetoSet<CacheDesign> {
     let mut pareto = ParetoSet::new();
     for design in space.enumerate() {
-        let key = format!("{}/ic/{}/p{}/d{dilation:.3}", eval.program().name, design.config, design.ports);
+        let key = format!(
+            "{}/ic/{}/p{}/d{dilation:.3}",
+            eval.program().name,
+            design.config,
+            design.ports
+        );
         let misses = db.get_or_insert_with(&key, || {
             eval.estimate_icache_misses(design.config, dilation)
                 .expect("icache space was pre-simulated")
@@ -122,7 +127,12 @@ pub fn walk_ucache(
 ) -> ParetoSet<CacheDesign> {
     let mut pareto = ParetoSet::new();
     for design in space.enumerate() {
-        let key = format!("{}/uc/{}/p{}/d{dilation:.3}", eval.program().name, design.config, design.ports);
+        let key = format!(
+            "{}/uc/{}/p{}/d{dilation:.3}",
+            eval.program().name,
+            design.config,
+            design.ports
+        );
         let misses = db.get_or_insert_with(&key, || {
             eval.estimate_ucache_misses(design.config, dilation)
                 .expect("ucache space was pre-simulated")
@@ -147,11 +157,7 @@ pub fn walk_memory(
     for i in ic.points() {
         for d in dc.points() {
             for u in uc.points() {
-                let point = MemoryPoint {
-                    icache: i.design,
-                    dcache: d.design,
-                    ucache: u.design,
-                };
+                let point = MemoryPoint { icache: i.design, dcache: d.design, ucache: u.design };
                 if !point.design().satisfies_inclusion() {
                     continue;
                 }
@@ -183,11 +189,8 @@ pub fn walk_system(
     let mut pareto = ParetoSet::new();
     let cfg = *eval.config();
     let cycles_key = |proc: &Mdes| format!("{}/proc/{}/cycles", eval.program().name, proc.name);
-    let jobs: Vec<(&Mdes, bool)> = space
-        .processors
-        .iter()
-        .map(|proc| (proc, db.get(&cycles_key(proc)).is_some()))
-        .collect();
+    let jobs: Vec<(&Mdes, bool)> =
+        space.processors.iter().map(|proc| (proc, db.get(&cycles_key(proc)).is_some())).collect();
     let prepared = ParallelSweep::new().map(jobs, |(proc, cached)| {
         let compiled = eval.compile_target(proc);
         let d = compiled.text_words() as f64 / eval.reference().text_words() as f64;
@@ -206,11 +209,7 @@ pub fn walk_system(
         for m in memory.points() {
             let time = compute + m.time;
             let cost = proc.cost() * PROCESSOR_AREA_SCALE + m.cost;
-            pareto.insert(
-                SystemPoint { processor: proc.clone(), memory: m.design },
-                cost,
-                time,
-            );
+            pareto.insert(SystemPoint { processor: proc.clone(), memory: m.design }, cost, time);
         }
     }
     pareto

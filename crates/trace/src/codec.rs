@@ -1,0 +1,681 @@
+//! Streaming binary trace codec: the `.mtr` format.
+//!
+//! The verbose text `din` format is the interchange lingua franca of the
+//! 1990s tools the paper pipes together, but it costs ~8 bytes per
+//! reference and must be re-parsed on every replay. `.mtr` is the compact
+//! binary equivalent: address deltas, kept **per reference kind** (the
+//! instruction stream is near-sequential while data references roam),
+//! zigzag-mapped and packed as little-endian varints with the kind opcode
+//! folded into the first byte. Sequential instruction fetches encode in a
+//! single byte; a trace typically shrinks 4–8× versus its `din` text.
+//!
+//! # Layout
+//!
+//! ```text
+//! file   := magic version frame*
+//! magic  := "MTR!"                      (4 bytes: 4D 54 52 21)
+//! version:= 01                          (1 byte)
+//! frame  := count payload_len payload
+//! count  := u32 LE                      (accesses in the frame, > 0)
+//! payload_len := u32 LE                 (bytes of payload)
+//! payload:= access{count}
+//! access := first_byte cont_byte*
+//! ```
+//!
+//! `first_byte` packs, from the least-significant bit: 5 payload bits,
+//! 2 kind bits (`0` load, `1` store, `2` inst — matching the `din`
+//! labels; `3` is invalid), and a continuation flag in bit 7.
+//! Continuation bytes are plain LEB128 (7 payload bits + continuation
+//! flag). The decoded value is `zigzag(addr - last[kind])` with wrapping
+//! subtraction, so `u64::MAX`-magnitude jumps still encode in ≤ 10 bytes.
+//! Every frame is self-contained: the per-kind `last` state resets to 0
+//! at each frame boundary, so frames can be decoded (and replayed)
+//! independently and a truncated file loses at most its final frame.
+//!
+//! [`TraceWriter`] and [`TraceReader`] operate in bounded memory — one
+//! frame at a time — regardless of trace length. Any malformed input
+//! (bad magic, unknown version, truncated header or payload, varint
+//! overflow, invalid kind, payload/count mismatch) is reported as
+//! [`std::io::ErrorKind::InvalidData`], never a panic.
+//!
+//! # Examples
+//!
+//! ```
+//! use mhe_trace::codec::{read_mtr, write_mtr};
+//! use mhe_trace::Access;
+//!
+//! let trace = vec![Access::inst(0x40), Access::inst(0x41), Access::load(0x9000)];
+//! let mut buf = Vec::new();
+//! let stats = write_mtr(&mut buf, trace.iter().copied())?;
+//! assert_eq!(stats.accesses, 3);
+//! assert_eq!(read_mtr(buf.as_slice())?, trace);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::access::{Access, AccessKind};
+use crate::stats::din_text_bytes;
+use std::io::{Error, ErrorKind, Read, Result, Write};
+
+/// The four magic bytes opening every `.mtr` file.
+pub const MAGIC: [u8; 4] = *b"MTR!";
+
+/// Format version written (and the only one accepted) by this codec.
+pub const VERSION: u8 = 1;
+
+/// Default maximum accesses per frame.
+pub const DEFAULT_FRAME_ACCESSES: usize = 1 << 16;
+
+/// Upper bound accepted for a frame's access count (decoder safety rail).
+pub const MAX_FRAME_ACCESSES: u32 = 1 << 24;
+
+/// Upper bound accepted for a frame's payload length in bytes.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 28;
+
+/// Accounting of one encode or decode session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecStats {
+    /// Accesses encoded or decoded.
+    pub accesses: u64,
+    /// Complete frames written or read.
+    pub frames: u64,
+    /// Total `.mtr` bytes produced or consumed, including the file header.
+    pub bytes: u64,
+    /// Size of the same access stream as `din` text (see
+    /// [`din_text_bytes`]).
+    pub din_bytes: u64,
+}
+
+impl CodecStats {
+    /// How many times smaller the `.mtr` bytes are than the equivalent
+    /// `din` text (`> 1` is a win); 0 for an empty session.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.din_bytes as f64 / self.bytes as f64
+        }
+    }
+
+    /// Average encoded bytes per access; 0 for an empty session.
+    pub fn bytes_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.accesses as f64
+        }
+    }
+}
+
+fn opcode(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Inst => 2,
+    }
+}
+
+fn kind_of(op: u8) -> Option<AccessKind> {
+    match op {
+        0 => Some(AccessKind::Load),
+        1 => Some(AccessKind::Store),
+        2 => Some(AccessKind::Inst),
+        _ => None,
+    }
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends one access to a frame payload, updating the per-kind state.
+fn encode_access(payload: &mut Vec<u8>, last: &mut [u64; 3], a: Access) {
+    let op = opcode(a.kind);
+    let delta = a.addr.wrapping_sub(last[op as usize]) as i64;
+    last[op as usize] = a.addr;
+    let mut v = zigzag(delta);
+    let mut first = ((v & 0x1F) as u8) | (op << 5);
+    v >>= 5;
+    if v != 0 {
+        first |= 0x80;
+    }
+    payload.push(first);
+    while v != 0 {
+        let mut b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v != 0 {
+            b |= 0x80;
+        }
+        payload.push(b);
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Decodes one access from `payload` at `*pos`, updating the per-kind
+/// state.
+fn decode_access(payload: &[u8], pos: &mut usize, last: &mut [u64; 3]) -> Result<Access> {
+    let first = *payload.get(*pos).ok_or_else(|| invalid("mtr frame payload truncated"))?;
+    *pos += 1;
+    let op = (first >> 5) & 0x3;
+    let kind = kind_of(op).ok_or_else(|| invalid("mtr access has invalid kind opcode 3"))?;
+    let mut v = u64::from(first & 0x1F);
+    let mut shift = 5u32;
+    let mut more = first & 0x80 != 0;
+    while more {
+        let b = *payload.get(*pos).ok_or_else(|| invalid("mtr frame payload truncated"))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 61 && (b & 0x7F) > 0x7) {
+            return Err(invalid("mtr varint overflows 64 bits"));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        shift += 7;
+        more = b & 0x80 != 0;
+    }
+    let addr = last[op as usize].wrapping_add(unzigzag(v) as u64);
+    last[op as usize] = addr;
+    Ok(Access { addr, kind })
+}
+
+/// Streaming `.mtr` encoder with bounded memory (one frame buffered).
+///
+/// Construction writes the file header; call [`TraceWriter::finish`] to
+/// flush the final partial frame. Dropping an unfinished writer loses at
+/// most the buffered frame, matching the "truncated file loses its tail"
+/// contract.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    frame_accesses: usize,
+    payload: Vec<u8>,
+    count: u32,
+    last: [u64; 3],
+    stats: CodecStats,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer with the default frame size and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    pub fn new(w: W) -> Result<Self> {
+        Self::with_frame_accesses(w, DEFAULT_FRAME_ACCESSES)
+    }
+
+    /// Creates a writer that closes a frame every `frame_accesses`
+    /// accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_accesses` is 0 or exceeds [`MAX_FRAME_ACCESSES`].
+    pub fn with_frame_accesses(mut w: W, frame_accesses: usize) -> Result<Self> {
+        assert!(
+            frame_accesses >= 1 && frame_accesses <= MAX_FRAME_ACCESSES as usize,
+            "frame size {frame_accesses} out of range"
+        );
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION])?;
+        Ok(Self {
+            w,
+            frame_accesses,
+            payload: Vec::new(),
+            count: 0,
+            last: [0; 3],
+            stats: CodecStats { bytes: MAGIC.len() as u64 + 1, ..CodecStats::default() },
+        })
+    }
+
+    /// Appends one access, flushing a frame when it fills.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push(&mut self, a: Access) -> Result<()> {
+        encode_access(&mut self.payload, &mut self.last, a);
+        self.count += 1;
+        self.stats.accesses += 1;
+        self.stats.din_bytes += din_text_bytes([a]);
+        if self.count as usize >= self.frame_accesses {
+            self.flush_frame()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a whole access stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_all(&mut self, trace: impl IntoIterator<Item = Access>) -> Result<()> {
+        for a in trace {
+            self.push(a)?;
+        }
+        Ok(())
+    }
+
+    fn flush_frame(&mut self) -> Result<()> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        let payload_len = u32::try_from(self.payload.len())
+            .map_err(|_| invalid("mtr frame payload exceeds u32"))?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.write_all(&payload_len.to_le_bytes())?;
+        self.w.write_all(&self.payload)?;
+        self.stats.bytes += 8 + u64::from(payload_len);
+        self.stats.frames += 1;
+        self.payload.clear();
+        self.count = 0;
+        self.last = [0; 3];
+        Ok(())
+    }
+
+    /// Accounting so far (bytes reflect completed frames plus the header).
+    pub fn stats(&self) -> CodecStats {
+        self.stats
+    }
+
+    /// Flushes the final partial frame and the underlying writer,
+    /// returning the session's accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> Result<CodecStats> {
+        self.flush_frame()?;
+        self.w.flush()?;
+        Ok(self.stats)
+    }
+}
+
+/// Streaming `.mtr` decoder with bounded memory (one frame decoded at a
+/// time).
+///
+/// Use [`TraceReader::next_frame`] to consume whole frames — the natural
+/// replay chunk — or iterate access by access; the iterator yields
+/// `io::Result<Access>` and fuses after the first error.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    current: std::vec::IntoIter<Access>,
+    stats: CodecStats,
+    poisoned: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a reader, validating the magic and version.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::InvalidData`] if the header is missing,
+    /// foreign, or of an unsupported version; otherwise propagates I/O
+    /// errors.
+    pub fn new(mut r: R) -> Result<Self> {
+        let mut header = [0u8; 5];
+        r.read_exact(&mut header).map_err(|e| {
+            if e.kind() == ErrorKind::UnexpectedEof {
+                invalid("mtr header truncated")
+            } else {
+                e
+            }
+        })?;
+        if header[..4] != MAGIC {
+            return Err(invalid(format!("not an mtr file (magic {:02x?})", &header[..4])));
+        }
+        if header[4] != VERSION {
+            return Err(invalid(format!(
+                "unsupported mtr version {} (expected {VERSION})",
+                header[4]
+            )));
+        }
+        Ok(Self {
+            r,
+            current: Vec::new().into_iter(),
+            stats: CodecStats { bytes: 5, ..CodecStats::default() },
+            poisoned: false,
+        })
+    }
+
+    /// Reads and decodes the next whole frame; `Ok(None)` at a clean end
+    /// of file.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::ErrorKind::InvalidData`] for any truncation or
+    /// corruption; otherwise propagates I/O errors. After an error the
+    /// reader is poisoned and further calls return `Ok(None)`.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<Access>>> {
+        if self.poisoned {
+            return Ok(None);
+        }
+        // Read the first header byte alone so a clean end of file (zero
+        // bytes where a frame could start) is distinguishable from a
+        // header cut mid-way.
+        let mut header = [0u8; 8];
+        loop {
+            match self.r.read(&mut header[..1]) {
+                Ok(0) => return Ok(None),
+                Ok(_) => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return self.poison(e),
+            }
+        }
+        if let Err(e) = self.r.read_exact(&mut header[1..]) {
+            return if e.kind() == ErrorKind::UnexpectedEof {
+                self.poison(invalid("mtr frame header truncated"))
+            } else {
+                self.poison(e)
+            };
+        }
+        let count = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if count == 0 || count > MAX_FRAME_ACCESSES {
+            return self.poison(invalid(format!("mtr frame count {count} out of range")));
+        }
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return self.poison(invalid(format!("mtr frame payload {payload_len} out of range")));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        if let Err(e) = self.r.read_exact(&mut payload) {
+            return if e.kind() == ErrorKind::UnexpectedEof {
+                self.poison(invalid("mtr frame payload truncated"))
+            } else {
+                self.poison(e)
+            };
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        let mut last = [0u64; 3];
+        let mut pos = 0usize;
+        for _ in 0..count {
+            match decode_access(&payload, &mut pos, &mut last) {
+                Ok(a) => out.push(a),
+                Err(e) => return self.poison(e),
+            }
+        }
+        if pos != payload.len() {
+            return self.poison(invalid(format!(
+                "mtr frame has {} trailing payload bytes",
+                payload.len() - pos
+            )));
+        }
+        self.stats.bytes += 8 + u64::from(payload_len);
+        self.stats.frames += 1;
+        self.stats.accesses += u64::from(count);
+        self.stats.din_bytes += din_text_bytes(out.iter().copied());
+        Ok(Some(out))
+    }
+
+    fn poison<T>(&mut self, e: Error) -> Result<Option<T>> {
+        self.poisoned = true;
+        Err(e)
+    }
+
+    /// Accounting of everything decoded so far.
+    pub fn stats(&self) -> CodecStats {
+        self.stats
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Access>;
+
+    fn next(&mut self) -> Option<Result<Access>> {
+        if let Some(a) = self.current.next() {
+            return Some(Ok(a));
+        }
+        match self.next_frame() {
+            Ok(Some(frame)) => {
+                self.current = frame.into_iter();
+                self.current.next().map(Ok)
+            }
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Writes a whole access stream as one `.mtr` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_mtr<W: Write>(w: W, trace: impl IntoIterator<Item = Access>) -> Result<CodecStats> {
+    let mut tw = TraceWriter::new(w)?;
+    tw.write_all(trace)?;
+    tw.finish()
+}
+
+/// Reads a whole `.mtr` file into memory.
+///
+/// Convenience for tests and small traces; replay paths should consume
+/// [`TraceReader`] frame by frame instead.
+///
+/// # Errors
+///
+/// As for [`TraceReader`].
+pub fn read_mtr<R: Read>(r: R) -> Result<Vec<Access>> {
+    let mut reader = TraceReader::new(r)?;
+    let mut out = Vec::new();
+    while let Some(frame) = reader.next_frame()? {
+        out.extend(frame);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_trace(n: usize) -> Vec<Access> {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                match x % 3 {
+                    0 => Access::inst(0x4000 + i as u64),
+                    1 => Access::load((x >> 20) % 100_000),
+                    _ => Access::store((x >> 30) % 50_000),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_mixed_trace() {
+        let trace = mixed_trace(200_000);
+        let mut buf = Vec::new();
+        let stats = write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        assert_eq!(stats.accesses, trace.len() as u64);
+        assert_eq!(stats.bytes, buf.len() as u64);
+        assert_eq!(read_mtr(buf.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn roundtrip_empty_trace_is_header_only() {
+        let mut buf = Vec::new();
+        let stats = write_mtr(&mut buf, std::iter::empty()).unwrap();
+        assert_eq!(buf, [0x4D, 0x54, 0x52, 0x21, 0x01]);
+        assert_eq!(stats.frames, 0);
+        assert_eq!(read_mtr(buf.as_slice()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn multi_frame_roundtrip_and_frame_independence() {
+        let trace = mixed_trace(1000);
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::with_frame_accesses(&mut buf, 64).unwrap();
+        w.write_all(trace.iter().copied()).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.frames, 1000_u64.div_ceil(64));
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        let mut back = Vec::new();
+        let mut frames = 0;
+        while let Some(f) = r.next_frame().unwrap() {
+            assert!(f.len() <= 64);
+            back.extend(f);
+            frames += 1;
+        }
+        assert_eq!(frames, stats.frames);
+        assert_eq!(back, trace);
+        assert_eq!(r.stats().accesses, trace.len() as u64);
+        assert_eq!(r.stats().bytes, buf.len() as u64);
+    }
+
+    #[test]
+    fn sequential_instruction_stream_is_one_byte_per_access() {
+        let trace: Vec<Access> = (0..10_000).map(|i| Access::inst(0x1000 + i)).collect();
+        let mut buf = Vec::new();
+        let stats = write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        // Header (5) + frame header (8) + 2 bytes for the first jump +
+        // 1 byte for each sequential delta.
+        assert!(stats.bytes_per_access() < 1.01, "{} bytes/access", stats.bytes_per_access());
+        assert!(stats.compression_ratio() > 6.0, "ratio {}", stats.compression_ratio());
+    }
+
+    #[test]
+    fn extreme_addresses_roundtrip() {
+        let trace = vec![
+            Access::load(0),
+            Access::load(u64::MAX),
+            Access::load(0),
+            Access::store(u64::MAX),
+            Access::inst(1 << 63),
+            Access::inst(0),
+            Access::load(u64::MAX / 2),
+        ];
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        assert_eq!(read_mtr(buf.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn truncated_payload_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, mixed_trace(100)).unwrap();
+        for cut in [buf.len() - 1, buf.len() - 10, 14] {
+            let err = read_mtr(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::InvalidData, "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, mixed_trace(10)).unwrap();
+        for cut in [0, 3, 4] {
+            let err = read_mtr(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::InvalidData, "cut at {cut}");
+        }
+        // A cut inside a frame header (after the file header).
+        let err = read_mtr(&buf[..7]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn foreign_magic_and_version_rejected() {
+        let err = read_mtr(&b"DIN!\x01"[..]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "{err}");
+        let err = read_mtr(&b"MTR!\x02"[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn invalid_kind_opcode_rejected() {
+        // Hand-built frame: count 1, payload = one byte with kind bits 11.
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        buf.extend(1u32.to_le_bytes());
+        buf.extend(1u32.to_le_bytes());
+        buf.push(0b0110_0000);
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        buf.extend(1u32.to_le_bytes());
+        buf.extend(2u32.to_le_bytes());
+        buf.push(0b0100_0010); // inst, delta 1
+        buf.push(0x00); // stray byte the count does not explain
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // A valid first byte (load, continuation set) followed by enough
+        // all-ones continuation bytes to exceed 64 decoded bits.
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        let payload: Vec<u8> = std::iter::once(0x9F).chain(std::iter::repeat_n(0xFF, 9)).collect();
+        buf.extend(1u32.to_le_bytes());
+        buf.extend((payload.len() as u32).to_le_bytes());
+        buf.extend(&payload);
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    #[test]
+    fn zero_count_frame_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        buf.extend(0u32.to_le_bytes());
+        buf.extend(0u32.to_le_bytes());
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_payload_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        buf.extend(1u32.to_le_bytes());
+        buf.extend((MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn iterator_yields_accesses_and_fuses_on_error() {
+        let trace = mixed_trace(300);
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        let collected: Vec<Access> =
+            TraceReader::new(buf.as_slice()).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(collected, trace);
+
+        let cut = &buf[..buf.len() - 3];
+        let mut r = TraceReader::new(cut).unwrap();
+        let mut saw_err = false;
+        for item in &mut r {
+            if item.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err);
+        assert!(r.next().is_none(), "reader must fuse after an error");
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_edges() {
+        for d in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -4242] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+}

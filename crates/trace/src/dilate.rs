@@ -46,12 +46,8 @@ impl DilatedLayout {
             }
         }
         order.sort_unstable();
-        let mut blocks: Vec<Vec<(u64, u32)>> = reference
-            .binary
-            .blocks
-            .iter()
-            .map(|v| vec![(0u64, 0u32); v.len()])
-            .collect();
+        let mut blocks: Vec<Vec<(u64, u32)>> =
+            reference.binary.blocks.iter().map(|v| vec![(0u64, 0u32); v.len()]).collect();
         let mut prev_end = TEXT_BASE;
         let mut max_end = TEXT_BASE;
         for (start, pi, bi) in order {
@@ -218,12 +214,8 @@ mod tests {
         let (_, c) = reference();
         for d in [1.3, 2.0, 2.7] {
             let layout = DilatedLayout::new(&c, d);
-            let mut spans: Vec<(u64, u64)> = layout
-                .blocks
-                .iter()
-                .flatten()
-                .map(|&(s, w)| (s, s + u64::from(w)))
-                .collect();
+            let mut spans: Vec<(u64, u64)> =
+                layout.blocks.iter().flatten().map(|&(s, w)| (s, s + u64::from(w))).collect();
             spans.sort_unstable();
             for w in spans.windows(2) {
                 assert!(w[0].1 <= w[1].0, "d={d}: overlap {w:?}");
@@ -238,10 +230,7 @@ mod tests {
         for d in [1.5, 2.0, 3.0] {
             let t = DilatedLayout::new(&c, d).text_words as f64;
             let ratio = t / base;
-            assert!(
-                (ratio / d - 1.0).abs() < 0.02,
-                "d={d}: text scaled by {ratio}"
-            );
+            assert!((ratio / d - 1.0).abs() < 0.02, "d={d}: text scaled by {ratio}");
         }
     }
 
@@ -262,10 +251,8 @@ mod tests {
     #[test]
     fn data_component_is_unchanged_by_dilation() {
         let (p, c) = reference();
-        let a: Vec<_> = TraceGenerator::new(&p, &c, 7)
-            .stream(StreamKind::Data)
-            .take(20_000)
-            .collect();
+        let a: Vec<_> =
+            TraceGenerator::new(&p, &c, 7).stream(StreamKind::Data).take(20_000).collect();
         let b: Vec<_> = DilatedTraceGenerator::new(&p, &c, 2.5, 7)
             .stream(StreamKind::Data)
             .take(20_000)

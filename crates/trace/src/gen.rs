@@ -227,10 +227,7 @@ mod tests {
         let coverage = covered as f64 / a.len() as f64;
         assert!(coverage > 0.95, "narrow data refs covered only {coverage:.3}");
         let extra = b.len() as f64 / a.len() as f64;
-        assert!(
-            (1.0..1.5).contains(&extra),
-            "wide trace has {extra:.2}x the data references"
-        );
+        assert!((1.0..1.5).contains(&extra), "wide trace has {extra:.2}x the data references");
     }
 
     #[test]

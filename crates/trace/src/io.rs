@@ -14,9 +14,12 @@
 //! are word addresses, matching the rest of the crate.
 
 use crate::access::{Access, AccessKind};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufWriter, Lines, Write};
 
 /// Writes an access stream in `din` format.
+///
+/// The writer is buffered internally, so handing this function a raw
+/// `File` does not cost one syscall per access.
 ///
 /// # Errors
 ///
@@ -33,10 +36,8 @@ use std::io::{BufRead, Write};
 /// assert_eq!(back, trace);
 /// # Ok::<(), std::io::Error>(())
 /// ```
-pub fn write_din<W: Write>(
-    mut w: W,
-    trace: impl IntoIterator<Item = Access>,
-) -> std::io::Result<()> {
+pub fn write_din<W: Write>(w: W, trace: impl IntoIterator<Item = Access>) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
     for a in trace {
         let label = match a.kind {
             AccessKind::Load => 0,
@@ -45,7 +46,87 @@ pub fn write_din<W: Write>(
         };
         writeln!(w, "{label} {:x}", a.addr)?;
     }
-    Ok(())
+    w.flush()
+}
+
+/// Streaming iterator over a `din`-format trace.
+///
+/// Created by [`read_din_iter`]; yields one access per non-blank line in
+/// constant memory, so arbitrarily long capture files can be replayed
+/// without materialising them. A malformed line yields an
+/// [`std::io::ErrorKind::InvalidData`] error naming its position, after
+/// which the iterator fuses.
+#[derive(Debug)]
+pub struct DinLines<R: BufRead> {
+    lines: Lines<R>,
+    line_no: usize,
+    poisoned: bool,
+}
+
+impl<R: BufRead> Iterator for DinLines<R> {
+    type Item = std::io::Result<Access>;
+
+    fn next(&mut self) -> Option<std::io::Result<Access>> {
+        if self.poisoned {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(e));
+                }
+            };
+            self.line_no += 1;
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            match parse_din_line(text, self.line_no) {
+                Ok(a) => return Some(Ok(a)),
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+fn parse_din_line(text: &str, line_no: usize) -> std::io::Result<Access> {
+    let bad = || {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("malformed din line {line_no}: {text:?}"),
+        )
+    };
+    let mut parts = text.split_whitespace();
+    let label = parts.next().ok_or_else(bad)?;
+    let addr_text = parts.next().ok_or_else(bad)?;
+    let addr = u64::from_str_radix(addr_text, 16).map_err(|_| bad())?;
+    let kind = match label {
+        "0" => AccessKind::Load,
+        "1" => AccessKind::Store,
+        "2" => AccessKind::Inst,
+        _ => return Err(bad()),
+    };
+    Ok(Access { addr, kind })
+}
+
+/// Streams a `din`-format trace without materialising it.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_trace::io::read_din_iter;
+/// let accesses: Vec<_> =
+///     read_din_iter("2 40\n0 9000\n".as_bytes()).collect::<Result<_, _>>()?;
+/// assert_eq!(accesses.len(), 2);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn read_din_iter<R: BufRead>(r: R) -> DinLines<R> {
+    DinLines { lines: r.lines(), line_no: 0, poisoned: false }
 }
 
 /// Reads a `din`-format trace written by [`write_din`] (or any dinero
@@ -58,32 +139,7 @@ pub fn write_din<W: Write>(
 ///
 /// Propagates I/O errors and reports malformed lines.
 pub fn read_din<R: BufRead>(r: R) -> std::io::Result<Vec<Access>> {
-    let mut out = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        let bad = || {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed din line {}: {text:?}", i + 1),
-            )
-        };
-        let mut parts = text.split_whitespace();
-        let label = parts.next().ok_or_else(bad)?;
-        let addr_text = parts.next().ok_or_else(bad)?;
-        let addr = u64::from_str_radix(addr_text, 16).map_err(|_| bad())?;
-        let kind = match label {
-            "0" => AccessKind::Load,
-            "1" => AccessKind::Store,
-            "2" => AccessKind::Inst,
-            _ => return Err(bad()),
-        };
-        out.push(Access { addr, kind });
-    }
-    Ok(out)
+    read_din_iter(r).collect()
 }
 
 #[cfg(test)]
@@ -133,5 +189,43 @@ mod tests {
     #[test]
     fn non_hex_addresses_rejected() {
         assert!(read_din("0 zz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn iter_streams_without_materialising() {
+        let p = Benchmark::Unepic.generate();
+        let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
+        let trace: Vec<Access> = TraceGenerator::new(&p, &c, 9).take(5_000).collect();
+        let mut buf = Vec::new();
+        write_din(&mut buf, trace.iter().copied()).unwrap();
+        let mut n = 0usize;
+        for (i, item) in read_din_iter(buf.as_slice()).enumerate() {
+            assert_eq!(item.unwrap(), trace[i]);
+            n += 1;
+        }
+        assert_eq!(n, trace.len());
+    }
+
+    #[test]
+    fn iter_skips_blank_lines() {
+        let items: Vec<Access> =
+            read_din_iter("0 10\n\n  \n2 20\n".as_bytes()).collect::<Result<_, _>>().unwrap();
+        assert_eq!(items, vec![Access::load(0x10), Access::inst(0x20)]);
+    }
+
+    #[test]
+    fn iter_malformed_lines_name_their_position_and_fuse() {
+        let mut it = read_din_iter("0 10\n\nnot-a-line\n2 20\n".as_bytes());
+        assert_eq!(it.next().unwrap().unwrap(), Access::load(0x10));
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(it.next().is_none(), "iterator must fuse after an error");
+    }
+
+    #[test]
+    fn iter_rejects_unknown_labels_and_bad_hex() {
+        assert!(read_din_iter("7 10\n".as_bytes()).next().unwrap().is_err());
+        assert!(read_din_iter("0 zz\n".as_bytes()).next().unwrap().is_err());
     }
 }

@@ -7,6 +7,10 @@
 //! additionally constructs *dilated* reference traces — the synthetic
 //! ground truth the paper uses to isolate the errors of its dilation model.
 //!
+//! Traces interchange in two formats: the classic `din` text ([`io`])
+//! and the compact streaming binary `.mtr` codec ([`codec`]), both
+//! consumable in bounded memory for capture/replay workflows.
+//!
 //! All addresses are 4-byte-word addresses.
 //!
 //! # Quick start
@@ -28,12 +32,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod access;
+pub mod codec;
 pub mod dilate;
 pub mod gen;
 pub mod io;
 pub mod stats;
 
 pub use access::{Access, AccessKind, StreamKind};
+pub use codec::{CodecStats, TraceReader, TraceWriter};
 pub use dilate::DilatedTraceGenerator;
 pub use gen::TraceGenerator;
 pub use stats::TraceStats;

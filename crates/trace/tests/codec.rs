@@ -1,0 +1,149 @@
+//! Property and golden tests for the `.mtr` streaming trace codec.
+//!
+//! The properties: encoding round-trips arbitrary access streams exactly
+//! (including duplicates, extreme addresses, and any frame size), and a
+//! damaged file — truncated anywhere or with any byte flipped — never
+//! panics the decoder: it either still decodes a valid frame-aligned
+//! prefix or fails with `InvalidData`.
+//!
+//! The golden test pins the on-disk byte layout so the format cannot
+//! drift silently: files written today must stay readable tomorrow.
+
+use mhe_trace::codec::{read_mtr, write_mtr, TraceWriter};
+use mhe_trace::{Access, AccessKind};
+use proptest::prelude::*;
+use std::io::ErrorKind;
+
+fn access(kind: u8, addr: u64) -> Access {
+    let kind = match kind % 3 {
+        0 => AccessKind::Load,
+        1 => AccessKind::Store,
+        _ => AccessKind::Inst,
+    };
+    Access { kind, addr }
+}
+
+/// Addresses mixing locality, wide jumps, and the extremes.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..256,
+        0x1000u64..0x2000,
+        0u64..u64::MAX,
+        Just(0u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+    ]
+}
+
+fn trace_strategy(max_len: usize) -> impl Strategy<Value = Vec<Access>> {
+    prop::collection::vec((0u8..3, addr_strategy()).prop_map(|(k, a)| access(k, a)), 0..max_len)
+}
+
+/// Encodes with an explicit frame size, so cases cover single-frame,
+/// multi-frame, and frame-boundary-aligned traces.
+fn encode(trace: &[Access], frame_accesses: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::with_frame_accesses(&mut buf, frame_accesses).unwrap();
+    w.write_all(trace.iter().copied()).unwrap();
+    w.finish().unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_exact(trace in trace_strategy(2_000), frame in 1usize..300) {
+        let bytes = encode(&trace, frame);
+        prop_assert_eq!(read_mtr(&bytes[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn roundtrip_duplicate_heavy_streams(trace in prop::collection::vec(
+        (0u8..3, 0u64..8).prop_map(|(k, a)| access(k, a)),
+        0..1_500,
+    )) {
+        // Tiny address space: mostly zero deltas and repeated values, the
+        // best case for the delta coder and a dedup stressor.
+        let bytes = encode(&trace, 64);
+        prop_assert_eq!(read_mtr(&bytes[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn truncation_never_panics(trace in trace_strategy(400), frame in 1usize..64, cut_seed in 0u64..u64::MAX) {
+        let bytes = encode(&trace, frame);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match read_mtr(&bytes[..cut]) {
+            // A cut at a frame boundary is a clean EOF: the decoder
+            // returns the frames before the cut, which must be an exact
+            // prefix of the original stream.
+            Ok(got) => {
+                prop_assert!(got.len() <= trace.len());
+                prop_assert_eq!(&trace[..got.len()], &got[..]);
+                // The cut removed at least the file's final frame, so every
+                // surviving frame is a full one.
+                prop_assert_eq!(got.len() % frame, 0);
+            }
+            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::InvalidData),
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics(trace in trace_strategy(400), frame in 1usize..64, pos_seed in 0u64..u64::MAX, flip in 1u16..256) {
+        let mut bytes = encode(&trace, frame);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip as u8;
+        // Any single-byte corruption must be survivable: either the
+        // stream still decodes (the flip produced another valid payload)
+        // or the reader reports InvalidData — never a panic, never an
+        // unbounded allocation.
+        if let Err(e) = read_mtr(&bytes[..]) {
+            prop_assert_eq!(e.kind(), ErrorKind::InvalidData);
+        }
+    }
+}
+
+#[test]
+fn empty_trace_roundtrips_as_header_only_file() {
+    let mut buf = Vec::new();
+    write_mtr(&mut buf, std::iter::empty()).unwrap();
+    assert_eq!(buf, b"MTR!\x01", "empty trace is exactly the 5-byte header");
+    assert_eq!(read_mtr(&buf[..]).unwrap(), Vec::<Access>::new());
+}
+
+#[test]
+fn golden_byte_layout_is_pinned() {
+    // The written format is a compatibility contract; this test pins it.
+    //
+    //   magic "MTR!" | version 1
+    //   frame: count=4 LE | payload_len=9 LE
+    //   inst  0x40  : zigzag(0x40)=0x80  -> C0 04       (kind 2, cont)
+    //   inst  0x41  : delta 1, zigzag 2  -> 42          (1 byte, sequential)
+    //   load  0x9000: zigzag=0x12000     -> 80 80 12    (kind 0)
+    //   store 0x9000: own last-addr state, full delta -> A0 80 12 (kind 1)
+    let trace =
+        vec![Access::inst(0x40), Access::inst(0x41), Access::load(0x9000), Access::store(0x9000)];
+    let mut buf = Vec::new();
+    write_mtr(&mut buf, trace.iter().copied()).unwrap();
+    let expected: &[u8] = &[
+        0x4D, 0x54, 0x52, 0x21, 0x01, // "MTR!", version 1
+        0x04, 0x00, 0x00, 0x00, // frame access count
+        0x09, 0x00, 0x00, 0x00, // frame payload length
+        0xC0, 0x04, // inst 0x40
+        0x42, // inst 0x41
+        0x80, 0x80, 0x12, // load 0x9000
+        0xA0, 0x80, 0x12, // store 0x9000
+    ];
+    assert_eq!(buf, expected);
+    assert_eq!(read_mtr(expected).unwrap(), trace);
+}
+
+#[test]
+fn frame_state_reset_keeps_frames_independently_decodable() {
+    // Delta state resets at frame boundaries, so the second frame of a
+    // two-frame file re-encodes absolute positions: decoding must still
+    // reproduce the stream exactly.
+    let trace: Vec<Access> = (0..10u64).map(|i| Access::inst(0x4000 + i * 3)).collect();
+    let bytes = encode(&trace, 4); // frames of 4, 4, 2
+    assert_eq!(read_mtr(&bytes[..]).unwrap(), trace);
+}

@@ -66,11 +66,7 @@ impl AssembledProgram {
 
     /// Total encoded text in words, before linking (no alignment padding).
     pub fn text_words(&self) -> u64 {
-        self.procs
-            .iter()
-            .flatten()
-            .map(|b| u64::from(b.words))
-            .sum()
+        self.procs.iter().flatten().map(|b| u64::from(b.words)).sum()
     }
 }
 
@@ -155,8 +151,7 @@ mod tests {
         let sizes: Vec<u64> = ProcessorKind::ALL
             .iter()
             .map(|k| {
-                AssembledProgram::assemble(&ScheduledProgram::schedule(&p, &k.mdes()))
-                    .text_words()
+                AssembledProgram::assemble(&ScheduledProgram::schedule(&p, &k.mdes())).text_words()
             })
             .collect();
         for w in sizes.windows(2) {

@@ -134,16 +134,9 @@ impl InstructionFormat {
         templates.sort_by_key(|t| (t.bits, t.slots.total()));
         templates.dedup();
 
-        let full_words = templates
-            .iter()
-            .map(|t| t.words)
-            .max()
-            .expect("format always has templates");
-        Self {
-            templates,
-            header_bits,
-            packet_words: full_words.next_power_of_two(),
-        }
+        let full_words =
+            templates.iter().map(|t| t.words).max().expect("format always has templates");
+        Self { templates, header_bits, packet_words: full_words.next_power_of_two() }
     }
 
     /// The templates, ordered by increasing size.
@@ -172,9 +165,7 @@ impl InstructionFormat {
     ///
     /// Panics if no template covers `need` (a scheduler/format mismatch).
     pub fn cycle_words(&self, need: &SlotSet) -> u32 {
-        self.select(need)
-            .unwrap_or_else(|| panic!("no template covers {need:?}"))
-            .words
+        self.select(need).unwrap_or_else(|| panic!("no template covers {need:?}")).words
     }
 }
 
@@ -262,10 +253,7 @@ mod tests {
                 mem: m.mem_units,
                 branch: m.branch_units,
             };
-            assert!(
-                f.select(&full).is_some(),
-                "{kind}: full-width cycle must be encodable"
-            );
+            assert!(f.select(&full).is_some(), "{kind}: full-width cycle must be encodable");
         }
     }
 

@@ -53,7 +53,11 @@ impl Binary {
     /// let bin = Binary::link(&program, &asm, None);
     /// assert!(bin.text_words >= asm.text_words());
     /// ```
-    pub fn link(program: &Program, asm: &AssembledProgram, freq: Option<&BlockFrequencies>) -> Self {
+    pub fn link(
+        program: &Program,
+        asm: &AssembledProgram,
+        freq: Option<&BlockFrequencies>,
+    ) -> Self {
         let nprocs = program.procedures.len();
         let mut proc_order: Vec<ProcId> = (0..nprocs as u32).map(ProcId).collect();
         if let Some(f) = freq {
@@ -116,11 +120,8 @@ impl Binary {
 /// boundaries to avoid fetch stalls). Procedure entries are handled
 /// separately by the linker.
 fn alignment_targets(program: &Program) -> Vec<Vec<bool>> {
-    let mut aligned: Vec<Vec<bool>> = program
-        .procedures
-        .iter()
-        .map(|p| vec![false; p.blocks.len()])
-        .collect();
+    let mut aligned: Vec<Vec<bool>> =
+        program.procedures.iter().map(|p| vec![false; p.blocks.len()]).collect();
     for (pi, proc) in program.procedures.iter().enumerate() {
         for block in &proc.blocks {
             match block.terminator {
@@ -161,12 +162,8 @@ mod tests {
     #[test]
     fn blocks_do_not_overlap() {
         let (_, _, bin) = link_unepic(ProcessorKind::P2111);
-        let mut spans: Vec<(u64, u64)> = bin
-            .blocks
-            .iter()
-            .flatten()
-            .map(|b| (b.start, b.start + u64::from(b.words)))
-            .collect();
+        let mut spans: Vec<(u64, u64)> =
+            bin.blocks.iter().flatten().map(|b| (b.start, b.start + u64::from(b.words))).collect();
         spans.sort_unstable();
         for w in spans.windows(2) {
             assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
@@ -177,13 +174,7 @@ mod tests {
     fn text_starts_at_base_and_covers_all_blocks() {
         let (_, _, bin) = link_unepic(ProcessorKind::P1111);
         let min = bin.blocks.iter().flatten().map(|b| b.start).min().unwrap();
-        let max = bin
-            .blocks
-            .iter()
-            .flatten()
-            .map(|b| b.start + u64::from(b.words))
-            .max()
-            .unwrap();
+        let max = bin.blocks.iter().flatten().map(|b| b.start + u64::from(b.words)).max().unwrap();
         assert_eq!(min, TEXT_BASE);
         assert_eq!(max - TEXT_BASE, bin.text_words);
     }

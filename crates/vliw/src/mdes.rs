@@ -199,12 +199,8 @@ impl ProcessorKind {
     ];
 
     /// The four non-reference target processors.
-    pub const TARGETS: [ProcessorKind; 4] = [
-        ProcessorKind::P2111,
-        ProcessorKind::P3221,
-        ProcessorKind::P4221,
-        ProcessorKind::P6332,
-    ];
+    pub const TARGETS: [ProcessorKind; 4] =
+        [ProcessorKind::P2111, ProcessorKind::P3221, ProcessorKind::P4221, ProcessorKind::P6332];
 
     /// Display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -224,21 +220,11 @@ impl ProcessorKind {
     /// larger register files").
     pub fn mdes(self) -> Mdes {
         match self {
-            ProcessorKind::P1111 => {
-                Mdes::builder("1111").units(1, 1, 1, 1).regs(32, 32).build()
-            }
-            ProcessorKind::P2111 => {
-                Mdes::builder("2111").units(2, 1, 1, 1).regs(48, 32).build()
-            }
-            ProcessorKind::P3221 => {
-                Mdes::builder("3221").units(3, 2, 2, 1).regs(64, 48).build()
-            }
-            ProcessorKind::P4221 => {
-                Mdes::builder("4221").units(4, 2, 2, 1).regs(80, 64).build()
-            }
-            ProcessorKind::P6332 => {
-                Mdes::builder("6332").units(6, 3, 3, 2).regs(96, 64).build()
-            }
+            ProcessorKind::P1111 => Mdes::builder("1111").units(1, 1, 1, 1).regs(32, 32).build(),
+            ProcessorKind::P2111 => Mdes::builder("2111").units(2, 1, 1, 1).regs(48, 32).build(),
+            ProcessorKind::P3221 => Mdes::builder("3221").units(3, 2, 2, 1).regs(64, 48).build(),
+            ProcessorKind::P4221 => Mdes::builder("4221").units(4, 2, 2, 1).regs(80, 64).build(),
+            ProcessorKind::P6332 => Mdes::builder("6332").units(6, 3, 3, 2).regs(96, 64).build(),
         }
     }
 }

@@ -114,11 +114,7 @@ impl ScheduledProgram {
     /// Sum of schedule lengths over all static blocks (a static measure;
     /// dynamic cycle counts weight by execution frequency).
     pub fn total_cycles(&self) -> u64 {
-        self.procs
-            .iter()
-            .flatten()
-            .map(|b| u64::from(b.len_cycles()))
-            .sum()
+        self.procs.iter().flatten().map(|b| u64::from(b.len_cycles())).sum()
     }
 
     /// Total speculative loads inserted program-wide.
@@ -181,19 +177,14 @@ fn schedule_block(block: &mhe_workload::ir::BasicBlock, mdes: &Mdes) -> Schedule
     let mut scheduled = 0usize;
     let mut cycle = 0usize;
     while scheduled < n {
-        let mut free = [
-            mdes.int_units,
-            mdes.float_units,
-            mdes.mem_units,
-            mdes.branch_units,
-        ];
+        let mut free = [mdes.int_units, mdes.float_units, mdes.mem_units, mdes.branch_units];
         // Ready ops in priority order.
         let mut ready: Vec<usize> = (0..n)
             .filter(|&j| issue[j] == usize::MAX)
             .filter(|&j| {
-                preds[j].iter().all(|&(p, lat)| {
-                    issue[p] != usize::MAX && issue[p] + lat as usize <= cycle
-                })
+                preds[j]
+                    .iter()
+                    .all(|&(p, lat)| issue[p] != usize::MAX && issue[p] + lat as usize <= cycle)
             })
             .collect();
         ready.sort_by_key(|&j| (std::cmp::Reverse(height[j]), j));
@@ -221,10 +212,7 @@ fn schedule_block(block: &mhe_workload::ir::BasicBlock, mdes: &Mdes) -> Schedule
     //     otherwise a new cycle. ---
     let branch = ScheduledOp { class: OpClass::Branch, mem: None };
     let last = cycles.len() - 1;
-    let brs_in_last = cycles[last]
-        .iter()
-        .filter(|o| o.class == OpClass::Branch)
-        .count() as u32;
+    let brs_in_last = cycles[last].iter().filter(|o| o.class == OpClass::Branch).count() as u32;
     if brs_in_last < mdes.branch_units {
         cycles[last].push(branch);
     } else {
@@ -254,10 +242,7 @@ fn insert_spills(
 ) -> u32 {
     let n_cycles = cycles.len();
     let mut pressure = 0u32;
-    for (class, regs) in [
-        (RegClass::Int, mdes.int_regs),
-        (RegClass::Float, mdes.float_regs),
-    ] {
+    for (class, regs) in [(RegClass::Int, mdes.int_regs), (RegClass::Float, mdes.float_regs)] {
         // Live interval of each def: [issue, last use] (through block end if
         // unused locally — it may be live-out).
         let mut intervals: Vec<(usize, usize)> = Vec::new();
@@ -459,10 +444,7 @@ mod tests {
             .map(|k| ScheduledProgram::schedule(&p, &k.mdes()).total_spec_loads())
             .collect();
         assert!(spec[0] == 0, "1111 has one mem unit: no speculation budget");
-        assert!(
-            spec[4] > spec[1],
-            "6332 should speculate more than 2111: {spec:?}"
-        );
+        assert!(spec[4] > spec[1], "6332 should speculate more than 2111: {spec:?}");
     }
 
     #[test]
@@ -482,12 +464,8 @@ mod tests {
         let (_, s) = sched(ProcessorKind::P2111);
         for proc in &s.procs {
             for blk in proc {
-                let branches = blk
-                    .cycles
-                    .iter()
-                    .flatten()
-                    .filter(|o| o.class == OpClass::Branch)
-                    .count();
+                let branches =
+                    blk.cycles.iter().flatten().filter(|o| o.class == OpClass::Branch).count();
                 assert_eq!(branches, 1);
             }
         }

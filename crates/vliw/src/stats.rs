@@ -59,11 +59,7 @@ pub fn schedule_stats(sched: &ScheduledProgram) -> ScheduleStats {
         ops,
         empty_cycles: empty,
         ilp: if cycles == 0 { 0.0 } else { ops as f64 / cycles as f64 },
-        slot_utilization: if cycles == 0 {
-            0.0
-        } else {
-            ops as f64 / (cycles * width) as f64
-        },
+        slot_utilization: if cycles == 0 { 0.0 } else { ops as f64 / (cycles * width) as f64 },
     }
 }
 

@@ -97,9 +97,7 @@ impl ProgramBuilder {
             let src = Vreg::int(p.next_int.saturating_sub(1));
             let dst = Vreg::int(p.next_int);
             p.next_int += 1;
-            p.blocks[block.0 as usize]
-                .ops
-                .push(Op::compute(OpClass::IntAlu, Some(dst), vec![src]));
+            p.blocks[block.0 as usize].ops.push(Op::compute(OpClass::IntAlu, Some(dst), vec![src]));
         }
     }
 
@@ -110,9 +108,11 @@ impl ProgramBuilder {
             let src = Vreg::float(p.next_float.saturating_sub(1));
             let dst = Vreg::float(p.next_float);
             p.next_float += 1;
-            p.blocks[block.0 as usize]
-                .ops
-                .push(Op::compute(OpClass::FloatAlu, Some(dst), vec![src]));
+            p.blocks[block.0 as usize].ops.push(Op::compute(
+                OpClass::FloatAlu,
+                Some(dst),
+                vec![src],
+            ));
         }
     }
 
@@ -127,9 +127,7 @@ impl ProgramBuilder {
     /// Appends a store driven by `pattern`.
     pub fn store(&mut self, proc: ProcId, block: BlockId, pattern: PatternId) {
         let p = &mut self.procedures[proc.0 as usize];
-        p.blocks[block.0 as usize]
-            .ops
-            .push(Op::store(vec![Vreg::int(0), Vreg::int(1)], pattern));
+        p.blocks[block.0 as usize].ops.push(Op::store(vec![Vreg::int(0), Vreg::int(1)], pattern));
     }
 
     /// Terminates `block` with an unconditional jump.
@@ -163,7 +161,11 @@ impl ProgramBuilder {
     pub fn count_loop(&mut self, proc: ProcId, block: BlockId, exit: BlockId, mean_trips: f64) {
         assert!(mean_trips >= 1.0, "loops execute at least once");
         let p_back = 1.0 - 1.0 / mean_trips;
-        self.terminate(proc, block, Terminator::Branch { taken: block, fall: exit, p_taken: p_back });
+        self.terminate(
+            proc,
+            block,
+            Terminator::Branch { taken: block, fall: exit, p_taken: p_back },
+        );
     }
 
     /// Terminates `block` with a call; control resumes at `ret`.
@@ -183,11 +185,7 @@ impl ProgramBuilder {
 
     fn terminate(&mut self, proc: ProcId, block: BlockId, t: Terminator) {
         let p = &mut self.procedures[proc.0 as usize];
-        assert!(
-            !p.terminated[block.0 as usize],
-            "block {block} of {} terminated twice",
-            p.name
-        );
+        assert!(!p.terminated[block.0 as usize], "block {block} of {} terminated twice", p.name);
         p.blocks[block.0 as usize].terminator = t;
         p.terminated[block.0 as usize] = true;
     }
@@ -214,12 +212,8 @@ impl ProgramBuilder {
                 float_vregs: p.next_float,
             });
         }
-        let program = Program {
-            name: self.name,
-            procedures,
-            patterns: self.patterns,
-            entry: ProcId(0),
-        };
+        let program =
+            Program { name: self.name, procedures, patterns: self.patterns, entry: ProcId(0) };
         program.validate()?;
         Ok(program)
     }
@@ -315,8 +309,7 @@ mod tests {
         // The builder's output is a first-class program: it must survive
         // scheduling, assembly, and linking.
         let p = simple();
-        let compiled =
-            mhe_vliw_smoke::compile_smoke(&p);
+        let compiled = mhe_vliw_smoke::compile_smoke(&p);
         assert!(compiled > 0);
     }
 

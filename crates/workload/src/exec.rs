@@ -114,11 +114,8 @@ impl Iterator for Executor<'_> {
     type Item = BlockEvent;
 
     fn next(&mut self) -> Option<BlockEvent> {
-        let event = BlockEvent {
-            proc: self.cur.0,
-            block: self.cur.1,
-            depth: self.stack.len() as u32,
-        };
+        let event =
+            BlockEvent { proc: self.cur.0, block: self.cur.1, depth: self.stack.len() as u32 };
         self.advance();
         Some(event)
     }
@@ -137,11 +134,8 @@ pub struct BlockFrequencies {
 impl BlockFrequencies {
     /// Profiles `program` for `events` block events starting from `seed`.
     pub fn profile(program: &Program, seed: u64, events: usize) -> Self {
-        let mut counts: Vec<Vec<u64>> = program
-            .procedures
-            .iter()
-            .map(|p| vec![0u64; p.blocks.len()])
-            .collect();
+        let mut counts: Vec<Vec<u64>> =
+            program.procedures.iter().map(|p| vec![0u64; p.blocks.len()]).collect();
         for ev in Executor::new(program, seed).take(events) {
             counts[ev.proc.0 as usize][ev.block.0 as usize] += 1;
         }
@@ -201,10 +195,7 @@ mod tests {
         for w in events.windows(2) {
             let d0 = i64::from(w[0].depth);
             let d1 = i64::from(w[1].depth);
-            assert!(
-                (d0 - d1).abs() <= 1 || w[1].depth == 0,
-                "depth jumped from {d0} to {d1}"
-            );
+            assert!((d0 - d1).abs() <= 1 || w[1].depth == 0, "depth jumped from {d0} to {d1}");
         }
     }
 
@@ -236,9 +227,7 @@ mod tests {
         let p = Benchmark::Epic.generate();
         let n = 30_000;
         let f = BlockFrequencies::profile(&p, 17, n);
-        let sum: u64 = (0..p.procedures.len())
-            .map(|i| f.proc_count(ProcId(i as u32)))
-            .sum();
+        let sum: u64 = (0..p.procedures.len()).map(|i| f.proc_count(ProcId(i as u32))).sum();
         assert_eq!(sum, n as u64);
         assert_eq!(f.total(), n as u64);
     }
@@ -247,9 +236,8 @@ mod tests {
     fn execution_reaches_many_procedures() {
         let p = Benchmark::Gcc.generate();
         let f = BlockFrequencies::profile(&p, 19, 200_000);
-        let reached = (0..p.procedures.len())
-            .filter(|&i| f.proc_count(ProcId(i as u32)) > 0)
-            .count();
+        let reached =
+            (0..p.procedures.len()).filter(|&i| f.proc_count(ProcId(i as u32)) > 0).count();
         assert!(
             reached > p.procedures.len() / 4,
             "only {reached}/{} procedures reached",

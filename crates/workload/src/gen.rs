@@ -110,13 +110,13 @@ impl ProgramGenerator {
         }
         let latch = self.new_block(&mut builder);
         let exit = self.new_block(&mut builder);
-        builder.blocks[preheader.0 as usize].terminator =
-            Terminator::Jump { target: sites[0] };
+        builder.blocks[preheader.0 as usize].terminator = Terminator::Jump { target: sites[0] };
         for (k, &site) in sites.iter().enumerate() {
             // Spread callees across [1, nprocs) with per-program jitter.
             let lo = 1 + k * (nprocs - 1) / n_calls;
             let hi = 1 + (k + 1) * (nprocs - 1) / n_calls;
-            let callee = ProcId(self.rng.range_inclusive(lo as u64, (hi - 1).max(lo) as u64) as u32);
+            let callee =
+                ProcId(self.rng.range_inclusive(lo as u64, (hi - 1).max(lo) as u64) as u32);
             let ret = if k + 1 < n_calls { sites[k + 1] } else { latch };
             builder.blocks[site.0 as usize].terminator = Terminator::Call { callee, ret };
         }
@@ -211,8 +211,7 @@ impl ProgramGenerator {
         // Branch biases drawn from a small palette; real branches are rarely
         // 50/50, which matters for the dynamic dilation distribution.
         let p_taken = *pick(&mut self.rng, &[0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9]);
-        b.blocks[cond.0 as usize].terminator =
-            Terminator::Branch { taken: te, fall: fe, p_taken };
+        b.blocks[cond.0 as usize].terminator = Terminator::Branch { taken: te, fall: fe, p_taken };
         b.blocks[tx.0 as usize].terminator = Terminator::Jump { target: join };
         b.blocks[fx.0 as usize].terminator = Terminator::Jump { target: join };
         (cond, join)
@@ -274,13 +273,11 @@ impl ProgramGenerator {
     /// loop-level parallelism that unrolling compilers expose — this is
     /// what lets wider processors actually run faster.
     fn new_block(&mut self, b: &mut ProcBuilder) -> BlockId {
-        let n = self
-            .rng
-            .geometric_min1(self.profile.mean_ops_per_block)
-            .min(MAX_OPS_PER_BLOCK) as usize;
-        let (slo, shi) = self.profile.ilp_strands;
-        let strands = self.rng.range_inclusive(u64::from(slo.max(1)), u64::from(shi.max(1)))
+        let n = self.rng.geometric_min1(self.profile.mean_ops_per_block).min(MAX_OPS_PER_BLOCK)
             as usize;
+        let (slo, shi) = self.profile.ilp_strands;
+        let strands =
+            self.rng.range_inclusive(u64::from(slo.max(1)), u64::from(shi.max(1))) as usize;
         let mut ops = Vec::with_capacity(n);
         let mut recent_int: Vec<Vec<Vreg>> = vec![Vec::new(); strands];
         let mut recent_float: Vec<Vec<Vreg>> = vec![Vec::new(); strands];
@@ -475,10 +472,7 @@ mod tests {
             for (i, proc) in p.procedures.iter().enumerate() {
                 for blk in &proc.blocks {
                     if let Terminator::Call { callee, .. } = blk.terminator {
-                        assert!(
-                            callee.0 as usize > i,
-                            "{b}: proc {i} calls {callee} (not a DAG)"
-                        );
+                        assert!(callee.0 as usize > i, "{b}: proc {i} calls {callee} (not a DAG)");
                     }
                 }
             }
@@ -488,10 +482,8 @@ mod tests {
     #[test]
     fn entry_proc_exits_others_return() {
         let p = Benchmark::Mipmap.generate();
-        let has_exit = p.procedures[0]
-            .blocks
-            .iter()
-            .any(|b| matches!(b.terminator, Terminator::Exit));
+        let has_exit =
+            p.procedures[0].blocks.iter().any(|b| matches!(b.terminator, Terminator::Exit));
         assert!(has_exit, "entry procedure must contain Exit");
         for proc in &p.procedures[1..] {
             assert!(

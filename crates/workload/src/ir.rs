@@ -240,18 +240,24 @@ impl Procedure {
                 Terminator::Call { callee, ret } => {
                     check(*ret, "call-return")?;
                     if callee.0 as usize >= program.procedures.len() {
-                        return Err(format!("{} block {i}: callee {callee} out of range", self.name));
+                        return Err(format!(
+                            "{} block {i}: callee {callee} out of range",
+                            self.name
+                        ));
                     }
                 }
                 Terminator::Return | Terminator::Exit => {}
             }
             for op in &blk.ops {
                 if op.class.is_mem() {
-                    let pid = op
-                        .pattern
-                        .ok_or_else(|| format!("{} block {i}: memory op without pattern", self.name))?;
+                    let pid = op.pattern.ok_or_else(|| {
+                        format!("{} block {i}: memory op without pattern", self.name)
+                    })?;
                     if pid.0 as usize >= program.patterns.len() {
-                        return Err(format!("{} block {i}: pattern {:?} out of range", self.name, pid));
+                        return Err(format!(
+                            "{} block {i}: pattern {:?} out of range",
+                            self.name, pid
+                        ));
                     }
                 }
             }
@@ -293,11 +299,7 @@ impl Program {
     /// Total number of static operations, including one branch per block for
     /// the terminator.
     pub fn static_ops(&self) -> usize {
-        self.procedures
-            .iter()
-            .flat_map(|p| p.blocks.iter())
-            .map(|b| b.ops.len() + 1)
-            .sum()
+        self.procedures.iter().flat_map(|p| p.blocks.iter()).map(|b| b.ops.len() + 1).sum()
     }
 
     /// Total number of basic blocks.
@@ -407,7 +409,9 @@ mod tests {
 
     #[test]
     fn latencies_are_positive() {
-        for c in [OpClass::IntAlu, OpClass::FloatAlu, OpClass::Load, OpClass::Store, OpClass::Branch] {
+        for c in
+            [OpClass::IntAlu, OpClass::FloatAlu, OpClass::Load, OpClass::Store, OpClass::Branch]
+        {
             assert!(c.latency() >= 1);
         }
     }

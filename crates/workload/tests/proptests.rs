@@ -17,27 +17,25 @@ fn profile_strategy() -> impl Strategy<Value = Profile> {
         (0.05f64..0.3, 0.1f64..0.4, 0.05f64..0.25),
         3.0f64..30.0,
     )
-        .prop_map(
-            |(seed, procs, (rlo, rhi), ops, ff, (fl, fs), (pl, pi, pc), trip)| Profile {
-                name: "prop",
-                seed,
-                procs,
-                regions_per_proc: (rlo, rlo + rhi),
-                mean_ops_per_block: ops,
-                frac_float: ff,
-                frac_load: fl,
-                frac_store: fs,
-                pattern_mix: PatternMix { stack: 0.3, hot: 0.2, stream: 0.3, random: 0.2 },
-                ws_words: 1 << 12,
-                stream_len: (64, 1024),
-                hot_words: 128,
-                mean_trip: trip,
-                p_loop: pl,
-                p_if: pi,
-                p_call: pc,
-                ilp_strands: (1, 4),
-            },
-        )
+        .prop_map(|(seed, procs, (rlo, rhi), ops, ff, (fl, fs), (pl, pi, pc), trip)| Profile {
+            name: "prop",
+            seed,
+            procs,
+            regions_per_proc: (rlo, rlo + rhi),
+            mean_ops_per_block: ops,
+            frac_float: ff,
+            frac_load: fl,
+            frac_store: fs,
+            pattern_mix: PatternMix { stack: 0.3, hot: 0.2, stream: 0.3, random: 0.2 },
+            ws_words: 1 << 12,
+            stream_len: (64, 1024),
+            hot_words: 128,
+            mean_trip: trip,
+            p_loop: pl,
+            p_if: pi,
+            p_call: pc,
+            ilp_strands: (1, 4),
+        })
 }
 
 proptest! {

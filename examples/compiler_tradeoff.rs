@@ -75,12 +75,10 @@ fn main() -> Result<(), String> {
             // Code growth acts exactly like processor dilation: every block
             // stretches by the growth factor.
             let i_misses = eval.estimate_icache_misses(icache, v.code_growth)?;
-            let u_growth =
-                (eval.estimate_ucache_misses(ucache, v.code_growth)? - base_u).max(0.0);
+            let u_growth = (eval.estimate_ucache_misses(ucache, v.code_growth)? - base_u).max(0.0);
             let compute = base_cycles / v.speedup;
-            let total = compute
-                + i_misses * penalties.l1_miss as f64
-                + u_growth * penalties.l2_miss as f64;
+            let total =
+                compute + i_misses * penalties.l1_miss as f64 + u_growth * penalties.l2_miss as f64;
             if v.code_growth == 1.0 {
                 base_total = total;
             }

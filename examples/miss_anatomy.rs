@@ -54,12 +54,7 @@ fn main() {
     println!("{:>10} {:>12} {:>10}", "capacity", "misses", "rate");
     for lines in [8u32, 16, 32, 64, 128, 256, 512, 1024] {
         let m = stack.misses(lines);
-        println!(
-            "{:>7} ln {:>12} {:>9.2}%",
-            lines,
-            m,
-            100.0 * m as f64 / stack.accesses() as f64
-        );
+        println!("{:>7} ln {:>12} {:>9.2}%", lines, m, 100.0 * m as f64 / stack.accesses() as f64);
     }
     for target in [0.05, 0.02, 0.01] {
         match stack.capacity_for_miss_rate(target) {

@@ -37,14 +37,18 @@ fn main() -> Result<(), String> {
         eval.iparams().lav
     );
 
-    println!("{:<6} {:>9} {:>16} {:>16} {:>8}", "proc", "dilation", "est. I$ misses", "actual misses", "error");
+    println!(
+        "{:<6} {:>9} {:>16} {:>16} {:>8}",
+        "proc", "dilation", "est. I$ misses", "actual misses", "error"
+    );
     for kind in ProcessorKind::ALL {
         let d = eval.dilation_of(&kind.mdes());
         // The dilation-model estimate: pure arithmetic, no simulation.
         let est = eval.estimate_icache_misses(icache, d)?;
         // Ground truth: compile for the target and simulate its real trace.
         let target = eval.compile_target(&kind.mdes());
-        let act = actual_misses(eval.program(), &target, eval.config(), StreamKind::Instruction, icache);
+        let act =
+            actual_misses(eval.program(), &target, eval.config(), StreamKind::Instruction, icache);
         let err = 100.0 * (est - act as f64) / act as f64;
         println!("{:<6} {:>9.2} {:>16.0} {:>16} {:>7.1}%", kind.name(), d, est, act, err);
     }

@@ -12,11 +12,7 @@ use mhe::workload::Program;
 /// A two-phase kernel: a streaming loop plus a pointer-chasing loop.
 fn custom_program() -> Program {
     let mut b = ProgramBuilder::new("custom-kernel");
-    let stream = b.pattern(DataPattern::Stream {
-        base: 0x0800_0000,
-        len_words: 8192,
-        stride: 1,
-    });
+    let stream = b.pattern(DataPattern::Stream { base: 0x0800_0000, len_words: 8192, stride: 1 });
     let random = b.pattern(DataPattern::Random { base: 0x0810_0000, len_words: 2048 });
     let main = b.procedure("main");
     let phase1 = b.block(main);
@@ -49,8 +45,7 @@ fn custom_program_produces_sane_traces() {
     let p = custom_program();
     let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
     let trace: Vec<_> = TraceGenerator::new(&p, &c, 11).take(50_000).collect();
-    let data: Vec<u64> =
-        trace.iter().filter(|a| a.kind.is_data()).map(|a| a.addr).collect();
+    let data: Vec<u64> = trace.iter().filter(|a| a.kind.is_data()).map(|a| a.addr).collect();
     // Both data regions are exercised.
     assert!(data.iter().any(|&a| (0x0800_0000..0x0800_2000 + 8192).contains(&a)));
     assert!(data.iter().any(|&a| a >= 0x0810_0000));

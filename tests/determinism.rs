@@ -21,14 +21,9 @@ fn spaces() -> (Vec<CacheConfig>, Vec<CacheConfig>, Vec<CacheConfig>) {
         CacheConfig::from_bytes(16 * 1024, 2, 32),
         CacheConfig::from_bytes(16 * 1024, 2, 64),
     ];
-    let dcaches = vec![
-        CacheConfig::from_bytes(1024, 1, 32),
-        CacheConfig::from_bytes(4096, 2, 16),
-    ];
-    let ucaches = vec![
-        CacheConfig::from_bytes(16 * 1024, 2, 64),
-        CacheConfig::from_bytes(128 * 1024, 4, 32),
-    ];
+    let dcaches = vec![CacheConfig::from_bytes(1024, 1, 32), CacheConfig::from_bytes(4096, 2, 16)];
+    let ucaches =
+        vec![CacheConfig::from_bytes(16 * 1024, 2, 64), CacheConfig::from_bytes(128 * 1024, 4, 32)];
     (icaches, dcaches, ucaches)
 }
 

@@ -89,8 +89,8 @@ fn lemma1_matches_dilated_trace_simulation() {
     // Ground truth for the lemma itself: simulating the reference trace
     // with every block dilated by 2 yields the same count as halving the
     // line size on the undilated trace.
-    let sim = dilated_misses(e.program(), e.reference(), 2.0, &config(),
-                             StreamKind::Instruction, l1());
+    let sim =
+        dilated_misses(e.program(), e.reference(), 2.0, &config(), StreamKind::Instruction, l1());
     assert_eq!(sim, MEASURED_L4);
 }
 
