@@ -8,6 +8,7 @@
 //! predication and speculation." [`ReferenceBank`] manages that set and
 //! routes each target machine to its feature-matched reference evaluation.
 
+use crate::error::MheError;
 use crate::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe_cache::CacheConfig;
 use mhe_vliw::Mdes;
@@ -101,16 +102,19 @@ impl ReferenceBank {
     ///
     /// # Errors
     ///
-    /// Returns `Err` when no reference matches the target's features or the
-    /// cache configuration was not simulated.
+    /// Returns [`MheError::MissingReference`] when no reference matches the
+    /// target's features, or [`MheError::MissingSimulation`] when the cache
+    /// configuration was not simulated.
     pub fn estimate_icache_misses(
         &self,
         target: &Mdes,
         config: CacheConfig,
-    ) -> Result<f64, String> {
-        let eval = self
-            .for_target(target)
-            .ok_or_else(|| format!("no reference for features {:?}", FeatureKey::of(target)))?;
+    ) -> Result<f64, MheError> {
+        let key = FeatureKey::of(target);
+        let eval = self.for_target(target).ok_or(MheError::MissingReference {
+            speculation: key.speculation,
+            predication: key.predication,
+        })?;
         let d = eval.dilation_of(target);
         eval.estimate_icache_misses(config, d)
     }

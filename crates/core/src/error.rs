@@ -1,0 +1,101 @@
+//! The workspace error taxonomy.
+//!
+//! Every fallible metric query in the evaluation stack reports a typed
+//! [`MheError`] instead of a formatted string, so callers — walkers in
+//! particular — can match on the failure, recover (e.g. rebuild the
+//! evaluation with a wider space), or propagate it without parsing text.
+//! The errors are values: cheap to construct, `Eq`-comparable in tests,
+//! and rendered for humans only at the display boundary.
+
+use mhe_cache::CacheConfig;
+use mhe_trace::StreamKind;
+use std::fmt;
+
+/// Why a metric query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MheError {
+    /// A query needed the measured misses of a cache configuration that was
+    /// never simulated on the reference trace.
+    ///
+    /// For instruction caches this usually means a dilation required a
+    /// contracted line size outside the pre-simulated expansion — rebuild
+    /// the evaluation with a larger `max_dilation` or add the configuration
+    /// to the space.
+    MissingSimulation {
+        /// The stream whose measurement is missing.
+        stream: StreamKind,
+        /// The configuration that was not simulated.
+        config: CacheConfig,
+    },
+    /// No reference evaluation matches a target machine's
+    /// speculation/predication feature combination (see
+    /// [`crate::bank::ReferenceBank`]).
+    MissingReference {
+        /// Whether the target supports load speculation.
+        speculation: bool,
+        /// Whether the target supports predicated execution.
+        predication: bool,
+    },
+}
+
+impl MheError {
+    /// Shorthand for a missing simulation of `config` on `stream`.
+    pub fn missing(stream: StreamKind, config: CacheConfig) -> Self {
+        MheError::MissingSimulation { stream, config }
+    }
+}
+
+impl fmt::Display for MheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MheError::MissingSimulation { stream, config } => {
+                let s = match stream {
+                    StreamKind::Instruction => "instruction",
+                    StreamKind::Data => "data",
+                    StreamKind::Unified => "unified",
+                };
+                write!(
+                    f,
+                    "missing measured {s} misses for {config}: \
+                     not in the simulated space (rebuild with this \
+                     configuration or a larger max_dilation)"
+                )
+            }
+            MheError::MissingReference { speculation, predication } => write!(
+                f,
+                "no reference evaluation for features \
+                 speculation={speculation}, predication={predication}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_configuration() {
+        let e = MheError::missing(StreamKind::Instruction, CacheConfig::from_bytes(1024, 1, 32));
+        let msg = e.to_string();
+        assert!(msg.contains("instruction"), "{msg}");
+        assert!(msg.contains("max_dilation"), "{msg}");
+        let e = MheError::MissingReference { speculation: true, predication: false };
+        assert!(e.to_string().contains("speculation=true"));
+    }
+
+    #[test]
+    fn errors_are_comparable_values() {
+        let cfg = CacheConfig::from_bytes(1024, 1, 32);
+        assert_eq!(
+            MheError::missing(StreamKind::Data, cfg),
+            MheError::MissingSimulation { stream: StreamKind::Data, config: cfg }
+        );
+        assert_ne!(
+            MheError::missing(StreamKind::Data, cfg),
+            MheError::missing(StreamKind::Unified, cfg)
+        );
+    }
+}

@@ -40,6 +40,7 @@
 //! worker count; [`crate::metrics::ReplayMetrics`] reports decode
 //! throughput and the on-disk compression ratio.
 
+use crate::error::MheError;
 use crate::icache::estimate_icache_misses;
 use crate::metrics::{EvalMetrics, PassMetrics, ReplayMetrics};
 use crate::parallel::ParallelSweep;
@@ -636,6 +637,13 @@ impl ReferenceEvaluation {
         &self.config
     }
 
+    /// Overrides the worker-thread count used by downstream parallel
+    /// consumers (walkers, sweeps) without rebuilding the evaluation.
+    /// `0` restores the automatic `MHE_THREADS`/parallelism default.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// The application program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -737,9 +745,10 @@ impl ReferenceEvaluation {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the required neighbouring line sizes were not in the
-    /// simulated space (build with a larger `max_dilation`).
-    pub fn estimate_icache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, String> {
+    /// Returns [`MheError::MissingSimulation`] if the required neighbouring
+    /// line sizes were not in the simulated space (build with a larger
+    /// `max_dilation`).
+    pub fn estimate_icache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, MheError> {
         let table = |cfg: CacheConfig| self.imeasured.get(&cfg).copied();
         estimate_icache_misses(&self.iparams, &table, config, d, self.config.model)
     }
@@ -748,13 +757,14 @@ impl ReferenceEvaluation {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the configuration was not simulated.
-    pub fn estimate_ucache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, String> {
+    /// Returns [`MheError::MissingSimulation`] if the configuration was not
+    /// simulated.
+    pub fn estimate_ucache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, MheError> {
         let measured = self
             .umeasured
             .get(&config)
             .copied()
-            .ok_or_else(|| format!("missing measured unified misses for {config}"))?;
+            .ok_or(MheError::MissingSimulation { stream: StreamKind::Unified, config })?;
         Ok(estimate_ucache_misses(&self.uparams, measured, config, d, self.config.model))
     }
 
@@ -763,12 +773,13 @@ impl ReferenceEvaluation {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the configuration was not simulated.
-    pub fn dcache_misses(&self, config: CacheConfig) -> Result<u64, String> {
+    /// Returns [`MheError::MissingSimulation`] if the configuration was not
+    /// simulated.
+    pub fn dcache_misses(&self, config: CacheConfig) -> Result<u64, MheError> {
         self.dmeasured
             .get(&config)
             .copied()
-            .ok_or_else(|| format!("missing measured data misses for {config}"))
+            .ok_or(MheError::MissingSimulation { stream: StreamKind::Data, config })
     }
 }
 

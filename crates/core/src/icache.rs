@@ -8,9 +8,11 @@
 //! Eq. 4.12) — misses are far too nonlinear in line size for plain linear
 //! interpolation, which the ablation benchmark demonstrates.
 
+use crate::error::MheError;
 use mhe_cache::CacheConfig;
 use mhe_model::ahh::{collisions, interpolate_linear_in, unique_lines, UniqueLineModel};
 use mhe_model::params::TraceParams;
+use mhe_trace::StreamKind;
 
 /// Source of measured reference-trace miss counts for feasible caches.
 ///
@@ -49,8 +51,8 @@ pub fn bracket_line_words(l: f64) -> (u32, u32) {
 ///
 /// # Errors
 ///
-/// Returns `Err` naming the missing configuration if `measured` lacks a
-/// required neighbouring line size.
+/// Returns [`MheError::MissingSimulation`] naming the missing configuration
+/// if `measured` lacks a required neighbouring line size.
 ///
 /// # Panics
 ///
@@ -61,7 +63,7 @@ pub fn estimate_icache_misses(
     cache: CacheConfig,
     d: f64,
     model: UniqueLineModel,
-) -> Result<f64, String> {
+) -> Result<f64, MheError> {
     assert!(d > 0.0, "dilation must be positive, got {d}");
     // Lemma 1: contract the line size by the dilation.
     let l_eff = f64::from(cache.line_words) / d;
@@ -85,13 +87,13 @@ pub fn estimate_icache_misses(
 ///
 /// # Errors
 ///
-/// Returns `Err` naming the missing configuration, as for
-/// [`estimate_icache_misses`].
+/// Returns [`MheError::MissingSimulation`] naming the missing
+/// configuration, as for [`estimate_icache_misses`].
 pub fn estimate_icache_misses_linear(
     measured: &impl MeasuredMisses,
     cache: CacheConfig,
     d: f64,
-) -> Result<f64, String> {
+) -> Result<f64, MheError> {
     assert!(d > 0.0, "dilation must be positive, got {d}");
     let l_eff = f64::from(cache.line_words) / d;
     let (lo, hi) = bracket_line_words(l_eff);
@@ -108,9 +110,11 @@ fn lookup(
     measured: &impl MeasuredMisses,
     cache: CacheConfig,
     line_words: u32,
-) -> Result<u64, String> {
+) -> Result<u64, MheError> {
     let cfg = CacheConfig::new(cache.sets, cache.assoc, line_words);
-    measured.misses(cfg).ok_or_else(|| format!("missing measured misses for {cfg}"))
+    measured
+        .misses(cfg)
+        .ok_or(MheError::MissingSimulation { stream: StreamKind::Instruction, config: cfg })
 }
 
 #[cfg(test)]
@@ -195,8 +199,14 @@ mod tests {
         let m = table(&[(8, 5000)]);
         let cfg = CacheConfig::new(32, 1, 8);
         let err = estimate_icache_misses(&params(), &m, cfg, 1.5, UniqueLineModel::RunBased);
-        assert!(err.is_err());
-        assert!(err.unwrap_err().contains("missing measured misses"));
+        // d = 1.5 needs the 4-word neighbour, which was not simulated.
+        assert_eq!(
+            err.unwrap_err(),
+            MheError::MissingSimulation {
+                stream: StreamKind::Instruction,
+                config: CacheConfig::new(32, 1, 4),
+            }
+        );
     }
 
     #[test]

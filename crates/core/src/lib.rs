@@ -42,7 +42,7 @@
 //! let d = eval.dilation_of(&ProcessorKind::P6332.mdes());
 //! let misses = eval.estimate_icache_misses(icache, d)?;
 //! assert!(misses > 0.0);
-//! # Ok::<(), String>(())
+//! # Ok::<(), mhe_core::MheError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -51,6 +51,7 @@
 pub mod accel;
 pub mod bank;
 pub mod dilation;
+pub mod error;
 pub mod evaluator;
 pub mod icache;
 pub mod metrics;
@@ -61,6 +62,7 @@ pub mod ucache;
 pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
 pub use dilation::{text_dilation, DilationDistribution};
+pub use error::MheError;
 pub use evaluator::{actual_misses, dilated_misses, EvalConfig, ReferenceEvaluation};
 pub use metrics::{EvalMetrics, PassMetrics};
 pub use parallel::{worker_threads, ParallelSweep, SweepMetrics};

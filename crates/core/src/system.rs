@@ -7,6 +7,7 @@
 //! cache stalls come either from the dilation model (fast path, used during
 //! design-space exploration) or from simulation (validation path).
 
+use crate::error::MheError;
 use crate::evaluator::ReferenceEvaluation;
 use mhe_cache::{MemoryDesign, Penalties};
 use mhe_vliw::compile::Compiled;
@@ -77,12 +78,13 @@ pub fn processor_cycles(program: &Program, compiled: &Compiled, seed: u64, event
 ///
 /// # Errors
 ///
-/// Returns `Err` if any cache configuration is outside the evaluated space.
+/// Returns [`MheError::MissingSimulation`] if any cache configuration is
+/// outside the evaluated space.
 pub fn evaluate_system(
     eval: &ReferenceEvaluation,
     design: &SystemDesign,
     penalties: Penalties,
-) -> Result<SystemPerformance, String> {
+) -> Result<SystemPerformance, MheError> {
     let program = eval.program();
     let cfg = eval.config();
     let target = eval.compile_target(&design.processor);

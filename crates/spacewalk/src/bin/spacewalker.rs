@@ -5,27 +5,34 @@
 //! driven by a `DesignSpaceSpec`):
 //!
 //! ```console
-//! $ spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]
+//! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
 //! (the only simulation), walks the processor × memory space with the
 //! dilation model, and prints the cost/performance Pareto frontier. With
-//! `--db` the evaluation cache persists across runs; with `--heuristic`
-//! the per-cache walks use neighbourhood ascent instead of exhaustion.
+//! `--db` the evaluation cache persists across runs in the versioned
+//! binary format (bit-exact round-trip); `--export` additionally writes a
+//! human-readable text listing; with `--heuristic` the per-cache walks use
+//! neighbourhood ascent instead of exhaustion.
 
 use mhe_core::evaluator::EvalConfig;
-use mhe_spacewalk::cache_db::EvaluationCache;
+use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
 use mhe_spacewalk::heuristic::walk_heuristic;
 use mhe_spacewalk::spec::Spec;
 use mhe_spacewalk::walker;
 use mhe_vliw::ProcessorKind;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str =
+    "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_path = None;
     let mut db_path: Option<String> = None;
+    let mut export_path: Option<String> = None;
     let mut heuristic = false;
     let mut i = 0;
     while i < args.len() {
@@ -38,9 +45,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "--export" => {
+                i += 1;
+                export_path = args.get(i).cloned();
+                if export_path.is_none() {
+                    eprintln!("--export needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
             "--heuristic" => heuristic = true,
             "--help" | "-h" => {
-                eprintln!("usage: spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -53,7 +68,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(spec_path) = spec_path else {
-        eprintln!("usage: spacewalker SPEC.txt [--db CACHE.tsv] [--heuristic]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 
@@ -82,7 +97,7 @@ fn main() -> ExitCode {
         spec.space.combinations()
     );
 
-    let mut db = match &db_path {
+    let db = match &db_path {
         Some(p) if std::path::Path::new(p).exists() => match EvaluationCache::load(p) {
             Ok(db) => {
                 eprintln!("loaded {} cached metrics from {p}", db.len());
@@ -106,26 +121,41 @@ fn main() -> ExitCode {
 
     if heuristic {
         // Demonstrate the pruning on the instruction-cache walk at each
-        // processor's dilation.
+        // processor's dilation. The heuristic shares the system cache, so
+        // every design it touches pre-warms the full walk below.
+        let app: Arc<str> = Arc::from(eval.program().name.as_str());
         for proc in &spec.space.processors {
             let d = eval.dilation_of(proc);
             let r = walk_heuristic(
                 &spec.space.icache,
-                &mut db,
-                &format!("{}/ic-h/d{d:.3}", eval.program().name),
-                |design| eval.estimate_icache_misses(design.config, d).unwrap(),
+                &db,
+                eval.config().worker_threads(),
+                |design| MetricKey::icache(&app, design, d),
+                |design| eval.estimate_icache_misses(design.config, d),
             );
-            eprintln!(
-                "heuristic I$ walk @ {}: evaluated {}/{} designs, frontier {}",
-                proc.name,
-                r.evaluated,
-                r.space_size,
-                r.pareto.len()
-            );
+            match r {
+                Ok(r) => eprintln!(
+                    "heuristic I$ walk @ {}: evaluated {}/{} designs, frontier {}",
+                    proc.name,
+                    r.evaluated,
+                    r.space_size,
+                    r.pareto.len()
+                ),
+                Err(e) => {
+                    eprintln!("heuristic I$ walk @ {}: {e}", proc.name);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
 
-    let frontier = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
+    let frontier = match walker::walk_system(&eval, &spec.space, spec.penalties, &db) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("system walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "{:<6} {:>9} {:>9} {:>9} {:>12} {:>14}",
         "proc", "I$ B", "D$ B", "U$ B", "area", "cycles"
@@ -154,6 +184,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("saved evaluation cache to {p}");
+    }
+    if let Some(p) = export_path {
+        if let Err(e) = db.export_text(&p) {
+            eprintln!("cannot export {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("exported text listing to {p}");
     }
     ExitCode::SUCCESS
 }

@@ -9,7 +9,7 @@
 use mhe_cache::CacheConfig;
 
 /// A cache design point: geometry plus port count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheDesign {
     /// Geometry.
     pub config: CacheConfig,

@@ -9,12 +9,21 @@
 //! frontier members (size ×2, associativity ×2, next line size, ±port),
 //! evaluating a fraction of the space while recovering the frontier of the
 //! exhaustive walk in practice.
+//!
+//! The walk proceeds in *waves*: every unvisited design in the current
+//! wave is evaluated in one parallel fan-out against the shared
+//! [`EvaluationCache`], then merged into the frontier serially in sorted
+//! wave order. Sorting each wave (designs are `Ord`) makes the exploration
+//! order — and therefore the result and the evaluated count —
+//! deterministic at any thread count.
 
-use crate::cache_db::EvaluationCache;
+use crate::cache_db::{EvaluationCache, MetricKey};
 use crate::cost::{cache_area, CacheDesign};
 use crate::pareto::ParetoSet;
 use crate::space::CacheSpace;
+use crate::walker::fan_out;
 use mhe_cache::CacheConfig;
+use mhe_core::MheError;
 use std::collections::HashSet;
 
 /// Result of a heuristic walk: the frontier plus exploration statistics.
@@ -22,7 +31,7 @@ use std::collections::HashSet;
 pub struct HeuristicResult {
     /// Accumulated Pareto frontier.
     pub pareto: ParetoSet<CacheDesign>,
-    /// Designs actually evaluated.
+    /// Designs actually evaluated (cache hits included).
     pub evaluated: usize,
     /// Size of the full space.
     pub space_size: usize,
@@ -30,16 +39,22 @@ pub struct HeuristicResult {
 
 /// Walks a cache space by neighbourhood ascent instead of exhaustively.
 ///
-/// `evaluate` maps a design to its time-like metric (e.g. estimated misses
-/// at a dilation). Designs are explored outward from the cheapest ones; a
-/// neighbour is enqueued only when the current design earned a place on the
-/// frontier, which is what prunes the space.
+/// `key` names a design's metric in the shared cache and `evaluate`
+/// computes it on a miss (e.g. estimated misses at a dilation). Designs
+/// are explored outward from the cheapest ones; a neighbour is enqueued
+/// only when the current design earned a place on the frontier, which is
+/// what prunes the space. Each wave fans out over `threads` workers.
+///
+/// # Errors
+///
+/// Propagates the first `evaluate` error in wave order.
 pub fn walk_heuristic(
     space: &CacheSpace,
-    db: &mut EvaluationCache,
-    key_prefix: &str,
-    mut evaluate: impl FnMut(CacheDesign) -> f64,
-) -> HeuristicResult {
+    db: &EvaluationCache,
+    threads: usize,
+    key: impl Fn(CacheDesign) -> MetricKey + Sync,
+    evaluate: impl Fn(CacheDesign) -> Result<f64, MheError> + Sync,
+) -> Result<HeuristicResult, MheError> {
     let all = space.enumerate();
     let space_size = all.len();
     let universe: HashSet<CacheDesign> = all.iter().copied().collect();
@@ -48,34 +63,43 @@ pub fn walk_heuristic(
     // miss behaviour non-monotonically, so every line size gets a start).
     let mut seeds: Vec<CacheDesign> = Vec::new();
     for &line in &space.line_bytes {
-        if let Some(d) = all.iter().filter(|d| d.config.line_bytes() == line).min_by(|a, b| {
-            cache_area(a).partial_cmp(&cache_area(b)).unwrap_or(std::cmp::Ordering::Equal)
-        }) {
+        if let Some(d) = all
+            .iter()
+            .filter(|d| d.config.line_bytes() == line)
+            .min_by(|a, b| cache_area(a).total_cmp(&cache_area(b)))
+        {
             seeds.push(*d);
         }
     }
+    seeds.sort_unstable();
+    seeds.dedup();
 
     let mut pareto = ParetoSet::new();
     let mut visited: HashSet<CacheDesign> = HashSet::new();
-    let mut queue: Vec<CacheDesign> = seeds;
+    let mut wave: Vec<CacheDesign> = seeds;
     let mut evaluated = 0usize;
-    while let Some(design) = queue.pop() {
-        if !visited.insert(design) {
-            continue;
-        }
-        let key = format!("{key_prefix}/{}/p{}", design.config, design.ports);
-        let time = db.get_or_insert_with(&key, || evaluate(design));
-        evaluated += 1;
-        let kept = pareto.insert(design, cache_area(&design), time);
-        if kept {
-            for n in neighbours(design) {
-                if universe.contains(&n) && !visited.contains(&n) {
-                    queue.push(n);
-                }
+    while !wave.is_empty() {
+        wave.retain(|d| visited.insert(*d));
+        let results = fan_out(threads, wave, |design| {
+            db.get_or_try_insert_with(key(design), || evaluate(design)).map(|t| (design, t))
+        });
+        evaluated += results.len();
+        let mut next: Vec<CacheDesign> = Vec::new();
+        for r in results {
+            let (design, time) = r?;
+            if pareto.insert(design, cache_area(&design), time) {
+                next.extend(
+                    neighbours(design)
+                        .into_iter()
+                        .filter(|n| universe.contains(n) && !visited.contains(n)),
+                );
             }
         }
+        next.sort_unstable();
+        next.dedup();
+        wave = next;
     }
-    HeuristicResult { pareto, evaluated, space_size }
+    Ok(HeuristicResult { pareto, evaluated, space_size })
 }
 
 /// Single-parameter moves from a design.
@@ -114,6 +138,7 @@ mod tests {
     use mhe_core::evaluator::EvalConfig;
     use mhe_vliw::ProcessorKind;
     use mhe_workload::Benchmark;
+    use std::sync::Arc;
 
     fn space() -> CacheSpace {
         CacheSpace {
@@ -124,16 +149,63 @@ mod tests {
         }
     }
 
+    fn synthetic_key(app: &Arc<str>, d: CacheDesign) -> MetricKey {
+        MetricKey::icache(app, d, 1.0)
+    }
+
     #[test]
     fn heuristic_explores_fewer_designs() {
         // A synthetic metric: misses fall with capacity, with diminishing
         // returns (monotone landscape the heuristic should exploit).
-        let mut db = EvaluationCache::new();
-        let r = walk_heuristic(&space(), &mut db, "synthetic", |d| {
-            1e9 / (d.config.size_bytes() as f64).powf(0.8)
-        });
+        let db = EvaluationCache::new();
+        let app: Arc<str> = Arc::from("synthetic");
+        let r = walk_heuristic(
+            &space(),
+            &db,
+            1,
+            |d| synthetic_key(&app, d),
+            |d| Ok(1e9 / (d.config.size_bytes() as f64).powf(0.8)),
+        )
+        .unwrap();
         assert!(!r.pareto.is_empty());
         assert!(r.evaluated <= r.space_size);
+    }
+
+    #[test]
+    fn heuristic_is_deterministic_across_thread_counts() {
+        let app: Arc<str> = Arc::from("synthetic");
+        let run = |threads: usize| {
+            let db = EvaluationCache::new();
+            walk_heuristic(
+                &space(),
+                &db,
+                threads,
+                |d| synthetic_key(&app, d),
+                |d| Ok(1e9 / (d.config.size_bytes() as f64).powf(0.8)),
+            )
+            .unwrap()
+        };
+        let (a, b, c) = (run(1), run(2), run(8));
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.evaluated, c.evaluated);
+        let bits = |r: &HeuristicResult| -> Vec<(CacheDesign, u64, u64)> {
+            r.pareto
+                .points()
+                .iter()
+                .map(|p| (p.design, p.cost.to_bits(), p.time.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(bits(&a), bits(&c));
+    }
+
+    #[test]
+    fn heuristic_propagates_errors() {
+        let db = EvaluationCache::new();
+        let app: Arc<str> = Arc::from("err");
+        let bad = MheError::MissingReference { speculation: false, predication: false };
+        let r = walk_heuristic(&space(), &db, 2, |d| synthetic_key(&app, d), |_| Err(bad));
+        assert_eq!(r.unwrap_err(), bad);
     }
 
     #[test]
@@ -161,12 +233,18 @@ mod tests {
             &system,
         );
         let d = 1.8;
-        let mut db1 = EvaluationCache::new();
-        let exhaustive = walk_icache(&eval, &system.icache, d, &mut db1);
-        let mut db2 = EvaluationCache::new();
-        let heuristic = walk_heuristic(&system.icache, &mut db2, "h", |design| {
-            eval.estimate_icache_misses(design.config, d).unwrap()
-        });
+        let db1 = EvaluationCache::new();
+        let exhaustive = walk_icache(&eval, &system.icache, d, &db1).unwrap();
+        let db2 = EvaluationCache::new();
+        let app: Arc<str> = Arc::from(eval.program().name.as_str());
+        let heuristic = walk_heuristic(
+            &system.icache,
+            &db2,
+            eval.config().worker_threads(),
+            |design| MetricKey::icache(&app, design, d),
+            |design| eval.estimate_icache_misses(design.config, d),
+        )
+        .unwrap();
         // The heuristic must recover every exhaustive frontier point (same
         // cost/time pairs).
         let mut ex: Vec<(u64, u64)> =

@@ -6,9 +6,11 @@
 //! * [`space`] — design-space specifications and enumeration;
 //! * [`cost`] — cache/memory area models;
 //! * [`pareto`] — Pareto-frontier accumulation;
-//! * [`cache_db`] — memoized metrics with text-file persistence;
+//! * [`cache_db`] — typed [`MetricKey`]s in a sharded concurrent store
+//!   with versioned binary persistence;
 //! * [`walker`] — instruction/data/unified/memory/system walkers built on
-//!   the dilation-model evaluator from `mhe-core`.
+//!   the dilation-model evaluator from `mhe-core`, fanning per-design
+//!   evaluation out over worker threads with a deterministic merge.
 //!
 //! # Quick start
 //!
@@ -26,11 +28,12 @@
 //!     EvalConfig::default(),
 //!     &space,
 //! );
-//! let mut db = EvaluationCache::new();
-//! let frontier = walker::walk_system(&eval, &space, Penalties::default(), &mut db);
+//! let db = EvaluationCache::new();
+//! let frontier = walker::walk_system(&eval, &space, Penalties::default(), &db)?;
 //! for p in frontier.points() {
 //!     println!("{}  cost={:.0}  cycles={:.0}", p.design.processor.name, p.cost, p.time);
 //! }
+//! # Ok::<(), mhe_core::MheError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -44,8 +47,9 @@ pub mod space;
 pub mod spec;
 pub mod walker;
 
-pub use cache_db::EvaluationCache;
+pub use cache_db::{dilation_millis, EvaluationCache, MetricKey};
 pub use cost::{cache_area, CacheDesign};
+pub use heuristic::{walk_heuristic, HeuristicResult};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use space::{CacheSpace, SystemSpace};
 pub use walker::{walk_memory, walk_system, MemoryPoint, SystemPoint};

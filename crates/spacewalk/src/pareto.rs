@@ -62,10 +62,11 @@ impl<T> ParetoSet<T> {
         true
     }
 
-    /// The frontier, sorted by increasing cost.
+    /// The frontier, sorted by increasing cost (`total_cmp`: NaN-safe and
+    /// a total order, so the sort is deterministic).
     pub fn points(&self) -> Vec<&ParetoPoint<T>> {
         let mut v: Vec<&ParetoPoint<T>> = self.points.iter().collect();
-        v.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         v
     }
 
@@ -81,16 +82,12 @@ impl<T> ParetoSet<T> {
 
     /// The lowest-time point, if any.
     pub fn fastest(&self) -> Option<&ParetoPoint<T>> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal))
+        self.points.iter().min_by(|a, b| a.time.total_cmp(&b.time))
     }
 
     /// The lowest-cost point, if any.
     pub fn cheapest(&self) -> Option<&ParetoPoint<T>> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+        self.points.iter().min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 }
 

@@ -9,8 +9,17 @@
 //! reduction that loses no Pareto-optimal combination (any combination
 //! containing a dominated component is itself dominated by swapping that
 //! component; the inclusion constraint is checked on the combined design).
+//!
+//! # Parallelism and determinism
+//!
+//! Per-design evaluation fans out over a [`ParallelSweep`] against the
+//! shared concurrent cache; the worker count comes from the evaluation's
+//! [`EvalConfig::worker_threads`]. Results come back in the input
+//! enumeration order and are merged into the [`ParetoSet`] serially in
+//! that order, so the frontier is **bit-identical regardless of thread
+//! count** — only the wall clock changes.
 
-use crate::cache_db::EvaluationCache;
+use crate::cache_db::{EvaluationCache, MetricKey};
 use crate::cost::{cache_area, CacheDesign};
 use crate::pareto::ParetoSet;
 use crate::space::{CacheSpace, SystemSpace};
@@ -18,8 +27,10 @@ use mhe_cache::{MemoryDesign, Penalties};
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe_core::parallel::ParallelSweep;
 use mhe_core::system::processor_cycles;
+use mhe_core::MheError;
 use mhe_vliw::Mdes;
 use mhe_workload::ir::Program;
+use std::sync::Arc;
 
 /// Scale factor translating [`Mdes::cost`] units into the cache-area units
 /// of [`crate::cost::cache_area`], so system cost is a single number.
@@ -76,83 +87,147 @@ pub fn prepare_evaluation(
     )
 }
 
+/// The application key for an evaluation's program, shared by every metric
+/// the walkers derive from it.
+fn app_of(eval: &ReferenceEvaluation) -> Arc<str> {
+    Arc::from(eval.program().name.as_str())
+}
+
+/// Fans `items` out over `threads` workers in contiguous chunks, returning
+/// results in input order.
+///
+/// Per-design evaluations are microseconds; chunking amortizes the
+/// per-job dispatch so the sweep wins even on small spaces. `threads * 4`
+/// chunks keeps the tail balanced without losing order — the flatten
+/// concatenates chunk results exactly as enumerated.
+pub(crate) fn fan_out<T: Send, R: Send>(
+    threads: usize,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(chunk_len));
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    ParallelSweep::with_threads(threads)
+        .map(chunks, |chunk| chunk.into_iter().map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Walks one cache space: fans the enumerated designs out, resolving each
+/// metric through the shared cache, then merges serially in enumeration
+/// order.
+fn walk_cache_space(
+    eval: &ReferenceEvaluation,
+    space: &CacheSpace,
+    db: &EvaluationCache,
+    key: impl Fn(CacheDesign) -> MetricKey + Sync,
+    metric: impl Fn(CacheDesign) -> Result<f64, MheError> + Sync,
+) -> Result<ParetoSet<CacheDesign>, MheError> {
+    let results = fan_out(eval.config().worker_threads(), space.enumerate(), |design| {
+        db.get_or_try_insert_with(key(design), || metric(design)).map(|time| (design, time))
+    });
+    let mut pareto = ParetoSet::new();
+    for r in results {
+        let (design, time) = r?;
+        pareto.insert(design, cache_area(&design), time);
+    }
+    Ok(pareto)
+}
+
 /// Walks the instruction-cache space at one dilation; time = estimated
 /// misses.
+///
+/// # Errors
+///
+/// Returns [`MheError::MissingSimulation`] if the dilation needs a line
+/// size outside the pre-simulated space.
 pub fn walk_icache(
     eval: &ReferenceEvaluation,
     space: &CacheSpace,
     dilation: f64,
-    db: &mut EvaluationCache,
-) -> ParetoSet<CacheDesign> {
-    let mut pareto = ParetoSet::new();
-    for design in space.enumerate() {
-        let key = format!(
-            "{}/ic/{}/p{}/d{dilation:.3}",
-            eval.program().name,
-            design.config,
-            design.ports
-        );
-        let misses = db.get_or_insert_with(&key, || {
-            eval.estimate_icache_misses(design.config, dilation)
-                .expect("icache space was pre-simulated")
-        });
-        pareto.insert(design, cache_area(&design), misses);
-    }
-    pareto
+    db: &EvaluationCache,
+) -> Result<ParetoSet<CacheDesign>, MheError> {
+    let app = app_of(eval);
+    walk_cache_space(
+        eval,
+        space,
+        db,
+        |design| MetricKey::icache(&app, design, dilation),
+        |design| eval.estimate_icache_misses(design.config, dilation),
+    )
 }
 
 /// Walks the data-cache space (dilation-independent by Eq. 4.1).
+///
+/// # Errors
+///
+/// Returns [`MheError::MissingSimulation`] if a configuration was not
+/// simulated.
 pub fn walk_dcache(
     eval: &ReferenceEvaluation,
     space: &CacheSpace,
-    db: &mut EvaluationCache,
-) -> ParetoSet<CacheDesign> {
-    let mut pareto = ParetoSet::new();
-    for design in space.enumerate() {
-        let key = format!("{}/dc/{}/p{}", eval.program().name, design.config, design.ports);
-        let misses = db.get_or_insert_with(&key, || {
-            eval.dcache_misses(design.config).expect("dcache space was pre-simulated") as f64
-        });
-        pareto.insert(design, cache_area(&design), misses);
-    }
-    pareto
+    db: &EvaluationCache,
+) -> Result<ParetoSet<CacheDesign>, MheError> {
+    let app = app_of(eval);
+    walk_cache_space(
+        eval,
+        space,
+        db,
+        |design| MetricKey::dcache(&app, design),
+        |design| eval.dcache_misses(design.config).map(|m| m as f64),
+    )
 }
 
 /// Walks the unified-cache space at one dilation.
+///
+/// # Errors
+///
+/// Returns [`MheError::MissingSimulation`] if a configuration was not
+/// simulated.
 pub fn walk_ucache(
     eval: &ReferenceEvaluation,
     space: &CacheSpace,
     dilation: f64,
-    db: &mut EvaluationCache,
-) -> ParetoSet<CacheDesign> {
-    let mut pareto = ParetoSet::new();
-    for design in space.enumerate() {
-        let key = format!(
-            "{}/uc/{}/p{}/d{dilation:.3}",
-            eval.program().name,
-            design.config,
-            design.ports
-        );
-        let misses = db.get_or_insert_with(&key, || {
-            eval.estimate_ucache_misses(design.config, dilation)
-                .expect("ucache space was pre-simulated")
-        });
-        pareto.insert(design, cache_area(&design), misses);
-    }
-    pareto
+    db: &EvaluationCache,
+) -> Result<ParetoSet<CacheDesign>, MheError> {
+    let app = app_of(eval);
+    walk_cache_space(
+        eval,
+        space,
+        db,
+        |design| MetricKey::ucache(&app, design, dilation),
+        |design| eval.estimate_ucache_misses(design.config, dilation),
+    )
 }
 
 /// Walks the whole memory space at one dilation; time = stall cycles.
+///
+/// # Errors
+///
+/// Propagates any [`MheError`] from the three per-cache walks.
 pub fn walk_memory(
     eval: &ReferenceEvaluation,
     space: &SystemSpace,
     dilation: f64,
     penalties: Penalties,
-    db: &mut EvaluationCache,
-) -> ParetoSet<MemoryPoint> {
-    let ic = walk_icache(eval, &space.icache, dilation, db);
-    let dc = walk_dcache(eval, &space.dcache, db);
-    let uc = walk_ucache(eval, &space.ucache, dilation, db);
+    db: &EvaluationCache,
+) -> Result<ParetoSet<MemoryPoint>, MheError> {
+    let ic = walk_icache(eval, &space.icache, dilation, db)?;
+    let dc = walk_dcache(eval, &space.dcache, db)?;
+    let uc = walk_ucache(eval, &space.ucache, dilation, db)?;
     let mut pareto = ParetoSet::new();
     for i in ic.points() {
         for d in dc.points() {
@@ -168,51 +243,47 @@ pub fn walk_memory(
             }
         }
     }
-    pareto
+    Ok(pareto)
 }
 
 /// Walks the joint processor × memory space; time = total execution cycles.
 ///
-/// For each processor this computes its dilation and compute cycles once,
-/// then combines with the memory frontier at that dilation. The expensive
-/// per-processor work — compiling the target and symbolically executing it
-/// for compute cycles — is independent across processors, so it fans out
-/// over a [`ParallelSweep`]; the [`EvaluationCache`] is consulted before
-/// the fan-out and updated after it, in processor order, so the walk is
-/// deterministic and the cache's hit/compute accounting is unchanged.
+/// The expensive per-processor work — compiling the target and symbolically
+/// executing it for compute cycles — fans out over a [`ParallelSweep`]
+/// against the shared cache; each processor's memory walk then fans out its
+/// own designs. Frontier merges happen serially in processor order, so the
+/// result is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates any [`MheError`] from the per-processor memory walks.
 pub fn walk_system(
     eval: &ReferenceEvaluation,
     space: &SystemSpace,
     penalties: Penalties,
-    db: &mut EvaluationCache,
-) -> ParetoSet<SystemPoint> {
-    let mut pareto = ParetoSet::new();
+    db: &EvaluationCache,
+) -> Result<ParetoSet<SystemPoint>, MheError> {
+    let app = app_of(eval);
     let cfg = *eval.config();
-    let cycles_key = |proc: &Mdes| format!("{}/proc/{}/cycles", eval.program().name, proc.name);
-    let jobs: Vec<(&Mdes, bool)> =
-        space.processors.iter().map(|proc| (proc, db.get(&cycles_key(proc)).is_some())).collect();
-    let prepared = ParallelSweep::new().map(jobs, |(proc, cached)| {
+    let procs: Vec<&Mdes> = space.processors.iter().collect();
+    let prepared = fan_out(cfg.worker_threads(), procs, |proc| {
         let compiled = eval.compile_target(proc);
         let d = compiled.text_words() as f64 / eval.reference().text_words() as f64;
-        let cycles = if cached {
-            None
-        } else {
-            Some(processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64)
-        };
+        let cycles = db.get_or_insert_with(MetricKey::proc_cycles(&app, &proc.name), || {
+            processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64
+        });
         (d, cycles)
     });
-    for (proc, (d, cycles)) in space.processors.iter().zip(prepared) {
-        let compute = db.get_or_insert_with(&cycles_key(proc), || {
-            cycles.expect("cycles computed for uncached processor")
-        });
-        let memory = walk_memory(eval, space, d, penalties, db);
+    let mut pareto = ParetoSet::new();
+    for (proc, (d, compute)) in space.processors.iter().zip(prepared) {
+        let memory = walk_memory(eval, space, d, penalties, db)?;
         for m in memory.points() {
             let time = compute + m.time;
             let cost = proc.cost() * PROCESSOR_AREA_SCALE + m.cost;
             pareto.insert(SystemPoint { processor: proc.clone(), memory: m.design }, cost, time);
         }
     }
-    pareto
+    Ok(pareto)
 }
 
 #[cfg(test)]
@@ -258,8 +329,8 @@ mod tests {
     fn icache_walk_produces_frontier() {
         let space = small_space();
         let eval = eval_for(&space);
-        let mut db = EvaluationCache::new();
-        let p = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        let db = EvaluationCache::new();
+        let p = walk_icache(&eval, &space.icache, 1.5, &db).unwrap();
         assert!(!p.is_empty());
         assert!(p.len() <= space.icache.enumerate().len());
         // Frontier is strictly improving in time as cost rises.
@@ -273,21 +344,52 @@ mod tests {
     fn evaluation_cache_avoids_recomputation() {
         let space = small_space();
         let eval = eval_for(&space);
-        let mut db = EvaluationCache::new();
-        let _ = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        let db = EvaluationCache::new();
+        let _ = walk_icache(&eval, &space.icache, 1.5, &db).unwrap();
         let before = db.stats();
-        let _ = walk_icache(&eval, &space.icache, 1.5, &mut db);
+        let _ = walk_icache(&eval, &space.icache, 1.5, &db).unwrap();
         let after = db.stats();
         assert_eq!(before.1, after.1, "second walk must be all hits");
         assert!(after.0 > before.0);
     }
 
     #[test]
+    fn walks_are_deterministic_across_thread_counts() {
+        let space = small_space();
+        let mut eval = eval_for(&space);
+        let mut frontiers = Vec::new();
+        for threads in [1, 2, 8] {
+            eval.set_threads(threads);
+            let db = EvaluationCache::new();
+            let p = walk_icache(&eval, &space.icache, 1.5, &db).unwrap();
+            let bits: Vec<(CacheDesign, u64, u64)> = p
+                .points()
+                .iter()
+                .map(|pt| (pt.design, pt.cost.to_bits(), pt.time.to_bits()))
+                .collect();
+            frontiers.push(bits);
+        }
+        assert_eq!(frontiers[0], frontiers[1]);
+        assert_eq!(frontiers[0], frontiers[2]);
+    }
+
+    #[test]
+    fn missing_simulation_is_an_error_not_a_panic() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let db = EvaluationCache::new();
+        // Dilation far beyond max_dilation needs line sizes that were never
+        // simulated: the walker must report, not panic.
+        let err = walk_icache(&eval, &space.icache, 64.0, &db);
+        assert!(matches!(err, Err(MheError::MissingSimulation { .. })));
+    }
+
+    #[test]
     fn memory_walk_respects_inclusion() {
         let space = small_space();
         let eval = eval_for(&space);
-        let mut db = EvaluationCache::new();
-        let p = walk_memory(&eval, &space, 1.0, Penalties::default(), &mut db);
+        let db = EvaluationCache::new();
+        let p = walk_memory(&eval, &space, 1.0, Penalties::default(), &db).unwrap();
         assert!(!p.is_empty());
         for pt in p.points() {
             assert!(pt.design.design().satisfies_inclusion());
@@ -298,8 +400,8 @@ mod tests {
     fn system_walk_contains_multiple_processors_or_dominates() {
         let space = small_space();
         let eval = eval_for(&space);
-        let mut db = EvaluationCache::new();
-        let p = walk_system(&eval, &space, Penalties::default(), &mut db);
+        let db = EvaluationCache::new();
+        let p = walk_system(&eval, &space, Penalties::default(), &db).unwrap();
         assert!(!p.is_empty());
         // The cheapest system should use the narrow processor.
         let cheapest = p.cheapest().unwrap();
@@ -308,7 +410,7 @@ mod tests {
         // advantage must win outright — the interesting case is that with
         // real penalties it may not (that tension is the paper's premise).
         let free_mem = Penalties { l1_miss: 0, l2_miss: 0 };
-        let q = walk_system(&eval, &space, free_mem, &mut db);
+        let q = walk_system(&eval, &space, free_mem, &db).unwrap();
         assert_eq!(q.fastest().unwrap().design.processor.name, "3221");
     }
 
@@ -316,8 +418,8 @@ mod tests {
     fn dcache_walk_is_dilation_independent() {
         let space = small_space();
         let eval = eval_for(&space);
-        let mut db = EvaluationCache::new();
-        let p = walk_dcache(&eval, &space.dcache, &mut db);
+        let db = EvaluationCache::new();
+        let p = walk_dcache(&eval, &space.dcache, &db).unwrap();
         assert!(!p.is_empty());
     }
 }

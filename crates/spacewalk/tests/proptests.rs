@@ -1,0 +1,125 @@
+//! Property tests for the evaluation-cache binary persistence.
+//!
+//! The property: `save` → `load` reproduces *exactly* the entries that
+//! were stored — every key, and every value down to the f64 bit pattern
+//! (the format stores `f64::to_bits`, so NaNs and signed zeros survive).
+//! The hit/compute counters do **not** round-trip: a loaded database
+//! documents this by starting at `(0, 0)` — they describe the current
+//! process's lookups, not the file's history.
+
+use mhe_cache::CacheConfig;
+use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
+use mhe_spacewalk::cost::CacheDesign;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn unique_path(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mhe_swpt_{tag}_{}_{n}.mhec", std::process::id()))
+}
+
+/// Application names exercise empty, spaces, tabs, and non-ASCII — the
+/// binary format length-prefixes strings, so none of these may confuse it.
+fn app_strategy() -> impl Strategy<Value = Arc<str>> {
+    prop_oneof![
+        Just(Arc::from("unepic")),
+        Just(Arc::from("085.gcc")),
+        Just(Arc::from("")),
+        Just(Arc::from("name with spaces")),
+        Just(Arc::from("tab\tand\nnewline")),
+        Just(Arc::from("bénch-märk")),
+    ]
+}
+
+fn design_strategy() -> impl Strategy<Value = CacheDesign> {
+    (0u32..12, 0u32..4, 0u32..5, 1u32..4).prop_map(|(s, a, l, ports)| CacheDesign {
+        config: CacheConfig::new(1 << s, 1 << a, 1 << l),
+        ports,
+    })
+}
+
+/// Values from raw bit patterns: covers NaNs, infinities, subnormals and
+/// signed zeros — everything decimal text formatting would mangle.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(f64::from_bits),
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::MIN_POSITIVE),
+        Just(0.1 + 0.2),
+    ]
+}
+
+fn key_strategy() -> impl Strategy<Value = MetricKey> {
+    (app_strategy(), design_strategy(), 0u32..20_000, 0u8..4).prop_map(
+        |(app, design, millis, tag)| match tag {
+            0 => MetricKey::IcacheMisses { app, design, dilation_millis: millis },
+            1 => MetricKey::DcacheMisses { app, design },
+            2 => MetricKey::UcacheMisses { app, design, dilation_millis: millis },
+            _ => MetricKey::ProcCycles { app, proc: Arc::from(format!("p{millis}")) },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_persistence_round_trips_bit_exactly(
+        entries in prop::collection::vec((key_strategy(), value_strategy()), 0..60)
+    ) {
+        let cache = EvaluationCache::new();
+        for (k, v) in &entries {
+            cache.insert(k.clone(), *v);
+        }
+        let path = unique_path("rt");
+        cache.save(&path).expect("save");
+        let loaded = EvaluationCache::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let before = cache.entries();
+        let after = loaded.entries();
+        prop_assert_eq!(before.len(), after.len());
+        for ((ka, va), (kb, vb)) in before.iter().zip(&after) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "value bits changed for {}", ka);
+        }
+        // Counters are process-local, not persisted.
+        prop_assert_eq!(loaded.stats(), (0, 0));
+    }
+
+    #[test]
+    fn corrupted_files_never_panic(
+        entries in prop::collection::vec((key_strategy(), value_strategy()), 1..12),
+        cut in 0usize..200,
+        flip in 0usize..200,
+    ) {
+        let cache = EvaluationCache::new();
+        for (k, v) in &entries {
+            cache.insert(k.clone(), *v);
+        }
+        let path = unique_path("corrupt");
+        cache.save(&path).expect("save");
+        let mut bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Truncation: must error, never panic (empty prefix included).
+        let trunc = unique_path("trunc");
+        std::fs::write(&trunc, &bytes[..cut.min(bytes.len().saturating_sub(1))]).unwrap();
+        let _ = EvaluationCache::load(&trunc);
+        std::fs::remove_file(&trunc).ok();
+
+        // A flipped byte: either still parses (it hit a value byte) or
+        // errors cleanly; the call must return.
+        let i = flip % bytes.len();
+        bytes[i] ^= 0xff;
+        let flipped = unique_path("flip");
+        std::fs::write(&flipped, &bytes).unwrap();
+        let _ = EvaluationCache::load(&flipped);
+        std::fs::remove_file(&flipped).ok();
+    }
+}

@@ -28,7 +28,7 @@ struct Variant {
     code_growth: f64,
 }
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mhe::core::MheError> {
     let variants = [
         Variant { name: "baseline", speedup: 1.00, code_growth: 1.00 },
         Variant { name: "unroll x2", speedup: 1.12, code_growth: 1.25 },

@@ -13,7 +13,7 @@ use mhe::spacewalk::{cache_db::EvaluationCache, space::SystemSpace, walker};
 use mhe::vliw::ProcessorKind;
 use mhe::workload::Benchmark;
 
-fn main() {
+fn main() -> Result<(), mhe::core::MheError> {
     let benchmark = Benchmark::PgpDecode;
     let space = SystemSpace::paper_default();
     println!("benchmark: {benchmark}");
@@ -33,8 +33,8 @@ fn main() {
         &space,
     );
 
-    let mut db = EvaluationCache::new();
-    let frontier = walker::walk_system(&eval, &space, Penalties::default(), &mut db);
+    let db = EvaluationCache::new();
+    let frontier = walker::walk_system(&eval, &space, Penalties::default(), &db)?;
 
     println!("Pareto-optimal systems (cost ascending):");
     println!(
@@ -61,4 +61,5 @@ fn main() {
         hits,
         misses
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use mhe::trace::StreamKind;
 use mhe::vliw::ProcessorKind;
 use mhe::workload::Benchmark;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mhe::core::MheError> {
     let benchmark = Benchmark::Rasta;
     let icache = CacheConfig::from_bytes(1024, 1, 32);
     let ucache = CacheConfig::from_bytes(16 * 1024, 2, 64);

@@ -9,7 +9,7 @@ use mhe::trace::StreamKind;
 use mhe::vliw::ProcessorKind;
 use mhe::workload::Benchmark;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), mhe::core::MheError> {
     // The paper's "small" memory configuration.
     let icache = CacheConfig::from_bytes(1024, 1, 32); // 1 KB direct-mapped
     let dcache = CacheConfig::from_bytes(1024, 1, 32);

@@ -15,4 +15,7 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> spacewalk_speedup smoke (walk throughput + determinism)"
+MHE_EVENTS=20000 cargo run --release -q -p mhe-bench --bin spacewalk_speedup
+
 echo "==> ci.sh: all checks passed"

@@ -49,7 +49,7 @@
 //! let d = eval.dilation_of(&ProcessorKind::P3221.mdes());
 //! let est = eval.estimate_icache_misses(icache, d)?;
 //! assert!(est > eval.icache_misses_measured(icache).unwrap() as f64);
-//! # Ok::<(), String>(())
+//! # Ok::<(), mhe::core::MheError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -41,8 +41,8 @@ fn spec_to_frontier_end_to_end() {
         EvalConfig { events: spec.events, ..EvalConfig::default() },
         &spec.space,
     );
-    let mut db = EvaluationCache::new();
-    let frontier = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
+    let db = EvaluationCache::new();
+    let frontier = walker::walk_system(&eval, &spec.space, spec.penalties, &db).expect("walk");
     assert!(!frontier.is_empty());
     // Frontier correctness: no member dominates another.
     let pts = frontier.points();
@@ -76,9 +76,9 @@ fn frontier_shrinks_when_memory_is_free() {
         EvalConfig { events: spec.events, ..EvalConfig::default() },
         &spec.space,
     );
-    let mut db = EvaluationCache::new();
-    let priced = walk_len(&eval, &spec, Penalties::default(), &mut db);
-    let free = walk_len(&eval, &spec, Penalties { l1_miss: 0, l2_miss: 0 }, &mut db);
+    let db = EvaluationCache::new();
+    let priced = walk_len(&eval, &spec, Penalties::default(), &db);
+    let free = walk_len(&eval, &spec, Penalties { l1_miss: 0, l2_miss: 0 }, &db);
     assert!(free <= spec.space.processors.len());
     assert!(priced >= free);
 }
@@ -87,9 +87,9 @@ fn walk_len(
     eval: &mhe::core::evaluator::ReferenceEvaluation,
     spec: &Spec,
     penalties: Penalties,
-    db: &mut EvaluationCache,
+    db: &EvaluationCache,
 ) -> usize {
-    walker::walk_system(eval, &spec.space, penalties, db).len()
+    walker::walk_system(eval, &spec.space, penalties, db).expect("walk").len()
 }
 
 #[test]
@@ -101,12 +101,12 @@ fn evaluation_cache_round_trips_through_disk() {
         EvalConfig { events: spec.events, ..EvalConfig::default() },
         &spec.space,
     );
-    let mut db = EvaluationCache::new();
-    let a = walker::walk_system(&eval, &spec.space, spec.penalties, &mut db);
-    let path = std::env::temp_dir().join("mhe_exploration_db.tsv");
+    let db = EvaluationCache::new();
+    let a = walker::walk_system(&eval, &spec.space, spec.penalties, &db).expect("walk");
+    let path = std::env::temp_dir().join(format!("mhe_exploration_db_{}.mhec", std::process::id()));
     db.save(&path).expect("save");
-    let mut reloaded = EvaluationCache::load(&path).expect("load");
-    let b = walker::walk_system(&eval, &spec.space, spec.penalties, &mut reloaded);
+    let reloaded = EvaluationCache::load(&path).expect("load");
+    let b = walker::walk_system(&eval, &spec.space, spec.penalties, &reloaded).expect("walk");
     // A warm cache must reproduce the frontier without recomputation.
     assert_eq!(a.len(), b.len());
     let (_, computes) = reloaded.stats();
