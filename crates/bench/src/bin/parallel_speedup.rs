@@ -57,11 +57,14 @@ fn build(b: Benchmark, threads: usize, events: usize) -> ReferenceEvaluation {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    mhe_bench::obs_from_args(&mut args);
     let n = mhe_bench::events();
     let workers = worker_threads();
     println!("# Parallel evaluation speedup (workers = {workers}, events = {n})\n");
 
     // Section 1: fan-out inside one reference evaluation.
+    let obs_before = mhe_obs::Snapshot::now();
     let serial = build(Benchmark::Gcc, 1, n);
     let parallel = build(Benchmark::Gcc, 0, n);
     let identical = serial.imeasured() == parallel.imeasured()
@@ -77,9 +80,11 @@ fn main() {
     if !identical {
         eprintln!("[parallel_speedup] WARNING: parallel results diverge from serial!");
     }
+    mhe_bench::emit_obs_report("parallel_speedup/engine", &obs_before);
 
     // Section 2: fan-out across independent benchmark evaluations.
     let benches = vec![Benchmark::Epic, Benchmark::Unepic, Benchmark::Mipmap, Benchmark::Rasta];
+    let obs_before = mhe_obs::Snapshot::now();
     let start = Instant::now();
     let serial_misses: Vec<u64> =
         benches.iter().map(|&b| build(b, 1, n).imeasured().values().sum()).collect();
@@ -92,6 +97,7 @@ fn main() {
     println!("  speedup  : {:.2}x", wall1.as_secs_f64() / sweep.wall.as_secs_f64().max(1e-9));
     println!("  results bit-identical across thread counts: {}", serial_misses == par_misses);
     println!("  sweep    : {sweep}");
+    mhe_bench::emit_obs_report("parallel_speedup/sweep", &obs_before);
     println!("\nOn >= 4 cores both sections should report >= 2x; with MHE_THREADS=1 both");
     println!("collapse to 1.0x while producing the same miss counts.");
 }

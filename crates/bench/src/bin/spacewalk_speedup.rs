@@ -33,6 +33,8 @@ fn bits(frontier: &mhe_spacewalk::ParetoSet<mhe_spacewalk::SystemPoint>) -> Fron
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    mhe_bench::obs_from_args(&mut args);
     let events = mhe_bench::events();
     let workers = worker_threads();
     let space = SystemSpace::paper_default();
@@ -50,8 +52,9 @@ fn main() {
 
     let mut runs: Vec<(usize, FrontierBits, f64, u64)> = Vec::new();
     for threads in [1, workers] {
-        eval.set_threads(threads);
+        eval.override_worker_threads(threads);
         let db = EvaluationCache::new();
+        let obs_before = mhe_obs::Snapshot::now();
         let start = Instant::now();
         let frontier = walker::walk_system(&eval, &space, Penalties::default(), &db)
             .expect("default space is fully simulated");
@@ -63,6 +66,7 @@ fn main() {
         println!("  frontier   : {} designs", frontier.len());
         println!("  cache      : {hits} hits / {computes} computes");
         println!("  throughput : {rate:.0} design-metrics/s\n");
+        mhe_bench::emit_obs_report(&format!("spacewalk_speedup/cold/{threads}"), &obs_before);
         runs.push((threads, bits(&frontier), wall.as_secs_f64(), computes));
     }
 
@@ -76,9 +80,10 @@ fn main() {
     }
 
     // Warm cache: the whole walk should be hits.
-    eval.set_threads(workers);
+    eval.override_worker_threads(workers);
     let warm = EvaluationCache::new();
     let _ = walker::walk_system(&eval, &space, Penalties::default(), &warm);
+    let obs_before = mhe_obs::Snapshot::now();
     let start = Instant::now();
     let frontier = walker::walk_system(&eval, &space, Penalties::default(), &warm)
         .expect("default space is fully simulated");
@@ -92,6 +97,7 @@ fn main() {
         bits(&frontier) == runs[0].1
     );
     println!("  cache      : {hits} hits / {computes} computes across both walks");
+    mhe_bench::emit_obs_report("spacewalk_speedup/warm", &obs_before);
     println!("\nOn >= 4 cores the cold walk should report >= 2x speedup; with");
     println!("MHE_THREADS=1 it collapses to 1.0x while producing the same frontier.");
 }

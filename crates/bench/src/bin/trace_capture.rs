@@ -6,7 +6,7 @@
 //! codec's accounting is reported: trace length, both file sizes, the
 //! compression ratio, and bytes per access.
 //!
-//! Usage: `trace_capture [BENCHMARK ...] [DIR]`
+//! Usage: `trace_capture [--obs|--obs-json] [BENCHMARK ...] [DIR]`
 //!
 //! Arguments naming a benchmark (paper-table names, e.g. `085.gcc`,
 //! `unepic`; case-insensitive) select what to capture; any other argument
@@ -31,7 +31,9 @@ fn stem(b: Benchmark) -> String {
 fn main() -> std::io::Result<()> {
     let mut dir = std::env::temp_dir().join("mhe_traces");
     let mut benches: Vec<Benchmark> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    mhe_bench::obs_from_args(&mut args);
+    for arg in args {
         match mhe_bench::benchmark_by_name(&arg) {
             Some(b) => benches.push(b),
             None => dir = PathBuf::from(arg),
@@ -50,6 +52,7 @@ fn main() -> std::io::Result<()> {
         "benchmark", "accesses", "din B", "mtr B", "ratio", "B/access", "wall"
     );
     for b in benches {
+        let obs_before = mhe_obs::Snapshot::now();
         let start = Instant::now();
         let program = b.generate();
         let compiled = mhe_bench::reference_compilation(&program, &mdes);
@@ -73,6 +76,7 @@ fn main() -> std::io::Result<()> {
             start.elapsed()
         );
         debug_assert_eq!(file_len(&mtr_path), stats.bytes, "codec byte accounting");
+        mhe_bench::emit_obs_report(&format!("trace_capture/{}", b.name()), &obs_before);
     }
     println!("\nReplay captured files through the evaluator with: trace_replay [BENCHMARK]");
     Ok(())

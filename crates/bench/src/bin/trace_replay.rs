@@ -9,10 +9,13 @@
 //! throughput, and how much smaller the binary trace is than `din` text
 //! (the format targets at least a 4x reduction).
 //!
-//! Usage: `trace_replay [BENCHMARK ...]` (paper-table names,
-//! case-insensitive; `all` for every benchmark; default `085.gcc` and
-//! `unepic`). Files go to `$TMPDIR/mhe_traces`; the dynamic window
-//! follows `MHE_EVENTS`, the worker pool `MHE_THREADS`.
+//! Usage: `trace_replay [--obs|--obs-json] [BENCHMARK ...]` (paper-table
+//! names, case-insensitive; `all` for every benchmark; default `085.gcc`
+//! and `unepic`). Files go to `$TMPDIR/mhe_traces`; the dynamic window
+//! follows `MHE_EVENTS`, the worker pool `MHE_THREADS`, and the
+//! observability sink `MHE_OBS` (or the flags). With a sink enabled, one
+//! `RunReport` per benchmark goes to stderr covering the trace-gen,
+//! encode, decode, simulate, and estimate phases.
 
 use mhe_cache::CacheConfig;
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
@@ -53,7 +56,8 @@ fn replay(
 }
 
 fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    mhe_bench::obs_from_args(&mut args);
     let benches: Vec<Benchmark> = if args.iter().any(|a| a == "all") {
         Benchmark::ALL.to_vec()
     } else if args.is_empty() {
@@ -79,6 +83,7 @@ fn main() -> std::io::Result<()> {
     let mut all_identical = true;
     let mut worst_ratio = f64::INFINITY;
     for b in benches {
+        let obs_before = mhe_obs::Snapshot::now();
         let mem = ReferenceEvaluation::build(b.generate(), &mdes, cfg, &ic, &dc, &uc);
         let stem = b.name().replace('.', "_");
         let mtr_path = dir.join(format!("{stem}.mtr"));
@@ -98,6 +103,7 @@ fn main() -> std::io::Result<()> {
                 worst_ratio = worst_ratio.min(replayed.compression_ratio());
             }
         }
+        mhe_bench::emit_obs_report(&format!("trace_replay/{}", b.name()), &obs_before);
         println!();
     }
     println!("all replays bit-identical to in-memory evaluation: {all_identical}");

@@ -18,9 +18,40 @@ use mhe_workload::Benchmark;
 /// Seed used by every experiment (branch decisions + data patterns).
 pub const SEED: u64 = 0xC0FF_EE01;
 
-/// Dynamic window in basic-block events; override with `MHE_EVENTS`.
+/// Dynamic window in basic-block events; override with `MHE_EVENTS`
+/// (parsed once, in [`mhe_core::env`]).
 pub fn events() -> usize {
-    std::env::var("MHE_EVENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000)
+    mhe_core::env::events_or(200_000)
+}
+
+/// Strips the `--obs` / `--obs-json` flags from a binary's argument list,
+/// selecting the corresponding observability sink. The flags mirror the
+/// `MHE_OBS` environment variable; an explicit flag wins over the
+/// environment.
+pub fn obs_from_args(args: &mut Vec<String>) {
+    let mut level = None;
+    args.retain(|a| match a.as_str() {
+        "--obs" => {
+            level = Some(mhe_obs::ObsLevel::Text);
+            false
+        }
+        "--obs-json" => {
+            level = Some(mhe_obs::ObsLevel::Json);
+            false
+        }
+        _ => true,
+    });
+    if let Some(level) = level {
+        mhe_obs::set_level(level);
+    }
+}
+
+/// Emits a [`mhe_obs::RunReport`] covering everything recorded since
+/// `before` to the configured sink; a no-op with observability off.
+pub fn emit_obs_report(label: &str, before: &mhe_obs::Snapshot) {
+    if mhe_obs::enabled() {
+        mhe_obs::RunReport::since(label, mhe_core::worker_threads(), before).emit();
+    }
 }
 
 /// The paper's small L1 configuration: 1 KB direct-mapped, 32-byte lines.

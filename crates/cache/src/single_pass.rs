@@ -124,9 +124,14 @@ impl SinglePassSim {
 
     /// Runs a whole trace.
     pub fn run(&mut self, trace: impl IntoIterator<Item = u64>) {
+        // Events only: busy/wall time for the simulate phase is recorded
+        // by the fan-out that drives the simulators (`mhe-core`'s
+        // parallel sweep), so nesting never double-counts time.
+        let before = self.accesses;
         for addr in trace {
             self.access(addr);
         }
+        mhe_obs::add_events(mhe_obs::Phase::Simulate, self.accesses - before);
     }
 
     /// Feeds a chunk of an access stream, admitting only the references
@@ -137,11 +142,14 @@ impl SinglePassSim {
     /// the same accesses in the same order yields bit-identical miss
     /// counts no matter how the stream is chunked.
     pub fn run_stream(&mut self, stream: StreamKind, chunk: impl IntoIterator<Item = Access>) {
+        // Events only, as in `run`: the driving fan-out owns the timing.
+        let before = self.accesses;
         for a in chunk {
             if stream.admits(a.kind) {
                 self.access(a.addr);
             }
         }
+        mhe_obs::add_events(mhe_obs::Phase::Simulate, self.accesses - before);
     }
 
     /// Total references seen.

@@ -1,0 +1,82 @@
+//! The workspace's environment knobs, each parsed in exactly one place.
+//!
+//! Three variables steer every binary in the workspace; this module is
+//! their single documented home, with typed accessors that parse each
+//! variable once per process and cache the result:
+//!
+//! | Variable      | Accessor            | Meaning |
+//! |---------------|---------------------|---------|
+//! | `MHE_THREADS` | [`threads`]         | Worker-thread count for every parallel fan-out (`>= 1`; unset/invalid → available parallelism). Results are bit-identical for every value. |
+//! | `MHE_EVENTS`  | [`events_or`]       | Dynamic window (basic-block events) for bench/demo binaries; each binary supplies its own default. |
+//! | `MHE_OBS`     | [`obs`]             | Observability sink: `json`, `text`/`1`/`on`/`true`, anything else off. Parsed by `mhe-obs`, surfaced here for discoverability. |
+//!
+//! None of these variables affects any measured or estimated miss count —
+//! they steer *how* the work runs (parallelism, workload size, reporting),
+//! never what it computes.
+
+use std::sync::OnceLock;
+
+/// Worker-thread count from `MHE_THREADS`, or `None` when unset or not a
+/// positive integer. Parsed once per process.
+///
+/// Most callers want [`crate::parallel::worker_threads`], which falls
+/// back to the machine's available parallelism.
+pub fn threads() -> Option<usize> {
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("MHE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n >= 1)
+    })
+}
+
+/// Dynamic-window size (basic-block events) from `MHE_EVENTS`, or
+/// `default` when unset or not a positive integer. Parsed once per
+/// process; the first caller's view of the variable wins.
+pub fn events_or(default: usize) -> usize {
+    static EVENTS: OnceLock<Option<usize>> = OnceLock::new();
+    EVENTS
+        .get_or_init(|| {
+            std::env::var("MHE_EVENTS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or(default)
+}
+
+/// The observability level selected by `MHE_OBS` (or a prior
+/// [`mhe_obs::set_level`] override). Delegates to [`mhe_obs::level`],
+/// which owns the parse.
+pub fn obs() -> mhe_obs::ObsLevel {
+    mhe_obs::level()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests only exercise the cached accessors against whatever the
+    // harness environment holds; setting the variables here would race
+    // sibling tests, and the parse rules themselves are covered by
+    // `ObsLevel::parse` and the integration binaries.
+
+    #[test]
+    fn threads_is_stable_across_calls() {
+        assert_eq!(threads(), threads());
+        if let Some(n) = threads() {
+            assert!(n >= 1);
+        }
+    }
+
+    #[test]
+    fn events_or_falls_back_to_default() {
+        let a = events_or(12_345);
+        assert!(a >= 1);
+        // Cached: a second call with any default yields the same source.
+        assert_eq!(events_or(12_345), a);
+    }
+
+    #[test]
+    fn obs_matches_the_obs_crate() {
+        assert_eq!(obs(), mhe_obs::level());
+    }
+}

@@ -36,6 +36,15 @@ pub enum MheError {
         /// Whether the target supports predicated execution.
         predication: bool,
     },
+    /// An [`crate::evaluator::EvalConfig`] builder was given an invalid
+    /// value (zero window, zero granule, non-finite or sub-unit dilation,
+    /// zero chunk size).
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What the field requires.
+        requirement: &'static str,
+    },
 }
 
 impl MheError {
@@ -66,6 +75,9 @@ impl fmt::Display for MheError {
                 "no reference evaluation for features \
                  speculation={speculation}, predication={predication}"
             ),
+            MheError::InvalidConfig { field, requirement } => {
+                write!(f, "invalid evaluation config: {field} {requirement}")
+            }
         }
     }
 }
@@ -84,6 +96,9 @@ mod tests {
         assert!(msg.contains("max_dilation"), "{msg}");
         let e = MheError::MissingReference { speculation: true, predication: false };
         assert!(e.to_string().contains("speculation=true"));
+        let e = MheError::InvalidConfig { field: "events", requirement: "must be positive" };
+        let msg = e.to_string();
+        assert!(msg.contains("events") && msg.contains("positive"), "{msg}");
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl Default for EvalConfig {
 }
 
 impl EvalConfig {
+    /// Starts a validating builder — the recommended way to construct a
+    /// configuration. Direct struct-literal construction stays possible
+    /// for backwards compatibility but performs no validation; prefer
+    ///
+    /// ```
+    /// use mhe_core::evaluator::EvalConfig;
+    /// let cfg = EvalConfig::builder().events(50_000).threads(2).build().unwrap();
+    /// assert_eq!(cfg.events, 50_000);
+    /// ```
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder { config: EvalConfig::default(), obs: None }
+    }
+
     /// The effective worker count (resolves `threads == 0`).
     pub fn worker_threads(&self) -> usize {
         if self.threads > 0 {
@@ -116,6 +129,122 @@ impl EvalConfig {
         } else {
             crate::parallel::worker_threads()
         }
+    }
+
+    /// Validates the configuration's invariants (what
+    /// [`EvalConfigBuilder::build`] enforces).
+    ///
+    /// # Errors
+    ///
+    /// [`MheError::InvalidConfig`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), MheError> {
+        let bad = |field: &'static str, requirement: &'static str| {
+            Err(MheError::InvalidConfig { field, requirement })
+        };
+        if self.events == 0 {
+            return bad("events", "must be positive");
+        }
+        if self.i_granule == 0 {
+            return bad("i_granule", "must be positive");
+        }
+        if self.u_granule == 0 {
+            return bad("u_granule", "must be positive");
+        }
+        if !self.max_dilation.is_finite() || self.max_dilation < 1.0 {
+            return bad("max_dilation", "must be finite and at least 1");
+        }
+        if self.chunk_accesses == 0 {
+            return bad("chunk_accesses", "must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`EvalConfig`], started by
+/// [`EvalConfig::builder`].
+///
+/// Every setter has the field's name; [`EvalConfigBuilder::build`]
+/// validates the combination and returns a typed
+/// [`MheError::InvalidConfig`] instead of panicking downstream. The
+/// builder is also where observability is selected for the process:
+/// [`EvalConfigBuilder::obs`] overrides the `MHE_OBS` environment
+/// variable.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfigBuilder {
+    config: EvalConfig,
+    obs: Option<mhe_obs::ObsLevel>,
+}
+
+impl EvalConfigBuilder {
+    /// Dynamic window: number of basic-block events per trace.
+    pub fn events(mut self, events: usize) -> Self {
+        self.config.events = events;
+        self
+    }
+
+    /// Seed for execution (branch decisions, random data patterns).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Granule size for instruction-trace parameters.
+    pub fn i_granule(mut self, granule: usize) -> Self {
+        self.config.i_granule = granule;
+        self
+    }
+
+    /// Granule size for unified-trace parameters.
+    pub fn u_granule(mut self, granule: usize) -> Self {
+        self.config.u_granule = granule;
+        self
+    }
+
+    /// Largest dilation the evaluation must support.
+    pub fn max_dilation(mut self, d: f64) -> Self {
+        self.config.max_dilation = d;
+        self
+    }
+
+    /// Which `u(L)` formula the estimators use.
+    pub fn model(mut self, model: UniqueLineModel) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Worker threads for every fan-out; `0` means automatic
+    /// (`MHE_THREADS`, else available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Accesses per chunk when streaming a trace through the measurement.
+    pub fn chunk_accesses(mut self, chunk: usize) -> Self {
+        self.config.chunk_accesses = chunk;
+        self
+    }
+
+    /// Selects the process-wide observability level when the
+    /// configuration is built, overriding `MHE_OBS`. Reporting never
+    /// affects results: miss counts are bit-identical at every level.
+    pub fn obs(mut self, level: mhe_obs::ObsLevel) -> Self {
+        self.obs = Some(level);
+        self
+    }
+
+    /// Validates and produces the configuration (applying the
+    /// [`EvalConfigBuilder::obs`] override, if any).
+    ///
+    /// # Errors
+    ///
+    /// [`MheError::InvalidConfig`] naming the first offending field.
+    pub fn build(self) -> Result<EvalConfig, MheError> {
+        self.config.validate()?;
+        if let Some(level) = self.obs {
+            mhe_obs::set_level(level);
+        }
+        Ok(self.config)
     }
 }
 
@@ -169,9 +298,7 @@ fn run_measure_task(task: MeasureTask) -> MeasureResult {
         MeasureTask::Sim { kind, line, configs, addrs } => {
             let start = Instant::now();
             let mut sim = SinglePassSim::for_configs(&configs);
-            for &a in addrs.iter() {
-                sim.access(a);
-            }
+            sim.run(addrs.iter().copied());
             let rows: Vec<(CacheConfig, u64)> =
                 configs.iter().map(|&c| (c, sim.misses(c.sets, c.assoc))).collect();
             let pass = PassMetrics {
@@ -315,7 +442,7 @@ fn measure_streaming(
         din_bytes += din_text_bytes(chunk.iter().copied());
         chunks += 1;
         let sim_start = Instant::now();
-        sweep.for_each_mut(&mut tasks, |t| t.feed(&chunk));
+        sweep.for_each_mut_in(Some(mhe_obs::Phase::Simulate), &mut tasks, |t| t.feed(&chunk));
         sim_wall += sim_start.elapsed();
     }
 
@@ -393,9 +520,11 @@ impl ReferenceEvaluation {
         // --- Materialise the reference trace once; every pass below reads
         // the shared buffers instead of regenerating the trace. ---
         let trace_start = Instant::now();
+        let trace_obs = mhe_obs::span(mhe_obs::Phase::TraceGen);
         let unified: Vec<Access> = TraceGenerator::new(&program, &reference, config.seed)
             .with_event_limit(config.events)
             .collect();
+        drop(trace_obs);
         let iaddrs: Arc<[u64]> = unified
             .iter()
             .filter(|a| StreamKind::Instruction.admits(a.kind))
@@ -420,7 +549,7 @@ impl ReferenceEvaluation {
 
         let sweep = ParallelSweep::with_threads(config.worker_threads());
         let sim_start = Instant::now();
-        let results = sweep.map(tasks, run_measure_task);
+        let results = sweep.map_in(Some(mhe_obs::Phase::Simulate), tasks, run_measure_task);
         let sim_wall = sim_start.elapsed();
 
         // --- Merge (input order, so metrics are deterministic too). ---
@@ -640,7 +769,12 @@ impl ReferenceEvaluation {
     /// Overrides the worker-thread count used by downstream parallel
     /// consumers (walkers, sweeps) without rebuilding the evaluation.
     /// `0` restores the automatic `MHE_THREADS`/parallelism default.
-    pub fn set_threads(&mut self, threads: usize) {
+    ///
+    /// Thread count is normally a construction-time concern — set it with
+    /// [`EvalConfig::builder`]'s `.threads(n)` — so this explicit
+    /// override exists only for benchmarks that sweep thread counts over
+    /// one already-simulated evaluation.
+    pub fn override_worker_threads(&mut self, threads: usize) {
         self.config.threads = threads;
     }
 
@@ -749,6 +883,8 @@ impl ReferenceEvaluation {
     /// line sizes were not in the simulated space (build with a larger
     /// `max_dilation`).
     pub fn estimate_icache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, MheError> {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Estimate);
+        mhe_obs::add_events(mhe_obs::Phase::Estimate, 1);
         let table = |cfg: CacheConfig| self.imeasured.get(&cfg).copied();
         estimate_icache_misses(&self.iparams, &table, config, d, self.config.model)
     }
@@ -760,6 +896,8 @@ impl ReferenceEvaluation {
     /// Returns [`MheError::MissingSimulation`] if the configuration was not
     /// simulated.
     pub fn estimate_ucache_misses(&self, config: CacheConfig, d: f64) -> Result<f64, MheError> {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Estimate);
+        mhe_obs::add_events(mhe_obs::Phase::Estimate, 1);
         let measured = self
             .umeasured
             .get(&config)
@@ -776,6 +914,8 @@ impl ReferenceEvaluation {
     /// Returns [`MheError::MissingSimulation`] if the configuration was not
     /// simulated.
     pub fn dcache_misses(&self, config: CacheConfig) -> Result<u64, MheError> {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Estimate);
+        mhe_obs::add_events(mhe_obs::Phase::Estimate, 1);
         self.dmeasured
             .get(&config)
             .copied()
@@ -1023,6 +1163,40 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn builder_validates_each_field() {
+        let cfg = EvalConfig::builder()
+            .events(1234)
+            .seed(9)
+            .threads(3)
+            .chunk_accesses(512)
+            .max_dilation(2.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.events, 1234);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.chunk_accesses, 512);
+        assert_eq!(cfg.max_dilation, 2.5);
+
+        let field = |r: Result<EvalConfig, MheError>| match r {
+            Err(MheError::InvalidConfig { field, .. }) => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        assert_eq!(field(EvalConfig::builder().events(0).build()), "events");
+        assert_eq!(field(EvalConfig::builder().i_granule(0).build()), "i_granule");
+        assert_eq!(field(EvalConfig::builder().u_granule(0).build()), "u_granule");
+        assert_eq!(field(EvalConfig::builder().max_dilation(0.5).build()), "max_dilation");
+        assert_eq!(field(EvalConfig::builder().max_dilation(f64::NAN).build()), "max_dilation");
+        assert_eq!(field(EvalConfig::builder().chunk_accesses(0).build()), "chunk_accesses");
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        EvalConfig::default().validate().unwrap();
+        assert_eq!(EvalConfig::builder().build().unwrap(), EvalConfig::default());
     }
 
     #[test]

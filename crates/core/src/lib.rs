@@ -51,6 +51,7 @@
 pub mod accel;
 pub mod bank;
 pub mod dilation;
+pub mod env;
 pub mod error;
 pub mod evaluator;
 pub mod icache;
@@ -63,7 +64,9 @@ pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
 pub use dilation::{text_dilation, DilationDistribution};
 pub use error::MheError;
-pub use evaluator::{actual_misses, dilated_misses, EvalConfig, ReferenceEvaluation};
+pub use evaluator::{
+    actual_misses, dilated_misses, EvalConfig, EvalConfigBuilder, ReferenceEvaluation,
+};
 pub use metrics::{EvalMetrics, PassMetrics};
 pub use parallel::{worker_threads, ParallelSweep, SweepMetrics};
 pub use system::{evaluate_system, processor_cycles, SystemDesign, SystemPerformance};

@@ -4,7 +4,14 @@
 //! [`ReferenceEvaluation::build`](crate::evaluator::ReferenceEvaluation::build)
 //! fills an [`EvalMetrics`] as it runs; the bench binaries print it so the
 //! effect of `MHE_THREADS` is visible (sims/second, parallel efficiency).
+//!
+//! These structs are the evaluator's *local* accounting; the
+//! workspace-wide story is `mhe-obs`'s [`RunReport`], and
+//! [`EvalMetrics::run_report`] folds an evaluation's numbers into that
+//! one schema so every surface (bench bins, the spacewalker CLI, this
+//! evaluator) reports the same way.
 
+use mhe_obs::{PhaseStats, RunReport};
 use mhe_trace::StreamKind;
 use std::time::Duration;
 
@@ -164,6 +171,57 @@ impl EvalMetrics {
             (self.cpu_sim_time() + self.model_wall).as_secs_f64() / self.sim_wall.as_secs_f64()
         }
     }
+
+    /// Folds this evaluation's accounting into the workspace-wide
+    /// [`RunReport`] schema: trace generation (or file decode, when the
+    /// trace was replayed), the modeler passes, and the simulation
+    /// fan-out each become one phase, so `EvalMetrics` renders exactly
+    /// like the live `mhe-obs` registry does.
+    pub fn run_report(&self, label: impl Into<String>) -> RunReport {
+        let ns = |d: Duration| d.as_nanos() as u64;
+        let mut phases = Vec::new();
+        if self.replay.is_none() && (self.trace_len > 0 || !self.trace_wall.is_zero()) {
+            phases.push(PhaseStats {
+                phase: mhe_obs::Phase::TraceGen.name(),
+                spans: 1,
+                busy_ns: ns(self.trace_wall),
+                wall_ns: 0,
+                events: self.trace_len,
+                bytes: 0,
+            });
+        }
+        if let Some(replay) = &self.replay {
+            phases.push(PhaseStats {
+                phase: mhe_obs::Phase::Decode.name(),
+                spans: replay.chunks,
+                busy_ns: ns(replay.decode_wall),
+                wall_ns: 0,
+                events: replay.accesses,
+                bytes: replay.bytes_read,
+            });
+        }
+        if !self.passes.is_empty() || !self.sim_wall.is_zero() {
+            phases.push(PhaseStats {
+                phase: mhe_obs::Phase::Simulate.name(),
+                spans: self.passes.len() as u64,
+                busy_ns: ns(self.cpu_sim_time() + self.model_wall),
+                wall_ns: ns(self.sim_wall),
+                events: self.simulated_addresses(),
+                bytes: 0,
+            });
+        }
+        if !self.model_wall.is_zero() {
+            phases.push(PhaseStats {
+                phase: mhe_obs::Phase::Model.name(),
+                spans: 2,
+                busy_ns: ns(self.model_wall),
+                wall_ns: 0,
+                events: 0,
+                bytes: 0,
+            });
+        }
+        RunReport { label: label.into(), threads: self.threads, phases, counters: Vec::new() }
+    }
 }
 
 impl std::fmt::Display for EvalMetrics {
@@ -264,6 +322,42 @@ mod tests {
         assert_eq!(zero.compression_ratio(), 0.0);
         assert_eq!(zero.decode_accesses_per_second(), 0.0);
         assert_eq!(zero.decode_mb_per_second(), 0.0);
+    }
+
+    #[test]
+    fn run_report_folds_phases() {
+        let m = EvalMetrics {
+            threads: 4,
+            trace_len: 1000,
+            trace_wall: Duration::from_millis(5),
+            model_wall: Duration::from_millis(3),
+            sim_wall: Duration::from_millis(100),
+            passes: vec![pass(StreamKind::Instruction, 8, 3, 600, 80)],
+            ..EvalMetrics::default()
+        };
+        let r = m.run_report("eval");
+        assert_eq!(r.threads, 4);
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase).collect();
+        assert_eq!(names, vec!["trace_gen", "simulate", "model"]);
+        let sim = &r.phases[1];
+        assert_eq!(sim.events, 600);
+        assert_eq!(sim.spans, 1);
+        assert!(sim.parallel_efficiency(4).is_some());
+        assert!(r.to_json_line().contains("\"phase\":\"simulate\""));
+
+        let replayed = EvalMetrics {
+            replay: Some(ReplayMetrics {
+                bytes_read: 10,
+                accesses: 2,
+                chunks: 1,
+                decode_wall: Duration::from_millis(1),
+                ..Default::default()
+            }),
+            ..m
+        };
+        let r = replayed.run_report("replay");
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase).collect();
+        assert_eq!(names, vec!["decode", "simulate", "model"]);
     }
 
     #[test]

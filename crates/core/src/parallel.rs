@@ -21,11 +21,12 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Default worker count: `MHE_THREADS` if set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. The variable is parsed
+/// once, in [`crate::env::threads`].
 pub fn worker_threads() -> usize {
-    match std::env::var("MHE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+    match crate::env::threads() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
     }
 }
 
@@ -116,24 +117,55 @@ impl ParallelSweep {
         R: Send,
         F: Fn(T) -> R + Sync,
     {
+        self.map_in(None, items, f)
+    }
+
+    /// Like [`ParallelSweep::map`], attributing the fan-out to an
+    /// observability phase: the round's wall time plus each worker's busy
+    /// time are recorded, so a [`mhe_obs::RunReport`] can derive the
+    /// phase's parallel efficiency. With observability off (the default)
+    /// this costs one relaxed atomic load over `map`.
+    pub fn map_in<T, R, F>(&self, phase: Option<mhe_obs::Phase>, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let probe = phase.filter(|_| mhe_obs::enabled());
+        let _wall = probe.map(mhe_obs::wall_span);
         let n = items.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return items.into_iter().map(f).collect();
+            let busy_start = probe.map(|_| Instant::now());
+            let out: Vec<R> = items.into_iter().map(f).collect();
+            if let (Some(p), Some(start)) = (probe, busy_start) {
+                mhe_obs::add_busy(p, start.elapsed());
+            }
+            return out;
         }
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                        let item_start = probe.map(|_| Instant::now());
+                        let r = f(item);
+                        if let Some(start) = item_start {
+                            busy += start.elapsed();
+                        }
+                        *results[i].lock().unwrap() = Some(r);
                     }
-                    let item = slots[i].lock().unwrap().take().expect("item claimed once");
-                    let r = f(item);
-                    *results[i].lock().unwrap() = Some(r);
+                    if let Some(p) = probe {
+                        mhe_obs::add_busy(p, busy);
+                    }
                 });
             }
         });
@@ -155,11 +187,28 @@ impl ParallelSweep {
         T: Send,
         F: Fn(&mut T) + Sync,
     {
+        self.for_each_mut_in(None, items, f)
+    }
+
+    /// Like [`ParallelSweep::for_each_mut`], attributing the round to an
+    /// observability phase (wall time + per-worker busy time), as
+    /// [`ParallelSweep::map_in`] does for `map`.
+    pub fn for_each_mut_in<T, F>(&self, phase: Option<mhe_obs::Phase>, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let probe = phase.filter(|_| mhe_obs::enabled());
+        let _wall = probe.map(mhe_obs::wall_span);
         let n = items.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
+            let busy_start = probe.map(|_| Instant::now());
             for item in items {
                 f(item);
+            }
+            if let (Some(p), Some(start)) = (probe, busy_start) {
+                mhe_obs::add_busy(p, start.elapsed());
             }
             return;
         }
@@ -167,13 +216,23 @@ impl ParallelSweep {
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = slots[i].lock().unwrap();
+                        let item_start = probe.map(|_| Instant::now());
+                        f(&mut **guard);
+                        if let Some(start) = item_start {
+                            busy += start.elapsed();
+                        }
                     }
-                    let mut guard = slots[i].lock().unwrap();
-                    f(&mut **guard);
+                    if let Some(p) = probe {
+                        mhe_obs::add_busy(p, busy);
+                    }
                 });
             }
         });

@@ -79,6 +79,8 @@ pub(crate) struct GranuleStats {
 
 /// Analyzes one granule's unique addresses (sorted in place).
 pub(crate) fn analyze_granule(addrs: &mut Vec<u64>) -> GranuleStats {
+    let _obs = mhe_obs::span(mhe_obs::Phase::Model);
+    mhe_obs::add_events(mhe_obs::Phase::Model, addrs.len() as u64);
     addrs.sort_unstable();
     addrs.dedup();
     let mut stats = GranuleStats { unique: addrs.len() as u64, ..Default::default() };

@@ -6,6 +6,7 @@
 //!
 //! ```console
 //! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
+//!               [--obs|--obs-json]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
@@ -14,7 +15,10 @@
 //! `--db` the evaluation cache persists across runs in the versioned
 //! binary format (bit-exact round-trip); `--export` additionally writes a
 //! human-readable text listing; with `--heuristic` the per-cache walks use
-//! neighbourhood ascent instead of exhaustion.
+//! neighbourhood ascent instead of exhaustion. `--obs` / `--obs-json`
+//! (or the `MHE_OBS` variable) emit a run report to stderr — phase
+//! timings, throughput, parallel efficiency, and cache-database traffic —
+//! as text or line-JSON.
 
 use mhe_core::evaluator::EvalConfig;
 use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
@@ -25,8 +29,8 @@ use mhe_vliw::ProcessorKind;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str =
-    "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]";
+const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
+     [--heuristic] [--obs|--obs-json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +58,8 @@ fn main() -> ExitCode {
                 }
             }
             "--heuristic" => heuristic = true,
+            "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
+            "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -191,6 +197,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("exported text listing to {p}");
+    }
+    if mhe_obs::enabled() {
+        mhe_obs::RunReport::capture("spacewalker", eval.config().worker_threads()).emit();
     }
     ExitCode::SUCCESS
 }

@@ -198,10 +198,12 @@ impl EvaluationCache {
         if let Some(&v) = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            mhe_obs::count(mhe_obs::Counter::DbHit, 1);
             return Ok(v);
         }
         let v = compute()?;
         self.computes.fetch_add(1, Ordering::Relaxed);
+        mhe_obs::count(mhe_obs::Counter::DbMiss, 1);
         // First writer wins: racing threads computed the same deterministic
         // value, so returning the incumbent keeps every observer agreeing.
         Ok(*shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entry(key).or_insert(v))
@@ -268,6 +270,8 @@ impl EvaluationCache {
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Db);
+        let path = path.as_ref();
         let mut w = io::BufWriter::new(std::fs::File::create(path)?);
         w.write_all(MAGIC)?;
         w.write_all(&[VERSION])?;
@@ -277,7 +281,13 @@ impl EvaluationCache {
             write_key(&mut w, key)?;
             w.write_all(&value.to_bits().to_le_bytes())?;
         }
-        w.flush()
+        w.flush()?;
+        mhe_obs::add_events(mhe_obs::Phase::Db, entries.len() as u64);
+        if let Ok(meta) = std::fs::metadata(path) {
+            mhe_obs::add_bytes(mhe_obs::Phase::Db, meta.len());
+            mhe_obs::count(mhe_obs::Counter::DbPersistBytes, meta.len());
+        }
+        Ok(())
     }
 
     /// Loads a database written by [`EvaluationCache::save`].
@@ -290,7 +300,13 @@ impl EvaluationCache {
     /// Propagates I/O errors; a bad magic, unsupported version or
     /// truncated entry produces [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        let _obs = mhe_obs::span(mhe_obs::Phase::Db);
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)?;
+        if let Ok(meta) = file.metadata() {
+            mhe_obs::add_bytes(mhe_obs::Phase::Db, meta.len());
+        }
+        let mut r = io::BufReader::new(file);
         let mut header = [0u8; 5];
         r.read_exact(&mut header)?;
         if &header[..4] != MAGIC {
@@ -304,6 +320,7 @@ impl EvaluationCache {
         }
         let cache = Self::new();
         let count = read_varint(&mut r)?;
+        mhe_obs::add_events(mhe_obs::Phase::Db, count);
         for _ in 0..count {
             let key = read_key(&mut r)?;
             let mut bits = [0u8; 8];

@@ -80,6 +80,8 @@ pub fn walk_heuristic(
     let mut evaluated = 0usize;
     while !wave.is_empty() {
         wave.retain(|d| visited.insert(*d));
+        mhe_obs::count(mhe_obs::Counter::WalkWaves, 1);
+        mhe_obs::count(mhe_obs::Counter::WalkWaveDesigns, wave.len() as u64);
         let results = fan_out(threads, wave, |design| {
             db.get_or_try_insert_with(key(design), || evaluate(design)).map(|t| (design, t))
         });
@@ -97,6 +99,7 @@ pub fn walk_heuristic(
         }
         next.sort_unstable();
         next.dedup();
+        mhe_obs::record_max(mhe_obs::Counter::WalkFrontierPeak, pareto.len() as u64);
         wave = next;
     }
     Ok(HeuristicResult { pareto, evaluated, space_size })

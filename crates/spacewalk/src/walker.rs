@@ -106,8 +106,9 @@ pub(crate) fn fan_out<T: Send, R: Send>(
     f: impl Fn(T) -> R + Sync,
 ) -> Vec<R> {
     let threads = threads.max(1);
+    mhe_obs::add_events(mhe_obs::Phase::Walk, items.len() as u64);
     if threads == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        return ParallelSweep::with_threads(1).map_in(Some(mhe_obs::Phase::Walk), items, f);
     }
     let chunk_len = items.len().div_ceil(threads * 4).max(1);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(chunk_len));
@@ -120,7 +121,9 @@ pub(crate) fn fan_out<T: Send, R: Send>(
         chunks.push(chunk);
     }
     ParallelSweep::with_threads(threads)
-        .map(chunks, |chunk| chunk.into_iter().map(&f).collect::<Vec<R>>())
+        .map_in(Some(mhe_obs::Phase::Walk), chunks, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        })
         .into_iter()
         .flatten()
         .collect()
@@ -359,7 +362,7 @@ mod tests {
         let mut eval = eval_for(&space);
         let mut frontiers = Vec::new();
         for threads in [1, 2, 8] {
-            eval.set_threads(threads);
+            eval.override_worker_threads(threads);
             let db = EvaluationCache::new();
             let p = walk_icache(&eval, &space.icache, 1.5, &db).unwrap();
             let bits: Vec<(CacheDesign, u64, u64)> = p

@@ -267,11 +267,14 @@ impl<W: Write> TraceWriter<W> {
         if self.count == 0 {
             return Ok(());
         }
+        let _obs = mhe_obs::span(mhe_obs::Phase::Encode);
         let payload_len = u32::try_from(self.payload.len())
             .map_err(|_| invalid("mtr frame payload exceeds u32"))?;
         self.w.write_all(&self.count.to_le_bytes())?;
         self.w.write_all(&payload_len.to_le_bytes())?;
         self.w.write_all(&self.payload)?;
+        mhe_obs::add_events(mhe_obs::Phase::Encode, u64::from(self.count));
+        mhe_obs::add_bytes(mhe_obs::Phase::Encode, 8 + u64::from(payload_len));
         self.stats.bytes += 8 + u64::from(payload_len);
         self.stats.frames += 1;
         self.payload.clear();
@@ -358,6 +361,7 @@ impl<R: Read> TraceReader<R> {
         if self.poisoned {
             return Ok(None);
         }
+        let _obs = mhe_obs::span(mhe_obs::Phase::Decode);
         // Read the first header byte alone so a clean end of file (zero
         // bytes where a frame could start) is distinguishable from a
         // header cut mid-way.
@@ -412,6 +416,8 @@ impl<R: Read> TraceReader<R> {
         self.stats.frames += 1;
         self.stats.accesses += u64::from(count);
         self.stats.din_bytes += din_text_bytes(out.iter().copied());
+        mhe_obs::add_events(mhe_obs::Phase::Decode, u64::from(count));
+        mhe_obs::add_bytes(mhe_obs::Phase::Decode, 8 + u64::from(payload_len));
         Ok(Some(out))
     }
 

@@ -98,6 +98,14 @@ pub struct DilatedTraceGenerator<'a> {
     buffer: Vec<Access>,
     pos: usize,
     events_left: Option<usize>,
+    emitted: u64,
+}
+
+impl Drop for DilatedTraceGenerator<'_> {
+    fn drop(&mut self) {
+        // One batch flush per generator keeps the per-access path clean.
+        mhe_obs::add_events(mhe_obs::Phase::TraceGen, self.emitted);
+    }
 }
 
 impl<'a> DilatedTraceGenerator<'a> {
@@ -119,6 +127,7 @@ impl<'a> DilatedTraceGenerator<'a> {
             buffer: Vec::with_capacity(64),
             pos: 0,
             events_left: None,
+            emitted: 0,
         }
     }
 
@@ -184,6 +193,7 @@ impl Iterator for DilatedTraceGenerator<'_> {
         }
         let a = self.buffer[self.pos];
         self.pos += 1;
+        self.emitted += 1;
         Some(a)
     }
 }

@@ -46,6 +46,15 @@ pub struct TraceGenerator<'a> {
     buffer: Vec<Access>,
     pos: usize,
     events_left: Option<usize>,
+    emitted: u64,
+}
+
+impl Drop for TraceGenerator<'_> {
+    fn drop(&mut self) {
+        // Flush the accesses this generator produced to the trace-gen
+        // phase in one batch, so the per-access hot loop stays probe-free.
+        mhe_obs::add_events(mhe_obs::Phase::TraceGen, self.emitted);
+    }
 }
 
 impl<'a> TraceGenerator<'a> {
@@ -61,6 +70,7 @@ impl<'a> TraceGenerator<'a> {
             buffer: Vec::with_capacity(64),
             pos: 0,
             events_left: None,
+            emitted: 0,
         }
     }
 
@@ -125,6 +135,7 @@ impl Iterator for TraceGenerator<'_> {
         }
         let a = self.buffer[self.pos];
         self.pos += 1;
+        self.emitted += 1;
         Some(a)
     }
 }

@@ -37,7 +37,10 @@ use std::io::{BufRead, BufWriter, Lines, Write};
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub fn write_din<W: Write>(w: W, trace: impl IntoIterator<Item = Access>) -> std::io::Result<()> {
-    let mut w = BufWriter::new(w);
+    let _obs = mhe_obs::span(mhe_obs::Phase::Encode);
+    let mut written = 0u64;
+    let mut lines = 0u64;
+    let mut w = CountingWriter { inner: BufWriter::new(w), bytes: &mut written };
     for a in trace {
         let label = match a.kind {
             AccessKind::Load => 0,
@@ -45,8 +48,32 @@ pub fn write_din<W: Write>(w: W, trace: impl IntoIterator<Item = Access>) -> std
             AccessKind::Inst => 2,
         };
         writeln!(w, "{label} {:x}", a.addr)?;
+        lines += 1;
     }
-    w.flush()
+    w.inner.flush()?;
+    drop(w);
+    mhe_obs::add_events(mhe_obs::Phase::Encode, lines);
+    mhe_obs::add_bytes(mhe_obs::Phase::Encode, written);
+    Ok(())
+}
+
+/// Byte-counting shim so [`write_din`] can report encode throughput
+/// without a second pass over the trace.
+struct CountingWriter<'a, W: Write> {
+    inner: BufWriter<W>,
+    bytes: &'a mut u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        *self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Streaming iterator over a `din`-format trace.
@@ -61,6 +88,16 @@ pub struct DinLines<R: BufRead> {
     lines: Lines<R>,
     line_no: usize,
     poisoned: bool,
+    parsed: u64,
+    bytes: u64,
+}
+
+impl<R: BufRead> Drop for DinLines<R> {
+    fn drop(&mut self) {
+        // One batch flush per stream keeps the per-line path probe-free.
+        mhe_obs::add_events(mhe_obs::Phase::Decode, self.parsed);
+        mhe_obs::add_bytes(mhe_obs::Phase::Decode, self.bytes);
+    }
 }
 
 impl<R: BufRead> Iterator for DinLines<R> {
@@ -79,12 +116,16 @@ impl<R: BufRead> Iterator for DinLines<R> {
                 }
             };
             self.line_no += 1;
+            self.bytes += line.len() as u64 + 1;
             let text = line.trim();
             if text.is_empty() {
                 continue;
             }
             match parse_din_line(text, self.line_no) {
-                Ok(a) => return Some(Ok(a)),
+                Ok(a) => {
+                    self.parsed += 1;
+                    return Some(Ok(a));
+                }
                 Err(e) => {
                     self.poisoned = true;
                     return Some(Err(e));
@@ -126,7 +167,7 @@ fn parse_din_line(text: &str, line_no: usize) -> std::io::Result<Access> {
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub fn read_din_iter<R: BufRead>(r: R) -> DinLines<R> {
-    DinLines { lines: r.lines(), line_no: 0, poisoned: false }
+    DinLines { lines: r.lines(), line_no: 0, poisoned: false, parsed: 0, bytes: 0 }
 }
 
 /// Reads a `din`-format trace written by [`write_din`] (or any dinero

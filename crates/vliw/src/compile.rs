@@ -36,6 +36,7 @@ impl Compiled {
     /// assert!(dilation > 1.5);
     /// ```
     pub fn build(program: &Program, mdes: &Mdes, freq: Option<&BlockFrequencies>) -> Self {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Compile);
         let sched = ScheduledProgram::schedule(program, mdes);
         let asm = AssembledProgram::assemble(&sched);
         let binary = Binary::link(program, &asm, freq);

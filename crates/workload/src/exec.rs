@@ -134,11 +134,13 @@ pub struct BlockFrequencies {
 impl BlockFrequencies {
     /// Profiles `program` for `events` block events starting from `seed`.
     pub fn profile(program: &Program, seed: u64, events: usize) -> Self {
+        let _obs = mhe_obs::span(mhe_obs::Phase::Profile);
         let mut counts: Vec<Vec<u64>> =
             program.procedures.iter().map(|p| vec![0u64; p.blocks.len()]).collect();
         for ev in Executor::new(program, seed).take(events) {
             counts[ev.proc.0 as usize][ev.block.0 as usize] += 1;
         }
+        mhe_obs::add_events(mhe_obs::Phase::Profile, events as u64);
         Self { counts, total: events as u64 }
     }
 

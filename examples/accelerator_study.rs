@@ -11,8 +11,9 @@
 
 use mhe::core::accel::{accelerated_cycles, Accelerator, KernelMap};
 use mhe::core::system::processor_cycles;
-use mhe::vliw::{compile::Compiled, ProcessorKind};
-use mhe::workload::{Benchmark, BlockFrequencies};
+use mhe::prelude::*;
+use mhe::vliw::compile::Compiled;
+use mhe::workload::BlockFrequencies;
 
 fn main() {
     let benchmark = Benchmark::Rasta;

@@ -14,11 +14,8 @@
 //!
 //! Run with: `cargo run --release --example compiler_tradeoff`
 
-use mhe::cache::{CacheConfig, Penalties};
-use mhe::core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe::core::system::processor_cycles;
-use mhe::vliw::ProcessorKind;
-use mhe::workload::Benchmark;
+use mhe::prelude::*;
 
 /// A code-expanding optimization variant: the compute speedup it buys and
 /// the text growth it costs.
@@ -28,7 +25,7 @@ struct Variant {
     code_growth: f64,
 }
 
-fn main() -> Result<(), mhe::core::MheError> {
+fn main() -> Result<(), MheError> {
     let variants = [
         Variant { name: "baseline", speedup: 1.00, code_growth: 1.00 },
         Variant { name: "unroll x2", speedup: 1.12, code_growth: 1.25 },

@@ -7,13 +7,10 @@
 //!
 //! Run with: `cargo run --release --example design_space_walk`
 
-use mhe::cache::Penalties;
-use mhe::core::evaluator::EvalConfig;
-use mhe::spacewalk::{cache_db::EvaluationCache, space::SystemSpace, walker};
-use mhe::vliw::ProcessorKind;
-use mhe::workload::Benchmark;
+use mhe::prelude::*;
+use mhe::spacewalk::walker;
 
-fn main() -> Result<(), mhe::core::MheError> {
+fn main() -> Result<(), MheError> {
     let benchmark = Benchmark::PgpDecode;
     let space = SystemSpace::paper_default();
     println!("benchmark: {benchmark}");
@@ -29,7 +26,7 @@ fn main() -> Result<(), mhe::core::MheError> {
     let eval = walker::prepare_evaluation(
         benchmark.generate(),
         &ProcessorKind::P1111.mdes(),
-        EvalConfig { events: 150_000, ..EvalConfig::default() },
+        EvalConfig::builder().events(150_000).build()?,
         &space,
     );
 

@@ -4,13 +4,10 @@
 //!
 //! Run with: `cargo run --release --example dilation_study`
 
-use mhe::cache::CacheConfig;
-use mhe::core::evaluator::{dilated_misses, EvalConfig, ReferenceEvaluation};
-use mhe::trace::StreamKind;
-use mhe::vliw::ProcessorKind;
-use mhe::workload::Benchmark;
+use mhe::core::evaluator::dilated_misses;
+use mhe::prelude::*;
 
-fn main() -> Result<(), mhe::core::MheError> {
+fn main() -> Result<(), MheError> {
     let benchmark = Benchmark::Rasta;
     let icache = CacheConfig::from_bytes(1024, 1, 32);
     let ucache = CacheConfig::from_bytes(16 * 1024, 2, 64);

@@ -10,10 +10,9 @@
 //!
 //! Run with: `cargo run --release --example miss_anatomy`
 
-use mhe::cache::{classify_misses, CacheConfig, StackSim};
-use mhe::trace::{StreamKind, TraceGenerator};
-use mhe::vliw::{compile::Compiled, ProcessorKind};
-use mhe::workload::Benchmark;
+use mhe::cache::{classify_misses, StackSim};
+use mhe::prelude::*;
+use mhe::vliw::compile::Compiled;
 
 fn main() {
     let benchmark = Benchmark::Gcc;

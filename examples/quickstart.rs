@@ -3,13 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mhe::cache::CacheConfig;
-use mhe::core::evaluator::{actual_misses, EvalConfig, ReferenceEvaluation};
-use mhe::trace::StreamKind;
-use mhe::vliw::ProcessorKind;
-use mhe::workload::Benchmark;
+use mhe::core::evaluator::actual_misses;
+use mhe::prelude::*;
 
-fn main() -> Result<(), mhe::core::MheError> {
+fn main() -> Result<(), MheError> {
     // The paper's "small" memory configuration.
     let icache = CacheConfig::from_bytes(1024, 1, 32); // 1 KB direct-mapped
     let dcache = CacheConfig::from_bytes(1024, 1, 32);
@@ -21,7 +18,7 @@ fn main() -> Result<(), mhe::core::MheError> {
 
     // Measure ONCE on the reference processor: trace parameters + a
     // single-pass simulation per distinct line size.
-    let config = EvalConfig { events: 150_000, ..EvalConfig::default() };
+    let config = EvalConfig::builder().events(150_000).build()?;
     let eval = ReferenceEvaluation::for_benchmark(
         benchmark,
         &ProcessorKind::P1111.mdes(),

@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> spacewalk_speedup smoke (walk throughput + determinism)"
 MHE_EVENTS=20000 cargo run --release -q -p mhe-bench --bin spacewalk_speedup
 
+echo "==> obs_overhead (disabled-probe budget: <2% on trace replay)"
+MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin obs_overhead
+
 echo "==> ci.sh: all checks passed"

@@ -15,6 +15,10 @@
 //! | [`model`] | `mhe-model` | trace parameters, the AHH analytic cache model |
 //! | [`core`] | `mhe-core` | **the dilation model** and hierarchical evaluation |
 //! | [`spacewalk`] | `mhe-spacewalk` | Pareto sets, cost models, design-space walkers |
+//! | [`obs`] | `mhe-obs` | zero-dependency observability: phase timers, counters, run reports |
+//!
+//! For applications, `use mhe::prelude::*;` imports the common working
+//! set in one line (see [`prelude`]).
 //!
 //! # The one-paragraph idea
 //!
@@ -57,7 +61,44 @@
 pub use mhe_cache as cache;
 pub use mhe_core as core;
 pub use mhe_model as model;
+pub use mhe_obs as obs;
 pub use mhe_spacewalk as spacewalk;
 pub use mhe_trace as trace;
 pub use mhe_vliw as vliw;
 pub use mhe_workload as workload;
+
+pub mod prelude {
+    //! The recommended import for applications: the types that nearly
+    //! every evaluation or exploration touches, in one line.
+    //!
+    //! ```
+    //! use mhe::prelude::*;
+    //!
+    //! let cfg = EvalConfig::builder().events(20_000).build()?;
+    //! let l1 = CacheConfig::from_bytes(1024, 1, 32);
+    //! let eval = ReferenceEvaluation::for_benchmark(
+    //!     Benchmark::Unepic,
+    //!     &ProcessorKind::P1111.mdes(),
+    //!     cfg,
+    //!     &[l1],
+    //!     &[l1],
+    //!     &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+    //! );
+    //! assert!(eval.icache_misses_measured(l1).is_some());
+    //! # Ok::<(), MheError>(())
+    //! ```
+
+    pub use mhe_cache::{Cache, CacheConfig, MemoryDesign, Penalties};
+    pub use mhe_core::evaluator::{EvalConfig, EvalConfigBuilder, ReferenceEvaluation};
+    pub use mhe_core::{
+        evaluate_system, worker_threads, EvalMetrics, MheError, ParallelSweep, SystemDesign,
+    };
+    pub use mhe_obs::{ObsLevel, RunReport};
+    pub use mhe_spacewalk::{
+        walk_heuristic, walk_memory, walk_system, CacheDesign, CacheSpace, EvaluationCache,
+        MemoryPoint, MetricKey, ParetoSet, SystemPoint, SystemSpace,
+    };
+    pub use mhe_trace::{Access, StreamKind, TraceGenerator};
+    pub use mhe_vliw::{Mdes, ProcessorKind};
+    pub use mhe_workload::{Benchmark, Program};
+}

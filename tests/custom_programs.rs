@@ -1,13 +1,10 @@
 //! Integration: hand-built programs flow through the entire pipeline —
 //! compile, trace, simulate, model, estimate.
 
-use mhe::cache::CacheConfig;
-use mhe::core::evaluator::{EvalConfig, ReferenceEvaluation};
-use mhe::trace::{StreamKind, TraceGenerator};
-use mhe::vliw::{compile::Compiled, ProcessorKind};
+use mhe::prelude::*;
+use mhe::vliw::compile::Compiled;
 use mhe::workload::build::ProgramBuilder;
 use mhe::workload::data::DataPattern;
-use mhe::workload::Program;
 
 /// A two-phase kernel: a streaming loop plus a pointer-chasing loop.
 fn custom_program() -> Program {
@@ -81,8 +78,8 @@ fn streaming_dominates_icache_residency() {
     let c = Compiled::build(&p, &ProcessorKind::P1111.mdes(), None);
     let ic = CacheConfig::from_bytes(1024, 1, 32);
     let dc = CacheConfig::from_bytes(1024, 1, 32);
-    let mut icache = mhe::cache::Cache::new(ic);
-    let mut dcache = mhe::cache::Cache::new(dc);
+    let mut icache = Cache::new(ic);
+    let mut dcache = Cache::new(dc);
     for a in TraceGenerator::new(&p, &c, 11).with_event_limit(40_000) {
         match a.kind {
             k if StreamKind::Instruction.admits(k) => {

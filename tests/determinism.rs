@@ -5,10 +5,7 @@
 //! worker count yields the same measured miss maps and, therefore, the
 //! same analytic estimates — bit-identical, not merely close.
 
-use mhe_cache::CacheConfig;
-use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
-use mhe_vliw::ProcessorKind;
-use mhe_workload::Benchmark;
+use mhe::prelude::*;
 
 const EVENTS: usize = 30_000;
 
@@ -88,9 +85,9 @@ fn metrics_reflect_thread_count_and_work() {
     // its three requested line sizes; data {16,32} and unified {32,64} are
     // measured as-is, two passes each.
     let by_stream = |s| m.passes.iter().filter(|p| p.stream == s).count();
-    assert!(by_stream(mhe_trace::StreamKind::Instruction) >= 3);
-    assert_eq!(by_stream(mhe_trace::StreamKind::Data), 2);
-    assert_eq!(by_stream(mhe_trace::StreamKind::Unified), 2);
+    assert!(by_stream(StreamKind::Instruction) >= 3);
+    assert_eq!(by_stream(StreamKind::Data), 2);
+    assert_eq!(by_stream(StreamKind::Unified), 2);
     let mut keys: Vec<_> =
         m.passes.iter().map(|p| (format!("{:?}", p.stream), p.line_words)).collect();
     keys.sort();

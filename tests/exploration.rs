@@ -1,12 +1,9 @@
 //! Integration tests of the exploration layer: spec file → spacewalker →
 //! Pareto frontier, end to end.
 
-use mhe::cache::Penalties;
-use mhe::core::evaluator::EvalConfig;
-use mhe::spacewalk::cache_db::EvaluationCache;
+use mhe::prelude::*;
 use mhe::spacewalk::spec::Spec;
 use mhe::spacewalk::walker;
-use mhe::vliw::ProcessorKind;
 
 const SPEC: &str = r#"
 [processors]
@@ -84,7 +81,7 @@ fn frontier_shrinks_when_memory_is_free() {
 }
 
 fn walk_len(
-    eval: &mhe::core::evaluator::ReferenceEvaluation,
+    eval: &ReferenceEvaluation,
     spec: &Spec,
     penalties: Penalties,
     db: &EvaluationCache,

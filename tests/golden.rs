@@ -17,11 +17,8 @@
 //! trace → simulate pipeline. If a deliberate change to that pipeline
 //! moves them, re-pin and say so in the commit message.
 
-use mhe_cache::CacheConfig;
-use mhe_core::evaluator::{dilated_misses, EvalConfig, ReferenceEvaluation};
-use mhe_trace::StreamKind;
-use mhe_vliw::ProcessorKind;
-use mhe_workload::Benchmark;
+use mhe::core::evaluator::dilated_misses;
+use mhe::prelude::*;
 
 const EVENTS: usize = 50_000;
 

@@ -1,11 +1,9 @@
 //! Cross-crate integration tests: the whole pipeline from benchmark
 //! synthesis to dilation-model estimates.
 
-use mhe::cache::{Cache, CacheConfig};
-use mhe::core::evaluator::{actual_misses, dilated_misses, EvalConfig, ReferenceEvaluation};
-use mhe::trace::{StreamKind, TraceGenerator};
-use mhe::vliw::{compile::Compiled, ProcessorKind};
-use mhe::workload::Benchmark;
+use mhe::core::evaluator::{actual_misses, dilated_misses};
+use mhe::prelude::*;
+use mhe::vliw::compile::Compiled;
 
 const EVENTS: usize = 60_000;
 

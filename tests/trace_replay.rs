@@ -9,10 +9,7 @@
 //! least 4x smaller than the equivalent `din` text. A second test checks
 //! the `din` replay path and that the chunk size is invisible to results.
 
-use mhe_cache::CacheConfig;
-use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
-use mhe_vliw::ProcessorKind;
-use mhe_workload::Benchmark;
+use mhe::prelude::*;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;

@@ -5,13 +5,8 @@
 //! order, so thread count may only change the wall clock — never the
 //! frontier.
 
-use mhe::cache::Penalties;
-use mhe::core::evaluator::EvalConfig;
-use mhe::spacewalk::cache_db::EvaluationCache;
-use mhe::spacewalk::space::{CacheSpace, SystemSpace};
+use mhe::prelude::*;
 use mhe::spacewalk::walker;
-use mhe::vliw::ProcessorKind;
-use mhe::workload::Benchmark;
 
 fn space() -> SystemSpace {
     SystemSpace {
@@ -46,7 +41,7 @@ fn space() -> SystemSpace {
 type FrontierBits = Vec<(String, String, String, String, u64, u64)>;
 
 fn frontier_bits(
-    eval: &mhe::core::evaluator::ReferenceEvaluation,
+    eval: &ReferenceEvaluation,
     space: &SystemSpace,
     db: &EvaluationCache,
 ) -> FrontierBits {
@@ -73,14 +68,14 @@ fn walk_system_is_bit_identical_across_thread_counts() {
     let mut eval = walker::prepare_evaluation(
         Benchmark::Unepic.generate(),
         &ProcessorKind::P1111.mdes(),
-        EvalConfig { events: 40_000, ..EvalConfig::default() },
+        EvalConfig::builder().events(40_000).build().expect("valid config"),
         &space,
     );
 
     // Cold cache at every thread count: each run computes everything.
     let mut cold = Vec::new();
     for threads in [1usize, 2, 8] {
-        eval.set_threads(threads);
+        eval.override_worker_threads(threads);
         let db = EvaluationCache::new();
         cold.push((threads, frontier_bits(&eval, &space, &db)));
     }
@@ -89,12 +84,12 @@ fn walk_system_is_bit_identical_across_thread_counts() {
     }
 
     // Warm cache: seed with a 1-thread walk, then re-walk at each count.
-    eval.set_threads(1);
+    eval.override_worker_threads(1);
     let warm_db = EvaluationCache::new();
     let seed_bits = frontier_bits(&eval, &space, &warm_db);
     assert_eq!(seed_bits, cold[0].1, "warm seed differs from cold walk");
     for threads in [1usize, 2, 8] {
-        eval.set_threads(threads);
+        eval.override_worker_threads(threads);
         let (_, computes_before) = warm_db.stats();
         let bits = frontier_bits(&eval, &space, &warm_db);
         let (_, computes_after) = warm_db.stats();
