@@ -12,6 +12,9 @@
 //! `unepic`; case-insensitive) select what to capture; any other argument
 //! is taken as the output directory. Defaults: every benchmark, into
 //! `$TMPDIR/mhe_traces`. The dynamic window follows `MHE_EVENTS`.
+//!
+//! Failures print a one-line diagnostic and exit with the workspace
+//! convention: 3 for corrupt input, 4 for storage exhaustion.
 
 use mhe_trace::codec::TraceWriter;
 use mhe_trace::io::write_din;
@@ -28,7 +31,17 @@ fn stem(b: Benchmark) -> String {
     b.name().replace('.', "_")
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_capture: {e}");
+            std::process::ExitCode::from(mhe_bench::io_exit_code(&e))
+        }
+    }
+}
+
+fn run() -> std::io::Result<()> {
     let mut dir = std::env::temp_dir().join("mhe_traces");
     let mut benches: Vec<Benchmark> = Vec::new();
     let mut args: Vec<String> = std::env::args().skip(1).collect();

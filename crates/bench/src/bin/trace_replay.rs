@@ -16,6 +16,10 @@
 //! observability sink `MHE_OBS` (or the flags). With a sink enabled, one
 //! `RunReport` per benchmark goes to stderr covering the trace-gen,
 //! encode, decode, simulate, and estimate phases.
+//!
+//! Failures print a one-line diagnostic and exit with the workspace
+//! convention: 2 bad arguments, 3 corrupt input (a `.mtr`/`.din` file
+//! failing CRC or framing checks), 4 storage exhaustion.
 
 use mhe_cache::CacheConfig;
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
@@ -55,7 +59,17 @@ fn replay(
     ReferenceEvaluation::replay_file(benchmark.generate(), mdes, cfg, path, &ic, &dc, &uc)
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace_replay: {e}");
+            std::process::ExitCode::from(mhe_bench::io_exit_code(&e))
+        }
+    }
+}
+
+fn run() -> std::io::Result<()> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     mhe_bench::obs_from_args(&mut args);
     let benches: Vec<Benchmark> = if args.iter().any(|a| a == "all") {

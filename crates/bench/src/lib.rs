@@ -126,6 +126,19 @@ pub fn fmt_ratio(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Maps an I/O error onto the exit-status convention the workspace
+/// binaries share: **3** for corrupt input (CRC mismatch, bad framing,
+/// truncation), **4** for storage exhaustion mid-write, **1** otherwise.
+/// Status 2 (bad configuration) is decided at argument-parsing time, not
+/// from an error kind.
+pub fn io_exit_code(e: &std::io::Error) -> u8 {
+    match e.kind() {
+        std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => 3,
+        std::io::ErrorKind::StorageFull => 4,
+        _ => 1,
+    }
+}
+
 /// Looks up a benchmark by its paper-table name (case-insensitive),
 /// e.g. `085.gcc` or `unepic`.
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {

@@ -10,9 +10,14 @@
 use mhe_cache::CacheConfig;
 use mhe_trace::StreamKind;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a metric query could not be answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Variants carrying free-form context (`WorkerFailed`, `CorruptInput`)
+/// use `Arc<str>` so the error stays cheap to clone across sweep
+/// boundaries; the enum is therefore `Clone` but no longer `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MheError {
     /// A query needed the measured misses of a cache configuration that was
     /// never simulated on the reference trace.
@@ -45,12 +50,59 @@ pub enum MheError {
         /// What the field requires.
         requirement: &'static str,
     },
+    /// A worker task panicked inside a parallel sweep.
+    ///
+    /// The panic was caught at the task boundary (it never crosses
+    /// `join()`); remaining queued work was cancelled and any configured
+    /// [`crate::env::RetryPolicy`] was exhausted before this surfaced.
+    WorkerFailed {
+        /// A label identifying the failed task (e.g. `"sweep job 17"`).
+        task: Arc<str>,
+        /// The panic payload message, when it was a string.
+        cause: Arc<str>,
+    },
+    /// A persistent artifact (`.mtr` trace, evaluation database,
+    /// checkpoint) failed validation — bad magic, truncation, or a CRC
+    /// mismatch.
+    CorruptInput {
+        /// The file (or stream description) that failed to decode.
+        path: Arc<str>,
+        /// What exactly was wrong.
+        detail: Arc<str>,
+    },
 }
 
 impl MheError {
     /// Shorthand for a missing simulation of `config` on `stream`.
     pub fn missing(stream: StreamKind, config: CacheConfig) -> Self {
         MheError::MissingSimulation { stream, config }
+    }
+
+    /// Shorthand for a caught worker panic in task `task`.
+    pub fn worker_failed(task: impl AsRef<str>, cause: impl AsRef<str>) -> Self {
+        MheError::WorkerFailed { task: Arc::from(task.as_ref()), cause: Arc::from(cause.as_ref()) }
+    }
+
+    /// Shorthand for a corrupt persistent artifact at `path`.
+    pub fn corrupt(path: impl AsRef<str>, detail: impl AsRef<str>) -> Self {
+        MheError::CorruptInput {
+            path: Arc::from(path.as_ref()),
+            detail: Arc::from(detail.as_ref()),
+        }
+    }
+
+    /// The process exit code binaries map this error to: `2` for user
+    /// configuration errors, `3` for corrupt input artifacts, `4` for
+    /// worker failures. (`0` is success and `1` a generic failure, so the
+    /// fault-specific codes start at 2.)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            MheError::MissingSimulation { .. }
+            | MheError::MissingReference { .. }
+            | MheError::InvalidConfig { .. } => 2,
+            MheError::CorruptInput { .. } => 3,
+            MheError::WorkerFailed { .. } => 4,
+        }
     }
 }
 
@@ -78,6 +130,12 @@ impl fmt::Display for MheError {
             MheError::InvalidConfig { field, requirement } => {
                 write!(f, "invalid evaluation config: {field} {requirement}")
             }
+            MheError::WorkerFailed { task, cause } => {
+                write!(f, "worker panic in {task}: {cause}")
+            }
+            MheError::CorruptInput { path, detail } => {
+                write!(f, "corrupt input {path}: {detail}")
+            }
         }
     }
 }
@@ -99,6 +157,22 @@ mod tests {
         let e = MheError::InvalidConfig { field: "events", requirement: "must be positive" };
         let msg = e.to_string();
         assert!(msg.contains("events") && msg.contains("positive"), "{msg}");
+    }
+
+    #[test]
+    fn fault_variants_carry_context_and_exit_codes() {
+        let e = MheError::worker_failed("sweep job 17", "index out of bounds");
+        assert_eq!(e.exit_code(), 4);
+        let msg = e.to_string();
+        assert!(msg.contains("sweep job 17") && msg.contains("index out of bounds"), "{msg}");
+
+        let e = MheError::corrupt("db/cache.mhec", "file CRC mismatch");
+        assert_eq!(e.exit_code(), 3);
+        let msg = e.to_string();
+        assert!(msg.contains("db/cache.mhec") && msg.contains("CRC"), "{msg}");
+
+        let e = MheError::InvalidConfig { field: "events", requirement: "must be positive" };
+        assert_eq!(e.exit_code(), 2);
     }
 
     #[test]

@@ -50,7 +50,7 @@ use mhe_model::ahh::UniqueLineModel;
 use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
 use mhe_model::{ITraceModeler, UTraceModeler};
 use mhe_trace::codec::write_mtr;
-use mhe_trace::io::{read_din_iter, write_din};
+use mhe_trace::io::{read_din_iter_named, write_din};
 use mhe_trace::stats::din_text_bytes;
 use mhe_trace::{
     Access, CodecStats, DilatedTraceGenerator, StreamKind, TraceGenerator, TraceReader,
@@ -424,7 +424,12 @@ fn measure_streaming(
     tasks.extend(stream_sim_tasks(StreamKind::Data, dcaches));
     tasks.extend(stream_sim_tasks(StreamKind::Unified, ucaches));
 
-    let sweep = ParallelSweep::with_threads(config.worker_threads());
+    // No retries here: stream tasks are stateful, so re-running a task
+    // that panicked mid-chunk could double-feed accesses. A panic in this
+    // sweep surfaces as a structured error instead.
+    let sweep = ParallelSweep::with_threads(config.worker_threads())
+        .with_retry(crate::env::RetryPolicy::NONE)
+        .with_label("streaming measure");
     let mut trace_len = 0u64;
     let mut din_bytes = 0u64;
     let mut chunks = 0u64;
@@ -442,7 +447,12 @@ fn measure_streaming(
         din_bytes += din_text_bytes(chunk.iter().copied());
         chunks += 1;
         let sim_start = Instant::now();
-        sweep.for_each_mut_in(Some(mhe_obs::Phase::Simulate), &mut tasks, |t| t.feed(&chunk));
+        sweep
+            .try_for_each_mut_in(Some(mhe_obs::Phase::Simulate), &mut tasks, |t| {
+                t.feed(&chunk);
+                Ok(())
+            })
+            .map_err(|e| io::Error::other(e.error.to_string()))?;
         sim_wall += sim_start.elapsed();
     }
 
@@ -712,7 +722,7 @@ impl ReferenceEvaluation {
                 (outcome, bytes)
             }
             "din" => {
-                let mut lines = read_din_iter(file);
+                let mut lines = read_din_iter_named(file, path.display().to_string());
                 let chunk_size = config.chunk_accesses.max(1);
                 let outcome = {
                     let mut next = || -> io::Result<Option<Vec<Access>>> {

@@ -1,0 +1,541 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Long design-space sweeps must survive the failures that real storage
+//! and real worker pools produce: flipped bits, truncated files, short
+//! reads, full disks, and panicking tasks. This module makes every one of
+//! those failures *reproducible*: a [`FaultPlan`] is an explicit schedule
+//! of faults (parsed from text or derived from a seed), and the
+//! [`FaultyReader`]/[`FaultyWriter`] adapters apply its I/O faults at
+//! exact byte offsets, so a failing test case is a value you can paste
+//! into a regression test — not a flaky coincidence.
+//!
+//! Two consumption models:
+//!
+//! - **Explicit**: tests wrap a reader/writer in [`FaultyReader`] /
+//!   [`FaultyWriter`] with a plan of their choosing.
+//! - **Ambient**: setting `MHE_FAULT_PLAN` (same syntax as
+//!   [`FaultPlan::parse`]) arms a process-wide plan whose
+//!   [`Fault::PanicTask`] entries fire inside `ParallelSweep`'s fallible
+//!   paths via [`maybe_panic_task`], proving panics are isolated without
+//!   touching production code. Tests arm programmatically with [`arm`],
+//!   which returns a disarm-on-drop guard.
+//!
+//! Worker-panic faults are **one-shot** — a task index panics on its
+//! first attempt only — so a [`crate::env::RetryPolicy`] with retries can
+//! demonstrably recover from them. Every fired fault increments the
+//! `fault_injected` observability counter.
+//!
+//! ```
+//! use mhe_core::fault::{Fault, FaultPlan, FaultyReader};
+//! use std::io::Read;
+//!
+//! let data = vec![0u8; 16];
+//! let plan = FaultPlan::new(vec![Fault::BitFlip { byte: 3, mask: 0x01 }]);
+//! let mut out = Vec::new();
+//! FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
+//! assert_eq!(out[3], 0x01);
+//! ```
+
+use std::io::{ErrorKind, Read, Result as IoResult, Write};
+use std::sync::{Mutex, OnceLock};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR `mask` into the byte at stream offset `byte` (read or write).
+    BitFlip {
+        /// Stream offset of the corrupted byte.
+        byte: u64,
+        /// Which bits to flip (must be non-zero to have any effect).
+        mask: u8,
+    },
+    /// End the stream at offset `at`: reads see EOF, writes silently drop
+    /// the tail (a torn write, as when a process dies mid-save).
+    Truncate {
+        /// Offset after which no byte is transferred.
+        at: u64,
+    },
+    /// One-shot short read: the first read crossing offset `at` returns
+    /// only the bytes up to `at`. Legal under the [`Read`] contract —
+    /// correct consumers must retry, broken ones mis-decode.
+    ShortRead {
+        /// The offset the shortened read stops at.
+        at: u64,
+    },
+    /// The disk fills at offset `at`: any write reaching it fails with
+    /// [`ErrorKind::StorageFull`], persistently.
+    Enospc {
+        /// First unwritable offset.
+        at: u64,
+    },
+    /// Panic the sweep task with this index (0-based, one-shot).
+    PanicTask {
+        /// The task index to kill on its first attempt.
+        task: u64,
+    },
+}
+
+/// A deterministic schedule of faults.
+///
+/// The text syntax (used by `MHE_FAULT_PLAN`) is a comma-separated list:
+///
+/// ```text
+/// flip@BYTE:MASK , truncate@AT , short@AT , enospc@AT , panic@TASK
+/// ```
+///
+/// e.g. `MHE_FAULT_PLAN=panic@3,panic@11` kills sweep tasks 3 and 11 on
+/// their first attempts. Offsets are decimal; `MASK` accepts `0x` hex.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan firing exactly the given faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Parses the `MHE_FAULT_PLAN` syntax. Returns `None` if any entry is
+    /// malformed (a fault plan must be exact or absent — a half-parsed
+    /// plan would silently test less than intended).
+    pub fn parse(text: &str) -> Option<FaultPlan> {
+        let mut faults = Vec::new();
+        for entry in text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind, arg) = entry.split_once('@')?;
+            let fault = match kind.trim() {
+                "flip" => {
+                    let (byte, mask) = arg.split_once(':')?;
+                    let mask = mask.trim();
+                    let mask = match mask.strip_prefix("0x") {
+                        Some(hex) => u8::from_str_radix(hex, 16).ok()?,
+                        None => mask.parse().ok()?,
+                    };
+                    Fault::BitFlip { byte: byte.trim().parse().ok()?, mask }
+                }
+                "truncate" => Fault::Truncate { at: arg.trim().parse().ok()? },
+                "short" => Fault::ShortRead { at: arg.trim().parse().ok()? },
+                "enospc" => Fault::Enospc { at: arg.trim().parse().ok()? },
+                "panic" => Fault::PanicTask { task: arg.trim().parse().ok()? },
+                _ => return None,
+            };
+            faults.push(fault);
+        }
+        if faults.is_empty() {
+            None
+        } else {
+            Some(FaultPlan { faults })
+        }
+    }
+
+    /// A single-fault plan derived deterministically from `seed`, aimed at
+    /// a stream of `domain` bytes (or `domain` tasks for panics). The same
+    /// seed always yields the same fault, so a failing seed is a
+    /// reproducible test case.
+    pub fn seeded(seed: u64, domain: u64) -> FaultPlan {
+        // SplitMix64: full-period, dependency-free.
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let domain = domain.max(1);
+        let at = next() % domain;
+        let fault = match next() % 5 {
+            0 => Fault::BitFlip { byte: at, mask: (1 << (next() % 8)) as u8 },
+            1 => Fault::Truncate { at },
+            2 => Fault::ShortRead { at },
+            3 => Fault::Enospc { at },
+            _ => Fault::PanicTask { task: at },
+        };
+        FaultPlan { faults: vec![fault] }
+    }
+}
+
+/// A process-wide armed plan with per-fault fired flags.
+#[derive(Debug)]
+struct ActivePlan {
+    plan: FaultPlan,
+    fired: Vec<bool>,
+}
+
+fn armed() -> &'static Mutex<Option<ActivePlan>> {
+    static ARMED: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        // First touch arms the ambient plan from MHE_FAULT_PLAN, if set.
+        let plan = std::env::var("MHE_FAULT_PLAN").ok().and_then(|v| FaultPlan::parse(&v));
+        Mutex::new(plan.map(|plan| {
+            let fired = vec![false; plan.faults.len()];
+            ActivePlan { plan, fired }
+        }))
+    })
+}
+
+/// Disarms the ambient plan when dropped; returned by [`arm`].
+#[derive(Debug)]
+pub struct ArmGuard {
+    _private: (),
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        if let Ok(mut slot) = armed().lock() {
+            *slot = None;
+        }
+    }
+}
+
+/// Arms `plan` process-wide (replacing any previous plan, including one
+/// from `MHE_FAULT_PLAN`) until the returned guard drops.
+///
+/// Tests arming plans must serialize on their own lock: the plan is
+/// global, so two concurrently armed tests would see each other's faults.
+#[must_use = "the plan disarms when the guard drops"]
+pub fn arm(plan: FaultPlan) -> ArmGuard {
+    let fired = vec![false; plan.faults.len()];
+    if let Ok(mut slot) = armed().lock() {
+        *slot = Some(ActivePlan { plan, fired });
+    }
+    ArmGuard { _private: () }
+}
+
+/// True if any plan is currently armed (ambient or via [`arm`]).
+pub fn is_armed() -> bool {
+    armed().lock().map(|slot| slot.is_some()).unwrap_or(false)
+}
+
+/// The lock tests must hold while a plan is armed.
+///
+/// The armed plan is process-global and `cargo test` runs tests on
+/// parallel threads, so any test calling [`arm`] must serialize on this
+/// lock for the guard's whole lifetime — otherwise one test's faults
+/// fire inside another's sweeps.
+pub fn injection_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Fires a scheduled [`Fault::PanicTask`] for `task`, at most once.
+///
+/// Called by `ParallelSweep`'s fallible paths at each task boundary; a
+/// no-op unless a plan is armed and schedules this index. The panic
+/// message names the injection so it can never be mistaken for a real
+/// defect.
+pub fn maybe_panic_task(task: u64) {
+    let should_fire = {
+        let Ok(mut slot) = armed().lock() else { return };
+        let Some(active) = slot.as_mut() else { return };
+        let mut fire = false;
+        for (fault, fired) in active.plan.faults.iter().zip(active.fired.iter_mut()) {
+            if !*fired && *fault == (Fault::PanicTask { task }) {
+                *fired = true;
+                fire = true;
+                break;
+            }
+        }
+        fire
+    };
+    if should_fire {
+        mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+        panic!("injected fault: worker panic in task {task}");
+    }
+}
+
+/// Per-adapter fault state: the plan's I/O faults with fired flags.
+#[derive(Debug)]
+struct IoFaults {
+    faults: Vec<(Fault, bool)>,
+    pos: u64,
+}
+
+impl IoFaults {
+    fn new(plan: &FaultPlan) -> Self {
+        let faults = plan
+            .faults
+            .iter()
+            .filter(|f| !matches!(f, Fault::PanicTask { .. }))
+            .map(|&f| (f, false))
+            .collect();
+        Self { faults, pos: 0 }
+    }
+
+    /// How many of `len` bytes a read at the current offset may return,
+    /// honouring truncation (persistent EOF) and one-shot short reads.
+    fn clamp_read(&mut self, len: usize) -> usize {
+        let mut allowed = len as u64;
+        let pos = self.pos;
+        for (fault, fired) in &mut self.faults {
+            match *fault {
+                Fault::Truncate { at } => {
+                    let cap = at.saturating_sub(pos);
+                    if cap < allowed {
+                        allowed = cap;
+                        if !*fired {
+                            *fired = true;
+                            mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+                        }
+                    }
+                }
+                Fault::ShortRead { at } if !*fired && pos < at && pos + allowed > at => {
+                    allowed = at - pos;
+                    *fired = true;
+                    mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+                }
+                _ => {}
+            }
+        }
+        allowed as usize
+    }
+
+    /// Applies scheduled bit flips to the `n` bytes of `buf` that were
+    /// just transferred at the pre-advance offset, then advances.
+    fn corrupt_and_advance(&mut self, buf: &mut [u8], n: usize) {
+        let start = self.pos;
+        for (fault, fired) in &mut self.faults {
+            if let Fault::BitFlip { byte, mask } = *fault {
+                if !*fired && byte >= start && byte < start + n as u64 {
+                    buf[(byte - start) as usize] ^= mask;
+                    *fired = true;
+                    mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+                }
+            }
+        }
+        self.pos = start + n as u64;
+    }
+}
+
+/// A [`Read`] adapter that injects a [`FaultPlan`]'s I/O faults at exact
+/// byte offsets: bit flips corrupt the data in flight, truncation forces
+/// early EOF, short reads under-fill the buffer once.
+#[derive(Debug)]
+pub struct FaultyReader<R: Read> {
+    inner: R,
+    state: IoFaults,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, injecting `plan`'s I/O faults (panic faults are
+    /// ignored — they belong to the sweep engine).
+    pub fn new(inner: R, plan: &FaultPlan) -> Self {
+        Self { inner, state: IoFaults::new(plan) }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> IoResult<usize> {
+        let allowed = self.state.clamp_read(buf.len());
+        if allowed == 0 && !buf.is_empty() {
+            return Ok(0); // injected EOF (truncation)
+        }
+        let n = self.inner.read(&mut buf[..allowed])?;
+        self.state.corrupt_and_advance(buf, n);
+        Ok(n)
+    }
+}
+
+/// A [`Write`] adapter that injects a [`FaultPlan`]'s I/O faults: bit
+/// flips corrupt outgoing bytes, truncation silently drops the tail (a
+/// torn write), ENOSPC fails with [`ErrorKind::StorageFull`].
+#[derive(Debug)]
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    state: IoFaults,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, injecting `plan`'s I/O faults (panic faults are
+    /// ignored — they belong to the sweep engine).
+    pub fn new(inner: W, plan: &FaultPlan) -> Self {
+        Self { inner, state: IoFaults::new(plan) }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> IoResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let pos = self.state.pos;
+        // ENOSPC: a hard error at the boundary; the bytes before it land
+        // as a partial write first, exactly as a real full disk behaves.
+        let mut accept = buf.len() as u64;
+        for (fault, fired) in &mut self.state.faults {
+            if let Fault::Enospc { at } = *fault {
+                if pos >= at {
+                    *fired = true;
+                    mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+                    return Err(std::io::Error::new(
+                        ErrorKind::StorageFull,
+                        format!("injected fault: ENOSPC at byte {at}"),
+                    ));
+                }
+                accept = accept.min(at - pos);
+            }
+        }
+        // Torn write: accepted bytes at/after the truncation offset are
+        // reported written but never persisted, as when a process dies
+        // mid-save.
+        let mut keep = accept;
+        for (fault, fired) in &mut self.state.faults {
+            if let Fault::Truncate { at } = *fault {
+                let cap = at.saturating_sub(pos);
+                if cap < keep {
+                    keep = cap;
+                    if !*fired {
+                        *fired = true;
+                        mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+                    }
+                }
+            }
+        }
+        if keep > 0 {
+            let mut chunk = buf[..keep as usize].to_vec();
+            self.state.corrupt_and_advance(&mut chunk, keep as usize);
+            self.inner.write_all(&chunk)?;
+            self.state.pos = pos + accept;
+        } else {
+            self.state.pos = pos + accept;
+        }
+        Ok(accept as usize)
+    }
+
+    fn flush(&mut self) -> IoResult<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_syntax() {
+        let plan = FaultPlan::parse("flip@100:0x01, truncate@512, short@64, enospc@4096, panic@3")
+            .unwrap();
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::BitFlip { byte: 100, mask: 0x01 },
+                Fault::Truncate { at: 512 },
+                Fault::ShortRead { at: 64 },
+                Fault::Enospc { at: 4096 },
+                Fault::PanicTask { task: 3 },
+            ]
+        );
+        assert_eq!(FaultPlan::parse("flip@8:255").unwrap().faults().len(), 1);
+        assert!(FaultPlan::parse("").is_none());
+        assert!(FaultPlan::parse("panic@x").is_none());
+        assert!(FaultPlan::parse("meteor@7").is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded(seed, 1000), FaultPlan::seeded(seed, 1000));
+        }
+        // The generator covers every fault kind within a modest seed range.
+        let kinds: std::collections::HashSet<u8> = (0..64)
+            .map(|s| match FaultPlan::seeded(s, 1000).faults()[0] {
+                Fault::BitFlip { .. } => 0,
+                Fault::Truncate { .. } => 1,
+                Fault::ShortRead { .. } => 2,
+                Fault::Enospc { .. } => 3,
+                Fault::PanicTask { .. } => 4,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn reader_flips_exactly_the_scheduled_bit() {
+        let data = vec![0u8; 32];
+        let plan = FaultPlan::new(vec![Fault::BitFlip { byte: 17, mask: 0x40 }]);
+        let mut out = Vec::new();
+        FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 32);
+        for (i, b) in out.iter().enumerate() {
+            assert_eq!(*b, if i == 17 { 0x40 } else { 0 }, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn reader_truncates_at_the_scheduled_offset() {
+        let data = vec![7u8; 100];
+        let plan = FaultPlan::new(vec![Fault::Truncate { at: 40 }]);
+        let mut out = Vec::new();
+        FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
+        assert_eq!(out, vec![7u8; 40]);
+    }
+
+    #[test]
+    fn reader_short_read_is_one_shot_and_lossless() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let plan = FaultPlan::new(vec![Fault::ShortRead { at: 33 }]);
+        let mut r = FaultyReader::new(data.as_slice(), &plan);
+        let mut buf = [0u8; 64];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 33, "first read crossing the offset is shortened");
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!([&buf[..n], &rest[..]].concat(), data, "no data is lost");
+    }
+
+    #[test]
+    fn writer_fails_with_storage_full_at_the_scheduled_offset() {
+        let plan = FaultPlan::new(vec![Fault::Enospc { at: 10 }]);
+        let mut w = FaultyWriter::new(Vec::new(), &plan);
+        assert_eq!(w.write(&[0u8; 8]).unwrap(), 8);
+        // The next write crosses byte 10: the first 2 bytes land, then
+        // the following attempt is full.
+        let err = w.write_all(&[0u8; 8]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::StorageFull);
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(w.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn writer_torn_write_drops_the_tail_silently() {
+        let plan = FaultPlan::new(vec![Fault::Truncate { at: 6 }]);
+        let mut w = FaultyWriter::new(Vec::new(), &plan);
+        w.write_all(&[1u8; 4]).unwrap();
+        w.write_all(&[2u8; 4]).unwrap();
+        w.write_all(&[3u8; 4]).unwrap();
+        assert_eq!(w.into_inner(), vec![1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn writer_flips_outgoing_bytes() {
+        let plan = FaultPlan::new(vec![Fault::BitFlip { byte: 5, mask: 0xFF }]);
+        let mut w = FaultyWriter::new(Vec::new(), &plan);
+        w.write_all(&[0u8; 10]).unwrap();
+        let out = w.into_inner();
+        assert_eq!(out[5], 0xFF);
+        assert_eq!(out.iter().filter(|&&b| b != 0).count(), 1);
+    }
+
+    #[test]
+    fn panic_faults_do_not_touch_io_adapters() {
+        let plan = FaultPlan::new(vec![Fault::PanicTask { task: 0 }]);
+        let data = vec![9u8; 16];
+        let mut out = Vec::new();
+        FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

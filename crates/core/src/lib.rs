@@ -54,6 +54,7 @@ pub mod dilation;
 pub mod env;
 pub mod error;
 pub mod evaluator;
+pub mod fault;
 pub mod icache;
 pub mod metrics;
 pub mod parallel;
@@ -63,10 +64,12 @@ pub mod ucache;
 pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
 pub use dilation::{text_dilation, DilationDistribution};
+pub use env::RetryPolicy;
 pub use error::MheError;
 pub use evaluator::{
     actual_misses, dilated_misses, EvalConfig, EvalConfigBuilder, ReferenceEvaluation,
 };
+pub use fault::{Fault, FaultPlan, FaultyReader, FaultyWriter};
 pub use metrics::{EvalMetrics, PassMetrics};
-pub use parallel::{worker_threads, ParallelSweep, SweepMetrics};
+pub use parallel::{worker_threads, ParallelSweep, SweepError, SweepMetrics};
 pub use system::{evaluate_system, processor_cycles, SystemDesign, SystemPerformance};

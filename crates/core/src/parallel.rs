@@ -15,8 +15,34 @@
 //! Thread-count control: [`worker_threads`] honours the `MHE_THREADS`
 //! environment variable and falls back to the machine's available
 //! parallelism.
+//!
+//! # Fault tolerance
+//!
+//! Worker panics are caught at the task boundary (`catch_unwind`), so a
+//! poisoned task can never deadlock or abort a sweep mid-join:
+//!
+//! * the fallible entry points ([`ParallelSweep::try_map`],
+//!   [`ParallelSweep::try_for_each_mut`]) convert the panic into
+//!   [`MheError::WorkerFailed`] carrying the task label and panic
+//!   message, cancel remaining queued work, and surface the partial
+//!   [`SweepMetrics`] in a [`SweepError`];
+//! * the infallible entry points ([`ParallelSweep::map`],
+//!   [`ParallelSweep::for_each_mut`]) cancel remaining work, join every
+//!   worker cleanly, and then re-raise the first panicking task's payload
+//!   (lowest index wins) — deterministic, but still a panic, because the
+//!   signature cannot express failure;
+//! * a [`RetryPolicy`] (default: [`crate::env::retry_policy`], i.e.
+//!   `MHE_RETRIES`) re-runs *panicked* tasks a bounded number of times in
+//!   the fallible paths. Typed `MheError` returns are never retried —
+//!   they are deterministic domain failures.
+//!
+//! The fallible paths also consult [`crate::fault::maybe_panic_task`], so
+//! a [`crate::fault::FaultPlan`] can kill chosen tasks on demand.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::env::RetryPolicy;
+use crate::error::MheError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -33,12 +59,17 @@ pub fn worker_threads() -> usize {
 /// Wall-clock accounting for one [`ParallelSweep`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepMetrics {
-    /// Number of work items processed.
+    /// Number of work items submitted.
     pub jobs: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Wall time of the whole fan-out.
     pub wall: Duration,
+    /// Work items that finished successfully (equals `jobs` unless the
+    /// sweep failed and cancelled its remaining queue).
+    pub completed: usize,
+    /// Task attempts re-run after an isolated worker panic.
+    pub retries: u64,
 }
 
 impl SweepMetrics {
@@ -47,7 +78,7 @@ impl SweepMetrics {
         if self.wall.is_zero() {
             0.0
         } else {
-            self.jobs as f64 / self.wall.as_secs_f64()
+            self.completed as f64 / self.wall.as_secs_f64()
         }
     }
 }
@@ -56,12 +87,53 @@ impl std::fmt::Display for SweepMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} jobs on {} threads in {:.3}s ({:.2} jobs/s)",
+            "{}/{} jobs on {} threads in {:.3}s ({:.2} jobs/s)",
+            self.completed,
             self.jobs,
             self.threads,
             self.wall.as_secs_f64(),
             self.jobs_per_second()
-        )
+        )?;
+        if self.retries > 0 {
+            write!(f, ", {} retries", self.retries)?;
+        }
+        Ok(())
+    }
+}
+
+/// A failed sweep: the first task failure (by input index) plus the
+/// partial [`SweepMetrics`] — how much work *did* finish before the
+/// queue was cancelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Why the sweep failed (the lowest-index failing task wins).
+    pub error: MheError,
+    /// Accounting for the partial run.
+    pub metrics: SweepMetrics,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {}", self.error, self.metrics)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<SweepError> for MheError {
+    fn from(e: SweepError) -> MheError {
+        e.error
+    }
+}
+
+/// Renders a caught panic payload for [`MheError::WorkerFailed`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -77,6 +149,8 @@ impl std::fmt::Display for SweepMetrics {
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelSweep {
     threads: usize,
+    retry: RetryPolicy,
+    label: &'static str,
 }
 
 impl Default for ParallelSweep {
@@ -86,9 +160,10 @@ impl Default for ParallelSweep {
 }
 
 impl ParallelSweep {
-    /// A sweep using [`worker_threads`] workers.
+    /// A sweep using [`worker_threads`] workers and the process retry
+    /// policy (`MHE_RETRIES`, default none).
     pub fn new() -> Self {
-        Self { threads: worker_threads() }
+        Self { threads: worker_threads(), retry: crate::env::retry_policy(), label: "sweep" }
     }
 
     /// A sweep with an explicit worker count (`0` means [`worker_threads`]).
@@ -96,13 +171,30 @@ impl ParallelSweep {
         if threads == 0 {
             Self::new()
         } else {
-            Self { threads }
+            Self { retry: crate::env::retry_policy(), label: "sweep", threads }
         }
+    }
+
+    /// Overrides the retry policy for panicked tasks in the fallible
+    /// paths ([`ParallelSweep::try_map`] and friends).
+    pub fn with_retry(self, retry: RetryPolicy) -> Self {
+        Self { retry, ..self }
+    }
+
+    /// Names this sweep's tasks in [`MheError::WorkerFailed`] (e.g.
+    /// `"icache walk"` → `"icache walk task 17"`). Default `"sweep"`.
+    pub fn with_label(self, label: &'static str) -> Self {
+        Self { label, ..self }
     }
 
     /// The worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The retry policy applied to panicked tasks in the fallible paths.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Applies `f` to every item, concurrently, returning results in input
@@ -146,22 +238,43 @@ impl ParallelSweep {
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut busy = Duration::ZERO;
                     loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let item = slots[i].lock().unwrap().take().expect("item claimed once");
                         let item_start = probe.map(|_| Instant::now());
-                        let r = f(item);
+                        // Isolate the task: a panic cancels the queue and
+                        // joins every worker cleanly instead of tearing
+                        // down the scope mid-flight.
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => {
+                                *results[i].lock().unwrap() = Some(r);
+                            }
+                            Err(payload) => {
+                                mhe_obs::count(mhe_obs::Counter::WorkerPanic, 1);
+                                cancelled.store(true, Ordering::Relaxed);
+                                let mut slot = first_panic.lock().unwrap();
+                                match &*slot {
+                                    Some((j, _)) if *j <= i => {}
+                                    _ => *slot = Some((i, payload)),
+                                }
+                                break;
+                            }
+                        }
                         if let Some(start) = item_start {
                             busy += start.elapsed();
                         }
-                        *results[i].lock().unwrap() = Some(r);
                     }
                     if let Some(p) = probe {
                         mhe_obs::add_busy(p, busy);
@@ -169,6 +282,11 @@ impl ParallelSweep {
                 });
             }
         });
+        if let Some((_, payload)) = first_panic.into_inner().unwrap() {
+            // Deterministic re-raise: the lowest-index panicking task's
+            // payload, after every worker has joined.
+            std::panic::resume_unwind(payload);
+        }
         results
             .into_iter()
             .map(|m| m.into_inner().unwrap().expect("worker completed item"))
@@ -214,18 +332,36 @@ impl ParallelSweep {
         }
         let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
         let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut busy = Duration::ZERO;
                     loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         let mut guard = slots[i].lock().unwrap();
                         let item_start = probe.map(|_| Instant::now());
-                        f(&mut **guard);
+                        // catch_unwind stops the unwind before the slot
+                        // guard drops, so the lock is never poisoned.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut **guard)));
+                        drop(guard);
+                        if let Err(payload) = outcome {
+                            mhe_obs::count(mhe_obs::Counter::WorkerPanic, 1);
+                            cancelled.store(true, Ordering::Relaxed);
+                            let mut slot = first_panic.lock().unwrap();
+                            match &*slot {
+                                Some((j, _)) if *j <= i => {}
+                                _ => *slot = Some((i, payload)),
+                            }
+                            break;
+                        }
                         if let Some(start) = item_start {
                             busy += start.elapsed();
                         }
@@ -236,6 +372,9 @@ impl ParallelSweep {
                 });
             }
         });
+        if let Some((_, payload)) = first_panic.into_inner().unwrap() {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     /// Like [`ParallelSweep::map`], also reporting the fan-out's wall time.
@@ -248,7 +387,327 @@ impl ParallelSweep {
         let jobs = items.len();
         let start = Instant::now();
         let out = self.map(items, f);
-        (out, SweepMetrics { jobs, threads: self.threads.min(jobs).max(1), wall: start.elapsed() })
+        (
+            out,
+            SweepMetrics {
+                jobs,
+                threads: self.threads.min(jobs).max(1),
+                wall: start.elapsed(),
+                completed: jobs,
+                retries: 0,
+            },
+        )
+    }
+
+    /// Applies a fallible `f` to every item, concurrently, returning
+    /// results in input order.
+    ///
+    /// Unlike [`ParallelSweep::map`], nothing panics out of this method:
+    ///
+    /// * a task returning `Err` cancels remaining queued work and
+    ///   surfaces as the sweep's error (lowest input index wins, so the
+    ///   reported failure is deterministic);
+    /// * a task that *panics* is caught at the task boundary, retried per
+    ///   the sweep's [`RetryPolicy`], and — if it keeps panicking —
+    ///   converted into [`MheError::WorkerFailed`] with the task label
+    ///   and panic message;
+    /// * the returned [`SweepError`] carries partial [`SweepMetrics`], so
+    ///   callers know how much work completed before cancellation.
+    ///
+    /// Items are taken by reference (retries may re-run a task), which is
+    /// why `f` borrows rather than consumes.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, SweepError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Result<R, MheError> + Sync,
+    {
+        self.try_map_in(None, items, f)
+    }
+
+    /// Like [`ParallelSweep::try_map`], attributing the fan-out to an
+    /// observability phase (as [`ParallelSweep::map_in`] does).
+    pub fn try_map_in<T, R, F>(
+        &self,
+        phase: Option<mhe_obs::Phase>,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, SweepError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> Result<R, MheError> + Sync,
+    {
+        let start = Instant::now();
+        let probe = phase.filter(|_| mhe_obs::enabled());
+        let _wall = probe.map(mhe_obs::wall_span);
+        let n = items.len();
+        let workers = self.threads.min(n).max(1);
+        let retries = AtomicU64::new(0);
+        let completed = AtomicUsize::new(0);
+
+        let run_one = |i: usize, item: &T| -> Result<R, MheError> {
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    crate::fault::maybe_panic_task(i as u64);
+                    f(item)
+                }));
+                match outcome {
+                    Ok(result) => return result,
+                    Err(payload) => {
+                        mhe_obs::count(mhe_obs::Counter::WorkerPanic, 1);
+                        if attempt < self.retry.max_attempts {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            mhe_obs::count(mhe_obs::Counter::TaskRetry, 1);
+                            if !self.retry.backoff.is_zero() {
+                                std::thread::sleep(self.retry.backoff);
+                            }
+                            continue;
+                        }
+                        return Err(MheError::worker_failed(
+                            format!("{} task {i}", self.label),
+                            panic_message(payload.as_ref()),
+                        ));
+                    }
+                }
+            }
+        };
+
+        let metrics = |completed: usize, retries: u64, wall: Duration| SweepMetrics {
+            jobs: n,
+            threads: workers,
+            wall,
+            completed,
+            retries,
+        };
+
+        if workers <= 1 {
+            let busy_start = probe.map(|_| Instant::now());
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                match run_one(i, item) {
+                    Ok(r) => out.push(r),
+                    Err(error) => {
+                        if let (Some(p), Some(bs)) = (probe, busy_start) {
+                            mhe_obs::add_busy(p, bs.elapsed());
+                        }
+                        return Err(SweepError {
+                            error,
+                            metrics: metrics(i, retries.load(Ordering::Relaxed), start.elapsed()),
+                        });
+                    }
+                }
+            }
+            if let (Some(p), Some(bs)) = (probe, busy_start) {
+                mhe_obs::add_busy(p, bs.elapsed());
+            }
+            return Ok(out);
+        }
+
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let first_error: Mutex<Option<(usize, MheError)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item_start = probe.map(|_| Instant::now());
+                        match run_one(i, &items[i]) {
+                            Ok(r) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                *results[i].lock().unwrap() = Some(r);
+                            }
+                            Err(error) => {
+                                cancelled.store(true, Ordering::Relaxed);
+                                let mut slot = first_error.lock().unwrap();
+                                match &*slot {
+                                    Some((j, _)) if *j <= i => {}
+                                    _ => *slot = Some((i, error)),
+                                }
+                                break;
+                            }
+                        }
+                        if let Some(s) = item_start {
+                            busy += s.elapsed();
+                        }
+                    }
+                    if let Some(p) = probe {
+                        mhe_obs::add_busy(p, busy);
+                    }
+                });
+            }
+        });
+        if let Some((_, error)) = first_error.into_inner().unwrap() {
+            return Err(SweepError {
+                error,
+                metrics: metrics(
+                    completed.load(Ordering::Relaxed),
+                    retries.load(Ordering::Relaxed),
+                    start.elapsed(),
+                ),
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker completed item"))
+            .collect())
+    }
+
+    /// The fallible, panic-isolated counterpart of
+    /// [`ParallelSweep::for_each_mut`]: applies `f` to every item in
+    /// place; `Err` and caught panics behave as in
+    /// [`ParallelSweep::try_map`]. A retried task re-runs `f` on the same
+    /// item, so `f` must either be restartable or panic before mutating.
+    pub fn try_for_each_mut<T, F>(&self, items: &mut [T], f: F) -> Result<(), SweepError>
+    where
+        T: Send,
+        F: Fn(&mut T) -> Result<(), MheError> + Sync,
+    {
+        self.try_for_each_mut_in(None, items, f)
+    }
+
+    /// Like [`ParallelSweep::try_for_each_mut`], attributing the round to
+    /// an observability phase.
+    pub fn try_for_each_mut_in<T, F>(
+        &self,
+        phase: Option<mhe_obs::Phase>,
+        items: &mut [T],
+        f: F,
+    ) -> Result<(), SweepError>
+    where
+        T: Send,
+        F: Fn(&mut T) -> Result<(), MheError> + Sync,
+    {
+        let start = Instant::now();
+        let probe = phase.filter(|_| mhe_obs::enabled());
+        let _wall = probe.map(mhe_obs::wall_span);
+        let n = items.len();
+        let workers = self.threads.min(n).max(1);
+        let retries = AtomicU64::new(0);
+        let completed = AtomicUsize::new(0);
+
+        let run_one = |i: usize, item: &mut T| -> Result<(), MheError> {
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    crate::fault::maybe_panic_task(i as u64);
+                    f(item)
+                }));
+                match outcome {
+                    Ok(result) => return result,
+                    Err(payload) => {
+                        mhe_obs::count(mhe_obs::Counter::WorkerPanic, 1);
+                        if attempt < self.retry.max_attempts {
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            mhe_obs::count(mhe_obs::Counter::TaskRetry, 1);
+                            if !self.retry.backoff.is_zero() {
+                                std::thread::sleep(self.retry.backoff);
+                            }
+                            continue;
+                        }
+                        return Err(MheError::worker_failed(
+                            format!("{} task {i}", self.label),
+                            panic_message(payload.as_ref()),
+                        ));
+                    }
+                }
+            }
+        };
+
+        let metrics = |completed: usize, retries: u64, wall: Duration| SweepMetrics {
+            jobs: n,
+            threads: workers,
+            wall,
+            completed,
+            retries,
+        };
+
+        if workers <= 1 {
+            let busy_start = probe.map(|_| Instant::now());
+            for (i, item) in items.iter_mut().enumerate() {
+                if let Err(error) = run_one(i, item) {
+                    if let (Some(p), Some(bs)) = (probe, busy_start) {
+                        mhe_obs::add_busy(p, bs.elapsed());
+                    }
+                    return Err(SweepError {
+                        error,
+                        metrics: metrics(i, retries.load(Ordering::Relaxed), start.elapsed()),
+                    });
+                }
+            }
+            if let (Some(p), Some(bs)) = (probe, busy_start) {
+                mhe_obs::add_busy(p, bs.elapsed());
+            }
+            return Ok(());
+        }
+
+        let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+        let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let first_error: Mutex<Option<(usize, MheError)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        if cancelled.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut guard = slots[i].lock().unwrap();
+                        let item_start = probe.map(|_| Instant::now());
+                        let outcome = run_one(i, &mut guard);
+                        drop(guard);
+                        match outcome {
+                            Ok(()) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(error) => {
+                                cancelled.store(true, Ordering::Relaxed);
+                                let mut slot = first_error.lock().unwrap();
+                                match &*slot {
+                                    Some((j, _)) if *j <= i => {}
+                                    _ => *slot = Some((i, error)),
+                                }
+                                break;
+                            }
+                        }
+                        if let Some(s) = item_start {
+                            busy += s.elapsed();
+                        }
+                    }
+                    if let Some(p) = probe {
+                        mhe_obs::add_busy(p, busy);
+                    }
+                });
+            }
+        });
+        if let Some((_, error)) = first_error.into_inner().unwrap() {
+            return Err(SweepError {
+                error,
+                metrics: metrics(
+                    completed.load(Ordering::Relaxed),
+                    retries.load(Ordering::Relaxed),
+                    start.elapsed(),
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -317,6 +776,179 @@ mod tests {
         assert_eq!(m.jobs, 3);
         assert!(m.threads >= 1);
         assert!(format!("{m}").contains("3 jobs"));
+    }
+
+    #[test]
+    fn try_map_matches_map_on_success() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let sweep = ParallelSweep::with_threads(threads);
+            let out = sweep.try_map(&items, |x| Ok(x * 3)).unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_surfaces_the_lowest_index_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1, 4] {
+            let err = ParallelSweep::with_threads(threads)
+                .try_map(&items, |&x| {
+                    if x == 7 || x == 40 {
+                        Err(MheError::InvalidConfig { field: "x", requirement: "!= 7" })
+                    } else {
+                        Ok(x)
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(
+                err.error,
+                MheError::InvalidConfig { field: "x", requirement: "!= 7" },
+                "{threads} threads"
+            );
+            assert!(err.metrics.completed < items.len(), "queue was cancelled");
+            assert_eq!(err.metrics.jobs, items.len());
+        }
+    }
+
+    #[test]
+    fn try_map_converts_panics_into_worker_failed() {
+        let items: Vec<u64> = (0..32).collect();
+        for threads in [1, 8] {
+            let err = ParallelSweep::with_threads(threads)
+                .with_retry(RetryPolicy::NONE)
+                .with_label("unit")
+                .try_map(&items, |&x| {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    Ok(x)
+                })
+                .unwrap_err();
+            match &err.error {
+                MheError::WorkerFailed { task, cause } => {
+                    assert_eq!(&**task, "unit task 5", "{threads} threads");
+                    assert_eq!(&**cause, "boom at 5");
+                }
+                other => panic!("expected WorkerFailed, got {other:?}"),
+            }
+            assert_eq!(err.error.exit_code(), 4);
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_panics() {
+        use std::sync::atomic::AtomicU32;
+        let attempts = AtomicU32::new(0);
+        let items: Vec<u64> = (0..8).collect();
+        let out = ParallelSweep::with_threads(4)
+            .with_retry(RetryPolicy { max_attempts: 3, backoff: Duration::ZERO })
+            .try_map(&items, |&x| {
+                if x == 3 && attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                Ok(x)
+            })
+            .unwrap();
+        assert_eq!(out, items);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3, "two failures, then success");
+    }
+
+    #[test]
+    fn try_map_does_not_retry_typed_errors() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let items = [1u64];
+        let err = ParallelSweep::with_threads(1)
+            .with_retry(RetryPolicy { max_attempts: 5, backoff: Duration::ZERO })
+            .try_map(&items, |_| -> Result<u64, MheError> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(MheError::InvalidConfig { field: "f", requirement: "r" })
+            })
+            .unwrap_err();
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "typed errors are deterministic");
+        assert_eq!(err.error.exit_code(), 2);
+    }
+
+    #[test]
+    fn try_for_each_mut_isolates_panics_and_reports_partial_metrics() {
+        for threads in [1, 8] {
+            let mut items: Vec<u64> = (0..40).collect();
+            let err = ParallelSweep::with_threads(threads)
+                .try_for_each_mut(&mut items, |x| {
+                    if *x == 11 {
+                        panic!("poisoned item");
+                    }
+                    *x += 100;
+                    Ok(())
+                })
+                .unwrap_err();
+            assert!(matches!(err.error, MheError::WorkerFailed { .. }), "{threads} threads");
+            assert!(err.metrics.completed < 40);
+        }
+        // Success path mutates every item exactly once.
+        let mut items: Vec<u64> = (0..40).collect();
+        ParallelSweep::with_threads(8)
+            .try_for_each_mut(&mut items, |x| {
+                *x += 100;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(items, (100..140).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_panic_is_reraised_after_clean_join() {
+        // The infallible path cannot express failure, but the panic must
+        // arrive via a clean join (no worker left running), carrying the
+        // original payload.
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            ParallelSweep::with_threads(4).map(items, |x| {
+                if x == 9 {
+                    panic!("original payload");
+                }
+                x
+            })
+        });
+        let payload = result.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "original payload");
+    }
+
+    #[test]
+    fn fault_plan_panics_surface_as_worker_failed() {
+        let _lock = crate::fault::injection_lock().lock().unwrap();
+        let _guard =
+            crate::fault::arm(crate::fault::FaultPlan::new(vec![crate::fault::Fault::PanicTask {
+                task: 2,
+            }]));
+        let items: Vec<u64> = (0..16).collect();
+        let err = ParallelSweep::with_threads(4)
+            .with_retry(RetryPolicy::NONE)
+            .try_map(&items, |&x| Ok(x))
+            .unwrap_err();
+        match &err.error {
+            MheError::WorkerFailed { task, cause } => {
+                assert!(task.contains("task 2"), "{task}");
+                assert!(cause.contains("injected fault"), "{cause}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_panic_recovers_with_one_retry() {
+        let _lock = crate::fault::injection_lock().lock().unwrap();
+        let _guard =
+            crate::fault::arm(crate::fault::FaultPlan::new(vec![crate::fault::Fault::PanicTask {
+                task: 5,
+            }]));
+        let items: Vec<u64> = (0..16).collect();
+        let out = ParallelSweep::with_threads(4)
+            .with_retry(RetryPolicy { max_attempts: 2, backoff: Duration::ZERO })
+            .try_map(&items, |&x| Ok(x * 2))
+            .unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

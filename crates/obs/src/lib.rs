@@ -230,17 +230,29 @@ pub enum Counter {
     WalkWaveDesigns,
     /// Largest Pareto frontier observed during a walk (high-water mark).
     WalkFrontierPeak,
+    /// Worker panics caught and isolated by a parallel sweep.
+    WorkerPanic,
+    /// Task attempts retried after an isolated worker panic.
+    TaskRetry,
+    /// Faults fired by the deterministic fault-injection harness.
+    FaultInjected,
+    /// Crash-safe checkpoint saves of the evaluation cache.
+    CheckpointSave,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 10] = [
         Counter::DbHit,
         Counter::DbMiss,
         Counter::DbPersistBytes,
         Counter::WalkWaves,
         Counter::WalkWaveDesigns,
         Counter::WalkFrontierPeak,
+        Counter::WorkerPanic,
+        Counter::TaskRetry,
+        Counter::FaultInjected,
+        Counter::CheckpointSave,
     ];
 
     /// The counter's snake_case report name.
@@ -252,6 +264,10 @@ impl Counter {
             Counter::WalkWaves => "walk_waves",
             Counter::WalkWaveDesigns => "walk_wave_designs",
             Counter::WalkFrontierPeak => "walk_frontier_peak",
+            Counter::WorkerPanic => "worker_panic",
+            Counter::TaskRetry => "task_retry",
+            Counter::FaultInjected => "fault_injected",
+            Counter::CheckpointSave => "checkpoint_save",
         }
     }
 }

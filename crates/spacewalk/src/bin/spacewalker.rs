@@ -6,7 +6,7 @@
 //!
 //! ```console
 //! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
-//!               [--obs|--obs-json]
+//!               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
@@ -19,9 +19,22 @@
 //! (or the `MHE_OBS` variable) emit a run report to stderr — phase
 //! timings, throughput, parallel efficiency, and cache-database traffic —
 //! as text or line-JSON.
+//!
+//! # Fault tolerance
+//!
+//! `--checkpoint DIR` persists the evaluation cache atomically into `DIR`
+//! after every processor's memory walk; `--resume DIR` additionally
+//! reloads the checkpoint first, so a killed run fast-forwards through
+//! already-evaluated designs and produces a frontier bit-identical to an
+//! uninterrupted run. Failures exit with a one-line message and a typed
+//! status: **2** bad configuration (usage, unreadable or malformed spec),
+//! **3** corrupt input (cache database or checkpoint fails its CRC),
+//! **4** worker failure (a panic isolated inside the parallel walk, or a
+//! failed checkpoint write).
 
 use mhe_core::evaluator::EvalConfig;
 use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
+use mhe_spacewalk::ckpt::Checkpointer;
 use mhe_spacewalk::heuristic::walk_heuristic;
 use mhe_spacewalk::spec::Spec;
 use mhe_spacewalk::walker;
@@ -30,13 +43,28 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
-     [--heuristic] [--obs|--obs-json]";
+     [--heuristic] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]";
+
+/// Exit status for configuration errors (usage, unreadable/malformed spec).
+const EXIT_BAD_CONFIG: u8 = 2;
+/// Exit status for corrupt input files (cache database, checkpoint).
+const EXIT_CORRUPT_INPUT: u8 = 3;
+/// Exit status for worker failures (isolated panics, checkpoint writes).
+const EXIT_WORKER_FAILURE: u8 = 4;
+
+/// Prints a one-line diagnostic and returns the given exit status.
+fn fail(code: u8, msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("spacewalker: {msg}");
+    ExitCode::from(code)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec_path = None;
     let mut db_path: Option<String> = None;
     let mut export_path: Option<String> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut resume = false;
     let mut heuristic = false;
     let mut i = 0;
     while i < args.len() {
@@ -45,17 +73,32 @@ fn main() -> ExitCode {
                 i += 1;
                 db_path = args.get(i).cloned();
                 if db_path.is_none() {
-                    eprintln!("--db needs a path");
-                    return ExitCode::FAILURE;
+                    return fail(EXIT_BAD_CONFIG, "--db needs a path");
                 }
             }
             "--export" => {
                 i += 1;
                 export_path = args.get(i).cloned();
                 if export_path.is_none() {
-                    eprintln!("--export needs a path");
-                    return ExitCode::FAILURE;
+                    return fail(EXIT_BAD_CONFIG, "--export needs a path");
                 }
+            }
+            "--checkpoint" | "--resume" => {
+                resume |= args[i] == "--resume";
+                i += 1;
+                let dir = args.get(i).cloned();
+                let Some(dir) = dir else {
+                    return fail(EXIT_BAD_CONFIG, format!("{} needs a directory", args[i - 1]));
+                };
+                if let Some(prev) = &ckpt_dir {
+                    if *prev != dir {
+                        return fail(
+                            EXIT_BAD_CONFIG,
+                            "--checkpoint and --resume name different directories",
+                        );
+                    }
+                }
+                ckpt_dir = Some(dir);
             }
             "--heuristic" => heuristic = true,
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
@@ -66,31 +109,23 @@ fn main() -> ExitCode {
             }
             other => {
                 if spec_path.replace(other.to_string()).is_some() {
-                    eprintln!("unexpected extra argument {other:?}");
-                    return ExitCode::FAILURE;
+                    return fail(EXIT_BAD_CONFIG, format!("unexpected extra argument {other:?}"));
                 }
             }
         }
         i += 1;
     }
     let Some(spec_path) = spec_path else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return fail(EXIT_BAD_CONFIG, USAGE);
     };
 
     let text = match std::fs::read_to_string(&spec_path) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {spec_path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(EXIT_BAD_CONFIG, format!("cannot read {spec_path}: {e}")),
     };
     let spec = match Spec::parse(&text) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{spec_path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(EXIT_BAD_CONFIG, format!("{spec_path}: {e}")),
     };
 
     eprintln!(
@@ -103,18 +138,35 @@ fn main() -> ExitCode {
         spec.space.combinations()
     );
 
-    let db = match &db_path {
-        Some(p) if std::path::Path::new(p).exists() => match EvaluationCache::load(p) {
-            Ok(db) => {
-                eprintln!("loaded {} cached metrics from {p}", db.len());
+    let checkpoint = match ckpt_dir {
+        Some(dir) => match Checkpointer::new(&dir) {
+            Ok(c) => Some(c),
+            Err(e) => return fail(EXIT_BAD_CONFIG, e),
+        },
+        None => None,
+    };
+
+    let db = if resume {
+        // `checkpoint` is always bound when `resume` is set.
+        match checkpoint.as_ref().map(Checkpointer::load) {
+            Some(Ok(db)) => {
+                eprintln!("resumed {} cached metrics from checkpoint", db.len());
                 db
             }
-            Err(e) => {
-                eprintln!("cannot load {p}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        _ => EvaluationCache::new(),
+            Some(Err(e)) => return fail(EXIT_CORRUPT_INPUT, e),
+            None => EvaluationCache::new(),
+        }
+    } else {
+        match &db_path {
+            Some(p) if std::path::Path::new(p).exists() => match EvaluationCache::load(p) {
+                Ok(db) => {
+                    eprintln!("loaded {} cached metrics from {p}", db.len());
+                    db
+                }
+                Err(e) => return fail(EXIT_CORRUPT_INPUT, e),
+            },
+            _ => EvaluationCache::new(),
+        }
     };
 
     eprintln!("building reference evaluation (the only simulation step)...");
@@ -148,19 +200,21 @@ fn main() -> ExitCode {
                     r.pareto.len()
                 ),
                 Err(e) => {
-                    eprintln!("heuristic I$ walk @ {}: {e}", proc.name);
-                    return ExitCode::FAILURE;
+                    return fail(e.exit_code(), format!("heuristic I$ walk @ {}: {e}", proc.name))
                 }
             }
         }
     }
 
-    let frontier = match walker::walk_system(&eval, &spec.space, spec.penalties, &db) {
+    let frontier = match walker::walk_system_with(
+        &eval,
+        &spec.space,
+        spec.penalties,
+        &db,
+        checkpoint.as_ref(),
+    ) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("system walk failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(e.exit_code(), format!("system walk failed: {e}")),
     };
     println!(
         "{:<6} {:>9} {:>9} {:>9} {:>12} {:>14}",
@@ -186,15 +240,13 @@ fn main() -> ExitCode {
 
     if let Some(p) = db_path {
         if let Err(e) = db.save(&p) {
-            eprintln!("cannot save {p}: {e}");
-            return ExitCode::FAILURE;
+            return fail(EXIT_WORKER_FAILURE, format!("cannot save {p}: {e}"));
         }
         eprintln!("saved evaluation cache to {p}");
     }
     if let Some(p) = export_path {
         if let Err(e) = db.export_text(&p) {
-            eprintln!("cannot export {p}: {e}");
-            return ExitCode::FAILURE;
+            return fail(EXIT_WORKER_FAILURE, format!("cannot export {p}: {e}"));
         }
         eprintln!("exported text listing to {p}");
     }

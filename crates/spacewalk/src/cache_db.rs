@@ -19,6 +19,7 @@
 
 use crate::cost::CacheDesign;
 use mhe_cache::CacheConfig;
+use mhe_trace::integrity::{Crc32Reader, Crc32Writer};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -132,8 +133,11 @@ const SHARDS: usize = 16;
 
 /// File magic for the binary database format.
 const MAGIC: &[u8; 4] = b"MHEC";
-/// Current binary format version.
-const VERSION: u8 = 1;
+/// Current binary format version. Version 2 appends a whole-file
+/// CRC-32/IEEE footer (4 LE bytes over everything before it), so storage
+/// corruption — a flipped bit, a torn write — surfaces as `InvalidData`
+/// instead of silently loading plausible-but-wrong metrics.
+const VERSION: u8 = 2;
 
 /// Sharded, concurrent memoization table for design metrics.
 ///
@@ -258,13 +262,20 @@ impl EvaluationCache {
         out
     }
 
-    /// Saves the database in the versioned binary format.
+    /// Saves the database in the versioned binary format, **atomically**.
     ///
-    /// Layout: `b"MHEC"`, a version byte, a varint entry count, then
-    /// sorted entries. Each entry is a tag byte, the key fields (strings
-    /// as varint length + UTF-8 bytes, geometry/ports/millis as varints)
-    /// and the value as its `f64::to_bits` in 8 little-endian bytes —
+    /// Layout: `b"MHEC"`, a version byte, a varint entry count, sorted
+    /// entries, then a CRC-32/IEEE footer (4 LE bytes) over everything
+    /// before it. Each entry is a tag byte, the key fields (strings as
+    /// varint length + UTF-8 bytes, geometry/ports/millis as varints) and
+    /// the value as its `f64::to_bits` in 8 little-endian bytes —
     /// bit-exact by construction.
+    ///
+    /// The write is crash-safe: the bytes land in a `*.tmp` sibling,
+    /// which is fsynced and then renamed over `path` (with the parent
+    /// directory fsynced after the rename). A process killed at any
+    /// instant leaves either the complete old file or the complete new
+    /// file — never a torn mix.
     ///
     /// # Errors
     ///
@@ -272,7 +283,9 @@ impl EvaluationCache {
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let _obs = mhe_obs::span(mhe_obs::Phase::Db);
         let path = path.as_ref();
-        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        let tmp = tmp_sibling(path);
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = Crc32Writer::new(io::BufWriter::new(file));
         w.write_all(MAGIC)?;
         w.write_all(&[VERSION])?;
         let entries = self.entries();
@@ -281,7 +294,21 @@ impl EvaluationCache {
             write_key(&mut w, key)?;
             w.write_all(&value.to_bits().to_le_bytes())?;
         }
-        w.flush()?;
+        // The footer goes through the inner writer so it stays outside
+        // its own digest.
+        let crc = w.digest();
+        let mut buf = w.into_inner();
+        buf.write_all(&crc.to_le_bytes())?;
+        let file = buf.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the parent directory.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                dir.sync_all().ok();
+            }
+        }
         mhe_obs::add_events(mhe_obs::Phase::Db, entries.len() as u64);
         if let Ok(meta) = std::fs::metadata(path) {
             mhe_obs::add_bytes(mhe_obs::Phase::Db, meta.len());
@@ -297,16 +324,25 @@ impl EvaluationCache {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; a bad magic, unsupported version or
-    /// truncated entry produces [`std::io::ErrorKind::InvalidData`].
+    /// Propagates I/O errors; a bad magic, unsupported version, truncated
+    /// entry, CRC mismatch, or trailing bytes produce
+    /// [`std::io::ErrorKind::InvalidData`]. Every error names `path`.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let _obs = mhe_obs::span(mhe_obs::Phase::Db);
         let path = path.as_ref();
-        let file = std::fs::File::open(path)?;
+        let file = std::fs::File::open(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
         if let Ok(meta) = file.metadata() {
             mhe_obs::add_bytes(mhe_obs::Phase::Db, meta.len());
         }
-        let mut r = io::BufReader::new(file);
+        let mut r = Crc32Reader::new(io::BufReader::new(file));
+        Self::load_from(&mut r)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    }
+
+    /// The body of [`EvaluationCache::load`], path-agnostic so the caller
+    /// can attach file context to every error in one place.
+    fn load_from<R: Read>(r: &mut Crc32Reader<R>) -> io::Result<Self> {
         let mut header = [0u8; 5];
         r.read_exact(&mut header)?;
         if &header[..4] != MAGIC {
@@ -319,13 +355,35 @@ impl EvaluationCache {
             )));
         }
         let cache = Self::new();
-        let count = read_varint(&mut r)?;
+        let count = read_varint(r)?;
         mhe_obs::add_events(mhe_obs::Phase::Db, count);
-        for _ in 0..count {
-            let key = read_key(&mut r)?;
-            let mut bits = [0u8; 8];
-            r.read_exact(&mut bits)?;
-            cache.insert(key, f64::from_bits(u64::from_le_bytes(bits)));
+        for i in 0..count {
+            let entry = (|| -> io::Result<(MetricKey, f64)> {
+                let key = read_key(r)?;
+                let mut bits = [0u8; 8];
+                r.read_exact(&mut bits)?;
+                Ok((key, f64::from_bits(u64::from_le_bytes(bits))))
+            })()
+            .map_err(|e| io::Error::new(e.kind(), format!("entry {i} of {count}: {e}")))?;
+            cache.insert(entry.0, entry.1);
+        }
+        // Footer: CRC over everything read so far, then exact EOF. Read
+        // it through the inner reader so it stays outside the digest.
+        let computed = r.digest();
+        let inner = r.get_mut();
+        let mut footer = [0u8; 4];
+        inner
+            .read_exact(&mut footer)
+            .map_err(|e| io::Error::new(e.kind(), format!("file CRC footer: {e}")))?;
+        let stored = u32::from_le_bytes(footer);
+        if stored != computed {
+            return Err(bad_data(format!(
+                "file CRC mismatch (stored {stored:08x}, computed {computed:08x}): \
+                 the database is corrupt"
+            )));
+        }
+        if inner.read(&mut [0u8; 1])? != 0 {
+            return Err(bad_data("trailing bytes after CRC footer"));
         }
         Ok(cache)
     }
@@ -349,6 +407,13 @@ impl EvaluationCache {
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The `*.tmp` sibling a crash-safe save stages its bytes in.
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 // --- LEB128 varints, in the mhe-trace codec style -----------------------
@@ -586,6 +651,67 @@ mod tests {
             io::ErrorKind::InvalidData
         );
         std::fs::remove_file(&bad_version).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp_file() {
+        let c = EvaluationCache::new();
+        c.insert(MetricKey::dcache(&app(), design(1024)), 1.0);
+        let path =
+            std::env::temp_dir().join(format!("mhe_cache_db_atomic_{}.mhec", std::process::id()));
+        c.save(&path).unwrap();
+        assert!(!tmp_sibling(&path).exists(), "staging file must be renamed away");
+        // Overwriting an existing database is also atomic.
+        c.insert(MetricKey::dcache(&app(), design(2048)), 2.0);
+        c.save(&path).unwrap();
+        assert_eq!(EvaluationCache::load(&path).unwrap().len(), 2);
+        assert!(!tmp_sibling(&path).exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let c = EvaluationCache::new();
+        c.insert(MetricKey::icache(&app(), design(1024), 1.25), 42.5);
+        c.insert(MetricKey::proc_cycles(&app(), "3221"), 1e9);
+        let path =
+            std::env::temp_dir().join(format!("mhe_cache_db_flip_{}.mhec", std::process::id()));
+        c.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for pos in 0..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            // A flip in a length field may surface as UnexpectedEof instead of
+            // InvalidData; either way the load must fail and name the file.
+            let err = EvaluationCache::load(&path)
+                .expect_err(&format!("flip at byte {pos} must not load"));
+            assert!(
+                err.to_string().contains("mhe_cache_db_flip"),
+                "byte {pos}: error must name the file, got {err}"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected_and_errors_name_the_path() {
+        let c = EvaluationCache::new();
+        c.insert(MetricKey::ucache(&app(), design(8192), 2.0), 7.0);
+        let path =
+            std::env::temp_dir().join(format!("mhe_cache_db_trunc_{}.mhec", std::process::id()));
+        c.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for cut in 0..good.len() {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            let err = EvaluationCache::load(&path)
+                .expect_err(&format!("cut at byte {cut} must not load"));
+            assert!(
+                err.to_string().contains("mhe_cache_db_trunc"),
+                "cut {cut}: error must name the file, got {err}"
+            );
+        }
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

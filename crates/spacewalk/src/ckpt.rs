@@ -1,0 +1,137 @@
+//! Crash-safe checkpointing for long explorations.
+//!
+//! The only expensive state in an exploration is the [`EvaluationCache`]:
+//! the Pareto merge is deterministic and cheap to redo. A checkpoint is
+//! therefore just the cache persisted atomically (tmp sibling + fsync +
+//! rename, CRC-32 footer — see [`EvaluationCache::save`]) into a
+//! directory. Resuming means reloading the cache and re-running the same
+//! deterministic walk: every already-evaluated design is a hit, so the
+//! run fast-forwards to where it was killed and the final frontier is
+//! bit-identical to an uninterrupted run.
+
+use crate::cache_db::EvaluationCache;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the cache database inside a checkpoint directory.
+pub const CACHE_FILE: &str = "cache.mhec";
+
+/// Persists the [`EvaluationCache`] into a directory at walk milestones.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+}
+
+impl Checkpointer {
+    /// Binds a checkpoint directory, creating it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (with the path in its message) if
+    /// the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.display())))?;
+        Ok(Self { dir })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the persisted cache database.
+    pub fn cache_path(&self) -> PathBuf {
+        self.dir.join(CACHE_FILE)
+    }
+
+    /// Loads the checkpointed cache, or a fresh one if no checkpoint
+    /// exists yet (a first run and a resume share one code path).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a checkpoint file exists but is corrupt or
+    /// unreadable — a half-written or bit-rotted checkpoint must surface,
+    /// not silently restart the exploration from scratch.
+    pub fn load(&self) -> io::Result<EvaluationCache> {
+        let path = self.cache_path();
+        if path.exists() {
+            EvaluationCache::load(&path)
+        } else {
+            Ok(EvaluationCache::new())
+        }
+    }
+
+    /// Atomically persists `db` into the checkpoint directory.
+    ///
+    /// A reader (or a resumed run) sees either the previous checkpoint or
+    /// the new one, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming the database.
+    pub fn save(&self, db: &EvaluationCache) -> io::Result<()> {
+        db.save(self.cache_path())?;
+        mhe_obs::count(mhe_obs::Counter::CheckpointSave, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache_db::MetricKey;
+    use crate::cost::CacheDesign;
+    use mhe_cache::CacheConfig;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mhe_ckpt_{tag}_{}", std::process::id()))
+    }
+
+    fn key(n: u64) -> MetricKey {
+        let app: Arc<str> = Arc::from("ckpt");
+        MetricKey::dcache(
+            &app,
+            CacheDesign { config: CacheConfig::from_bytes(1024 * n, 1, 32), ports: 1 },
+        )
+    }
+
+    #[test]
+    fn fresh_directory_loads_an_empty_cache() {
+        let dir = tmp_dir("fresh");
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        assert_eq!(ckpt.load().unwrap().len(), 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_the_cache() {
+        let dir = tmp_dir("roundtrip");
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        let db = EvaluationCache::new();
+        db.insert(key(1), 10.0);
+        db.insert(key(2), 20.0);
+        ckpt.save(&db).unwrap();
+        let back = ckpt.load().unwrap();
+        assert_eq!(back.entries(), db.entries());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_silent_restart() {
+        let dir = tmp_dir("corrupt");
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        let db = EvaluationCache::new();
+        db.insert(key(1), 10.0);
+        ckpt.save(&db).unwrap();
+        let path = ckpt.cache_path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(ckpt.load().is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -83,12 +83,11 @@ pub fn walk_heuristic(
         mhe_obs::count(mhe_obs::Counter::WalkWaves, 1);
         mhe_obs::count(mhe_obs::Counter::WalkWaveDesigns, wave.len() as u64);
         let results = fan_out(threads, wave, |design| {
-            db.get_or_try_insert_with(key(design), || evaluate(design)).map(|t| (design, t))
-        });
+            db.get_or_try_insert_with(key(*design), || evaluate(*design)).map(|t| (*design, t))
+        })?;
         evaluated += results.len();
         let mut next: Vec<CacheDesign> = Vec::new();
-        for r in results {
-            let (design, time) = r?;
+        for (design, time) in results {
             if pareto.insert(design, cache_area(&design), time) {
                 next.extend(
                     neighbours(design)
@@ -207,7 +206,7 @@ mod tests {
         let db = EvaluationCache::new();
         let app: Arc<str> = Arc::from("err");
         let bad = MheError::MissingReference { speculation: false, predication: false };
-        let r = walk_heuristic(&space(), &db, 2, |d| synthetic_key(&app, d), |_| Err(bad));
+        let r = walk_heuristic(&space(), &db, 2, |d| synthetic_key(&app, d), |_| Err(bad.clone()));
         assert_eq!(r.unwrap_err(), bad);
     }
 

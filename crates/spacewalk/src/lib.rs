@@ -38,8 +38,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache_db;
+pub mod ckpt;
 pub mod cost;
 pub mod heuristic;
 pub mod pareto;
@@ -48,8 +50,9 @@ pub mod spec;
 pub mod walker;
 
 pub use cache_db::{dilation_millis, EvaluationCache, MetricKey};
+pub use ckpt::Checkpointer;
 pub use cost::{cache_area, CacheDesign};
 pub use heuristic::{walk_heuristic, HeuristicResult};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use space::{CacheSpace, SystemSpace};
-pub use walker::{walk_memory, walk_system, MemoryPoint, SystemPoint};
+pub use walker::{walk_memory, walk_system, walk_system_with, MemoryPoint, SystemPoint};

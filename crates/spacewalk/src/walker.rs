@@ -20,6 +20,7 @@
 //! count** — only the wall clock changes.
 
 use crate::cache_db::{EvaluationCache, MetricKey};
+use crate::ckpt::Checkpointer;
 use crate::cost::{cache_area, CacheDesign};
 use crate::pareto::ParetoSet;
 use crate::space::{CacheSpace, SystemSpace};
@@ -100,15 +101,20 @@ fn app_of(eval: &ReferenceEvaluation) -> Arc<str> {
 /// per-job dispatch so the sweep wins even on small spaces. `threads * 4`
 /// chunks keeps the tail balanced without losing order — the flatten
 /// concatenates chunk results exactly as enumerated.
-pub(crate) fn fan_out<T: Send, R: Send>(
+///
+/// Workers are panic-isolated: a panicking evaluation surfaces as
+/// [`MheError::WorkerFailed`] (after any configured retries) instead of
+/// aborting the process, and the first failure in enumeration order wins.
+pub(crate) fn fan_out<T: Send + Sync, R: Send>(
     threads: usize,
     items: Vec<T>,
-    f: impl Fn(T) -> R + Sync,
-) -> Vec<R> {
+    f: impl Fn(&T) -> Result<R, MheError> + Sync,
+) -> Result<Vec<R>, MheError> {
     let threads = threads.max(1);
     mhe_obs::add_events(mhe_obs::Phase::Walk, items.len() as u64);
+    let sweep = ParallelSweep::with_threads(threads).with_label("walk");
     if threads == 1 || items.len() <= 1 {
-        return ParallelSweep::with_threads(1).map_in(Some(mhe_obs::Phase::Walk), items, f);
+        return sweep.try_map_in(Some(mhe_obs::Phase::Walk), &items, f).map_err(MheError::from);
     }
     let chunk_len = items.len().div_ceil(threads * 4).max(1);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(chunk_len));
@@ -120,13 +126,14 @@ pub(crate) fn fan_out<T: Send, R: Send>(
         }
         chunks.push(chunk);
     }
-    ParallelSweep::with_threads(threads)
-        .map_in(Some(mhe_obs::Phase::Walk), chunks, |chunk| {
-            chunk.into_iter().map(&f).collect::<Vec<R>>()
+    Ok(sweep
+        .try_map_in(Some(mhe_obs::Phase::Walk), &chunks, |chunk| {
+            chunk.iter().map(&f).collect::<Result<Vec<R>, MheError>>()
         })
+        .map_err(MheError::from)?
         .into_iter()
         .flatten()
-        .collect()
+        .collect())
 }
 
 /// Walks one cache space: fans the enumerated designs out, resolving each
@@ -140,11 +147,10 @@ fn walk_cache_space(
     metric: impl Fn(CacheDesign) -> Result<f64, MheError> + Sync,
 ) -> Result<ParetoSet<CacheDesign>, MheError> {
     let results = fan_out(eval.config().worker_threads(), space.enumerate(), |design| {
-        db.get_or_try_insert_with(key(design), || metric(design)).map(|time| (design, time))
-    });
+        db.get_or_try_insert_with(key(*design), || metric(*design)).map(|time| (*design, time))
+    })?;
     let mut pareto = ParetoSet::new();
-    for r in results {
-        let (design, time) = r?;
+    for (design, time) in results {
         pareto.insert(design, cache_area(&design), time);
     }
     Ok(pareto)
@@ -266,6 +272,29 @@ pub fn walk_system(
     penalties: Penalties,
     db: &EvaluationCache,
 ) -> Result<ParetoSet<SystemPoint>, MheError> {
+    walk_system_with(eval, space, penalties, db, None)
+}
+
+/// [`walk_system`] with an optional crash-safe checkpoint hook.
+///
+/// When `checkpoint` is given, the shared [`EvaluationCache`] is persisted
+/// atomically after every processor's memory walk, so a killed run can be
+/// resumed by reloading the checkpoint and re-walking: every already-done
+/// evaluation is a cache hit and the frontier comes out bit-identical to an
+/// uninterrupted run (the merge itself is deterministic and cheap — only
+/// the metric evaluations are worth saving).
+///
+/// # Errors
+///
+/// Propagates any [`MheError`] from the per-processor memory walks; a
+/// failed checkpoint write surfaces as [`MheError::WorkerFailed`].
+pub fn walk_system_with(
+    eval: &ReferenceEvaluation,
+    space: &SystemSpace,
+    penalties: Penalties,
+    db: &EvaluationCache,
+    checkpoint: Option<&Checkpointer>,
+) -> Result<ParetoSet<SystemPoint>, MheError> {
     let app = app_of(eval);
     let cfg = *eval.config();
     let procs: Vec<&Mdes> = space.processors.iter().collect();
@@ -275,8 +304,11 @@ pub fn walk_system(
         let cycles = db.get_or_insert_with(MetricKey::proc_cycles(&app, &proc.name), || {
             processor_cycles(eval.program(), &compiled, cfg.seed, cfg.events) as f64
         });
-        (d, cycles)
-    });
+        Ok((d, cycles))
+    })?;
+    if let Some(ckpt) = checkpoint {
+        ckpt.save(db).map_err(|e| MheError::worker_failed("checkpoint save", e.to_string()))?;
+    }
     let mut pareto = ParetoSet::new();
     for (proc, (d, compute)) in space.processors.iter().zip(prepared) {
         let memory = walk_memory(eval, space, d, penalties, db)?;
@@ -284,6 +316,9 @@ pub fn walk_system(
             let time = compute + m.time;
             let cost = proc.cost() * PROCESSOR_AREA_SCALE + m.cost;
             pareto.insert(SystemPoint { processor: proc.clone(), memory: m.design }, cost, time);
+        }
+        if let Some(ckpt) = checkpoint {
+            ckpt.save(db).map_err(|e| MheError::worker_failed("checkpoint save", e.to_string()))?;
         }
     }
     Ok(pareto)

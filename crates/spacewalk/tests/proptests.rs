@@ -1,8 +1,10 @@
 //! Property tests for the evaluation-cache binary persistence.
 //!
-//! The property: `save` → `load` reproduces *exactly* the entries that
+//! The properties: `save` → `load` reproduces *exactly* the entries that
 //! were stored — every key, and every value down to the f64 bit pattern
-//! (the format stores `f64::to_bits`, so NaNs and signed zeros survive).
+//! (the format stores `f64::to_bits`, so NaNs and signed zeros survive) —
+//! and any truncation or single-bit flip of a saved file is detected by
+//! the whole-file CRC-32 footer, never loaded as plausible data.
 //! The hit/compute counters do **not** round-trip: a loaded database
 //! documents this by starting at `(0, 0)` — they describe the current
 //! process's lookups, not the file's history.
@@ -93,10 +95,11 @@ proptest! {
     }
 
     #[test]
-    fn corrupted_files_never_panic(
+    fn corruption_is_always_detected(
         entries in prop::collection::vec((key_strategy(), value_strategy()), 1..12),
         cut in 0usize..200,
         flip in 0usize..200,
+        bit in 0u32..8,
     ) {
         let cache = EvaluationCache::new();
         for (k, v) in &entries {
@@ -107,19 +110,22 @@ proptest! {
         let mut bytes = std::fs::read(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
-        // Truncation: must error, never panic (empty prefix included).
+        // Truncation: since v2 the whole file is covered by a CRC-32
+        // footer, so every strict prefix — empty file included — must
+        // error, never panic, never load as a smaller database.
         let trunc = unique_path("trunc");
         std::fs::write(&trunc, &bytes[..cut.min(bytes.len().saturating_sub(1))]).unwrap();
-        let _ = EvaluationCache::load(&trunc);
+        prop_assert!(EvaluationCache::load(&trunc).is_err(), "truncated file loaded");
         std::fs::remove_file(&trunc).ok();
 
-        // A flipped byte: either still parses (it hit a value byte) or
-        // errors cleanly; the call must return.
+        // A single flipped bit anywhere — header, entries, value bits, or
+        // the CRC footer itself — must be detected (CRC-32 catches every
+        // single-bit error), not silently decoded to a different value.
         let i = flip % bytes.len();
-        bytes[i] ^= 0xff;
+        bytes[i] ^= 1u8 << bit;
         let flipped = unique_path("flip");
         std::fs::write(&flipped, &bytes).unwrap();
-        let _ = EvaluationCache::load(&flipped);
+        prop_assert!(EvaluationCache::load(&flipped).is_err(), "bit-flipped file loaded");
         std::fs::remove_file(&flipped).ok();
     }
 }

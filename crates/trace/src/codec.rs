@@ -12,14 +12,18 @@
 //! # Layout
 //!
 //! ```text
-//! file   := magic version frame*
+//! file   := magic version frame* end
 //! magic  := "MTR!"                      (4 bytes: 4D 54 52 21)
-//! version:= 01                          (1 byte)
-//! frame  := count payload_len payload
+//! version:= 02                          (1 byte)
+//! frame  := count payload_len crc payload
 //! count  := u32 LE                      (accesses in the frame, > 0)
 //! payload_len := u32 LE                 (bytes of payload)
+//! crc    := u32 LE                      (CRC-32/IEEE of count, payload_len
+//!                                        and payload bytes)
 //! payload:= access{count}
 //! access := first_byte cont_byte*
+//! end    := count=0 payload_len=0 crc   (a CRC-valid all-zero header:
+//!                                        the end-of-stream marker)
 //! ```
 //!
 //! `first_byte` packs, from the least-significant bit: 5 payload bits,
@@ -31,6 +35,14 @@
 //! Every frame is self-contained: the per-kind `last` state resets to 0
 //! at each frame boundary, so frames can be decoded (and replayed)
 //! independently and a truncated file loses at most its final frame.
+//!
+//! Every frame carries a CRC-32 of its header fields and payload (see
+//! [`crate::integrity`]), so any single-bit storage corruption is
+//! *detected* — the reader reports `InvalidData` rather than decoding a
+//! different-but-plausible trace. The file closes with an explicit
+//! end-of-stream marker (a CRC-valid zero-count header), so a file
+//! truncated at a frame boundary — the one cut a per-frame CRC cannot
+//! see — is also detected instead of decoding as a shorter trace.
 //!
 //! [`TraceWriter`] and [`TraceReader`] operate in bounded memory — one
 //! frame at a time — regardless of trace length. Any malformed input
@@ -53,6 +65,7 @@
 //! ```
 
 use crate::access::{Access, AccessKind};
+use crate::integrity::Crc32;
 use crate::stats::din_text_bytes;
 use std::io::{Error, ErrorKind, Read, Result, Write};
 
@@ -60,7 +73,16 @@ use std::io::{Error, ErrorKind, Read, Result, Write};
 pub const MAGIC: [u8; 4] = *b"MTR!";
 
 /// Format version written (and the only one accepted) by this codec.
-pub const VERSION: u8 = 1;
+/// Version 2 added the per-frame CRC-32; version-1 files (no CRC) are
+/// rejected with `InvalidData` rather than trusted.
+pub const VERSION: u8 = 2;
+
+/// Bytes of a frame header: count, payload length, CRC-32, each `u32` LE.
+const FRAME_HEADER: usize = 12;
+
+/// The end-of-stream marker: a frame header with count 0, payload length
+/// 0 and the matching CRC-32 (of eight zero bytes).
+const END_MARKER: [u8; FRAME_HEADER] = [0, 0, 0, 0, 0, 0, 0, 0, 0x69, 0xDF, 0x22, 0x65];
 
 /// Default maximum accesses per frame.
 pub const DEFAULT_FRAME_ACCESSES: usize = 1 << 16;
@@ -185,9 +207,10 @@ fn decode_access(payload: &[u8], pos: &mut usize, last: &mut [u64; 3]) -> Result
 /// Streaming `.mtr` encoder with bounded memory (one frame buffered).
 ///
 /// Construction writes the file header; call [`TraceWriter::finish`] to
-/// flush the final partial frame. Dropping an unfinished writer loses at
-/// most the buffered frame, matching the "truncated file loses its tail"
-/// contract.
+/// flush the final partial frame and the end-of-stream marker. A dropped,
+/// unfinished writer leaves a file without the marker, which the reader
+/// reports as truncated — a crash mid-capture is detected, not silently
+/// read as a shorter trace.
 #[derive(Debug)]
 pub struct TraceWriter<W: Write> {
     w: W,
@@ -270,12 +293,17 @@ impl<W: Write> TraceWriter<W> {
         let _obs = mhe_obs::span(mhe_obs::Phase::Encode);
         let payload_len = u32::try_from(self.payload.len())
             .map_err(|_| invalid("mtr frame payload exceeds u32"))?;
+        let mut crc = Crc32::new();
+        crc.update(&self.count.to_le_bytes());
+        crc.update(&payload_len.to_le_bytes());
+        crc.update(&self.payload);
         self.w.write_all(&self.count.to_le_bytes())?;
         self.w.write_all(&payload_len.to_le_bytes())?;
+        self.w.write_all(&crc.finish().to_le_bytes())?;
         self.w.write_all(&self.payload)?;
         mhe_obs::add_events(mhe_obs::Phase::Encode, u64::from(self.count));
-        mhe_obs::add_bytes(mhe_obs::Phase::Encode, 8 + u64::from(payload_len));
-        self.stats.bytes += 8 + u64::from(payload_len);
+        mhe_obs::add_bytes(mhe_obs::Phase::Encode, FRAME_HEADER as u64 + u64::from(payload_len));
+        self.stats.bytes += FRAME_HEADER as u64 + u64::from(payload_len);
         self.stats.frames += 1;
         self.payload.clear();
         self.count = 0;
@@ -288,14 +316,17 @@ impl<W: Write> TraceWriter<W> {
         self.stats
     }
 
-    /// Flushes the final partial frame and the underlying writer,
-    /// returning the session's accounting.
+    /// Flushes the final partial frame, writes the end-of-stream marker
+    /// and flushes the underlying writer, returning the session's
+    /// accounting.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn finish(mut self) -> Result<CodecStats> {
         self.flush_frame()?;
+        self.w.write_all(&END_MARKER)?;
+        self.stats.bytes += END_MARKER.len() as u64;
         self.w.flush()?;
         Ok(self.stats)
     }
@@ -313,6 +344,7 @@ pub struct TraceReader<R: Read> {
     current: std::vec::IntoIter<Access>,
     stats: CodecStats,
     poisoned: bool,
+    finished: bool,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -346,6 +378,7 @@ impl<R: Read> TraceReader<R> {
             current: Vec::new().into_iter(),
             stats: CodecStats { bytes: 5, ..CodecStats::default() },
             poisoned: false,
+            finished: false,
         })
     }
 
@@ -358,17 +391,20 @@ impl<R: Read> TraceReader<R> {
     /// corruption; otherwise propagates I/O errors. After an error the
     /// reader is poisoned and further calls return `Ok(None)`.
     pub fn next_frame(&mut self) -> Result<Option<Vec<Access>>> {
-        if self.poisoned {
+        if self.poisoned || self.finished {
             return Ok(None);
         }
         let _obs = mhe_obs::span(mhe_obs::Phase::Decode);
-        // Read the first header byte alone so a clean end of file (zero
+        // Read the first header byte alone so a bare end of file (zero
         // bytes where a frame could start) is distinguishable from a
-        // header cut mid-way.
-        let mut header = [0u8; 8];
+        // header cut mid-way. Either way the file is truncated: a
+        // complete file ends with the explicit end-of-stream marker.
+        let mut header = [0u8; FRAME_HEADER];
         loop {
             match self.r.read(&mut header[..1]) {
-                Ok(0) => return Ok(None),
+                Ok(0) => {
+                    return self.poison(invalid("mtr file truncated: missing end-of-stream marker"))
+                }
                 Ok(_) => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return self.poison(e),
@@ -381,8 +417,33 @@ impl<R: Read> TraceReader<R> {
                 self.poison(e)
             };
         }
-        let count = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let payload_len = u32::from_le_bytes(header[4..].try_into().unwrap());
+        let count = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let payload_len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let stored_crc = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if count == 0 && payload_len == 0 {
+            if header != END_MARKER {
+                return self.poison(invalid(format!(
+                    "mtr end-of-stream marker has a bad CRC (stored {stored_crc:08x}): \
+                     the file is corrupt"
+                )));
+            }
+            // Nothing may follow the marker.
+            let mut probe = [0u8; 1];
+            loop {
+                match self.r.read(&mut probe) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        return self
+                            .poison(invalid("trailing bytes after mtr end-of-stream marker"))
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return self.poison(e),
+                }
+            }
+            self.finished = true;
+            self.stats.bytes += FRAME_HEADER as u64;
+            return Ok(None);
+        }
         if count == 0 || count > MAX_FRAME_ACCESSES {
             return self.poison(invalid(format!("mtr frame count {count} out of range")));
         }
@@ -396,6 +457,16 @@ impl<R: Read> TraceReader<R> {
             } else {
                 self.poison(e)
             };
+        }
+        let mut crc = Crc32::new();
+        crc.update(&header[..8]);
+        crc.update(&payload);
+        let actual_crc = crc.finish();
+        if actual_crc != stored_crc {
+            return self.poison(invalid(format!(
+                "mtr frame CRC mismatch (stored {stored_crc:08x}, computed {actual_crc:08x}): \
+                 the file is corrupt"
+            )));
         }
         let mut out = Vec::with_capacity(count as usize);
         let mut last = [0u64; 3];
@@ -412,12 +483,12 @@ impl<R: Read> TraceReader<R> {
                 payload.len() - pos
             )));
         }
-        self.stats.bytes += 8 + u64::from(payload_len);
+        self.stats.bytes += FRAME_HEADER as u64 + u64::from(payload_len);
         self.stats.frames += 1;
         self.stats.accesses += u64::from(count);
         self.stats.din_bytes += din_text_bytes(out.iter().copied());
         mhe_obs::add_events(mhe_obs::Phase::Decode, u64::from(count));
-        mhe_obs::add_bytes(mhe_obs::Phase::Decode, 8 + u64::from(payload_len));
+        mhe_obs::add_bytes(mhe_obs::Phase::Decode, FRAME_HEADER as u64 + u64::from(payload_len));
         Ok(Some(out))
     }
 
@@ -506,13 +577,58 @@ mod tests {
         assert_eq!(read_mtr(buf.as_slice()).unwrap(), trace);
     }
 
+    /// Builds a syntactically framed file around `payload` with a correct
+    /// CRC and a closing end-of-stream marker, so tests of deeper
+    /// validation layers get past the CRC and truncation checks.
+    fn framed(count: u32, payload: &[u8]) -> Vec<u8> {
+        let mut buf = MAGIC.to_vec();
+        buf.push(VERSION);
+        let mut crc = Crc32::new();
+        crc.update(&count.to_le_bytes());
+        crc.update(&(payload.len() as u32).to_le_bytes());
+        crc.update(payload);
+        buf.extend(count.to_le_bytes());
+        buf.extend((payload.len() as u32).to_le_bytes());
+        buf.extend(crc.finish().to_le_bytes());
+        buf.extend(payload);
+        buf.extend(END_MARKER);
+        buf
+    }
+
     #[test]
-    fn roundtrip_empty_trace_is_header_only() {
+    fn roundtrip_empty_trace_is_header_and_end_marker() {
         let mut buf = Vec::new();
         let stats = write_mtr(&mut buf, std::iter::empty()).unwrap();
-        assert_eq!(buf, [0x4D, 0x54, 0x52, 0x21, 0x01]);
+        assert_eq!(
+            buf,
+            [0x4D, 0x54, 0x52, 0x21, 0x02, 0, 0, 0, 0, 0, 0, 0, 0, 0x69, 0xDF, 0x22, 0x65]
+        );
         assert_eq!(stats.frames, 0);
+        assert_eq!(stats.bytes, buf.len() as u64);
         assert_eq!(read_mtr(buf.as_slice()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn missing_end_marker_is_reported_as_truncation() {
+        let trace = mixed_trace(100);
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        // Cutting exactly at the frame boundary (the one cut the
+        // per-frame CRC cannot see) removes only the end marker.
+        buf.truncate(buf.len() - FRAME_HEADER);
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("end-of-stream"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_end_marker_rejected() {
+        let trace = mixed_trace(10);
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        buf.push(0x00);
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
     }
 
     #[test]
@@ -542,7 +658,7 @@ mod tests {
         let trace: Vec<Access> = (0..10_000).map(|i| Access::inst(0x1000 + i)).collect();
         let mut buf = Vec::new();
         let stats = write_mtr(&mut buf, trace.iter().copied()).unwrap();
-        // Header (5) + frame header (8) + 2 bytes for the first jump +
+        // Header (5) + frame header (12) + 2 bytes for the first jump +
         // 1 byte for each sequential delta.
         assert!(stats.bytes_per_access() < 1.01, "{} bytes/access", stats.bytes_per_access());
         assert!(stats.compression_ratio() > 6.0, "ratio {}", stats.compression_ratio());
@@ -589,21 +705,20 @@ mod tests {
 
     #[test]
     fn foreign_magic_and_version_rejected() {
-        let err = read_mtr(&b"DIN!\x01"[..]).unwrap_err();
+        let err = read_mtr(&b"DIN!\x02"[..]).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidData);
         assert!(err.to_string().contains("magic"), "{err}");
-        let err = read_mtr(&b"MTR!\x02"[..]).unwrap_err();
-        assert!(err.to_string().contains("version"), "{err}");
+        // v1 (pre-CRC) and future versions are both refused.
+        for version in [b"MTR!\x01".as_slice(), b"MTR!\x03".as_slice()] {
+            let err = read_mtr(version).unwrap_err();
+            assert!(err.to_string().contains("version"), "{err}");
+        }
     }
 
     #[test]
     fn invalid_kind_opcode_rejected() {
         // Hand-built frame: count 1, payload = one byte with kind bits 11.
-        let mut buf = MAGIC.to_vec();
-        buf.push(VERSION);
-        buf.extend(1u32.to_le_bytes());
-        buf.extend(1u32.to_le_bytes());
-        buf.push(0b0110_0000);
+        let buf = framed(1, &[0b0110_0000]);
         let err = read_mtr(buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidData);
         assert!(err.to_string().contains("kind"), "{err}");
@@ -611,12 +726,8 @@ mod tests {
 
     #[test]
     fn trailing_payload_bytes_rejected() {
-        let mut buf = MAGIC.to_vec();
-        buf.push(VERSION);
-        buf.extend(1u32.to_le_bytes());
-        buf.extend(2u32.to_le_bytes());
-        buf.push(0b0100_0010); // inst, delta 1
-        buf.push(0x00); // stray byte the count does not explain
+        // inst delta 1, then a stray byte the count does not explain.
+        let buf = framed(1, &[0b0100_0010, 0x00]);
         let err = read_mtr(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("trailing"), "{err}");
     }
@@ -625,12 +736,8 @@ mod tests {
     fn varint_overflow_rejected() {
         // A valid first byte (load, continuation set) followed by enough
         // all-ones continuation bytes to exceed 64 decoded bits.
-        let mut buf = MAGIC.to_vec();
-        buf.push(VERSION);
         let payload: Vec<u8> = std::iter::once(0x9F).chain(std::iter::repeat_n(0xFF, 9)).collect();
-        buf.extend(1u32.to_le_bytes());
-        buf.extend((payload.len() as u32).to_le_bytes());
-        buf.extend(&payload);
+        let buf = framed(1, &payload);
         let err = read_mtr(buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidData);
         assert!(err.to_string().contains("varint"), "{err}");
@@ -638,22 +745,36 @@ mod tests {
 
     #[test]
     fn zero_count_frame_rejected() {
-        let mut buf = MAGIC.to_vec();
-        buf.push(VERSION);
-        buf.extend(0u32.to_le_bytes());
-        buf.extend(0u32.to_le_bytes());
+        // count = 0 with a non-empty payload is not an end marker.
+        let buf = framed(0, &[0x00]);
         let err = read_mtr(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("count"), "{err}");
     }
 
     #[test]
     fn oversized_declared_payload_rejected() {
+        // The length bound is checked before any payload (or CRC) work, so
+        // the CRC field can be garbage here.
         let mut buf = MAGIC.to_vec();
         buf.push(VERSION);
         buf.extend(1u32.to_le_bytes());
         buf.extend((MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        buf.extend(0u32.to_le_bytes());
         let err = read_mtr(buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupted_frame_fails_the_crc_check() {
+        let trace = mixed_trace(100);
+        let mut buf = Vec::new();
+        write_mtr(&mut buf, trace.iter().copied()).unwrap();
+        // Flip one bit in the first frame's payload; the CRC must catch it.
+        let target = 5 + FRAME_HEADER; // first payload byte
+        buf[target] ^= 0x10;
+        let err = read_mtr(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
     }
 
     #[test]

@@ -78,14 +78,16 @@ impl<W: Write> Write for CountingWriter<'_, W> {
 
 /// Streaming iterator over a `din`-format trace.
 ///
-/// Created by [`read_din_iter`]; yields one access per non-blank line in
-/// constant memory, so arbitrarily long capture files can be replayed
-/// without materialising them. A malformed line yields an
-/// [`std::io::ErrorKind::InvalidData`] error naming its position, after
-/// which the iterator fuses.
+/// Created by [`read_din_iter`] (or [`read_din_iter_named`] to attach a
+/// source path); yields one access per non-blank line in constant memory,
+/// so arbitrarily long capture files can be replayed without materialising
+/// them. A malformed line yields an
+/// [`std::io::ErrorKind::InvalidData`] error naming its position (and the
+/// source, when one was given), after which the iterator fuses.
 #[derive(Debug)]
 pub struct DinLines<R: BufRead> {
     lines: Lines<R>,
+    source: Option<String>,
     line_no: usize,
     poisoned: bool,
     parsed: u64,
@@ -112,6 +114,10 @@ impl<R: BufRead> Iterator for DinLines<R> {
                 Ok(line) => line,
                 Err(e) => {
                     self.poisoned = true;
+                    let e = match &self.source {
+                        Some(path) => std::io::Error::new(e.kind(), format!("{path}: {e}")),
+                        None => e,
+                    };
                     return Some(Err(e));
                 }
             };
@@ -121,7 +127,7 @@ impl<R: BufRead> Iterator for DinLines<R> {
             if text.is_empty() {
                 continue;
             }
-            match parse_din_line(text, self.line_no) {
+            match parse_din_line(text, self.line_no, self.source.as_deref()) {
                 Ok(a) => {
                     self.parsed += 1;
                     return Some(Ok(a));
@@ -135,11 +141,15 @@ impl<R: BufRead> Iterator for DinLines<R> {
     }
 }
 
-fn parse_din_line(text: &str, line_no: usize) -> std::io::Result<Access> {
+fn parse_din_line(text: &str, line_no: usize, source: Option<&str>) -> std::io::Result<Access> {
     let bad = || {
+        let place = match source {
+            Some(path) => format!("{path}:{line_no}"),
+            None => format!("line {line_no}"),
+        };
         std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("malformed din line {line_no}: {text:?}"),
+            format!("malformed din {place}: {text:?}"),
         )
     };
     let mut parts = text.split_whitespace();
@@ -167,7 +177,32 @@ fn parse_din_line(text: &str, line_no: usize) -> std::io::Result<Access> {
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub fn read_din_iter<R: BufRead>(r: R) -> DinLines<R> {
-    DinLines { lines: r.lines(), line_no: 0, poisoned: false, parsed: 0, bytes: 0 }
+    DinLines { lines: r.lines(), source: None, line_no: 0, poisoned: false, parsed: 0, bytes: 0 }
+}
+
+/// Like [`read_din_iter`], but attaches a source name (typically the file
+/// path) so malformed-line errors read `malformed din <path>:<line>` —
+/// essential when a sweep replays many capture files and one is corrupt.
+///
+/// # Examples
+///
+/// ```
+/// use mhe_trace::io::read_din_iter_named;
+/// let err = read_din_iter_named("bogus\n".as_bytes(), "run/app.din")
+///     .next()
+///     .unwrap()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("run/app.din:1"));
+/// ```
+pub fn read_din_iter_named<R: BufRead>(r: R, source: impl Into<String>) -> DinLines<R> {
+    DinLines {
+        lines: r.lines(),
+        source: Some(source.into()),
+        line_no: 0,
+        poisoned: false,
+        parsed: 0,
+        bytes: 0,
+    }
 }
 
 /// Reads a `din`-format trace written by [`write_din`] (or any dinero
@@ -262,6 +297,15 @@ mod tests {
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("line 3"), "{err}");
         assert!(it.next().is_none(), "iterator must fuse after an error");
+    }
+
+    #[test]
+    fn named_iter_reports_the_source_path() {
+        let mut it = read_din_iter_named("0 10\nbroken\n".as_bytes(), "traces/app.din");
+        assert_eq!(it.next().unwrap().unwrap(), Access::load(0x10));
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("traces/app.din:2"), "{err}");
     }
 
     #[test]

@@ -30,11 +30,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod access;
 pub mod codec;
 pub mod dilate;
 pub mod gen;
+pub mod integrity;
 pub mod io;
 pub mod stats;
 
@@ -42,4 +44,5 @@ pub use access::{Access, AccessKind, StreamKind};
 pub use codec::{CodecStats, TraceReader, TraceWriter};
 pub use dilate::DilatedTraceGenerator;
 pub use gen::TraceGenerator;
+pub use integrity::{crc32, Crc32, Crc32Reader, Crc32Writer};
 pub use stats::TraceStats;

@@ -1,10 +1,12 @@
 //! Property and golden tests for the `.mtr` streaming trace codec.
 //!
 //! The properties: encoding round-trips arbitrary access streams exactly
-//! (including duplicates, extreme addresses, and any frame size), and a
-//! damaged file — truncated anywhere or with any byte flipped — never
-//! panics the decoder: it either still decodes a valid frame-aligned
-//! prefix or fails with `InvalidData`.
+//! (including duplicates, extreme addresses, and any frame size); *any*
+//! truncation of a valid file — even one cutting exactly at a frame
+//! boundary — fails with `InvalidData` (the end-of-stream marker makes
+//! boundary cuts detectable) and never panics; and any bit-flip or
+//! byte-flip corruption is *always* detected by the per-frame CRC-32 and
+//! reported as `InvalidData`, never decoded silently.
 //!
 //! The golden test pins the on-disk byte layout so the format cannot
 //! drift silently: files written today must stay readable tomorrow.
@@ -70,44 +72,54 @@ proptest! {
     }
 
     #[test]
-    fn truncation_never_panics(trace in trace_strategy(400), frame in 1usize..64, cut_seed in 0u64..u64::MAX) {
+    fn truncation_is_always_detected(trace in trace_strategy(400), frame in 1usize..64, cut_seed in 0u64..u64::MAX) {
         let bytes = encode(&trace, frame);
         let cut = (cut_seed % bytes.len() as u64) as usize;
-        match read_mtr(&bytes[..cut]) {
-            // A cut at a frame boundary is a clean EOF: the decoder
-            // returns the frames before the cut, which must be an exact
-            // prefix of the original stream.
-            Ok(got) => {
-                prop_assert!(got.len() <= trace.len());
-                prop_assert_eq!(&trace[..got.len()], &got[..]);
-                // The cut removed at least the file's final frame, so every
-                // surviving frame is a full one.
-                prop_assert_eq!(got.len() % frame, 0);
-            }
-            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::InvalidData),
-        }
+        // Every strict prefix must fail: a cut inside a frame breaks its
+        // CRC or framing, and a cut at a frame boundary — invisible to
+        // per-frame checks — removes the end-of-stream marker. No
+        // truncation may panic or decode as a shorter-but-valid trace.
+        let err = read_mtr(&bytes[..cut]).expect_err("truncated file must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
     }
 
     #[test]
-    fn corruption_never_panics(trace in trace_strategy(400), frame in 1usize..64, pos_seed in 0u64..u64::MAX, flip in 1u16..256) {
+    fn corruption_is_always_detected(trace in trace_strategy(400), frame in 1usize..64, pos_seed in 0u64..u64::MAX, flip in 1u16..256) {
         let mut bytes = encode(&trace, frame);
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= flip as u8;
-        // Any single-byte corruption must be survivable: either the
-        // stream still decodes (the flip produced another valid payload)
-        // or the reader reports InvalidData — never a panic, never an
-        // unbounded allocation.
-        if let Err(e) = read_mtr(&bytes[..]) {
-            prop_assert_eq!(e.kind(), ErrorKind::InvalidData);
-        }
+        // Since v2 every frame carries a CRC-32, so any single-byte
+        // corruption — in the magic, version, frame header, CRC field, or
+        // payload — must surface as InvalidData: never a panic, never an
+        // unbounded allocation, and never a silent decode to
+        // different-but-plausible data.
+        let err = read_mtr(&bytes[..]).expect_err("flipped byte must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_detected(trace in trace_strategy(200), frame in 1usize..32, pos_seed in 0u64..u64::MAX, bit in 0u32..8) {
+        let mut bytes = encode(&trace, frame);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1u8 << bit;
+        // CRC-32 detects every single-bit error, so the exact fault the
+        // injection harness models (one flipped storage bit) can never
+        // round-trip.
+        let err = read_mtr(&bytes[..]).expect_err("flipped bit must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
     }
 }
 
 #[test]
-fn empty_trace_roundtrips_as_header_only_file() {
+fn empty_trace_roundtrips_as_header_and_end_marker() {
     let mut buf = Vec::new();
     write_mtr(&mut buf, std::iter::empty()).unwrap();
-    assert_eq!(buf, b"MTR!\x01", "empty trace is exactly the 5-byte header");
+    let expected: &[u8] = &[
+        0x4D, 0x54, 0x52, 0x21, 0x02, // "MTR!", version 2
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // end marker: count 0, len 0
+        0x69, 0xDF, 0x22, 0x65, // end marker CRC-32
+    ];
+    assert_eq!(buf, expected, "empty trace is exactly header + end marker");
     assert_eq!(read_mtr(&buf[..]).unwrap(), Vec::<Access>::new());
 }
 
@@ -115,24 +127,29 @@ fn empty_trace_roundtrips_as_header_only_file() {
 fn golden_byte_layout_is_pinned() {
     // The written format is a compatibility contract; this test pins it.
     //
-    //   magic "MTR!" | version 1
-    //   frame: count=4 LE | payload_len=9 LE
+    //   magic "MTR!" | version 2
+    //   frame: count=4 LE | payload_len=9 LE | crc32 LE
     //   inst  0x40  : zigzag(0x40)=0x80  -> C0 04       (kind 2, cont)
     //   inst  0x41  : delta 1, zigzag 2  -> 42          (1 byte, sequential)
     //   load  0x9000: zigzag=0x12000     -> 80 80 12    (kind 0)
     //   store 0x9000: own last-addr state, full delta -> A0 80 12 (kind 1)
+    //
+    // The CRC is CRC-32/IEEE over count, payload_len, and payload bytes.
     let trace =
         vec![Access::inst(0x40), Access::inst(0x41), Access::load(0x9000), Access::store(0x9000)];
     let mut buf = Vec::new();
     write_mtr(&mut buf, trace.iter().copied()).unwrap();
     let expected: &[u8] = &[
-        0x4D, 0x54, 0x52, 0x21, 0x01, // "MTR!", version 1
+        0x4D, 0x54, 0x52, 0x21, 0x02, // "MTR!", version 2
         0x04, 0x00, 0x00, 0x00, // frame access count
         0x09, 0x00, 0x00, 0x00, // frame payload length
+        0x45, 0x3A, 0x6F, 0x96, // frame CRC-32
         0xC0, 0x04, // inst 0x40
         0x42, // inst 0x41
         0x80, 0x80, 0x12, // load 0x9000
         0xA0, 0x80, 0x12, // store 0x9000
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // end marker: count 0, len 0
+        0x69, 0xDF, 0x22, 0x65, // end marker CRC-32
     ];
     assert_eq!(buf, expected);
     assert_eq!(read_mtr(expected).unwrap(), trace);

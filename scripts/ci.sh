@@ -21,4 +21,10 @@ MHE_EVENTS=20000 cargo run --release -q -p mhe-bench --bin spacewalk_speedup
 echo "==> obs_overhead (disabled-probe budget: <2% on trace replay)"
 MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin obs_overhead
 
+echo "==> fault-injection suite (panic isolation, corrupt input, checkpoint resume)"
+cargo test -q -p mhe --test fault_injection
+
+echo "==> kill-and-resume smoke (SIGKILL mid-run, resume, diff frontiers)"
+./scripts/kill_resume_smoke.sh
+
 echo "==> ci.sh: all checks passed"

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: SIGKILL a spacewalker run mid-sweep while a
+# partial crash-safe checkpoint is on disk, then resume and require the
+# frontier to be byte-identical to an uninterrupted run's.
+#
+# Timing note: the design-space walk is analytic and takes milliseconds,
+# while the reference simulation that precedes it takes seconds — so a
+# wall-clock SIGKILL always lands inside the simulation, not between two
+# checkpoint saves. To still exercise resume-from-partial-state honestly,
+# the partial checkpoint is constructed first by walking a prefix of the
+# processor list to completion (same benchmark and event count, so the
+# cached metric keys are exactly those a kill between processor walks
+# would have left behind). The real SIGKILL then proves the atomic
+# checkpoint survives a hard kill intact, and the resumed run proves the
+# partial cache is reused (nonzero resumed metrics) and reproduces the
+# baseline frontier bit for bit. The in-process variant of the
+# kill-between-walks case is covered by tests/fault_injection.rs.
+#
+# Usage: kill_resume_smoke.sh [SPACEWALKER_BIN]
+# Defaults to target/release/spacewalker (built by scripts/ci.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/spacewalker}"
+if [[ ! -x "$BIN" ]]; then
+    echo "kill_resume_smoke: $BIN not built" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mhe_kill_resume.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/spec.txt" <<'EOF'
+[processors]
+kinds = 1111 2111 3221 4221 6332
+
+[icache]
+sizes_kb = 1 2 4 8 16
+assocs = 1 2 4
+line_bytes = 16 32 64
+
+[dcache]
+sizes_kb = 1 2 4 8
+assocs = 1 2
+line_bytes = 32
+
+[ucache]
+sizes_kb = 16 32 64 128
+assocs = 2 4
+line_bytes = 64
+
+[eval]
+benchmark = unepic
+events = 300000
+EOF
+# The first two processors only: completing this walk leaves the same
+# checkpoint a crash after the second per-processor save would have.
+sed 's/^kinds = .*/kinds = 1111 2111/' "$WORK/spec.txt" > "$WORK/prefix_spec.txt"
+
+echo "==> uninterrupted baseline"
+t0=$(date +%s%N)
+"$BIN" "$WORK/spec.txt" > "$WORK/baseline.txt" 2> "$WORK/baseline.log"
+t1=$(date +%s%N)
+BASELINE_MS=$(( (t1 - t0) / 1000000 ))
+
+echo "==> build a partial checkpoint (prefix of the processor list)"
+"$BIN" "$WORK/prefix_spec.txt" --checkpoint "$WORK/ckpt" \
+    > "$WORK/prefix.txt" 2> "$WORK/prefix.log"
+[[ -f "$WORK/ckpt/cache.mhec" ]] || {
+    echo "kill_resume_smoke: prefix run wrote no checkpoint" >&2
+    exit 1
+}
+
+# Kill at a third of the measured baseline wall time: the reference
+# simulation alone takes most of the run, so this lands mid-run on any
+# machine without a timing race.
+KILL_MS=$(( BASELINE_MS / 3 ))
+(( KILL_MS < 200 )) && KILL_MS=200
+echo "==> SIGKILL a resumed run ${KILL_MS}ms in (baseline took ${BASELINE_MS}ms)"
+"$BIN" "$WORK/spec.txt" --resume "$WORK/ckpt" \
+    > "$WORK/killed.txt" 2> "$WORK/killed.log" &
+PID=$!
+sleep "$(awk "BEGIN{print $KILL_MS/1000}")"
+if ! kill -9 "$PID" 2>/dev/null; then
+    echo "kill_resume_smoke: run finished in under ${KILL_MS}ms; SIGKILL never landed" >&2
+    exit 1
+fi
+wait "$PID" 2>/dev/null || true
+
+# The atomic save protocol (tmp sibling + fsync + rename) must leave the
+# checkpoint valid and free of temp droppings after a hard kill.
+[[ -f "$WORK/ckpt/cache.mhec" ]] || {
+    echo "kill_resume_smoke: checkpoint vanished after SIGKILL" >&2
+    exit 1
+}
+if compgen -G "$WORK/ckpt/cache.mhec.tmp" > /dev/null; then
+    echo "kill_resume_smoke: SIGKILL left a temp file in the checkpoint dir" >&2
+    exit 1
+fi
+
+echo "==> resume from the surviving checkpoint"
+"$BIN" "$WORK/spec.txt" --resume "$WORK/ckpt" \
+    > "$WORK/resumed.txt" 2> "$WORK/resumed.log"
+grep -Eq "resumed [1-9][0-9]* cached metrics from checkpoint" "$WORK/resumed.log" || {
+    echo "kill_resume_smoke: resume loaded no cached metrics" >&2
+    cat "$WORK/resumed.log" >&2
+    exit 1
+}
+
+echo "==> diff frontiers"
+if ! diff -u "$WORK/baseline.txt" "$WORK/resumed.txt"; then
+    echo "kill_resume_smoke: resumed frontier differs from baseline" >&2
+    exit 1
+fi
+
+echo "==> kill_resume_smoke: SIGKILL survived, resumed frontier byte-identical"

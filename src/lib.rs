@@ -91,12 +91,13 @@ pub mod prelude {
     pub use mhe_cache::{Cache, CacheConfig, MemoryDesign, Penalties};
     pub use mhe_core::evaluator::{EvalConfig, EvalConfigBuilder, ReferenceEvaluation};
     pub use mhe_core::{
-        evaluate_system, worker_threads, EvalMetrics, MheError, ParallelSweep, SystemDesign,
+        evaluate_system, worker_threads, EvalMetrics, FaultPlan, MheError, ParallelSweep,
+        RetryPolicy, SweepError, SystemDesign,
     };
     pub use mhe_obs::{ObsLevel, RunReport};
     pub use mhe_spacewalk::{
-        walk_heuristic, walk_memory, walk_system, CacheDesign, CacheSpace, EvaluationCache,
-        MemoryPoint, MetricKey, ParetoSet, SystemPoint, SystemSpace,
+        walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign, CacheSpace,
+        Checkpointer, EvaluationCache, MemoryPoint, MetricKey, ParetoSet, SystemPoint, SystemSpace,
     };
     pub use mhe_trace::{Access, StreamKind, TraceGenerator};
     pub use mhe_vliw::{Mdes, ProcessorKind};
