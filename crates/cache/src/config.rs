@@ -1,12 +1,18 @@
 //! Cache geometry.
 
+use crate::policy::Policy;
 use std::fmt;
 
-/// Geometry of one cache: `C(S, A, L)` in the paper's notation.
+/// Geometry of one cache: `C(S, A, L)` in the paper's notation, plus its
+/// replacement policy.
 ///
 /// `sets` and the line size must be powers of two ("a cache is feasible if
 /// its line size and number of sets are powers of two, and its associativity
 /// is an integer").
+///
+/// The policy participates in `Eq`/`Hash`/`Ord` (as the least-significant
+/// ordering key), so measured-miss tables and the on-disk evaluation cache
+/// automatically keep per-policy entries apart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheConfig {
     /// Number of sets (power of two).
@@ -15,6 +21,9 @@ pub struct CacheConfig {
     pub assoc: u32,
     /// Line size in 4-byte words (power of two).
     pub line_words: u32,
+    /// Replacement policy (defaults to LRU everywhere a policy isn't
+    /// stated explicitly).
+    pub policy: Policy,
 }
 
 impl CacheConfig {
@@ -31,7 +40,38 @@ impl CacheConfig {
             "line size {line_words} words must be a power of two"
         );
         assert!(assoc >= 1, "associativity must be at least 1");
-        Self { sets, assoc, line_words }
+        Self { sets, assoc, line_words, policy: Policy::Lru }
+    }
+
+    /// The same geometry under a different replacement policy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mhe_cache::{CacheConfig, Policy};
+    /// let c = CacheConfig::new(32, 2, 8).with_policy(Policy::Fifo);
+    /// assert_eq!(c.policy, Policy::Fifo);
+    /// assert_ne!(c, CacheConfig::new(32, 2, 8)); // policy is part of identity
+    /// ```
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The same configuration with a different (power-of-two) line size,
+    /// preserving the policy. Used by the evaluator when it expands the
+    /// contracted-line family for Lemma 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_words` is not a power of two.
+    pub fn with_line_words(mut self, line_words: u32) -> Self {
+        assert!(
+            line_words.is_power_of_two(),
+            "line size {line_words} words must be a power of two"
+        );
+        self.line_words = line_words;
+        self
     }
 
     /// Creates a configuration from a total size in bytes.
@@ -84,14 +124,12 @@ impl CacheConfig {
 
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "C(S={}, A={}, L={}B) [{} B]",
-            self.sets,
-            self.assoc,
-            self.line_bytes(),
-            self.size_bytes()
-        )
+        write!(f, "C(S={}, A={}, L={}B", self.sets, self.assoc, self.line_bytes())?;
+        // LRU is the unmarked default; only annotate departures from it.
+        if self.policy != Policy::Lru {
+            write!(f, ", {}", self.policy)?;
+        }
+        write!(f, ") [{} B]", self.size_bytes())
     }
 }
 
@@ -129,6 +167,32 @@ mod tests {
         assert_eq!(c.set_of(8), 1);
         assert_eq!(c.set_of(8 * 4), 0);
         assert_eq!(c.set_of(7), 0); // same line
+    }
+
+    #[test]
+    fn display_marks_non_lru_policies_only() {
+        let c = CacheConfig::from_bytes(1024, 1, 32);
+        assert_eq!(c.to_string(), "C(S=32, A=1, L=32B) [1024 B]");
+        assert_eq!(c.with_policy(Policy::Fifo).to_string(), "C(S=32, A=1, L=32B, fifo) [1024 B]");
+    }
+
+    #[test]
+    fn policy_distinguishes_configs() {
+        use std::collections::HashSet;
+        let base = CacheConfig::new(32, 2, 8);
+        let set: HashSet<CacheConfig> =
+            Policy::all().iter().map(|&p| base.with_policy(p)).collect();
+        assert_eq!(set.len(), Policy::all().len());
+        // Ordering: policy is the tie-breaker after geometry.
+        assert!(base < base.with_policy(Policy::Fifo));
+        assert!(base.with_policy(Policy::Fifo) < CacheConfig::new(64, 2, 8));
+    }
+
+    #[test]
+    fn with_line_words_preserves_policy() {
+        let c = CacheConfig::new(32, 2, 8).with_policy(Policy::PlruTree).with_line_words(4);
+        assert_eq!((c.sets, c.assoc, c.line_words), (32, 2, 4));
+        assert_eq!(c.policy, Policy::PlruTree);
     }
 
     #[test]

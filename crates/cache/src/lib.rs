@@ -2,10 +2,11 @@
 //!
 //! Three simulators reproduce the paper's memory-simulation toolchain:
 //!
-//! * [`sim::Cache`] — a plain LRU set-associative simulator (the oracle);
+//! * [`sim::Cache`] — a plain set-associative simulator (the oracle),
+//!   generic over the replacement [`Policy`];
 //! * [`single_pass::SinglePassSim`] — the Cheetah role: every configuration
-//!   sharing a line size in one pass over the trace, via per-set LRU stack
-//!   distances;
+//!   sharing a line size and policy in one pass over the trace (LRU stack
+//!   distances, a FIFO wavetable, or a direct fallback grid);
 //! * [`hierarchy::Hierarchy`] — an inclusion-respecting L1I/L1D/L2 system
 //!   with a stall-cycle model.
 //!
@@ -28,6 +29,7 @@
 pub mod classify;
 pub mod config;
 pub mod hierarchy;
+pub mod policy;
 pub mod sim;
 pub mod single_pass;
 pub mod stack;
@@ -36,6 +38,7 @@ pub mod write;
 pub use classify::{classify_misses, MissBreakdown};
 pub use config::CacheConfig;
 pub use hierarchy::{Hierarchy, MemoryDesign, Penalties};
+pub use policy::{Policy, ReplacementPolicy, SetEngine};
 pub use sim::{simulate, Cache, MissStats};
 pub use single_pass::SinglePassSim;
 pub use stack::StackSim;
@@ -50,4 +53,6 @@ const _: () = {
     assert_send_sync::<Hierarchy>();
     assert_send_sync::<CacheConfig>();
     assert_send_sync::<MissStats>();
+    assert_send_sync::<Policy>();
+    assert_send_sync::<SetEngine>();
 };

@@ -1,10 +1,13 @@
-//! Direct set-associative LRU cache simulation.
+//! Direct set-associative cache simulation under any replacement policy.
 //!
 //! [`Cache`] is the plain, one-configuration-at-a-time simulator: it serves
 //! as the correctness oracle for the single-pass simulator and as the
-//! building block of the multi-level hierarchy.
+//! building block of the multi-level hierarchy. The replacement policy is
+//! taken from [`CacheConfig::policy`]; each set runs its own
+//! [`crate::policy::SetEngine`].
 
 use crate::config::CacheConfig;
+use crate::policy::{ReplacementPolicy, SetEngine};
 use mhe_trace::{Access, StreamKind};
 
 /// Hit/miss counters.
@@ -32,7 +35,7 @@ impl MissStats {
     }
 }
 
-/// An LRU set-associative cache simulator.
+/// A set-associative cache simulator (any [`crate::Policy`]).
 ///
 /// # Examples
 ///
@@ -48,16 +51,18 @@ impl MissStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per-set tag stores, most-recently-used first.
-    sets: Vec<Vec<u64>>,
+    /// Per-set replacement engines, indexed by set.
+    sets: Vec<SetEngine>,
     stats: MissStats,
 }
 
 impl Cache {
-    /// Creates an empty cache.
+    /// Creates an empty cache running `config.policy`.
     pub fn new(config: CacheConfig) -> Self {
         Self {
-            sets: vec![Vec::with_capacity(config.assoc as usize); config.sets as usize],
+            sets: (0..u64::from(config.sets))
+                .map(|i| config.policy.new_set(config.assoc, i))
+                .collect(),
             config,
             stats: MissStats::default(),
         }
@@ -73,16 +78,11 @@ impl Cache {
         self.stats.accesses += 1;
         let block = self.config.block_of(addr);
         let set = &mut self.sets[(block % u64::from(self.config.sets)) as usize];
-        if let Some(pos) = set.iter().position(|&b| b == block) {
-            // Hit: move to MRU position.
-            set[..=pos].rotate_right(1);
+        if set.lookup(block) {
             true
         } else {
             self.stats.misses += 1;
-            if set.len() == self.config.assoc as usize {
-                set.pop();
-            }
-            set.insert(0, block);
+            set.insert(block);
             false
         }
     }
@@ -121,12 +121,13 @@ impl Cache {
     /// Whether a word's line is currently resident.
     pub fn contains(&self, addr: u64) -> bool {
         let block = self.config.block_of(addr);
-        self.sets[(block % u64::from(self.config.sets)) as usize].contains(&block)
+        self.sets[(block % u64::from(self.config.sets)) as usize].contains(block)
     }
 
-    /// Clears contents and statistics.
+    /// Clears contents and statistics; a random policy's victim stream
+    /// rewinds, so a reset cache replays a trace identically.
     pub fn reset(&mut self) {
-        self.sets.iter_mut().for_each(Vec::clear);
+        self.sets.iter_mut().for_each(ReplacementPolicy::clear);
         self.stats = MissStats::default();
     }
 }
@@ -183,6 +184,22 @@ mod tests {
     }
 
     #[test]
+    fn full_associativity_is_policy_independent_below_capacity() {
+        // Until capacity is exceeded no policy ever evicts, so a fully
+        // associative cache shows compulsory misses only — identically
+        // for LRU, FIFO, PLRU, and random.
+        for policy in crate::Policy::all() {
+            let mut c = Cache::new(CacheConfig::new(1, 8, 1).with_policy(policy));
+            for round in 0..3 {
+                for i in 0..8 {
+                    assert_eq!(c.access(i), round > 0, "{policy}: line {i} round {round}");
+                }
+            }
+            assert_eq!(c.stats().misses, 8, "{policy}: compulsory misses only");
+        }
+    }
+
+    #[test]
     fn higher_associativity_never_more_misses_on_loops() {
         // LRU inclusion property: for the same sets/line, misses are
         // monotonically non-increasing in associativity.
@@ -224,6 +241,38 @@ mod tests {
                 chunked.run_stream(stream, chunk.iter().copied());
             }
             assert_eq!(chunked.stats(), direct, "{stream:?}");
+        }
+    }
+
+    #[test]
+    fn zero_length_trace_is_identity_for_every_policy() {
+        for p in crate::Policy::all() {
+            let s = simulate(CacheConfig::new(4, 2, 2).with_policy(p), std::iter::empty());
+            assert_eq!(s, MissStats::default(), "{p}");
+        }
+    }
+
+    #[test]
+    fn random_policy_reset_replays_identically() {
+        let trace: Vec<u64> = (0..20_000u64).map(|i| (i.wrapping_mul(48271)) % 4096).collect();
+        let cfg = CacheConfig::new(8, 4, 2).with_policy(crate::Policy::Random(99));
+        let mut c = Cache::new(cfg);
+        let first = c.run(trace.iter().copied());
+        c.reset();
+        let second = c.run(trace.iter().copied());
+        assert_eq!(first, second, "reset must rewind the victim stream");
+        // And a fresh instance agrees too (no hidden global state).
+        assert_eq!(simulate(cfg, trace.iter().copied()), first);
+    }
+
+    #[test]
+    fn single_set_cache_works_for_every_policy() {
+        // One set, 4 ways: a working set of 4 lines fits under any
+        // policy, so only the 4 compulsory misses remain.
+        let trace: Vec<u64> = (0..50u64).map(|i| i % 4).collect();
+        for p in crate::Policy::all() {
+            let s = simulate(CacheConfig::new(1, 4, 1).with_policy(p), trace.iter().copied());
+            assert_eq!(s.misses, 4, "{p}");
         }
     }
 

@@ -1,23 +1,38 @@
 //! Single-pass multi-configuration cache simulation (the Cheetah role).
 //!
-//! For a fixed line size, one pass over the address trace yields exact miss
-//! counts for *every* cache `C(S, A, L)` with `S` in a set of power-of-two
-//! set counts and `A` up to a maximum associativity. The associativity
-//! dimension exploits LRU stack inclusion (Mattson et al.): within a set,
-//! a reference at stack depth `p` hits every cache of associativity `> p`.
-//! The set-count dimension simply maintains one stack array per set count —
-//! still a single pass over the trace, which is what dominates cost.
+//! For a fixed line size and replacement policy, one pass over the address
+//! trace yields exact miss counts for *every* cache `C(S, A, L)` with `S`
+//! in a set of power-of-two set counts and `A` up to a maximum
+//! associativity. Three engines implement the pass:
+//!
+//! * **LRU** — Mattson stack inclusion: within a set, a reference at stack
+//!   depth `p` hits every cache of associativity `> p`, so one truncated
+//!   stack per set covers the whole associativity axis.
+//! * **FIFO** — a DEW-style insertion *wavetable* (after Haque et al.):
+//!   FIFO has no stack inclusion, but because hits never reorder the
+//!   queue, a block is resident in the associativity-`a` cache iff its
+//!   latest insertion was among the last `a` insertions into its set.
+//!   Per-`(set, assoc)` insertion-epoch counters plus a per-block record
+//!   of latest insertion epochs answer residency for every associativity
+//!   in O(max_assoc) per reference.
+//! * **Fallback** (PLRU, random) — no single-pass formulation exists, so
+//!   the same pass feeds one direct [`crate::policy::SetEngine`] grid per
+//!   covered configuration. Costs scale with the number of configurations
+//!   rather than line sizes, but the API — and the evaluator above it —
+//!   stays uniform.
 //!
 //! This is the paper's first efficiency pillar: "the number of simulations
 //! is reduced from the total number of caches in the design space to the
 //! number of distinct cache line sizes".
 
 use crate::config::CacheConfig;
+use crate::policy::{Policy, ReplacementPolicy, SetEngine};
 use crate::sim::MissStats;
 use mhe_trace::{Access, StreamKind};
+use std::collections::HashMap;
 
 /// Single-pass simulator for a family of configurations sharing a line
-/// size.
+/// size and replacement policy.
 ///
 /// # Examples
 ///
@@ -37,9 +52,21 @@ pub struct SinglePassSim {
     line_words: u32,
     max_assoc: u32,
     set_counts: Vec<u32>,
-    /// Parallel to `set_counts`.
-    tables: Vec<StackTable>,
+    policy: Policy,
+    engine: Engine,
     accesses: u64,
+}
+
+/// One engine per policy family; each variant holds one table per set
+/// count (parallel to `set_counts`).
+#[derive(Debug, Clone)]
+enum Engine {
+    /// LRU stack inclusion.
+    Stack(Vec<StackTable>),
+    /// FIFO insertion wavetable.
+    Wave(Vec<WaveTable>),
+    /// Per-configuration direct simulation (PLRU, random).
+    Direct(Vec<DirectTable>),
 }
 
 #[derive(Debug, Clone)]
@@ -52,8 +79,39 @@ struct StackTable {
     hits_at_depth: Vec<u64>,
 }
 
+/// FIFO wavetable: the associativity-`a` FIFO set holds exactly the blocks
+/// whose latest insertion was among the last `a` insertions to that set's
+/// lane `a` queue (insertions happen per lane, on that lane's misses).
+#[derive(Debug, Clone)]
+struct WaveTable {
+    sets: u32,
+    /// Insertion counts, row-major `[set][lane]` where lane `l` models
+    /// associativity `l + 1`.
+    epochs: Vec<u64>,
+    /// Latest insertion epoch of each block per lane; `u64::MAX` = never
+    /// inserted (or evicted long ago — staleness is harmless because the
+    /// residency window test rejects old epochs).
+    waves: HashMap<u64, Box<[u64]>>,
+    /// `hits[l]` = hits of the associativity-`l + 1` cache.
+    hits: Vec<u64>,
+}
+
+/// Fallback: a full grid of direct per-set engines for one set count.
+#[derive(Debug, Clone)]
+struct DirectTable {
+    sets: u32,
+    /// `lanes[a - 1]` simulates associativity `a`.
+    lanes: Vec<DirectLane>,
+}
+
+#[derive(Debug, Clone)]
+struct DirectLane {
+    engines: Vec<SetEngine>,
+    misses: u64,
+}
+
 impl SinglePassSim {
-    /// Creates a simulator covering every `(sets, assoc)` with
+    /// Creates an LRU simulator covering every `(sets, assoc)` with
     /// `sets ∈ set_counts` and `1 <= assoc <= max_assoc`, for the given line
     /// size in words.
     ///
@@ -62,33 +120,80 @@ impl SinglePassSim {
     /// Panics if `line_words` or any set count is not a power of two, if
     /// `set_counts` is empty, or if `max_assoc == 0`.
     pub fn new(line_words: u32, set_counts: &[u32], max_assoc: u32) -> Self {
+        Self::new_with_policy(Policy::Lru, line_words, set_counts, max_assoc)
+    }
+
+    /// Creates a simulator for the given replacement policy.
+    ///
+    /// LRU and FIFO use native single-pass engines; PLRU and random fall
+    /// back to per-configuration direct simulation behind the same API
+    /// (see [`Policy::single_pass_native`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`SinglePassSim::new`].
+    pub fn new_with_policy(
+        policy: Policy,
+        line_words: u32,
+        set_counts: &[u32],
+        max_assoc: u32,
+    ) -> Self {
         assert!(line_words.is_power_of_two(), "line size must be a power of two");
         assert!(!set_counts.is_empty(), "need at least one set count");
         assert!(max_assoc >= 1, "max associativity must be at least 1");
         let mut counts = set_counts.to_vec();
         counts.sort_unstable();
         counts.dedup();
-        let tables = counts
-            .iter()
-            .map(|&s| {
-                assert!(s.is_power_of_two(), "set count {s} must be a power of two");
-                StackTable {
-                    sets: s,
-                    stacks: vec![Vec::with_capacity(max_assoc as usize); s as usize],
-                    hits_at_depth: vec![0; max_assoc as usize],
-                }
-            })
-            .collect();
-        Self { line_words, max_assoc, set_counts: counts, tables, accesses: 0 }
+        for &s in &counts {
+            assert!(s.is_power_of_two(), "set count {s} must be a power of two");
+        }
+        let engine = match policy {
+            Policy::Lru => Engine::Stack(
+                counts
+                    .iter()
+                    .map(|&s| StackTable {
+                        sets: s,
+                        stacks: vec![Vec::with_capacity(max_assoc as usize); s as usize],
+                        hits_at_depth: vec![0; max_assoc as usize],
+                    })
+                    .collect(),
+            ),
+            Policy::Fifo => Engine::Wave(
+                counts
+                    .iter()
+                    .map(|&s| WaveTable {
+                        sets: s,
+                        epochs: vec![0; s as usize * max_assoc as usize],
+                        waves: HashMap::new(),
+                        hits: vec![0; max_assoc as usize],
+                    })
+                    .collect(),
+            ),
+            Policy::PlruTree | Policy::Random(_) => Engine::Direct(
+                counts
+                    .iter()
+                    .map(|&s| DirectTable {
+                        sets: s,
+                        lanes: (1..=max_assoc)
+                            .map(|a| DirectLane {
+                                engines: (0..u64::from(s)).map(|i| policy.new_set(a, i)).collect(),
+                                misses: 0,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            ),
+        };
+        Self { line_words, max_assoc, set_counts: counts, policy, engine, accesses: 0 }
     }
 
     /// Convenience: a simulator covering a whole [`CacheConfig`] family.
     ///
-    /// All `configs` must share `line_words`.
+    /// All `configs` must share `line_words` and `policy`.
     ///
     /// # Panics
     ///
-    /// Panics if `configs` is empty or the line sizes disagree.
+    /// Panics if `configs` is empty or the line sizes or policies disagree.
     pub fn for_configs(configs: &[CacheConfig]) -> Self {
         assert!(!configs.is_empty(), "need at least one configuration");
         let line = configs[0].line_words;
@@ -96,27 +201,70 @@ impl SinglePassSim {
             configs.iter().all(|c| c.line_words == line),
             "single-pass simulation requires a common line size"
         );
+        let policy = configs[0].policy;
+        assert!(
+            configs.iter().all(|c| c.policy == policy),
+            "single-pass simulation requires a common replacement policy"
+        );
         let sets: Vec<u32> = configs.iter().map(|c| c.sets).collect();
         let max_assoc = configs.iter().map(|c| c.assoc).max().unwrap();
-        Self::new(line, &sets, max_assoc)
+        Self::new_with_policy(policy, line, &sets, max_assoc)
     }
 
     /// References a word address in every covered configuration.
     pub fn access(&mut self, addr: u64) {
         self.accesses += 1;
         let block = addr / u64::from(self.line_words);
-        for table in &mut self.tables {
-            let set = &mut table.stacks[(block % u64::from(table.sets)) as usize];
-            match set.iter().position(|&b| b == block) {
-                Some(pos) => {
-                    table.hits_at_depth[pos] += 1;
-                    set[..=pos].rotate_right(1);
-                }
-                None => {
-                    if set.len() == self.max_assoc as usize {
-                        set.pop();
+        let max_assoc = self.max_assoc as usize;
+        match &mut self.engine {
+            Engine::Stack(tables) => {
+                for table in tables {
+                    let set = &mut table.stacks[(block % u64::from(table.sets)) as usize];
+                    match set.iter().position(|&b| b == block) {
+                        Some(pos) => {
+                            table.hits_at_depth[pos] += 1;
+                            set[..=pos].rotate_right(1);
+                        }
+                        None => {
+                            if set.len() == max_assoc {
+                                set.pop();
+                            }
+                            set.insert(0, block);
+                        }
                     }
-                    set.insert(0, block);
+                }
+            }
+            Engine::Wave(tables) => {
+                for table in tables {
+                    let row = (block % u64::from(table.sets)) as usize * max_assoc;
+                    let waves = table
+                        .waves
+                        .entry(block)
+                        .or_insert_with(|| vec![u64::MAX; max_assoc].into_boxed_slice());
+                    for lane in 0..max_assoc {
+                        let epoch = table.epochs[row + lane];
+                        let w = waves[lane];
+                        // Resident iff the block's latest insertion is
+                        // within the last `lane + 1` insertions.
+                        if w != u64::MAX && epoch - w <= lane as u64 + 1 {
+                            table.hits[lane] += 1;
+                        } else {
+                            waves[lane] = epoch;
+                            table.epochs[row + lane] = epoch + 1;
+                        }
+                    }
+                }
+            }
+            Engine::Direct(tables) => {
+                for table in tables {
+                    let si = (block % u64::from(table.sets)) as usize;
+                    for lane in &mut table.lanes {
+                        let set = &mut lane.engines[si];
+                        if !set.lookup(block) {
+                            lane.misses += 1;
+                            set.insert(block);
+                        }
+                    }
                 }
             }
         }
@@ -172,20 +320,38 @@ impl SinglePassSim {
         self.max_assoc
     }
 
-    /// Miss count for `C(sets, assoc, line)`.
+    /// The replacement policy every covered configuration runs.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Whether this simulator uses a native single-pass engine (LRU
+    /// stacks, FIFO wavetable) rather than the per-configuration direct
+    /// fallback.
+    pub fn single_pass_native(&self) -> bool {
+        self.policy.single_pass_native()
+    }
+
+    /// Miss count for `C(sets, assoc, line)` under this policy.
     ///
     /// # Panics
     ///
     /// Panics if `sets` was not covered or `assoc > max_assoc`.
     pub fn misses(&self, sets: u32, assoc: u32) -> u64 {
         assert!(assoc >= 1 && assoc <= self.max_assoc, "assoc {assoc} not covered");
-        let table = self
-            .tables
+        let ti = self
+            .set_counts
             .iter()
-            .find(|t| t.sets == sets)
+            .position(|&s| s == sets)
             .unwrap_or_else(|| panic!("set count {sets} not covered"));
-        let hits: u64 = table.hits_at_depth[..assoc as usize].iter().sum();
-        self.accesses - hits
+        match &self.engine {
+            Engine::Stack(tables) => {
+                let hits: u64 = tables[ti].hits_at_depth[..assoc as usize].iter().sum();
+                self.accesses - hits
+            }
+            Engine::Wave(tables) => self.accesses - tables[ti].hits[assoc as usize - 1],
+            Engine::Direct(tables) => tables[ti].lanes[assoc as usize - 1].misses,
+        }
     }
 
     /// Statistics for `C(sets, assoc, line)`.
@@ -197,12 +363,16 @@ impl SinglePassSim {
         MissStats { accesses: self.accesses, misses: self.misses(sets, assoc) }
     }
 
-    /// Enumerates all covered `(config, stats)` pairs.
+    /// Enumerates all covered `(config, stats)` pairs (configs carry the
+    /// simulator's policy).
     pub fn all_results(&self) -> Vec<(CacheConfig, MissStats)> {
         let mut out = Vec::new();
         for &s in &self.set_counts {
             for a in 1..=self.max_assoc {
-                out.push((CacheConfig::new(s, a, self.line_words), self.stats(s, a)));
+                out.push((
+                    CacheConfig::new(s, a, self.line_words).with_policy(self.policy),
+                    self.stats(s, a),
+                ));
             }
         }
         out
@@ -281,6 +451,75 @@ mod tests {
         let a = CacheConfig::new(8, 1, 4);
         let b = CacheConfig::new(8, 1, 8);
         let _ = SinglePassSim::for_configs(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "common replacement policy")]
+    fn for_configs_rejects_mixed_policies() {
+        let a = CacheConfig::new(8, 1, 4);
+        let b = CacheConfig::new(16, 1, 4).with_policy(Policy::Fifo);
+        let _ = SinglePassSim::for_configs(&[a, b]);
+    }
+
+    #[test]
+    fn every_policy_matches_direct_simulation_exactly() {
+        let trace = pseudo_trace(30_000, 1234);
+        for p in Policy::all() {
+            let mut sp = SinglePassSim::new_with_policy(p, 4, &[8, 16, 64], 4);
+            sp.run(trace.iter().copied());
+            assert_eq!(sp.policy(), p);
+            for &sets in &[8u32, 16, 64] {
+                for assoc in 1..=4 {
+                    let cfg = CacheConfig::new(sets, assoc, 4).with_policy(p);
+                    let direct = simulate(cfg, trace.iter().copied());
+                    assert_eq!(sp.misses(sets, assoc), direct.misses, "{p} S={sets} A={assoc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_wavetable_shows_belady_anomaly_capability() {
+        // The classic Belady sequence: FIFO with 4 frames misses MORE
+        // than with 3. The wavetable must reproduce non-monotone
+        // associativity behaviour exactly (stacks could not).
+        let trace: Vec<u64> = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5].to_vec();
+        let mut sp = SinglePassSim::new_with_policy(Policy::Fifo, 1, &[1], 4);
+        sp.run(trace.iter().copied());
+        assert_eq!(sp.misses(1, 3), 9);
+        assert_eq!(sp.misses(1, 4), 10, "Belady's anomaly");
+    }
+
+    #[test]
+    fn policy_run_stream_is_chunk_invariant() {
+        let trace: Vec<Access> = pseudo_trace(10_000, 77)
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| if i % 2 == 0 { Access::inst(a) } else { Access::load(a) })
+            .collect();
+        for p in Policy::all() {
+            let mut whole = SinglePassSim::new_with_policy(p, 4, &[16, 64], 4);
+            whole.run_stream(StreamKind::Instruction, trace.iter().copied());
+            let mut chunked = SinglePassSim::new_with_policy(p, 4, &[16, 64], 4);
+            for chunk in trace.chunks(97) {
+                chunked.run_stream(StreamKind::Instruction, chunk.iter().copied());
+            }
+            for &s in &[16u32, 64] {
+                for a in 1..=4 {
+                    assert_eq!(chunked.misses(s, a), whole.misses(s, a), "{p} S={s} A={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_results_carry_the_policy() {
+        let mut sp = SinglePassSim::new_with_policy(Policy::PlruTree, 4, &[8], 2);
+        sp.run(0..500u64);
+        assert!(!sp.single_pass_native());
+        for (cfg, _) in sp.all_results() {
+            assert_eq!(cfg.policy, Policy::PlruTree);
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! traffic, and a draining write buffer with stall accounting.
 
 use crate::config::CacheConfig;
+use crate::policy::{ReplacementPolicy, SetEngine};
 
 /// What a store does on a cache miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,13 +61,20 @@ impl WriteStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    block: u64,
-    dirty: bool,
+/// One set: the replacement engine plus which resident blocks are dirty.
+///
+/// Dirtiness lives *beside* the engine (a small unordered list) rather
+/// than inside it, so any [`crate::Policy`] gains write-back accounting
+/// for free: the engine's `insert` reports the victim and we check it
+/// against the dirty list.
+#[derive(Debug, Clone)]
+struct WriteSet {
+    engine: SetEngine,
+    dirty: Vec<u64>,
 }
 
-/// A write-back LRU data cache with a draining write buffer.
+/// A write-back data cache (any [`crate::Policy`]) with a draining write
+/// buffer.
 ///
 /// # Examples
 ///
@@ -81,17 +89,22 @@ struct Line {
 pub struct WriteCache {
     config: CacheConfig,
     write: WriteConfig,
-    sets: Vec<Vec<Line>>,
+    sets: Vec<WriteSet>,
     buffer_used: u32,
     since_drain: u32,
     stats: WriteStats,
 }
 
 impl WriteCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache running `config.policy`.
     pub fn new(config: CacheConfig, write: WriteConfig) -> Self {
         Self {
-            sets: vec![Vec::with_capacity(config.assoc as usize); config.sets as usize],
+            sets: (0..u64::from(config.sets))
+                .map(|i| WriteSet {
+                    engine: config.policy.new_set(config.assoc, i),
+                    dirty: Vec::new(),
+                })
+                .collect(),
             config,
             write,
             buffer_used: 0,
@@ -155,12 +168,14 @@ impl WriteCache {
         }
     }
 
-    /// Looks a block up; on hit moves it to MRU and optionally dirties it.
+    /// Looks a block up; on hit updates recency state and optionally
+    /// dirties it.
     fn touch(&mut self, block: u64, dirty: bool) -> bool {
         let set = &mut self.sets[(block % u64::from(self.config.sets)) as usize];
-        if let Some(pos) = set.iter().position(|l| l.block == block) {
-            set[pos].dirty |= dirty;
-            set[..=pos].rotate_right(1);
+        if set.engine.lookup(block) {
+            if dirty && !set.dirty.contains(&block) {
+                set.dirty.push(block);
+            }
             true
         } else {
             false
@@ -168,15 +183,19 @@ impl WriteCache {
     }
 
     fn fill(&mut self, block: u64, dirty: bool) {
-        let assoc = self.config.assoc as usize;
         let idx = (block % u64::from(self.config.sets)) as usize;
         let mut dirty_victim = false;
         {
             let set = &mut self.sets[idx];
-            if set.len() == assoc {
-                dirty_victim = set.pop().expect("nonempty set").dirty;
+            if let Some(victim) = set.engine.insert(block) {
+                if let Some(pos) = set.dirty.iter().position(|&b| b == victim) {
+                    set.dirty.swap_remove(pos);
+                    dirty_victim = true;
+                }
             }
-            set.insert(0, Line { block, dirty });
+            if dirty {
+                set.dirty.push(block);
+            }
         }
         if dirty_victim {
             self.stats.writebacks += 1;
@@ -277,6 +296,40 @@ mod tests {
             }
         }
         assert_eq!(c.stats().buffer_stalls, 0);
+    }
+
+    #[test]
+    fn replacement_policy_governs_writeback_victims() {
+        use crate::policy::Policy;
+        // 1 set x 2 ways: store A, load B, touch A, load C.
+        // LRU evicts B (clean): no writeback. FIFO evicts A (dirty): one.
+        let run = |p: Policy| {
+            let mut c =
+                WriteCache::new(CacheConfig::new(1, 2, 4).with_policy(p), WriteConfig::default());
+            c.store(0); // A, dirty
+            c.load(4); // B
+            c.load(0); // refresh A under LRU; FIFO unmoved
+            c.load(8); // C: evict
+            c.stats().writebacks
+        };
+        assert_eq!(run(Policy::Lru), 0);
+        assert_eq!(run(Policy::Fifo), 1);
+    }
+
+    #[test]
+    fn loads_only_match_oracle_for_every_policy() {
+        use crate::policy::Policy;
+        use crate::sim::simulate;
+        let addrs: Vec<u64> =
+            (0..8000u64).map(|i| (i.wrapping_mul(2654435761) >> 13) % 2048).collect();
+        for p in Policy::all() {
+            let cfg = CacheConfig::new(8, 2, 4).with_policy(p);
+            let w =
+                WriteCache::new(cfg, WriteConfig::default()).run(addrs.iter().map(|&a| (a, false)));
+            let direct = simulate(cfg, addrs.iter().copied());
+            assert_eq!(w.misses(), direct.misses, "{p}");
+            assert_eq!(w.writebacks, 0, "{p}: loads never dirty lines");
+        }
     }
 
     #[test]

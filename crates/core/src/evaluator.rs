@@ -45,7 +45,7 @@ use crate::icache::estimate_icache_misses;
 use crate::metrics::{EvalMetrics, PassMetrics, ReplayMetrics};
 use crate::parallel::ParallelSweep;
 use crate::ucache::estimate_ucache_misses;
-use mhe_cache::{Cache, CacheConfig, SinglePassSim};
+use mhe_cache::{Cache, CacheConfig, Policy, SinglePassSim};
 use mhe_model::ahh::UniqueLineModel;
 use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
 use mhe_model::{ITraceModeler, UTraceModeler};
@@ -91,6 +91,13 @@ pub struct EvalConfig {
     /// replay; `.mtr` replay uses the file's own frame size). Results are
     /// bit-identical for every value.
     pub chunk_accesses: usize,
+    /// Default replacement policy. [`ReferenceEvaluation::for_benchmark`]
+    /// applies it to every supplied cache configuration that still
+    /// carries the unmarked default (`Policy::Lru`); configurations with
+    /// an explicit non-LRU policy are left alone. The lower-level
+    /// constructors ([`ReferenceEvaluation::build`] and friends) honour
+    /// each configuration's own `policy` field and ignore this knob.
+    pub policy: Policy,
 }
 
 impl Default for EvalConfig {
@@ -104,6 +111,7 @@ impl Default for EvalConfig {
             model: UniqueLineModel::RunBased,
             threads: 0,
             chunk_accesses: 1 << 16,
+            policy: Policy::Lru,
         }
     }
 }
@@ -225,6 +233,14 @@ impl EvalConfigBuilder {
         self
     }
 
+    /// Default replacement policy, applied by
+    /// [`ReferenceEvaluation::for_benchmark`] to configurations that
+    /// don't state one explicitly.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
     /// Selects the process-wide observability level when the
     /// configuration is built, overriding `MHE_OBS`. Reporting never
     /// affects results: miss counts are bit-identical at every level.
@@ -313,16 +329,17 @@ fn run_measure_task(task: MeasureTask) -> MeasureResult {
     }
 }
 
-/// Groups configurations by line size (deterministically ordered) and
+/// Groups configurations by (line size, policy) — the unit one
+/// [`SinglePassSim`] can cover — in deterministic `BTreeMap` order, and
 /// emits one simulation task per group.
 fn sim_tasks(kind: StreamKind, configs: &[CacheConfig], addrs: &Arc<[u64]>) -> Vec<MeasureTask> {
-    let mut by_line: BTreeMap<u32, Vec<CacheConfig>> = BTreeMap::new();
+    let mut by_family: BTreeMap<(u32, Policy), Vec<CacheConfig>> = BTreeMap::new();
     for &c in configs {
-        by_line.entry(c.line_words).or_default().push(c);
+        by_family.entry((c.line_words, c.policy)).or_default().push(c);
     }
-    by_line
+    by_family
         .into_iter()
-        .map(|(line, group)| MeasureTask::Sim {
+        .map(|((line, _), group)| MeasureTask::Sim {
             kind,
             line,
             configs: group,
@@ -366,13 +383,14 @@ impl StreamTask {
 }
 
 /// Streaming counterpart of [`sim_tasks`]: one *stateful* single-pass
-/// simulator per distinct line size, ready to be fed chunks.
+/// simulator per distinct (line size, policy) family, ready to be fed
+/// chunks.
 fn stream_sim_tasks(kind: StreamKind, configs: &[CacheConfig]) -> Vec<StreamTask> {
-    let mut by_line: BTreeMap<u32, Vec<CacheConfig>> = BTreeMap::new();
+    let mut by_family: BTreeMap<(u32, Policy), Vec<CacheConfig>> = BTreeMap::new();
     for &c in configs {
-        by_line.entry(c.line_words).or_default().push(c);
+        by_family.entry((c.line_words, c.policy)).or_default().push(c);
     }
-    by_line
+    by_family
         .into_values()
         .map(|group| StreamTask::Sim {
             kind,
@@ -760,6 +778,11 @@ impl ReferenceEvaluation {
     }
 
     /// Convenience: build for a benchmark with the paper's cache spaces.
+    ///
+    /// Applies [`EvalConfig::policy`] to every configuration that still
+    /// carries the unmarked LRU default, so a whole evaluation can be
+    /// switched to FIFO (say) with one builder call; configurations with
+    /// an explicit non-LRU policy keep it.
     pub fn for_benchmark(
         benchmark: mhe_workload::Benchmark,
         reference_mdes: &Mdes,
@@ -768,7 +791,19 @@ impl ReferenceEvaluation {
         dcaches: &[CacheConfig],
         ucaches: &[CacheConfig],
     ) -> Self {
-        Self::build(benchmark.generate(), reference_mdes, config, icaches, dcaches, ucaches)
+        let stamp = |cs: &[CacheConfig]| -> Vec<CacheConfig> {
+            cs.iter()
+                .map(|&c| if c.policy == Policy::Lru { c.with_policy(config.policy) } else { c })
+                .collect()
+        };
+        Self::build(
+            benchmark.generate(),
+            reference_mdes,
+            config,
+            &stamp(icaches),
+            &stamp(dcaches),
+            &stamp(ucaches),
+        )
     }
 
     /// The evaluation's configuration.
@@ -942,7 +977,7 @@ fn expand_line_sizes(configs: &[CacheConfig], max_dilation: f64) -> Vec<CacheCon
         let min_line = (f64::from(c.line_words) / max_dilation).floor().max(1.0) as u32;
         let mut l = c.line_words;
         loop {
-            out.push(CacheConfig::new(c.sets, c.assoc, l));
+            out.push(c.with_line_words(l));
             if l <= min_line || l == 1 {
                 break;
             }
@@ -951,7 +986,7 @@ fn expand_line_sizes(configs: &[CacheConfig], max_dilation: f64) -> Vec<CacheCon
         // One step upward as well: dilations slightly below 1 occur when a
         // target's code is *denser* than the reference's (e.g. the same
         // width without speculation), and then L/d exceeds L.
-        out.push(CacheConfig::new(c.sets, c.assoc, c.line_words * 2));
+        out.push(c.with_line_words(c.line_words * 2));
     }
     out.sort_unstable();
     out.dedup();

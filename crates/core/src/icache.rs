@@ -111,7 +111,9 @@ fn lookup(
     cache: CacheConfig,
     line_words: u32,
 ) -> Result<u64, MheError> {
-    let cfg = CacheConfig::new(cache.sets, cache.assoc, line_words);
+    // Keep the policy: the contracted-line family was simulated under
+    // the target cache's own replacement policy.
+    let cfg = cache.with_line_words(line_words);
     measured
         .misses(cfg)
         .ok_or(MheError::MissingSimulation { stream: StreamKind::Instruction, config: cfg })

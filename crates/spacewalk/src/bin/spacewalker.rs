@@ -6,7 +6,8 @@
 //!
 //! ```console
 //! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
-//!               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
+//!               [--policy LIST] [--checkpoint DIR] [--resume DIR]
+//!               [--obs|--obs-json]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
@@ -15,7 +16,10 @@
 //! `--db` the evaluation cache persists across runs in the versioned
 //! binary format (bit-exact round-trip); `--export` additionally writes a
 //! human-readable text listing; with `--heuristic` the per-cache walks use
-//! neighbourhood ascent instead of exhaustion. `--obs` / `--obs-json`
+//! neighbourhood ascent instead of exhaustion; `--policy lru,fifo,plru,
+//! random:7` overrides the replacement-policy dimension of every cache
+//! space in the spec (the spec's own `policies =` keys are the per-cache
+//! way to say the same thing). `--obs` / `--obs-json`
 //! (or the `MHE_OBS` variable) emit a run report to stderr — phase
 //! timings, throughput, parallel efficiency, and cache-database traffic —
 //! as text or line-JSON.
@@ -43,7 +47,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
-     [--heuristic] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]";
+     [--heuristic] [--policy LIST] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]";
 
 /// Exit status for configuration errors (usage, unreadable/malformed spec).
 const EXIT_BAD_CONFIG: u8 = 2;
@@ -66,6 +70,7 @@ fn main() -> ExitCode {
     let mut ckpt_dir: Option<String> = None;
     let mut resume = false;
     let mut heuristic = false;
+    let mut policies: Option<Vec<mhe_cache::Policy>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +105,23 @@ fn main() -> ExitCode {
                 }
                 ckpt_dir = Some(dir);
             }
+            "--policy" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--policy needs a comma-separated list");
+                };
+                let mut parsed = Vec::new();
+                for token in list.split(',').filter(|t| !t.is_empty()) {
+                    match token.parse::<mhe_cache::Policy>() {
+                        Ok(p) => parsed.push(p),
+                        Err(e) => return fail(EXIT_BAD_CONFIG, format!("--policy {token:?}: {e}")),
+                    }
+                }
+                if parsed.is_empty() {
+                    return fail(EXIT_BAD_CONFIG, "--policy needs at least one policy");
+                }
+                policies = Some(parsed);
+            }
             "--heuristic" => heuristic = true,
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
             "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
@@ -123,10 +145,16 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(EXIT_BAD_CONFIG, format!("cannot read {spec_path}: {e}")),
     };
-    let spec = match Spec::parse(&text) {
+    let mut spec = match Spec::parse(&text) {
         Ok(s) => s,
         Err(e) => return fail(EXIT_BAD_CONFIG, format!("{spec_path}: {e}")),
     };
+    if let Some(p) = policies {
+        spec.space.icache.policies.clone_from(&p);
+        spec.space.dcache.policies.clone_from(&p);
+        spec.space.ucache.policies = p;
+    }
+    let spec = spec;
 
     eprintln!(
         "benchmark {} | {} processors x {} I$ x {} D$ x {} U$ = {} systems",
@@ -217,17 +245,22 @@ fn main() -> ExitCode {
         Err(e) => return fail(e.exit_code(), format!("system walk failed: {e}")),
     };
     println!(
-        "{:<6} {:>9} {:>9} {:>9} {:>12} {:>14}",
-        "proc", "I$ B", "D$ B", "U$ B", "area", "cycles"
+        "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12} {:>14}",
+        "proc", "I$ B", "D$ B", "U$ B", "policy I/D/U", "area", "cycles"
     );
     for p in frontier.points() {
         let m = &p.design.memory;
+        let pol = format!(
+            "{}/{}/{}",
+            m.icache.config.policy, m.dcache.config.policy, m.ucache.config.policy
+        );
         println!(
-            "{:<6} {:>9} {:>9} {:>9} {:>12.0} {:>14.0}",
+            "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12.0} {:>14.0}",
             p.design.processor.name,
             m.icache.config.size_bytes(),
             m.dcache.config.size_bytes(),
             m.ucache.config.size_bytes(),
+            pol,
             p.cost,
             p.time
         );

@@ -18,7 +18,7 @@
 //! key — the same contract the old `{:.3}` string keys had, now explicit.
 
 use crate::cost::CacheDesign;
-use mhe_cache::CacheConfig;
+use mhe_cache::{CacheConfig, Policy};
 use mhe_trace::integrity::{Crc32Reader, Crc32Writer};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -133,11 +133,15 @@ const SHARDS: usize = 16;
 
 /// File magic for the binary database format.
 const MAGIC: &[u8; 4] = b"MHEC";
-/// Current binary format version. Version 2 appends a whole-file
+/// Current binary format version. Version 2 appended a whole-file
 /// CRC-32/IEEE footer (4 LE bytes over everything before it), so storage
 /// corruption — a flipped bit, a torn write — surfaces as `InvalidData`
-/// instead of silently loading plausible-but-wrong metrics.
-const VERSION: u8 = 2;
+/// instead of silently loading plausible-but-wrong metrics. Version 3
+/// adds the replacement policy to every serialized design (a policy tag
+/// varint after `ports`, plus a seed varint for `random`); v2 files are
+/// rejected with a clear message — delete and re-evaluate, the cache is
+/// a memo, not a source of truth.
+const VERSION: u8 = 3;
 
 /// Sharded, concurrent memoization table for design metrics.
 ///
@@ -461,11 +465,26 @@ fn read_str(r: &mut impl Read) -> io::Result<Arc<str>> {
     String::from_utf8(buf).map(Arc::from).map_err(|e| bad_data(format!("bad UTF-8: {e}")))
 }
 
+/// Policy wire tags (v3). Append-only: new policies get new tags.
+const POLICY_LRU: u64 = 0;
+const POLICY_FIFO: u64 = 1;
+const POLICY_PLRU: u64 = 2;
+const POLICY_RANDOM: u64 = 3;
+
 fn write_design(w: &mut impl Write, d: &CacheDesign) -> io::Result<()> {
     write_varint(w, u64::from(d.config.sets))?;
     write_varint(w, u64::from(d.config.assoc))?;
     write_varint(w, u64::from(d.config.line_words))?;
-    write_varint(w, u64::from(d.ports))
+    write_varint(w, u64::from(d.ports))?;
+    match d.config.policy {
+        Policy::Lru => write_varint(w, POLICY_LRU),
+        Policy::Fifo => write_varint(w, POLICY_FIFO),
+        Policy::PlruTree => write_varint(w, POLICY_PLRU),
+        Policy::Random(seed) => {
+            write_varint(w, POLICY_RANDOM)?;
+            write_varint(w, seed)
+        }
+    }
 }
 
 fn read_design(r: &mut impl Read) -> io::Result<CacheDesign> {
@@ -481,7 +500,14 @@ fn read_design(r: &mut impl Read) -> io::Result<CacheDesign> {
              line_words={line_words}"
         )));
     }
-    Ok(CacheDesign { config: CacheConfig::new(sets, assoc, line_words), ports })
+    let policy = match read_varint(r)? {
+        POLICY_LRU => Policy::Lru,
+        POLICY_FIFO => Policy::Fifo,
+        POLICY_PLRU => Policy::PlruTree,
+        POLICY_RANDOM => Policy::Random(read_varint(r)?),
+        other => return Err(bad_data(format!("unknown replacement-policy tag {other}"))),
+    };
+    Ok(CacheDesign { config: CacheConfig::new(sets, assoc, line_words).with_policy(policy), ports })
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -630,6 +656,26 @@ mod tests {
             assert_eq!(va.to_bits(), vb.to_bits());
         }
         assert_eq!(loaded.stats(), (0, 0), "loaded counters must reset");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn policies_roundtrip_and_key_distinct_designs() {
+        let base = CacheConfig::from_bytes(1024, 2, 32);
+        let c = EvaluationCache::new();
+        for (i, p) in Policy::all().into_iter().enumerate() {
+            let d = CacheDesign::single_ported(base.with_policy(p));
+            c.insert(MetricKey::icache(&app(), d, 1.5), i as f64);
+        }
+        // Distinct-seed randoms are distinct designs too.
+        let r7 = CacheDesign::single_ported(base.with_policy(Policy::Random(7)));
+        c.insert(MetricKey::icache(&app(), r7, 1.5), 99.0);
+        assert_eq!(c.len(), Policy::all().len() + 1);
+        let path =
+            std::env::temp_dir().join(format!("mhe_cache_db_pol_{}.mhec", std::process::id()));
+        c.save(&path).unwrap();
+        let loaded = EvaluationCache::load(&path).unwrap();
+        assert_eq!(loaded.entries(), c.entries());
         std::fs::remove_file(path).ok();
     }
 

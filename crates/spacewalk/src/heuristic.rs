@@ -104,28 +104,27 @@ pub fn walk_heuristic(
     Ok(HeuristicResult { pareto, evaluated, space_size })
 }
 
-/// Single-parameter moves from a design.
+/// Single-parameter moves from a design. Geometry moves preserve the
+/// replacement policy — the walk explores within one policy; policy is a
+/// space dimension, not a neighbourhood move.
 fn neighbours(d: CacheDesign) -> Vec<CacheDesign> {
     let c = d.config;
+    let geom = |sets: u32, assoc: u32, line_words: u32| {
+        CacheConfig::new(sets, assoc, line_words).with_policy(c.policy)
+    };
     let mut out = Vec::with_capacity(6);
     // Grow capacity (more sets).
-    out.push(CacheDesign { config: CacheConfig::new(c.sets * 2, c.assoc, c.line_words), ..d });
+    out.push(CacheDesign { config: geom(c.sets * 2, c.assoc, c.line_words), ..d });
     // Grow associativity at same capacity.
     if c.sets >= 2 {
-        out.push(CacheDesign {
-            config: CacheConfig::new(c.sets / 2, c.assoc * 2, c.line_words),
-            ..d
-        });
+        out.push(CacheDesign { config: geom(c.sets / 2, c.assoc * 2, c.line_words), ..d });
     }
     // Grow associativity (and capacity).
-    out.push(CacheDesign { config: CacheConfig::new(c.sets, c.assoc * 2, c.line_words), ..d });
+    out.push(CacheDesign { config: geom(c.sets, c.assoc * 2, c.line_words), ..d });
     // Change line size at same capacity.
-    out.push(CacheDesign { config: CacheConfig::new(c.sets, c.assoc, c.line_words * 2), ..d });
+    out.push(CacheDesign { config: geom(c.sets, c.assoc, c.line_words * 2), ..d });
     if c.line_words >= 2 && c.sets >= 2 {
-        out.push(CacheDesign {
-            config: CacheConfig::new(c.sets * 2, c.assoc, c.line_words / 2),
-            ..d
-        });
+        out.push(CacheDesign { config: geom(c.sets * 2, c.assoc, c.line_words / 2), ..d });
     }
     // More ports.
     out.push(CacheDesign { ports: d.ports + 1, ..d });
@@ -137,6 +136,7 @@ mod tests {
     use super::*;
     use crate::space::SystemSpace;
     use crate::walker::{prepare_evaluation, walk_icache};
+    use mhe_cache::Policy;
     use mhe_core::evaluator::EvalConfig;
     use mhe_vliw::ProcessorKind;
     use mhe_workload::Benchmark;
@@ -148,6 +148,7 @@ mod tests {
             assocs: vec![1, 2, 4],
             line_bytes: vec![16, 32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         }
     }
 
@@ -220,12 +221,14 @@ mod tests {
                 assocs: vec![1],
                 line_bytes: vec![32],
                 ports: vec![1],
+                policies: vec![Policy::Lru],
             },
             ucache: CacheSpace {
                 sizes_bytes: vec![64 << 10],
                 assocs: vec![4],
                 line_bytes: vec![64],
                 ports: vec![1],
+                policies: vec![Policy::Lru],
             },
         };
         let eval = prepare_evaluation(

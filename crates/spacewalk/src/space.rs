@@ -6,7 +6,7 @@
 //! `DesignSpaceSpec` input. [`SystemSpace`] adds the processor dimension.
 
 use crate::cost::CacheDesign;
-use mhe_cache::CacheConfig;
+use mhe_cache::{CacheConfig, Policy};
 use mhe_vliw::Mdes;
 
 /// Parameter ranges for one cache's design space.
@@ -20,6 +20,8 @@ pub struct CacheSpace {
     pub line_bytes: Vec<u32>,
     /// Port counts.
     pub ports: Vec<u32>,
+    /// Replacement policies to explore.
+    pub policies: Vec<Policy>,
 }
 
 impl CacheSpace {
@@ -32,6 +34,7 @@ impl CacheSpace {
             assocs: vec![1, 2],
             line_bytes: vec![16, 32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         }
     }
 
@@ -42,15 +45,25 @@ impl CacheSpace {
             assocs: vec![2, 4],
             line_bytes: vec![64],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         }
+    }
+
+    /// The same ranges under a different set of replacement policies.
+    pub fn with_policies(mut self, policies: Vec<Policy>) -> Self {
+        self.policies = policies;
+        self
     }
 
     /// Enumerates every feasible design in the space.
     ///
     /// Combinations whose size is not divisible into power-of-two sets are
     /// skipped (infeasible geometry), mirroring the feasibility rule of the
-    /// paper.
+    /// paper. An empty `policies` list means LRU only, so pre-policy space
+    /// literals keep their meaning.
     pub fn enumerate(&self) -> Vec<CacheDesign> {
+        let policies: &[Policy] =
+            if self.policies.is_empty() { &[Policy::Lru] } else { &self.policies };
         let mut out = Vec::new();
         for &size in &self.sizes_bytes {
             for &assoc in &self.assocs {
@@ -63,11 +76,14 @@ impl CacheSpace {
                     if sets == 0 || !sets.is_power_of_two() || sets > u64::from(u32::MAX) {
                         continue;
                     }
-                    for &ports in &self.ports {
-                        out.push(CacheDesign {
-                            config: CacheConfig::from_bytes(size, assoc, line),
-                            ports,
-                        });
+                    for &policy in policies {
+                        for &ports in &self.ports {
+                            out.push(CacheDesign {
+                                config: CacheConfig::from_bytes(size, assoc, line)
+                                    .with_policy(policy),
+                                ports,
+                            });
+                        }
                     }
                 }
             }
@@ -147,8 +163,26 @@ mod tests {
             assocs: vec![3], // 1024 / (3*32) is not an integer
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         };
         assert!(space.enumerate().is_empty());
+    }
+
+    #[test]
+    fn policies_multiply_the_space() {
+        let base = CacheSpace::level1_default();
+        let multi = base.clone().with_policies(vec![Policy::Lru, Policy::Fifo]);
+        assert_eq!(multi.enumerate().len(), 2 * base.enumerate().len());
+        let configs = multi.configs();
+        assert!(configs.iter().any(|c| c.policy == Policy::Fifo));
+        assert!(configs.iter().any(|c| c.policy == Policy::Lru));
+    }
+
+    #[test]
+    fn empty_policy_list_means_lru() {
+        let mut space = CacheSpace::level1_default();
+        space.policies = vec![];
+        assert_eq!(space.enumerate(), CacheSpace::level1_default().enumerate());
     }
 
     #[test]

@@ -327,6 +327,7 @@ pub fn walk_system_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mhe_cache::Policy;
     use mhe_vliw::ProcessorKind;
     use mhe_workload::Benchmark;
 
@@ -338,18 +339,21 @@ mod tests {
                 assocs: vec![1, 2],
                 line_bytes: vec![32],
                 ports: vec![1],
+                policies: vec![Policy::Lru],
             },
             dcache: CacheSpace {
                 sizes_bytes: vec![1024, 4096],
                 assocs: vec![1],
                 line_bytes: vec![32],
                 ports: vec![1],
+                policies: vec![Policy::Lru],
             },
             ucache: CacheSpace {
                 sizes_bytes: vec![16 << 10, 64 << 10],
                 assocs: vec![2],
                 line_bytes: vec![64],
                 ports: vec![1],
+                policies: vec![Policy::Lru],
             },
         }
     }

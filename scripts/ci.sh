@@ -6,8 +6,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
@@ -20,6 +20,12 @@ MHE_EVENTS=20000 cargo run --release -q -p mhe-bench --bin spacewalk_speedup
 
 echo "==> obs_overhead (disabled-probe budget: <2% on trace replay)"
 MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin obs_overhead
+
+echo "==> replacement-policy differential suite (budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test policy_differential
+
+echo "==> policy_matrix (per-policy accesses/s, engines cross-checked)"
+MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin policy_matrix
 
 echo "==> fault-injection suite (panic isolation, corrupt input, checkpoint resume)"
 cargo test -q -p mhe --test fault_injection

@@ -88,7 +88,7 @@ pub mod prelude {
     //! # Ok::<(), MheError>(())
     //! ```
 
-    pub use mhe_cache::{Cache, CacheConfig, MemoryDesign, Penalties};
+    pub use mhe_cache::{Cache, CacheConfig, MemoryDesign, Penalties, Policy};
     pub use mhe_core::evaluator::{EvalConfig, EvalConfigBuilder, ReferenceEvaluation};
     pub use mhe_core::{
         evaluate_system, worker_threads, EvalMetrics, FaultPlan, MheError, ParallelSweep,

@@ -11,7 +11,7 @@
 //! Tests that arm the process-global fault plan serialize on
 //! [`fault::injection_lock`].
 
-use mhe::cache::Penalties;
+use mhe::cache::{Penalties, Policy};
 use mhe::core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe::core::fault::{self, Fault, FaultPlan, FaultyReader, FaultyWriter};
 use mhe::core::{MheError, ParallelSweep, RetryPolicy};
@@ -41,18 +41,21 @@ fn small_space() -> SystemSpace {
             assocs: vec![1, 2],
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         dcache: CacheSpace {
             sizes_bytes: vec![1024, 4096],
             assocs: vec![1],
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         ucache: CacheSpace {
             sizes_bytes: vec![16 << 10, 64 << 10],
             assocs: vec![2],
             line_bytes: vec![64],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
     }
 }

@@ -104,6 +104,98 @@ fn eq412_interpolation_is_pinned_and_bracketed() {
     );
 }
 
+/// Per-policy pinned miss counts: the same 50 000-event instruction
+/// trace, simulated under each replacement policy on a 16-set 4-way cache
+/// (8-word lines). The counts must differ across policies (the policies
+/// are real) and must reproduce exactly (the engines are deterministic,
+/// including seeded random).
+const POLICY_PINS: [(Benchmark, [(Policy, u64); 4]); 2] = [
+    (
+        Benchmark::Epic,
+        [
+            (Policy::Lru, 671),
+            (Policy::Fifo, 668),
+            (Policy::PlruTree, 670),
+            (Policy::Random(0x5EED_CAFE), 709),
+        ],
+    ),
+    (
+        Benchmark::Unepic,
+        [
+            (Policy::Lru, 406),
+            (Policy::Fifo, 414),
+            (Policy::PlruTree, 420),
+            (Policy::Random(0x5EED_CAFE), 490),
+        ],
+    ),
+];
+
+#[test]
+fn per_policy_misses_are_pinned() {
+    use mhe::vliw::compile::Compiled;
+    for (benchmark, pins) in POLICY_PINS {
+        let program = benchmark.generate();
+        let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
+        let trace: Vec<u64> = TraceGenerator::new(&program, &compiled, 0xC0FF_EE01)
+            .stream(StreamKind::Instruction)
+            .take(EVENTS)
+            .map(|a| a.addr)
+            .collect();
+        for (policy, pinned) in pins {
+            let cfg = CacheConfig::new(16, 4, 8).with_policy(policy);
+            let got = Cache::new(cfg).run(trace.iter().copied()).misses;
+            assert_eq!(got, pinned, "{benchmark:?} under {policy}");
+        }
+    }
+}
+
+/// The evaluation-cache v3 byte layout is a compatibility contract; this
+/// pins it the way `crates/trace/tests/codec.rs` pins the `.mtr` format.
+/// Layout per entry: metric tag, app string (varint length + UTF-8),
+/// design (sets/assoc/line_words/ports varints, then the v3 policy tag
+/// varint with a seed varint for `random`), key-specific fields, and the
+/// value's `f64` bits in 8 LE bytes; a CRC-32/IEEE footer closes the file.
+#[test]
+fn cache_db_v3_byte_layout_is_pinned() {
+    use std::sync::Arc;
+    let app: Arc<str> = Arc::from("x");
+    let base = CacheConfig::new(8, 2, 8);
+    let db = EvaluationCache::new();
+    db.insert(
+        MetricKey::icache(&app, CacheDesign::single_ported(base.with_policy(Policy::Fifo)), 2.0),
+        42.0,
+    );
+    db.insert(
+        MetricKey::dcache(&app, CacheDesign::single_ported(base.with_policy(Policy::Random(7)))),
+        1.5,
+    );
+    let path = std::env::temp_dir().join(format!("mhe_golden_v3_{}.mhec", std::process::id()));
+    db.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let expected: &[u8] = &[
+        0x4D, 0x48, 0x45, 0x43, // magic "MHEC"
+        0x03, // version 3
+        0x02, // entry count
+        // icache key sorts first (variant order)
+        0x00, // tag: icache misses
+        0x01, 0x78, // app "x"
+        0x08, 0x02, 0x08, // sets=8 assoc=2 line_words=8
+        0x01, // ports=1
+        0x01, // policy tag: fifo
+        0xD0, 0x0F, // dilation 2000 millis
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x45, 0x40, // 42.0f64 LE bits
+        0x01, // tag: dcache misses
+        0x01, 0x78, // app "x"
+        0x08, 0x02, 0x08, // sets=8 assoc=2 line_words=8
+        0x01, // ports=1
+        0x03, 0x07, // policy tag: random, seed 7
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F, // 1.5f64 LE bits
+        0xED, 0xA8, 0xF6, 0x15, // CRC-32/IEEE footer
+    ];
+    assert_eq!(bytes, expected, "cache-db v3 byte layout moved");
+}
+
 #[test]
 fn unified_extrapolation_is_pinned() {
     let e = eval();

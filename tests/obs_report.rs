@@ -66,18 +66,21 @@ fn evaluation_and_walk_record_every_promised_phase() {
             assocs: vec![1],
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         dcache: CacheSpace {
             sizes_bytes: vec![1 << 10],
             assocs: vec![1],
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         ucache: CacheSpace {
             sizes_bytes: vec![16 << 10],
             assocs: vec![2],
             line_bytes: vec![64],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
     };
     let cfg = EvalConfig::builder().events(20_000).build().expect("valid config");

@@ -20,18 +20,21 @@ fn space() -> SystemSpace {
             assocs: vec![1, 2],
             line_bytes: vec![16, 32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         dcache: CacheSpace {
             sizes_bytes: vec![1 << 10, 4 << 10],
             assocs: vec![1],
             line_bytes: vec![32],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
         ucache: CacheSpace {
             sizes_bytes: vec![16 << 10, 64 << 10],
             assocs: vec![2],
             line_bytes: vec![64],
             ports: vec![1],
+            policies: vec![Policy::Lru],
         },
     }
 }
