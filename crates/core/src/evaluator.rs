@@ -42,13 +42,16 @@
 
 use crate::error::MheError;
 use crate::icache::estimate_icache_misses;
-use crate::metrics::{EvalMetrics, PassMetrics, ReplayMetrics};
+use crate::metrics::{EvalMetrics, PassMetrics, ReplayMetrics, SamplingMetrics};
 use crate::parallel::ParallelSweep;
 use crate::ucache::estimate_ucache_misses;
 use mhe_cache::{Cache, CacheConfig, Policy, SinglePassSim};
 use mhe_model::ahh::UniqueLineModel;
 use mhe_model::params::{TraceParams, UnifiedParams, I_GRANULE, U_GRANULE};
 use mhe_model::{ITraceModeler, UTraceModeler};
+use mhe_sampling::{
+    RepWindow, SamplePlan, SamplePlanner, SampledSim, SamplingConfig, WindowExtractor,
+};
 use mhe_trace::codec::write_mtr;
 use mhe_trace::io::{read_din_iter_named, write_din};
 use mhe_trace::stats::din_text_bytes;
@@ -98,6 +101,13 @@ pub struct EvalConfig {
     /// constructors ([`ReferenceEvaluation::build`] and friends) honour
     /// each configuration's own `policy` field and ignore this knob.
     pub policy: Policy,
+    /// When set, the whole measurement runs through interval sampling
+    /// (split → signatures → k-means → representatives) instead of full
+    /// simulation: miss counts become weighted estimates, AHH trace
+    /// parameters stay exact (the modelers still see every access), and
+    /// [`EvalMetrics::sampling`] records coverage and the error
+    /// heuristic. `None` (the default) is exact full simulation.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl Default for EvalConfig {
@@ -112,6 +122,7 @@ impl Default for EvalConfig {
             threads: 0,
             chunk_accesses: 1 << 16,
             policy: Policy::Lru,
+            sampling: None,
         }
     }
 }
@@ -163,6 +174,11 @@ impl EvalConfig {
         }
         if self.chunk_accesses == 0 {
             return bad("chunk_accesses", "must be positive");
+        }
+        if let Some(sampling) = &self.sampling {
+            if let Err((field, requirement)) = sampling.validate() {
+                return bad(field, requirement);
+            }
         }
         Ok(())
     }
@@ -238,6 +254,24 @@ impl EvalConfigBuilder {
     /// don't state one explicitly.
     pub fn policy(mut self, policy: Policy) -> Self {
         self.config.policy = policy;
+        self
+    }
+
+    /// Routes the measurement through interval sampling: only one
+    /// representative interval per cluster is simulated, with miss
+    /// counts scaled back by cluster weights.
+    ///
+    /// ```
+    /// use mhe_core::evaluator::EvalConfig;
+    /// use mhe_core::SamplingConfig;
+    /// let cfg = EvalConfig::builder()
+    ///     .sampling(SamplingConfig { interval_accesses: 4096, clusters: 8, ..Default::default() })
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(cfg.sampling.is_some());
+    /// ```
+    pub fn sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.config.sampling = Some(sampling);
         self
     }
 
@@ -354,6 +388,7 @@ enum StreamTask {
     IModel { modeler: ITraceModeler, wall: Duration },
     UModel { modeler: UTraceModeler, wall: Duration },
     Sim { kind: StreamKind, sim: SinglePassSim, configs: Vec<CacheConfig>, wall: Duration },
+    Plan { planner: Box<SamplePlanner>, wall: Duration },
 }
 
 impl StreamTask {
@@ -376,6 +411,10 @@ impl StreamTask {
             }
             StreamTask::Sim { kind, sim, wall, .. } => {
                 sim.run_stream(*kind, chunk.iter().copied());
+                *wall += start.elapsed();
+            }
+            StreamTask::Plan { planner, wall } => {
+                planner.feed(chunk);
                 *wall += start.elapsed();
             }
         }
@@ -506,6 +545,9 @@ fn measure_streaming(
                     wall,
                 });
             }
+            StreamTask::Plan { .. } => {
+                unreachable!("plan tasks only run inside measure_sampled")
+            }
         }
     }
     Ok(StreamOutcome {
@@ -523,6 +565,206 @@ fn measure_streaming(
         sim_wall,
         model_wall,
     })
+}
+
+/// One unit of the sampled fan-out: estimate one (stream, line size,
+/// policy) family of configurations from the shared plan and windows.
+struct SampledTask {
+    kind: StreamKind,
+    configs: Vec<CacheConfig>,
+    plan: Arc<SamplePlan>,
+    windows: Arc<Vec<RepWindow>>,
+}
+
+fn run_sampled_task(task: SampledTask) -> (StreamKind, Vec<(CacheConfig, u64)>, PassMetrics) {
+    let start = Instant::now();
+    let line = task.configs[0].line_words;
+    let policy = task.configs[0].policy;
+    let mut set_counts: Vec<u32> = task.configs.iter().map(|c| c.sets).collect();
+    set_counts.sort_unstable();
+    set_counts.dedup();
+    let max_assoc = task.configs.iter().map(|c| c.assoc).max().unwrap_or(1);
+    let sim = SampledSim::measure(
+        policy,
+        line,
+        &set_counts,
+        max_assoc,
+        task.kind,
+        &task.plan,
+        &task.windows,
+    );
+    let rows: Vec<(CacheConfig, u64)> =
+        task.configs.iter().map(|&c| (c, sim.misses(c.sets, c.assoc))).collect();
+    let pass = PassMetrics {
+        stream: task.kind,
+        line_words: line,
+        configs: task.configs.len(),
+        addresses: sim.sim_accesses(),
+        wall: start.elapsed(),
+    };
+    (task.kind, rows, pass)
+}
+
+/// Sampled counterpart of [`sim_tasks`]: one estimator task per (line
+/// size, policy) family, all sharing the plan and windows.
+fn sampled_tasks(
+    kind: StreamKind,
+    configs: &[CacheConfig],
+    plan: &Arc<SamplePlan>,
+    windows: &Arc<Vec<RepWindow>>,
+) -> Vec<SampledTask> {
+    let mut by_family: BTreeMap<(u32, Policy), Vec<CacheConfig>> = BTreeMap::new();
+    for &c in configs {
+        by_family.entry((c.line_words, c.policy)).or_default().push(c);
+    }
+    by_family
+        .into_values()
+        .map(|group| SampledTask {
+            kind,
+            configs: group,
+            plan: Arc::clone(plan),
+            windows: Arc::clone(windows),
+        })
+        .collect()
+}
+
+/// Interval-sampled measurement: two passes over the trace plus a
+/// fan-out over the representative windows.
+///
+/// Pass A (`pass_a`) streams the whole trace once through the *exact*
+/// AHH modelers and the sampling planner (signatures — a few array
+/// lookups per access). Pass B (`pass_b`) streams the trace again and
+/// merely copies out each representative's warm-up and body, bounded by
+/// `clusters × (interval + warmup)` accesses of memory. The simulation
+/// fan-out then runs one [`SampledSim`] per (stream, line size, policy)
+/// family through the worker pool; family results merge in input order,
+/// so the outcome is bit-identical for any thread count, chunking, or
+/// repetition.
+fn measure_sampled(
+    config: &EvalConfig,
+    sampling: SamplingConfig,
+    icaches: &[CacheConfig],
+    dcaches: &[CacheConfig],
+    ucaches: &[CacheConfig],
+    pass_a: &mut dyn FnMut() -> io::Result<Option<Vec<Access>>>,
+    pass_b: &mut dyn FnMut() -> io::Result<Option<Vec<Access>>>,
+) -> io::Result<(StreamOutcome, SamplingMetrics)> {
+    // --- Pass A: exact modelers + interval signatures. ---
+    let mut tasks = vec![
+        StreamTask::IModel { modeler: ITraceModeler::new(config.i_granule), wall: Duration::ZERO },
+        StreamTask::UModel { modeler: UTraceModeler::new(config.u_granule), wall: Duration::ZERO },
+        StreamTask::Plan { planner: Box::new(SamplePlanner::new(sampling)), wall: Duration::ZERO },
+    ];
+    let sweep = ParallelSweep::with_threads(config.worker_threads())
+        .with_retry(crate::env::RetryPolicy::NONE)
+        .with_label("sampled measure");
+    let mut trace_len = 0u64;
+    let mut din_bytes = 0u64;
+    let mut chunks = 0u64;
+    let mut decode_wall = Duration::ZERO;
+    let mut sim_wall = Duration::ZERO;
+    loop {
+        let decode_start = Instant::now();
+        let chunk = pass_a()?;
+        decode_wall += decode_start.elapsed();
+        let Some(chunk) = chunk else { break };
+        if chunk.is_empty() {
+            continue;
+        }
+        trace_len += chunk.len() as u64;
+        din_bytes += din_text_bytes(chunk.iter().copied());
+        chunks += 1;
+        let sim_start = Instant::now();
+        sweep
+            .try_for_each_mut_in(Some(mhe_obs::Phase::Simulate), &mut tasks, |t| {
+                t.feed(&chunk);
+                Ok(())
+            })
+            .map_err(|e| io::Error::other(e.error.to_string()))?;
+        sim_wall += sim_start.elapsed();
+    }
+    let mut iparams = None;
+    let mut uparams = None;
+    let mut plan = None;
+    let mut model_wall = Duration::ZERO;
+    for task in tasks {
+        match task {
+            StreamTask::IModel { modeler, wall } => {
+                iparams = Some(modeler.finish());
+                model_wall += wall;
+            }
+            StreamTask::UModel { modeler, wall } => {
+                uparams = Some(modeler.finish());
+                model_wall += wall;
+            }
+            StreamTask::Plan { planner, wall } => {
+                plan = Some(planner.finish());
+                model_wall += wall;
+            }
+            StreamTask::Sim { .. } => unreachable!("sampled pass A runs no simulators"),
+        }
+    }
+    let plan = Arc::new(plan.expect("planner task ran"));
+
+    // --- Pass B: copy out the representative windows (single-threaded;
+    // it is a pure range intersection + memcpy). ---
+    let mut extractor = WindowExtractor::new(&plan);
+    loop {
+        let decode_start = Instant::now();
+        let chunk = pass_b()?;
+        decode_wall += decode_start.elapsed();
+        let Some(chunk) = chunk else { break };
+        extractor.feed(&chunk);
+    }
+    let windows = Arc::new(extractor.finish());
+
+    // --- Fan-out: one sampled estimator per (stream, line, policy). ---
+    let expanded = expand_line_sizes(icaches, config.max_dilation);
+    let mut tasks = sampled_tasks(StreamKind::Instruction, &expanded, &plan, &windows);
+    tasks.extend(sampled_tasks(StreamKind::Data, dcaches, &plan, &windows));
+    tasks.extend(sampled_tasks(StreamKind::Unified, ucaches, &plan, &windows));
+    let sim_start = Instant::now();
+    let results = sweep.map_in(Some(mhe_obs::Phase::Simulate), tasks, run_sampled_task);
+    sim_wall += sim_start.elapsed();
+
+    let mut imeasured = HashMap::new();
+    let mut dmeasured = HashMap::new();
+    let mut umeasured = HashMap::new();
+    let mut passes = Vec::new();
+    for (kind, rows, pass) in results {
+        let map = match kind {
+            StreamKind::Instruction => &mut imeasured,
+            StreamKind::Data => &mut dmeasured,
+            StreamKind::Unified => &mut umeasured,
+        };
+        map.extend(rows);
+        passes.push(pass);
+    }
+    let sampling_metrics = SamplingMetrics {
+        intervals: plan.intervals().len() as u64,
+        clusters: plan.clusters().len() as u64,
+        representative_accesses: plan.representative_accesses(),
+        total_accesses: plan.total_accesses(),
+        error_bound: plan.error_bound(),
+    };
+    Ok((
+        StreamOutcome {
+            threads: sweep.threads(),
+            iparams: iparams.expect("instruction modeler task ran"),
+            uparams: uparams.expect("unified modeler task ran"),
+            imeasured,
+            dmeasured,
+            umeasured,
+            passes,
+            trace_len,
+            din_bytes,
+            chunks,
+            decode_wall,
+            sim_wall,
+            model_wall,
+        },
+        sampling_metrics,
+    ))
 }
 
 impl ReferenceEvaluation {
@@ -544,6 +786,45 @@ impl ReferenceEvaluation {
         let build_start = Instant::now();
         let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
         let reference = Compiled::build(&program, reference_mdes, Some(&freq));
+
+        // --- Sampled route: never materialise the trace at all. The
+        // deterministic generator is simply run twice (pass A:
+        // signatures + exact modelers; pass B: window extraction). ---
+        if let Some(sampling) = config.sampling {
+            let (outcome, sampling_metrics) = {
+                let chunk_size = config.chunk_accesses.max(1);
+                let make_pass = || {
+                    let mut it = TraceGenerator::new(&program, &reference, config.seed)
+                        .with_event_limit(config.events);
+                    move || -> io::Result<Option<Vec<Access>>> {
+                        let chunk: Vec<Access> = it.by_ref().take(chunk_size).collect();
+                        Ok(if chunk.is_empty() { None } else { Some(chunk) })
+                    }
+                };
+                let mut pass_a = make_pass();
+                let mut pass_b = make_pass();
+                measure_sampled(
+                    &config,
+                    sampling,
+                    icaches,
+                    dcaches,
+                    ucaches,
+                    &mut pass_a,
+                    &mut pass_b,
+                )
+                .expect("in-memory trace source cannot fail")
+            };
+            return Self::from_outcome(
+                program,
+                freq,
+                reference,
+                config,
+                outcome,
+                None,
+                Some(sampling_metrics),
+                build_start,
+            );
+        }
 
         // --- Materialise the reference trace once; every pass below reads
         // the shared buffers instead of regenerating the trace. ---
@@ -618,6 +899,7 @@ impl ReferenceEvaluation {
             build_wall: build_start.elapsed(),
             passes,
             replay: None,
+            sampling: None,
         };
 
         Self {
@@ -635,6 +917,7 @@ impl ReferenceEvaluation {
     }
 
     /// Assembles an evaluation from the streaming fan-out's outcome.
+    #[allow(clippy::too_many_arguments)]
     fn from_outcome(
         program: Program,
         freq: BlockFrequencies,
@@ -642,6 +925,7 @@ impl ReferenceEvaluation {
         config: EvalConfig,
         outcome: StreamOutcome,
         replay: Option<ReplayMetrics>,
+        sampling: Option<SamplingMetrics>,
         build_start: Instant,
     ) -> Self {
         let metrics = EvalMetrics {
@@ -653,6 +937,7 @@ impl ReferenceEvaluation {
             build_wall: build_start.elapsed(),
             passes: outcome.passes,
             replay,
+            sampling,
         };
         Self {
             config,
@@ -690,6 +975,38 @@ impl ReferenceEvaluation {
         let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
         let reference = Compiled::build(&program, reference_mdes, Some(&freq));
         let chunk_size = config.chunk_accesses.max(1);
+        // Sampling needs two passes over the stream; a one-shot iterator
+        // has to be materialised for that (file-backed traces should use
+        // `replay_file`, which re-opens the file instead).
+        if let Some(sampling) = config.sampling {
+            let all: Vec<Access> = trace.into_iter().collect();
+            let (outcome, sampling_metrics) = {
+                let mut chunks_a = all.chunks(chunk_size);
+                let mut pass_a = move || Ok(chunks_a.next().map(<[Access]>::to_vec));
+                let mut chunks_b = all.chunks(chunk_size);
+                let mut pass_b = move || Ok(chunks_b.next().map(<[Access]>::to_vec));
+                measure_sampled(
+                    &config,
+                    sampling,
+                    icaches,
+                    dcaches,
+                    ucaches,
+                    &mut pass_a,
+                    &mut pass_b,
+                )
+                .expect("in-memory trace source cannot fail")
+            };
+            return Self::from_outcome(
+                program,
+                freq,
+                reference,
+                config,
+                outcome,
+                None,
+                Some(sampling_metrics),
+                build_start,
+            );
+        }
         let mut iter = trace.into_iter();
         let mut next = move || -> io::Result<Option<Vec<Access>>> {
             let chunk: Vec<Access> = iter.by_ref().take(chunk_size).collect();
@@ -697,7 +1014,7 @@ impl ReferenceEvaluation {
         };
         let outcome = measure_streaming(&config, icaches, dcaches, ucaches, &mut next)
             .expect("in-memory trace source cannot fail");
-        Self::from_outcome(program, freq, reference, config, outcome, None, build_start)
+        Self::from_outcome(program, freq, reference, config, outcome, None, None, build_start)
     }
 
     /// Replays a captured trace file as the reference trace.
@@ -728,39 +1045,88 @@ impl ReferenceEvaluation {
         let freq = BlockFrequencies::profile(&program, config.seed, 200_000);
         let reference = Compiled::build(&program, reference_mdes, Some(&freq));
         let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
-        let file = BufReader::new(File::open(path)?);
-        let (outcome, bytes_read) = match ext {
-            "mtr" => {
-                let mut reader = TraceReader::new(file)?;
+        let chunk_size = config.chunk_accesses.max(1);
+        let din_chunk = |lines: &mut dyn Iterator<Item = io::Result<Access>>| -> io::Result<Option<Vec<Access>>> {
+            let mut chunk = Vec::new();
+            for item in lines {
+                chunk.push(item?);
+                if chunk.len() >= chunk_size {
+                    break;
+                }
+            }
+            Ok(if chunk.is_empty() { None } else { Some(chunk) })
+        };
+        let (outcome, sampling_metrics, bytes_read) = match (ext, config.sampling) {
+            ("mtr", None) => {
+                let mut reader = TraceReader::new(BufReader::new(File::open(path)?))?;
                 let outcome = {
                     let mut next = || reader.next_frame();
                     measure_streaming(&config, icaches, dcaches, ucaches, &mut next)?
                 };
                 let bytes = reader.stats().bytes;
-                (outcome, bytes)
+                (outcome, None, bytes)
             }
-            "din" => {
-                let mut lines = read_din_iter_named(file, path.display().to_string());
-                let chunk_size = config.chunk_accesses.max(1);
+            ("mtr", Some(sampling)) => {
+                // Sampling's two passes re-open the file: the trace still
+                // never lives in memory, only the representative windows.
+                let mut reader_a = TraceReader::new(BufReader::new(File::open(path)?))?;
+                let mut reader_b = TraceReader::new(BufReader::new(File::open(path)?))?;
+                let (outcome, sm) = {
+                    let mut pass_a = || reader_a.next_frame();
+                    let mut pass_b = || reader_b.next_frame();
+                    measure_sampled(
+                        &config,
+                        sampling,
+                        icaches,
+                        dcaches,
+                        ucaches,
+                        &mut pass_a,
+                        &mut pass_b,
+                    )?
+                };
+                let bytes = reader_a.stats().bytes;
+                (outcome, Some(sm), bytes)
+            }
+            ("din", None) => {
+                let mut lines = read_din_iter_named(
+                    BufReader::new(File::open(path)?),
+                    path.display().to_string(),
+                );
                 let outcome = {
-                    let mut next = || -> io::Result<Option<Vec<Access>>> {
-                        let mut chunk = Vec::new();
-                        for item in lines.by_ref() {
-                            chunk.push(item?);
-                            if chunk.len() >= chunk_size {
-                                break;
-                            }
-                        }
-                        Ok(if chunk.is_empty() { None } else { Some(chunk) })
-                    };
+                    let mut next = || din_chunk(&mut lines);
                     measure_streaming(&config, icaches, dcaches, ucaches, &mut next)?
                 };
                 // din is the uncompressed baseline: what we read is the
                 // text itself.
                 let bytes = outcome.din_bytes;
-                (outcome, bytes)
+                (outcome, None, bytes)
             }
-            other => {
+            ("din", Some(sampling)) => {
+                let mut lines_a = read_din_iter_named(
+                    BufReader::new(File::open(path)?),
+                    path.display().to_string(),
+                );
+                let mut lines_b = read_din_iter_named(
+                    BufReader::new(File::open(path)?),
+                    path.display().to_string(),
+                );
+                let (outcome, sm) = {
+                    let mut pass_a = || din_chunk(&mut lines_a);
+                    let mut pass_b = || din_chunk(&mut lines_b);
+                    measure_sampled(
+                        &config,
+                        sampling,
+                        icaches,
+                        dcaches,
+                        ucaches,
+                        &mut pass_a,
+                        &mut pass_b,
+                    )?
+                };
+                let bytes = outcome.din_bytes;
+                (outcome, Some(sm), bytes)
+            }
+            (other, _) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
                     format!("unknown trace extension {other:?} (expected mtr or din)"),
@@ -774,7 +1140,16 @@ impl ReferenceEvaluation {
             chunks: outcome.chunks,
             decode_wall: outcome.decode_wall,
         };
-        Ok(Self::from_outcome(program, freq, reference, config, outcome, Some(replay), build_start))
+        Ok(Self::from_outcome(
+            program,
+            freq,
+            reference,
+            config,
+            outcome,
+            Some(replay),
+            sampling_metrics,
+            build_start,
+        ))
     }
 
     /// Convenience: build for a benchmark with the paper's cache spaces.
@@ -1242,6 +1617,124 @@ mod tests {
     fn default_config_is_valid() {
         EvalConfig::default().validate().unwrap();
         assert_eq!(EvalConfig::builder().build().unwrap(), EvalConfig::default());
+    }
+
+    /// A sampling config that degenerates to exact full simulation: one
+    /// cluster whose single interval is the whole trace, no warm-up, and
+    /// the analytic fast path disabled.
+    fn degenerate_sampling() -> SamplingConfig {
+        SamplingConfig {
+            interval_accesses: usize::MAX,
+            clusters: 1,
+            warmup: 0,
+            histogram_sets: u32::MAX,
+            ..SamplingConfig::default()
+        }
+    }
+
+    #[test]
+    fn degenerate_sampled_build_is_exact() {
+        let e = small_eval();
+        let cfg = EvalConfig {
+            events: 60_000,
+            sampling: Some(degenerate_sampling()),
+            ..EvalConfig::default()
+        };
+        let s = ReferenceEvaluation::for_benchmark(
+            Benchmark::Unepic,
+            &ProcessorKind::P1111.mdes(),
+            cfg,
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+        );
+        assert_eq!(s.imeasured(), e.imeasured());
+        assert_eq!(s.dmeasured(), e.dmeasured());
+        assert_eq!(s.umeasured(), e.umeasured());
+        let sm = s.metrics().sampling.expect("sampled build records metrics");
+        assert_eq!(sm.intervals, 1);
+        assert_eq!(sm.clusters, 1);
+        assert_eq!(sm.total_accesses, s.metrics().trace_len);
+        assert_eq!(sm.error_bound, 0.0);
+        assert!(e.metrics().sampling.is_none(), "exact build has no sampling metrics");
+    }
+
+    #[test]
+    fn sampled_build_approximates_exact() {
+        let e = small_eval();
+        let cfg = EvalConfig {
+            events: 60_000,
+            sampling: Some(SamplingConfig::default()),
+            ..EvalConfig::default()
+        };
+        let s = ReferenceEvaluation::for_benchmark(
+            Benchmark::Unepic,
+            &ProcessorKind::P1111.mdes(),
+            cfg,
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+        );
+        let sm = s.metrics().sampling.expect("sampled build records metrics");
+        assert!(sm.intervals > sm.clusters);
+        assert!(sm.representative_accesses < sm.total_accesses);
+        for (grid, exact_grid) in [(s.imeasured(), e.imeasured()), (s.dmeasured(), e.dmeasured())] {
+            for (c, exact) in exact_grid {
+                let approx = grid[c];
+                let denom = (*exact).max(1) as f64;
+                let rel = (approx as f64 - *exact as f64).abs() / denom;
+                assert!(rel < 0.10, "{c:?}: sampled {approx} vs exact {exact} ({rel:.3})");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_replay_matches_sampled_build() {
+        let e = small_eval();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mhe_eval_sampled_{}.mtr", std::process::id()));
+        e.capture_mtr(std::fs::File::create(&path).unwrap()).unwrap();
+        let cfg = EvalConfig {
+            events: 60_000,
+            sampling: Some(degenerate_sampling()),
+            ..EvalConfig::default()
+        };
+        let r = ReferenceEvaluation::replay_file(
+            e.program().clone(),
+            &ProcessorKind::P1111.mdes(),
+            cfg,
+            &path,
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(1024, 1, 32)],
+            &[CacheConfig::from_bytes(16 * 1024, 2, 64)],
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r.imeasured(), e.imeasured());
+        assert_eq!(r.dmeasured(), e.dmeasured());
+        assert_eq!(r.umeasured(), e.umeasured());
+        assert!(r.metrics().replay.is_some());
+        assert!(r.metrics().sampling.is_some());
+    }
+
+    #[test]
+    fn builder_validates_sampling_fields() {
+        let field = |r: Result<EvalConfig, MheError>| match r {
+            Err(MheError::InvalidConfig { field, .. }) => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        let zero_interval = SamplingConfig { interval_accesses: 0, ..SamplingConfig::default() };
+        assert_eq!(
+            field(EvalConfig::builder().sampling(zero_interval).build()),
+            "sampling.interval_accesses"
+        );
+        let zero_clusters = SamplingConfig { clusters: 0, ..SamplingConfig::default() };
+        assert_eq!(
+            field(EvalConfig::builder().sampling(zero_clusters).build()),
+            "sampling.clusters"
+        );
+        let ok = EvalConfig::builder().sampling(SamplingConfig::default()).build().unwrap();
+        assert_eq!(ok.sampling, Some(SamplingConfig::default()));
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use evaluator::{
     actual_misses, dilated_misses, EvalConfig, EvalConfigBuilder, ReferenceEvaluation,
 };
 pub use fault::{Fault, FaultPlan, FaultyReader, FaultyWriter};
-pub use metrics::{EvalMetrics, PassMetrics};
+pub use metrics::{EvalMetrics, PassMetrics, SamplingMetrics};
+pub use mhe_sampling::SamplingConfig;
 pub use parallel::{worker_threads, ParallelSweep, SweepError, SweepMetrics};
 pub use system::{evaluate_system, processor_cycles, SystemDesign, SystemPerformance};

@@ -104,10 +104,59 @@ impl std::fmt::Display for ReplayMetrics {
     }
 }
 
+/// Accounting of a sampled measurement (present when
+/// `EvalConfig::sampling` routed the build through interval sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SamplingMetrics {
+    /// Intervals the trace was split into.
+    pub intervals: u64,
+    /// Clusters (= representative intervals simulated).
+    pub clusters: u64,
+    /// Accesses actually fed to engines: warm-up plus representative
+    /// bodies, unified stream.
+    pub representative_accesses: u64,
+    /// Exact unified trace length (every access was *seen* by pass A;
+    /// only representatives were *simulated*).
+    pub total_accesses: u64,
+    /// Clustering-dispersion error heuristic (`SamplePlan::error_bound`):
+    /// 0 means every interval is represented exactly; larger values mean
+    /// the clusters are more heterogeneous. The accuracy harness pins
+    /// the measured error — this field only ranks plans.
+    pub error_bound: f64,
+}
+
+impl SamplingMetrics {
+    /// Fraction of the trace simulated; the replay-speedup story is its
+    /// reciprocal.
+    pub fn coverage(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.representative_accesses as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SamplingMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sampled {} of {} accs ({:.1}% coverage, {} intervals -> {} clusters, \
+             error bound {:.4})",
+            self.representative_accesses,
+            self.total_accesses,
+            self.coverage() * 100.0,
+            self.intervals,
+            self.clusters,
+            self.error_bound,
+        )
+    }
+}
+
 /// End-to-end accounting of one [`ReferenceEvaluation::build`] call.
 ///
 /// [`ReferenceEvaluation::build`]: crate::evaluator::ReferenceEvaluation::build
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EvalMetrics {
     /// Worker threads the measurement fan-out used.
     pub threads: usize,
@@ -126,6 +175,8 @@ pub struct EvalMetrics {
     /// Present when the trace was replayed from a captured file instead
     /// of generated in memory.
     pub replay: Option<ReplayMetrics>,
+    /// Present when the measurement ran through interval sampling.
+    pub sampling: Option<SamplingMetrics>,
 }
 
 impl EvalMetrics {
@@ -244,6 +295,9 @@ impl std::fmt::Display for EvalMetrics {
         )?;
         if let Some(replay) = &self.replay {
             write!(f, "; {replay}")?;
+        }
+        if let Some(sampling) = &self.sampling {
+            write!(f, "; {sampling}")?;
         }
         Ok(())
     }

@@ -1,0 +1,137 @@
+//! Splitting a streamed trace into fixed-size intervals.
+//!
+//! The splitter is a thin, allocation-frugal state machine: it accepts
+//! the same arbitrarily-sized chunks the `.mtr` frame decoder produces
+//! and emits complete intervals of exactly `interval_accesses` accesses
+//! (the final interval of a trace may be shorter). Concatenating the
+//! emitted intervals reproduces the input trace access-for-access — the
+//! partition property the proptests pin.
+
+use mhe_trace::Access;
+
+/// Streaming fixed-size interval splitter.
+///
+/// Feed chunks with [`IntervalSplitter::feed`]; every complete interval
+/// is handed to the callback as soon as it fills. Call
+/// [`IntervalSplitter::finish`] to flush the trailing partial interval.
+#[derive(Debug, Clone)]
+pub struct IntervalSplitter {
+    interval: usize,
+    pending: Vec<Access>,
+}
+
+impl IntervalSplitter {
+    /// Creates a splitter emitting intervals of `interval_accesses`.
+    ///
+    /// # Panics
+    ///
+    /// If `interval_accesses` is zero.
+    pub fn new(interval_accesses: usize) -> Self {
+        assert!(interval_accesses > 0, "interval_accesses must be positive");
+        Self { interval: interval_accesses, pending: Vec::with_capacity(interval_accesses) }
+    }
+
+    /// The configured interval size in accesses.
+    pub fn interval_accesses(&self) -> usize {
+        self.interval
+    }
+
+    /// Number of accesses buffered toward the next (incomplete) interval.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one chunk, invoking `emit` once per *complete* interval.
+    pub fn feed(&mut self, chunk: &[Access], mut emit: impl FnMut(&[Access])) {
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let need = self.interval - self.pending.len();
+            if self.pending.is_empty() && rest.len() >= self.interval {
+                // Fast path: a whole interval lies contiguously in the
+                // chunk; no copy through the pending buffer.
+                emit(&rest[..self.interval]);
+                rest = &rest[self.interval..];
+                continue;
+            }
+            let take = need.min(rest.len());
+            self.pending.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.pending.len() == self.interval {
+                emit(&self.pending);
+                self.pending.clear();
+            }
+        }
+    }
+
+    /// Flushes the trailing partial interval, if any, and resets the
+    /// splitter for reuse.
+    pub fn finish(&mut self, mut emit: impl FnMut(&[Access])) {
+        if !self.pending.is_empty() {
+            emit(&self.pending);
+            self.pending.clear();
+        }
+    }
+}
+
+/// Convenience one-shot split of an in-memory trace; returns owned
+/// intervals. Concatenating the result reproduces `trace` exactly.
+pub fn split(trace: &[Access], interval_accesses: usize) -> Vec<Vec<Access>> {
+    let mut splitter = IntervalSplitter::new(interval_accesses);
+    let mut out = Vec::new();
+    splitter.feed(trace, |iv| out.push(iv.to_vec()));
+    splitter.finish(|iv| out.push(iv.to_vec()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: u64) -> Vec<Access> {
+        (0..n).map(Access::inst).collect()
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let t = trace(1000);
+        let parts = split(&t, 256);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.last().map(Vec::len), Some(1000 - 3 * 256));
+        let glued: Vec<Access> = parts.concat();
+        assert_eq!(glued, t);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_tail() {
+        let t = trace(512);
+        let parts = split(&t, 256);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| p.len() == 256));
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_intervals() {
+        let t = trace(777);
+        let whole = split(&t, 100);
+        let mut splitter = IntervalSplitter::new(100);
+        let mut chunked = Vec::new();
+        for chunk in t.chunks(13) {
+            splitter.feed(chunk, |iv| chunked.push(iv.to_vec()));
+        }
+        splitter.finish(|iv| chunked.push(iv.to_vec()));
+        assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn empty_trace_emits_nothing() {
+        assert!(split(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn trace_shorter_than_one_interval_is_one_partial() {
+        let t = trace(10);
+        let parts = split(&t, 64);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], t);
+    }
+}

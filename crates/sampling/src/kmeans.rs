@@ -1,0 +1,224 @@
+//! Deterministic seeded k-means over interval signatures.
+//!
+//! Determinism rules (pinned by the differential harness):
+//!
+//! * the **seed** picks the first centroid (SplitMix64 over the point
+//!   count); the remaining centroids come from a farthest-first
+//!   traversal — no further randomness;
+//! * Lloyd iterations run a **fixed count** ([`ITERATIONS`]) with no
+//!   convergence-dependent early exit that could vary across platforms;
+//! * every tie (nearest centroid, farthest point, representative
+//!   choice) breaks toward the **lowest index**;
+//! * all arithmetic is plain `f64` in a fixed order — no reductions
+//!   whose order depends on thread count.
+//!
+//! Together these make clustering a pure function of
+//! `(points, k, seed)`: bit-identical on every run, machine, and
+//! thread count.
+
+use crate::signature::Signature;
+
+/// Fixed Lloyd iteration count.
+pub const ITERATIONS: usize = 16;
+
+/// Result of clustering `n` points into at most `k` groups.
+///
+/// Clusters are numbered `0..clusters()`; every cluster is non-empty
+/// (duplicate seeds collapse, so fewer than `k` clusters can come back
+/// when the points carry fewer than `k` distinct values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// `assignment[i]` = cluster of point `i`.
+    pub assignment: Vec<u32>,
+    /// Point index of each cluster's representative: the member closest
+    /// to the final centroid (ties to the lowest index).
+    pub representatives: Vec<u32>,
+}
+
+impl Clustering {
+    /// Number of (non-empty) clusters.
+    pub fn clusters(&self) -> usize {
+        self.representatives.len()
+    }
+}
+
+/// SplitMix64 step — the only randomness in the pipeline.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Clusters `points` into at most `k` groups. See the module docs for
+/// the determinism contract.
+///
+/// # Panics
+///
+/// If `k` is zero while `points` is non-empty.
+pub fn kmeans(points: &[Signature], k: usize, seed: u64) -> Clustering {
+    if points.is_empty() {
+        return Clustering { assignment: Vec::new(), representatives: Vec::new() };
+    }
+    assert!(k > 0, "cluster count must be positive");
+
+    // Farthest-first initialisation, seeded by the first pick.
+    let mut state = seed;
+    let first = (splitmix64(&mut state) % points.len() as u64) as usize;
+    let mut centroids: Vec<Signature> = vec![points[first]];
+    let mut min_d2: Vec<f64> = points.iter().map(|p| p.distance2(&points[first])).collect();
+    while centroids.len() < k.min(points.len()) {
+        let (best, best_d2) = min_d2
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |acc, (i, &d)| if d > acc.1 { (i, d) } else { acc });
+        if best_d2 <= 0.0 {
+            break; // every remaining point coincides with a centroid
+        }
+        centroids.push(points[best]);
+        for (d, p) in min_d2.iter_mut().zip(points) {
+            let nd = p.distance2(&points[best]);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    let mut assignment = vec![0u32; points.len()];
+    for _ in 0..ITERATIONS {
+        // Assign: nearest centroid, ties to the lowest centroid index.
+        for (a, p) in assignment.iter_mut().zip(points) {
+            let mut best = 0usize;
+            let mut best_d2 = p.distance2(&centroids[0]);
+            for (c, centroid) in centroids.iter().enumerate().skip(1) {
+                let d2 = p.distance2(centroid);
+                if d2 < best_d2 {
+                    best = c;
+                    best_d2 = d2;
+                }
+            }
+            *a = best as u32;
+        }
+        // Update: componentwise mean in point-index order. A cluster
+        // that lost all members keeps its previous centroid.
+        let dim = Signature::DIM;
+        let mut sums = vec![[0.0f64; Signature::DIM]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        for (&a, p) in assignment.iter().zip(points) {
+            let sum = &mut sums[a as usize];
+            for (s, f) in sum.iter_mut().zip(p.features()) {
+                *s += f;
+            }
+            counts[a as usize] += 1;
+        }
+        for ((centroid, sum), &count) in centroids.iter_mut().zip(&sums).zip(&counts) {
+            if count > 0 {
+                let mut features = [0.0f64; Signature::DIM];
+                for d in 0..dim {
+                    features[d] = sum[d] / count as f64;
+                }
+                *centroid = Signature::from_features(features);
+            }
+        }
+    }
+
+    // Drop empty clusters and renumber survivors in ascending old-index
+    // order, then pick representatives.
+    let mut remap = vec![u32::MAX; centroids.len()];
+    let mut kept = Vec::new();
+    for &a in &assignment {
+        if remap[a as usize] == u32::MAX {
+            remap[a as usize] = u32::MAX - 1; // mark seen, number below
+        }
+    }
+    for (old, slot) in remap.iter_mut().enumerate() {
+        if *slot != u32::MAX {
+            *slot = kept.len() as u32;
+            kept.push(old);
+        }
+    }
+    for a in &mut assignment {
+        *a = remap[*a as usize];
+    }
+    let mut representatives = vec![u32::MAX; kept.len()];
+    let mut rep_d2 = vec![f64::INFINITY; kept.len()];
+    for (i, (&a, p)) in assignment.iter().zip(points).enumerate() {
+        let d2 = p.distance2(&centroids[kept[a as usize]]);
+        if d2 < rep_d2[a as usize] {
+            rep_d2[a as usize] = d2;
+            representatives[a as usize] = i as u32;
+        }
+    }
+    Clustering { assignment, representatives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::signature_of;
+    use mhe_trace::Access;
+
+    fn sig(points: &[(u64, u64)]) -> Vec<Signature> {
+        // Build distinguishable signatures: loops of varying footprint.
+        points
+            .iter()
+            .map(|&(stride, modulo)| {
+                let iv: Vec<Access> =
+                    (0..2048u64).map(|i| Access::inst((i * stride) % modulo)).collect();
+                signature_of(&iv)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_cluster() {
+        let points = sig(&[(1, 64); 10]);
+        let c = kmeans(&points, 4, 42);
+        assert_eq!(c.clusters(), 1);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn distinct_groups_separate() {
+        // 5 tight-loop intervals and 5 streaming intervals.
+        let mut points = sig(&[(1, 64); 5]);
+        points.extend(sig(&[(8192, u64::MAX); 5]));
+        let c = kmeans(&points, 2, 7);
+        assert_eq!(c.clusters(), 2);
+        assert_eq!(c.assignment[0..5], [c.assignment[0]; 5]);
+        assert_eq!(c.assignment[5..10], [c.assignment[5]; 5]);
+        assert_ne!(c.assignment[0], c.assignment[5]);
+    }
+
+    #[test]
+    fn clustering_is_a_pure_function_of_inputs() {
+        let points = sig(&[(1, 64), (3, 128), (8192, u64::MAX), (1, 64), (5, 256), (7, 1024)]);
+        let a = kmeans(&points, 3, 99);
+        let b = kmeans(&points, 3, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_fine() {
+        let points = sig(&[(1, 64), (8192, u64::MAX)]);
+        let c = kmeans(&points, 16, 1);
+        assert_eq!(c.clusters(), 2);
+    }
+
+    #[test]
+    fn representatives_are_members_of_their_cluster() {
+        let points = sig(&[(1, 64), (3, 128), (8192, u64::MAX), (2, 64), (5, 256), (11, 2048)]);
+        let c = kmeans(&points, 3, 1234);
+        for (cluster, &rep) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignment[rep as usize] as usize, cluster);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_clustering() {
+        let c = kmeans(&[], 4, 0);
+        assert_eq!(c.clusters(), 0);
+        assert!(c.assignment.is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Cheap per-interval signatures.
+//!
+//! A signature summarizes one interval with a handful of numbers that
+//! are fast to compute (a few array lookups per access, no hashing) yet
+//! correlate with the interval's cache behaviour:
+//!
+//! * the **access-kind mix** — fractions of instruction fetches, loads
+//!   and stores. Permutation-stable: reordering the accesses of an
+//!   interval cannot change them.
+//! * the **probe miss profile** — miss ratios of a ladder of small
+//!   direct-mapped probe filters ([`PROBE_LINES`] lines each, line size
+//!   [`PROBE_LINE_WORDS`] words), reset at every interval boundary so a
+//!   signature depends only on the interval's own contents. The ladder
+//!   approximates the interval's reuse-distance profile: an interval
+//!   that misses even in the largest probe is streaming; one that hits
+//!   everywhere is a tight loop.
+//!
+//! Signatures are points in a fixed-dimension feature space
+//! ([`Signature::DIM`]); the k-means stage clusters them by squared
+//! Euclidean distance.
+
+use mhe_trace::{Access, AccessKind};
+
+/// Line size of the narrow probe filters, in words (16-byte lines).
+pub const PROBE_LINE_WORDS: u32 = 8;
+
+/// Line size of the wide probe filters, in words (32-byte lines).
+/// Estimators pick the ladder whose line size is nearest the line size
+/// of the cache family they are extrapolating.
+pub const PROBE_LINE_WORDS_WIDE: u32 = 16;
+
+/// Direct-mapped probe sizes, in lines (powers of two; 512 B..128 KiB).
+pub const PROBE_LINES: [usize; 5] = [16, 64, 256, 1024, 4096];
+
+const EMPTY: u64 = u64::MAX;
+
+/// Per-interval raw counters behind a [`Signature`]: access-kind counts
+/// and, for every probe size, per-kind miss counts. The sampled
+/// estimator uses these as a control variate (ratio correction), so
+/// they are kept exact rather than rounded through feature ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeCounts {
+    /// Access-kind counts `[inst, load, store]`.
+    pub kinds: [u64; 3],
+    /// Per-stream probe misses `[inst, load, store]`, per probe size.
+    /// Instruction accesses probe a private tag array and loads/stores
+    /// another, so each stream's counts are free of cross-stream
+    /// interference — that is what makes them usable as a ratio
+    /// corrector for split-cache estimates.
+    pub probe_misses: [[u64; 3]; PROBE_LINES.len()],
+    /// Probe misses of the *shared* (unified) tag array, per probe
+    /// size: all accesses contend in one array, mirroring a unified
+    /// cache. Also the miss-profile slice of the [`Signature`].
+    pub probe_misses_unified: [u64; PROBE_LINES.len()],
+    /// Like `probe_misses`, for the wide ([`PROBE_LINE_WORDS_WIDE`])
+    /// ladder. Line-size-matched counters keep spatial locality honest
+    /// when extrapolating wide-line cache families.
+    pub probe_misses_wide: [[u64; 3]; PROBE_LINES.len()],
+    /// Like `probe_misses_unified`, for the wide ladder.
+    pub probe_misses_unified_wide: [u64; PROBE_LINES.len()],
+}
+
+impl ProbeCounts {
+    /// Total accesses of the interval.
+    pub fn len(&self) -> u64 {
+        self.kinds.iter().sum()
+    }
+
+    /// Whether the interval recorded no access.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds another interval's counters (used for per-cluster totals).
+    pub fn add(&mut self, other: &ProbeCounts) {
+        for (k, n) in self.kinds.iter_mut().zip(other.kinds) {
+            *k += n;
+        }
+        for (m, o) in self
+            .probe_misses
+            .iter_mut()
+            .zip(other.probe_misses)
+            .chain(self.probe_misses_wide.iter_mut().zip(other.probe_misses_wide))
+        {
+            for (k, n) in m.iter_mut().zip(o) {
+                *k += n;
+            }
+        }
+        for (m, n) in
+            self.probe_misses_unified.iter_mut().zip(other.probe_misses_unified).chain(
+                self.probe_misses_unified_wide.iter_mut().zip(other.probe_misses_unified_wide),
+            )
+        {
+            *m += n;
+        }
+    }
+}
+
+/// A per-interval feature vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    features: [f64; Signature::DIM],
+}
+
+impl Signature {
+    /// Feature-space dimensionality: three kind fractions plus one miss
+    /// ratio per probe size.
+    pub const DIM: usize = 3 + PROBE_LINES.len();
+
+    /// Builds a signature from raw per-interval counters.
+    fn from_counts(kinds: [u64; 3], probe_misses: [u64; PROBE_LINES.len()], len: u64) -> Self {
+        let mut features = [0.0; Signature::DIM];
+        if len > 0 {
+            let n = len as f64;
+            for (f, k) in features.iter_mut().zip(kinds) {
+                *f = k as f64 / n;
+            }
+            for (f, m) in features[3..].iter_mut().zip(probe_misses) {
+                *f = m as f64 / n;
+            }
+        }
+        Self { features }
+    }
+
+    /// Rebuilds a signature from a raw feature vector (k-means centroid
+    /// means live in the same space as real signatures).
+    pub(crate) fn from_features(features: [f64; Signature::DIM]) -> Self {
+        Self { features }
+    }
+
+    /// The raw feature vector.
+    pub fn features(&self) -> &[f64; Signature::DIM] {
+        &self.features
+    }
+
+    /// The access-kind mix `[inst, load, store]` fractions — the
+    /// permutation-stable slice of the feature vector.
+    pub fn kind_mix(&self) -> [f64; 3] {
+        [self.features[0], self.features[1], self.features[2]]
+    }
+
+    /// Squared Euclidean distance to another signature.
+    pub fn distance2(&self, other: &Self) -> f64 {
+        self.features
+            .iter()
+            .zip(other.features.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+}
+
+/// Streaming signature computer: observe every access of an interval,
+/// then [`SignatureProbe::finish`] the interval and move to the next.
+///
+/// Probe tag arrays are allocated once and recycled across intervals.
+#[derive(Debug, Clone)]
+pub struct SignatureProbe {
+    /// Shared (unified) tag arrays, one per probe size.
+    tags: Vec<Vec<u64>>,
+    /// Split tag arrays: `[0]` instruction-only, `[1]` data-only.
+    split_tags: [Vec<Vec<u64>>; 2],
+    /// Wide-line shared tag arrays, one per probe size.
+    tags_wide: Vec<Vec<u64>>,
+    /// Wide-line split tag arrays: `[0]` instruction, `[1]` data.
+    split_tags_wide: [Vec<Vec<u64>>; 2],
+    counts: ProbeCounts,
+    len: u64,
+}
+
+impl Default for SignatureProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SignatureProbe {
+    /// Creates a probe with empty filters.
+    pub fn new() -> Self {
+        let fresh = || PROBE_LINES.iter().map(|&n| vec![EMPTY; n]).collect::<Vec<_>>();
+        Self {
+            tags: fresh(),
+            split_tags: [fresh(), fresh()],
+            tags_wide: fresh(),
+            split_tags_wide: [fresh(), fresh()],
+            counts: ProbeCounts::default(),
+            len: 0,
+        }
+    }
+
+    /// Observes one access of the current interval.
+    #[inline]
+    pub fn observe(&mut self, access: Access) {
+        self.len += 1;
+        let kind = match access.kind {
+            AccessKind::Inst => 0,
+            AccessKind::Load => 1,
+            AccessKind::Store => 2,
+        };
+        self.counts.kinds[kind] += 1;
+        let block = access.addr / u64::from(PROBE_LINE_WORDS);
+        for (tags, misses) in self.tags.iter_mut().zip(self.counts.probe_misses_unified.iter_mut())
+        {
+            // Probe sizes are powers of two: index by mask.
+            let slot = (block & (tags.len() as u64 - 1)) as usize;
+            if tags[slot] != block {
+                tags[slot] = block;
+                *misses += 1;
+            }
+        }
+        let split = &mut self.split_tags[usize::from(kind != 0)];
+        for (tags, misses) in split.iter_mut().zip(self.counts.probe_misses.iter_mut()) {
+            let slot = (block & (tags.len() as u64 - 1)) as usize;
+            if tags[slot] != block {
+                tags[slot] = block;
+                misses[kind] += 1;
+            }
+        }
+        let wide = access.addr / u64::from(PROBE_LINE_WORDS_WIDE);
+        for (tags, misses) in
+            self.tags_wide.iter_mut().zip(self.counts.probe_misses_unified_wide.iter_mut())
+        {
+            let slot = (wide & (tags.len() as u64 - 1)) as usize;
+            if tags[slot] != wide {
+                tags[slot] = wide;
+                *misses += 1;
+            }
+        }
+        let split = &mut self.split_tags_wide[usize::from(kind != 0)];
+        for (tags, misses) in split.iter_mut().zip(self.counts.probe_misses_wide.iter_mut()) {
+            let slot = (wide & (tags.len() as u64 - 1)) as usize;
+            if tags[slot] != wide {
+                tags[slot] = wide;
+                misses[kind] += 1;
+            }
+        }
+    }
+
+    /// Accesses observed since the last [`SignatureProbe::finish`].
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no access has been observed in the current interval.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Closes the current interval: returns its signature and raw
+    /// counters, and resets all filters for the next interval.
+    pub fn finish(&mut self) -> (Signature, ProbeCounts) {
+        let sig =
+            Signature::from_counts(self.counts.kinds, self.counts.probe_misses_unified, self.len);
+        let counts = self.counts;
+        for tags in self
+            .tags
+            .iter_mut()
+            .chain(self.split_tags.iter_mut().flatten())
+            .chain(self.tags_wide.iter_mut())
+            .chain(self.split_tags_wide.iter_mut().flatten())
+        {
+            tags.fill(EMPTY);
+        }
+        self.counts = ProbeCounts::default();
+        self.len = 0;
+        (sig, counts)
+    }
+}
+
+/// Signature of a whole in-memory interval (convenience for tests).
+pub fn signature_of(interval: &[Access]) -> Signature {
+    let mut probe = SignatureProbe::new();
+    for &a in interval {
+        probe.observe(a);
+    }
+    probe.finish().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_mix_sums_to_one_on_nonempty_intervals() {
+        let iv: Vec<Access> =
+            (0..300).map(|i| if i % 3 == 0 { Access::load(i) } else { Access::inst(i) }).collect();
+        let sig = signature_of(&iv);
+        let mix = sig.kind_mix();
+        assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((mix[1] - 100.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_is_the_zero_vector() {
+        let sig = signature_of(&[]);
+        assert!(sig.features().iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn tight_loop_beats_streaming_in_every_probe() {
+        let loop_iv: Vec<Access> = (0..4096u64).map(|i| Access::inst(i % 64)).collect();
+        let stream_iv: Vec<Access> = (0..4096u64).map(|i| Access::inst(i * 1024)).collect();
+        let l = signature_of(&loop_iv);
+        let s = signature_of(&stream_iv);
+        for i in 3..Signature::DIM {
+            assert!(
+                l.features()[i] < s.features()[i],
+                "probe {i}: loop miss ratio must be below streaming"
+            );
+        }
+    }
+
+    #[test]
+    fn probes_reset_between_intervals() {
+        let mut probe = SignatureProbe::new();
+        let iv: Vec<Access> = (0..512u64).map(Access::inst).collect();
+        for &a in &iv {
+            probe.observe(a);
+        }
+        let (first, counts) = probe.finish();
+        assert_eq!(counts.kinds, [512, 0, 0]);
+        assert_eq!(counts.len(), 512);
+        for &a in &iv {
+            probe.observe(a);
+        }
+        let (second, _) = probe.finish();
+        assert_eq!(first, second, "signatures must not leak state across intervals");
+    }
+
+    #[test]
+    fn distance_is_zero_iff_identical_features() {
+        let a = signature_of(&(0..256u64).map(Access::inst).collect::<Vec<_>>());
+        let b = signature_of(&(0..256u64).map(|i| Access::inst(i + 1_000_000)).collect::<Vec<_>>());
+        assert_eq!(a.distance2(&a), 0.0);
+        assert!(a.distance2(&b) >= 0.0);
+    }
+}

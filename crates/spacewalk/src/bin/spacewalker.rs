@@ -6,8 +6,8 @@
 //!
 //! ```console
 //! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
-//!               [--policy LIST] [--checkpoint DIR] [--resume DIR]
-//!               [--obs|--obs-json]
+//!               [--policy LIST] [--sample N[:clusters=K,warmup=W]]
+//!               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
@@ -19,7 +19,12 @@
 //! neighbourhood ascent instead of exhaustion; `--policy lru,fifo,plru,
 //! random:7` overrides the replacement-policy dimension of every cache
 //! space in the spec (the spec's own `policies =` keys are the per-cache
-//! way to say the same thing). `--obs` / `--obs-json`
+//! way to say the same thing). `--sample N` routes the reference
+//! evaluation through interval sampling — intervals of `N` accesses,
+//! optionally `:clusters=K,warmup=W` to override the representative
+//! count and warm-up prefix — and the frontier output records the
+//! sampled-vs-exact provenance (a `# provenance:` header naming the
+//! coverage, plus a `src` column on every row). `--obs` / `--obs-json`
 //! (or the `MHE_OBS` variable) emit a run report to stderr — phase
 //! timings, throughput, parallel efficiency, and cache-database traffic —
 //! as text or line-JSON.
@@ -37,6 +42,7 @@
 //! failed checkpoint write).
 
 use mhe_core::evaluator::EvalConfig;
+use mhe_core::SamplingConfig;
 use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
 use mhe_spacewalk::ckpt::Checkpointer;
 use mhe_spacewalk::heuristic::walk_heuristic;
@@ -47,7 +53,35 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
-     [--heuristic] [--policy LIST] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]";
+     [--heuristic] [--policy LIST] [--sample N[:clusters=K,warmup=W]] [--checkpoint DIR] \
+     [--resume DIR] [--obs|--obs-json]";
+
+/// Parses `N[:clusters=K,warmup=W]` into a [`SamplingConfig`] (defaults
+/// fill the unnamed fields).
+fn parse_sample(arg: &str) -> Result<SamplingConfig, String> {
+    let (n, opts) = match arg.split_once(':') {
+        Some((n, opts)) => (n, Some(opts)),
+        None => (arg, None),
+    };
+    let interval_accesses: usize = n.parse().map_err(|e| format!("interval size {n:?}: {e}"))?;
+    let mut cfg = SamplingConfig { interval_accesses, ..SamplingConfig::default() };
+    for pair in opts.iter().flat_map(|o| o.split(',')).filter(|p| !p.is_empty()) {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("expected key=value, got {pair:?}"));
+        };
+        match key {
+            "clusters" => {
+                cfg.clusters = value.parse().map_err(|e| format!("clusters {value:?}: {e}"))?;
+            }
+            "warmup" => {
+                cfg.warmup = value.parse().map_err(|e| format!("warmup {value:?}: {e}"))?;
+            }
+            other => return Err(format!("unknown option {other:?} (clusters, warmup)")),
+        }
+    }
+    cfg.validate().map_err(|(field, req)| format!("{field} {req}"))?;
+    Ok(cfg)
+}
 
 /// Exit status for configuration errors (usage, unreadable/malformed spec).
 const EXIT_BAD_CONFIG: u8 = 2;
@@ -71,6 +105,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut heuristic = false;
     let mut policies: Option<Vec<mhe_cache::Policy>> = None;
+    let mut sampling: Option<SamplingConfig> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,6 +156,16 @@ fn main() -> ExitCode {
                     return fail(EXIT_BAD_CONFIG, "--policy needs at least one policy");
                 }
                 policies = Some(parsed);
+            }
+            "--sample" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--sample needs N[:clusters=K,warmup=W]");
+                };
+                match parse_sample(v) {
+                    Ok(s) => sampling = Some(s),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--sample {v:?}: {e}")),
+                }
             }
             "--heuristic" => heuristic = true,
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
@@ -201,7 +246,7 @@ fn main() -> ExitCode {
     let eval = walker::prepare_evaluation(
         spec.benchmark.generate(),
         &ProcessorKind::P1111.mdes(),
-        EvalConfig { events: spec.events, ..EvalConfig::default() },
+        EvalConfig { events: spec.events, sampling, ..EvalConfig::default() },
         &spec.space,
     );
 
@@ -244,9 +289,28 @@ fn main() -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(e.exit_code(), format!("system walk failed: {e}")),
     };
+    // Sampled-vs-exact provenance travels with the frontier itself, so a
+    // saved listing is self-describing about how its misses were measured.
+    let src = match eval.metrics().sampling {
+        Some(sm) => {
+            println!(
+                "# provenance: sampled ({:.2}% coverage, {} intervals -> {} clusters, \
+                 error bound {:.4})",
+                sm.coverage() * 100.0,
+                sm.intervals,
+                sm.clusters,
+                sm.error_bound
+            );
+            "sampled"
+        }
+        None => {
+            println!("# provenance: exact (full-trace simulation)");
+            "exact"
+        }
+    };
     println!(
-        "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12} {:>14}",
-        "proc", "I$ B", "D$ B", "U$ B", "policy I/D/U", "area", "cycles"
+        "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12} {:>14} {:<7}",
+        "proc", "I$ B", "D$ B", "U$ B", "policy I/D/U", "area", "cycles", "src"
     );
     for p in frontier.points() {
         let m = &p.design.memory;
@@ -255,14 +319,15 @@ fn main() -> ExitCode {
             m.icache.config.policy, m.dcache.config.policy, m.ucache.config.policy
         );
         println!(
-            "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12.0} {:>14.0}",
+            "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12.0} {:>14.0} {:<7}",
             p.design.processor.name,
             m.icache.config.size_bytes(),
             m.dcache.config.size_bytes(),
             m.ucache.config.size_bytes(),
             pol,
             p.cost,
-            p.time
+            p.time,
+            src
         );
     }
     let (hits, computes) = db.stats();

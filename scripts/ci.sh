@@ -24,6 +24,12 @@ MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin obs_overhead
 echo "==> replacement-policy differential suite (budget: 300 s wall)"
 timeout 300 cargo test -q --release -p mhe --test policy_differential
 
+echo "==> sampling accuracy harness (full matrix, budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test sampling_accuracy
+
+echo "==> sampling_speedup (>=10x grid simulation at --sample defaults, results/BENCH_7.json)"
+MHE_EVENTS=2000000 cargo run --release -q -p mhe-bench --bin sampling_speedup
+
 echo "==> policy_matrix (per-policy accesses/s, engines cross-checked)"
 MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin policy_matrix
 

@@ -14,6 +14,7 @@
 //! | [`cache`] | `mhe-cache` | direct / single-pass / hierarchical cache simulation |
 //! | [`model`] | `mhe-model` | trace parameters, the AHH analytic cache model |
 //! | [`core`] | `mhe-core` | **the dilation model** and hierarchical evaluation |
+//! | [`sampling`] | `mhe-sampling` | interval sampling: signatures, clustering, sampled simulation |
 //! | [`spacewalk`] | `mhe-spacewalk` | Pareto sets, cost models, design-space walkers |
 //! | [`obs`] | `mhe-obs` | zero-dependency observability: phase timers, counters, run reports |
 //!
@@ -62,6 +63,7 @@ pub use mhe_cache as cache;
 pub use mhe_core as core;
 pub use mhe_model as model;
 pub use mhe_obs as obs;
+pub use mhe_sampling as sampling;
 pub use mhe_spacewalk as spacewalk;
 pub use mhe_trace as trace;
 pub use mhe_vliw as vliw;
@@ -92,9 +94,10 @@ pub mod prelude {
     pub use mhe_core::evaluator::{EvalConfig, EvalConfigBuilder, ReferenceEvaluation};
     pub use mhe_core::{
         evaluate_system, worker_threads, EvalMetrics, FaultPlan, MheError, ParallelSweep,
-        RetryPolicy, SweepError, SystemDesign,
+        RetryPolicy, SamplingConfig, SamplingMetrics, SweepError, SystemDesign,
     };
     pub use mhe_obs::{ObsLevel, RunReport};
+    pub use mhe_sampling::SampledSim;
     pub use mhe_spacewalk::{
         walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign, CacheSpace,
         Checkpointer, EvaluationCache, MemoryPoint, MetricKey, ParetoSet, SystemPoint, SystemSpace,

@@ -196,6 +196,42 @@ fn cache_db_v3_byte_layout_is_pinned() {
     assert_eq!(bytes, expected, "cache-db v3 byte layout moved");
 }
 
+/// Sampled-path golden pin: the interval-sampled evaluation of the same
+/// fixed seed/window, at the `--sample` default configuration, is fully
+/// deterministic — so its grid is pinned to exact integers just like the
+/// full-simulation counts above. Guards the whole sampling pipeline
+/// (splitting, signatures, seeded k-means, stale-state replay, blended
+/// estimator) against silent drift. If a deliberate estimator change
+/// moves these, re-pin and say so in the commit message.
+const SAMPLED_L8: u64 = 4343;
+const SAMPLED_U: u64 = 17_225;
+
+#[test]
+fn sampled_grid_is_pinned() {
+    let cfg = EvalConfig { sampling: Some(SamplingConfig::default()), ..config() };
+    let e = ReferenceEvaluation::for_benchmark(
+        Benchmark::Epic,
+        &ProcessorKind::P1111.mdes(),
+        cfg,
+        &[l1()],
+        &[],
+        &[u1()],
+    );
+    assert_eq!(e.icache_misses_measured(l1()), Some(SAMPLED_L8));
+    assert_eq!(e.ucache_misses_measured(u1()), Some(SAMPLED_U));
+    // The pin must stay an approximation of, not a replacement for, the
+    // exact path: within the harness's global 2 % budget of the full
+    // simulation on both grids.
+    let exact = eval();
+    for (got, want) in [
+        (SAMPLED_L8, exact.icache_misses_measured(l1()).unwrap()),
+        (SAMPLED_U, exact.ucache_misses_measured(u1()).unwrap()),
+    ] {
+        let rel = (got as f64 - want as f64).abs() / want.max(1) as f64;
+        assert!(rel <= 0.02, "sampled pin {got} vs exact {want} ({rel:.4})");
+    }
+}
+
 #[test]
 fn unified_extrapolation_is_pinned() {
     let e = eval();
