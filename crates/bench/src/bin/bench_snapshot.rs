@@ -1,0 +1,228 @@
+//! Point-in-time performance snapshot with a trajectory gate.
+//!
+//! Three throughput numbers the workspace's performance story rests on,
+//! measured in one short run and recorded machine-readably in
+//! `results/BENCH_8.json`:
+//!
+//! 1. **Single-pass simulation** — accesses/second through
+//!    [`SinglePassSim`] over the epic reference instruction trace (the
+//!    paper's "simulate every associativity in one pass" engine);
+//! 2. **`.mtr` decode** — MB/second through [`TraceReader`] over an
+//!    in-memory captured trace (the replay path's streaming cost);
+//! 3. **Daemon query latency** — one [`EvalService`] frontier request
+//!    cold (session build + walk, exactly an in-process batch run) vs
+//!    warm (session and metric cache hot). The warm/cold ratio is the
+//!    whole point of the daemon; the **≥ [`GATE_WARM_SPEEDUP`]×** gate
+//!    enforces it.
+//!
+//! Besides the warm-speedup gate, conservative absolute floors catch
+//! order-of-magnitude collapses, and a **trajectory check** compares
+//! against the previous `results/BENCH_8.json` (when one exists): any
+//! throughput that fell below `prior / TRAJECTORY_FACTOR` fails the run.
+//! The floors are deliberately loose — this is a tripwire against large
+//! regressions on a shared machine, not a microbenchmark.
+//!
+//! Usage: `bench_snapshot` — the dynamic window follows `MHE_EVENTS`.
+
+use mhe_cache::SinglePassSim;
+use mhe_spacewalk::service::proto::{FrontierRequest, Request, Response};
+use mhe_spacewalk::{EvalService, ServiceLimits};
+use mhe_trace::codec::write_mtr;
+use mhe_trace::{StreamKind, TraceGenerator, TraceReader};
+use std::fs::File;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Warm daemon repeat must beat the cold (build + walk) query by this.
+const GATE_WARM_SPEEDUP: f64 = 10.0;
+/// Absolute floor on single-pass simulation throughput (accesses/s).
+const GATE_SINGLE_PASS: f64 = 1.0e6;
+/// Absolute floor on `.mtr` decode throughput (MB/s).
+const GATE_DECODE_MB: f64 = 20.0;
+/// Trajectory: each throughput must stay above `prior / this`.
+const TRAJECTORY_FACTOR: f64 = 5.0;
+/// Measurement rounds (minimum wall kept — least-noise estimate).
+const RUNS: usize = 3;
+
+/// The snapshot's walkable spec: small enough that the cold query stays
+/// in CI budget, rich enough that the walk dominates the warm repeat.
+fn spec_text(events: usize) -> String {
+    format!(
+        "[processors]\nkinds = 1111 3221\n\n\
+         [icache]\nsizes_kb = 1 4\nassocs = 1 2\nline_bytes = 32\nports = 1\n\n\
+         [dcache]\nsizes_kb = 1 4\nassocs = 1\nline_bytes = 32\nports = 1\n\n\
+         [ucache]\nsizes_kb = 16 64\nassocs = 2\nline_bytes = 64\nports = 1\n\n\
+         [eval]\nbenchmark = unepic\nevents = {events}\nl1_miss = 10\nl2_miss = 50\n"
+    )
+}
+
+/// Minimum wall over [`RUNS`] invocations of `f`.
+fn min_wall(mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Extracts `"key": <number>` from a prior snapshot without a JSON
+/// dependency (the workspace is offline; the files are our own output).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One trajectory comparison: `new` must not fall below `prior / factor`.
+fn trajectory_ok(label: &str, new: f64, prior: Option<f64>) -> bool {
+    match prior {
+        Some(p) if new < p / TRAJECTORY_FACTOR => {
+            eprintln!(
+                "[bench_snapshot] TRAJECTORY FAIL: {label} fell to {new:.0} \
+                 (prior {p:.0}, floor {:.0})",
+                p / TRAJECTORY_FACTOR
+            );
+            false
+        }
+        Some(p) => {
+            println!("  trajectory {label}: {new:.0} vs prior {p:.0} (ok)");
+            true
+        }
+        None => true,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let events = mhe_bench::events();
+    let b = mhe_workload::Benchmark::Epic;
+    let program = b.generate();
+    let mdes = mhe_vliw::ProcessorKind::P1111.mdes();
+    let compiled = mhe_bench::reference_compilation(&program, &mdes);
+
+    println!("# Performance snapshot (events = {events})\n");
+
+    // --- 1. single-pass simulation throughput ---------------------------
+    let addrs: Vec<u64> = TraceGenerator::new(&program, &compiled, mhe_bench::SEED)
+        .stream(StreamKind::Instruction)
+        .take(events)
+        .map(|a| a.addr)
+        .collect();
+    let wall = min_wall(|| {
+        let mut sim = SinglePassSim::new(8, &[32, 256], 4);
+        sim.run(addrs.iter().copied());
+        std::hint::black_box(sim.misses(32, 1));
+    });
+    let single_pass_rate = addrs.len() as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "  single-pass sim:  {} accesses in {wall:.3?}  ({single_pass_rate:.0}/s)",
+        addrs.len()
+    );
+
+    // --- 2. .mtr decode throughput ---------------------------------------
+    let accesses: Vec<mhe_trace::Access> =
+        TraceGenerator::new(&program, &compiled, mhe_bench::SEED)
+            .with_event_limit(events)
+            .collect();
+    let mut encoded = Vec::new();
+    write_mtr(&mut encoded, accesses.iter().copied())?;
+    let mut decoded = 0usize;
+    let wall = min_wall(|| {
+        let reader = TraceReader::new(std::io::Cursor::new(&encoded[..]))
+            .expect("decode of a just-encoded trace");
+        decoded = reader.count();
+    });
+    assert_eq!(decoded, accesses.len(), "decode must round-trip every access");
+    let decode_mb_rate = encoded.len() as f64 / 1.0e6 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "  .mtr decode:      {} bytes ({} accesses) in {wall:.3?}  ({decode_mb_rate:.0} MB/s)",
+        encoded.len(),
+        accesses.len()
+    );
+
+    // --- 3. daemon query latency: cold vs warm ---------------------------
+    // The cold query is byte-for-byte an in-process batch run (session
+    // build — the only simulation — plus the full walk); the warm repeat
+    // hits the session and the metric cache. Served through the same
+    // `EvalService::respond` the socket server calls.
+    let walk_events = events.min(60_000);
+    let request = || {
+        Request::Frontier(FrontierRequest {
+            spec_text: spec_text(walk_events),
+            heuristic: true,
+            sampling: None,
+            policies: None,
+        })
+    };
+    let service = EvalService::new(ServiceLimits { max_inflight: 1, max_queued: 4 });
+    let start = Instant::now();
+    let cold_resp = service.respond(request());
+    let cold = start.elapsed();
+    assert!(matches!(cold_resp, Response::Frontier(_)), "cold query must serve a frontier");
+    let warm = min_wall(|| {
+        let resp = service.respond(request());
+        assert!(matches!(resp, Response::Frontier(_)), "warm query must serve a frontier");
+    });
+    let warm_speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!(
+        "  daemon query:     cold {cold:.3?}  warm {warm:.3?}  ({warm_speedup:.1}x, \
+         gate {GATE_WARM_SPEEDUP:.0}x)"
+    );
+
+    // --- gates ------------------------------------------------------------
+    let prior = std::fs::read_to_string("results/BENCH_8.json").ok();
+    let prior_num = |key: &str| prior.as_deref().and_then(|t| json_number(t, key));
+    let mut pass = true;
+    pass &= trajectory_ok(
+        "single_pass_accesses_per_s",
+        single_pass_rate,
+        prior_num("single_pass_accesses_per_s"),
+    );
+    pass &= trajectory_ok("mtr_decode_mb_per_s", decode_mb_rate, prior_num("mtr_decode_mb_per_s"));
+    if single_pass_rate < GATE_SINGLE_PASS {
+        eprintln!("[bench_snapshot] FAIL: single-pass {single_pass_rate:.0}/s below {GATE_SINGLE_PASS:.0}");
+        pass = false;
+    }
+    if decode_mb_rate < GATE_DECODE_MB {
+        eprintln!(
+            "[bench_snapshot] FAIL: decode {decode_mb_rate:.0} MB/s below {GATE_DECODE_MB:.0}"
+        );
+        pass = false;
+    }
+    if warm_speedup < GATE_WARM_SPEEDUP {
+        eprintln!(
+            "[bench_snapshot] FAIL: warm daemon repeat only {warm_speedup:.1}x over cold \
+             (gate {GATE_WARM_SPEEDUP:.0}x)"
+        );
+        pass = false;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_snapshot\",\n  \"pr\": 8,\n  \"events\": {events},\n  \
+         \"single_pass_accesses_per_s\": {single_pass_rate:.0},\n  \
+         \"mtr_decode_mb_per_s\": {decode_mb_rate:.2},\n  \
+         \"daemon_cold_ms\": {:.3},\n  \"daemon_warm_ms\": {:.3},\n  \
+         \"daemon_warm_speedup\": {warm_speedup:.2},\n  \
+         \"gates\": {{ \"warm_speedup_min\": {GATE_WARM_SPEEDUP}, \
+         \"single_pass_min\": {GATE_SINGLE_PASS:.0}, \"decode_mb_min\": {GATE_DECODE_MB}, \
+         \"trajectory_factor\": {TRAJECTORY_FACTOR} }},\n  \"pass\": {pass}\n}}\n",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+    );
+    std::fs::create_dir_all("results")?;
+    let mut out = File::create("results/BENCH_8.json")?;
+    out.write_all(json.as_bytes())?;
+    println!("\n  results/BENCH_8.json written");
+
+    if !pass {
+        std::process::exit(1);
+    }
+    Ok(())
+}

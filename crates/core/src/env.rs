@@ -11,6 +11,8 @@
 //! | `MHE_OBS`        | [`obs`]             | Observability sink: `json`, `text`/`1`/`on`/`true`, anything else off. Parsed by `mhe-obs`, surfaced here for discoverability. |
 //! | `MHE_RETRIES`    | [`retry_policy`]    | Bounded retries for panicked sweep tasks: `N` or `N:backoff_ms` (e.g. `3:10`). Unset → no retries. |
 //! | `MHE_FAULT_PLAN` | [`crate::fault::FaultPlan::from_env`] | Deterministic fault-injection schedule for tests (see [`crate::fault`]). Unset → no injection. |
+//! | `MHE_SERVER_INFLIGHT` | [`server_inflight_or`] | Daemon admission control: evaluation requests allowed to run concurrently (`>= 1`). Each binary supplies its own default. |
+//! | `MHE_SERVER_QUEUE` | [`server_queue_or`] | Daemon backpressure: requests allowed to wait for an in-flight slot before new arrivals are rejected (`0` allowed). |
 //!
 //! None of these variables affects any measured or estimated miss count —
 //! they steer *how* the work runs (parallelism, workload size, reporting,
@@ -107,6 +109,35 @@ pub fn obs() -> mhe_obs::ObsLevel {
     mhe_obs::level()
 }
 
+/// Daemon admission control from `MHE_SERVER_INFLIGHT` — how many
+/// evaluation requests may run concurrently — or `default` when unset or
+/// not a positive integer. Parsed once per process.
+pub fn server_inflight_or(default: usize) -> usize {
+    static INFLIGHT: OnceLock<Option<usize>> = OnceLock::new();
+    INFLIGHT
+        .get_or_init(|| {
+            std::env::var("MHE_SERVER_INFLIGHT")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or(default)
+}
+
+/// Daemon backpressure from `MHE_SERVER_QUEUE` — how many requests may
+/// wait for an in-flight slot before new arrivals are rejected — or
+/// `default` when unset or not a non-negative integer. Parsed once per
+/// process (`0` is valid: reject as soon as all in-flight slots are
+/// taken).
+pub fn server_queue_or(default: usize) -> usize {
+    static QUEUE: OnceLock<Option<usize>> = OnceLock::new();
+    QUEUE
+        .get_or_init(|| {
+            std::env::var("MHE_SERVER_QUEUE").ok().and_then(|v| v.parse::<usize>().ok())
+        })
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +192,14 @@ mod tests {
     fn retry_policy_is_stable_across_calls() {
         assert_eq!(retry_policy(), retry_policy());
         assert!(retry_policy().max_attempts >= 1);
+    }
+
+    #[test]
+    fn server_knobs_fall_back_to_their_defaults() {
+        let inflight = server_inflight_or(4);
+        assert!(inflight >= 1);
+        assert_eq!(server_inflight_or(4), inflight);
+        let queue = server_queue_or(64);
+        assert_eq!(server_queue_or(64), queue);
     }
 }

@@ -12,6 +12,21 @@ use mhe_trace::StreamKind;
 use std::fmt;
 use std::sync::Arc;
 
+/// Process exit code for user configuration errors (usage, unreadable or
+/// malformed spec, invalid evaluation config). `0` is success and `1` a
+/// generic failure, so the fault-specific codes start at 2.
+pub const EXIT_BAD_CONFIG: u8 = 2;
+/// Process exit code for corrupt persistent input (trace, cache database,
+/// or checkpoint failing magic/version/CRC validation).
+pub const EXIT_CORRUPT_INPUT: u8 = 3;
+/// Process exit code for worker failures (a panic isolated inside a
+/// parallel sweep after retries, or a failed persistence write).
+pub const EXIT_WORKER_FAILURE: u8 = 4;
+/// Process exit code for a client that could not reach (or was turned
+/// away by) an evaluation daemon: connection refused, handshake mismatch,
+/// or a structured admission-control rejection.
+pub const EXIT_SERVER_UNAVAILABLE: u8 = 5;
+
 /// Why a metric query could not be answered.
 ///
 /// Variants carrying free-form context (`WorkerFailed`, `CorruptInput`)
@@ -91,17 +106,20 @@ impl MheError {
         }
     }
 
-    /// The process exit code binaries map this error to: `2` for user
-    /// configuration errors, `3` for corrupt input artifacts, `4` for
-    /// worker failures. (`0` is success and `1` a generic failure, so the
-    /// fault-specific codes start at 2.)
+    /// The process exit code binaries map this error to:
+    /// [`EXIT_BAD_CONFIG`] for user configuration errors,
+    /// [`EXIT_CORRUPT_INPUT`] for corrupt input artifacts,
+    /// [`EXIT_WORKER_FAILURE`] for worker failures. (`0` is success and
+    /// `1` a generic failure, so the fault-specific codes start at 2;
+    /// [`EXIT_SERVER_UNAVAILABLE`] is reserved for daemon clients and has
+    /// no `MheError` variant.)
     pub fn exit_code(&self) -> u8 {
         match self {
             MheError::MissingSimulation { .. }
             | MheError::MissingReference { .. }
-            | MheError::InvalidConfig { .. } => 2,
-            MheError::CorruptInput { .. } => 3,
-            MheError::WorkerFailed { .. } => 4,
+            | MheError::InvalidConfig { .. } => EXIT_BAD_CONFIG,
+            MheError::CorruptInput { .. } => EXIT_CORRUPT_INPUT,
+            MheError::WorkerFailed { .. } => EXIT_WORKER_FAILURE,
         }
     }
 }

@@ -300,12 +300,18 @@ impl EvalConfigBuilder {
 
 /// Measured state of one application on the reference processor, ready to
 /// answer miss queries for any processor in the design space.
+///
+/// The program, layout profile, and reference compilation are held behind
+/// [`Arc`]s: a built evaluation is `Send + Sync` (asserted at compile
+/// time below) and designed to be shared — wrap it in an `Arc` (see
+/// [`ReferenceEvaluation::into_shared`]) and any number of walker or
+/// service threads can answer metric queries from the same warm state.
 #[derive(Debug)]
 pub struct ReferenceEvaluation {
     config: EvalConfig,
-    program: Program,
-    freq: BlockFrequencies,
-    reference: Compiled,
+    program: Arc<Program>,
+    freq: Arc<BlockFrequencies>,
+    reference: Arc<Compiled>,
     iparams: TraceParams,
     uparams: UnifiedParams,
     imeasured: HashMap<CacheConfig, u64>,
@@ -313,6 +319,13 @@ pub struct ReferenceEvaluation {
     umeasured: HashMap<CacheConfig, u64>,
     metrics: EvalMetrics,
 }
+
+// The service layer multiplexes concurrent clients onto one shared
+// evaluation; losing either bound must fail the build, not the daemon.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ReferenceEvaluation>()
+};
 
 /// One unit of fan-out work: a modeler pass or a single-pass simulation.
 enum MeasureTask {
@@ -904,9 +917,9 @@ impl ReferenceEvaluation {
 
         Self {
             config,
-            program,
-            freq,
-            reference,
+            program: Arc::new(program),
+            freq: Arc::new(freq),
+            reference: Arc::new(reference),
             iparams: iparams.expect("instruction modeler task ran"),
             uparams: uparams.expect("unified modeler task ran"),
             imeasured,
@@ -941,9 +954,9 @@ impl ReferenceEvaluation {
         };
         Self {
             config,
-            program,
-            freq,
-            reference,
+            program: Arc::new(program),
+            freq: Arc::new(freq),
+            reference: Arc::new(reference),
             iparams: outcome.iparams,
             uparams: outcome.uparams,
             imeasured: outcome.imeasured,
@@ -1203,9 +1216,28 @@ impl ReferenceEvaluation {
         &self.program
     }
 
+    /// A shared handle to the application program, for consumers that
+    /// outlive this borrow (service sessions, spawned workers).
+    pub fn shared_program(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
+    }
+
     /// The reference compilation.
     pub fn reference(&self) -> &Compiled {
         &self.reference
+    }
+
+    /// A shared handle to the reference compilation.
+    pub fn shared_reference(&self) -> Arc<Compiled> {
+        Arc::clone(&self.reference)
+    }
+
+    /// Wraps the evaluation for sharing across threads. Sugar for
+    /// `Arc::new`, named so call sites document the ownership transfer:
+    /// once shared, the thread count can no longer be overridden — decide
+    /// it at construction time.
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
     }
 
     /// Instruction-trace AHH parameters.
@@ -1230,7 +1262,7 @@ impl ReferenceEvaluation {
     /// Compiles the program for a target machine with the evaluation's
     /// layout profile.
     pub fn compile_target(&self, target: &Mdes) -> Compiled {
-        Compiled::build(&self.program, target, Some(&self.freq))
+        Compiled::build(&self.program, target, Some(self.freq.as_ref()))
     }
 
     /// Where the build's time went (trace, modelers, simulation fan-out).

@@ -65,7 +65,9 @@ pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
 pub use dilation::{text_dilation, DilationDistribution};
 pub use env::RetryPolicy;
-pub use error::MheError;
+pub use error::{
+    MheError, EXIT_BAD_CONFIG, EXIT_CORRUPT_INPUT, EXIT_SERVER_UNAVAILABLE, EXIT_WORKER_FAILURE,
+};
 pub use evaluator::{
     actual_misses, dilated_misses, EvalConfig, EvalConfigBuilder, ReferenceEvaluation,
 };

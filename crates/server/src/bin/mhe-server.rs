@@ -1,0 +1,22 @@
+//! The sweep-daemon executable; see the crate docs for flags.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match mhe_server::parse_args(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mhe-server: {msg}");
+            return ExitCode::from(mhe_server::EXIT_BAD_CONFIG);
+        }
+    };
+    match mhe_server::run(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("mhe-server: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}

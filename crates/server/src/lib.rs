@@ -1,0 +1,166 @@
+//! `mhe-server` — the sweep daemon as a crate.
+//!
+//! Everything interesting lives in [`mhe_spacewalk::service`]; this crate
+//! is the deployment wrapper: flag parsing, port-file publication, and
+//! the process lifecycle (bind → announce → serve → drain on SIGTERM).
+//! Keeping it a thin shell means the daemon *cannot* diverge from
+//! in-process evaluation — both are the same [`EvalService`] code.
+//!
+//! ```console
+//! $ mhe-server [--addr HOST:PORT] [--port-file PATH]
+//!              [--inflight N] [--queue N] [--obs|--obs-json]
+//! ```
+//!
+//! `--addr` defaults to `127.0.0.1:0` (loopback, ephemeral port);
+//! `--port-file PATH` writes the actually-bound address to `PATH` once
+//! listening, which is how scripts and tests rendezvous with an
+//! ephemeral-port daemon. `--inflight`/`--queue` override the
+//! `MHE_SERVER_INFLIGHT`/`MHE_SERVER_QUEUE` admission knobs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use mhe_spacewalk::{EvalService, Server, ServiceLimits};
+use std::sync::Arc;
+
+pub use mhe_core::{EXIT_BAD_CONFIG, EXIT_SERVER_UNAVAILABLE, EXIT_WORKER_FAILURE};
+
+/// The daemon's usage line.
+pub const USAGE: &str = "usage: mhe-server [--addr HOST:PORT] [--port-file PATH] \
+     [--inflight N] [--queue N] [--obs|--obs-json]";
+
+/// Parsed daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Address to bind (default `127.0.0.1:0`).
+    pub addr: String,
+    /// Where to publish the actually-bound address, if anywhere.
+    pub port_file: Option<String>,
+    /// Admission limits (flags override the environment knobs).
+    pub limits: ServiceLimits,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            port_file: None,
+            limits: ServiceLimits::default(),
+        }
+    }
+}
+
+/// Parses daemon flags. `--help` yields `Ok(None)` after printing usage.
+///
+/// # Errors
+///
+/// A one-line diagnostic for unknown flags, missing values, or
+/// unparseable numbers (exit with [`EXIT_BAD_CONFIG`]).
+pub fn parse_args(args: &[String]) -> Result<Option<DaemonConfig>, String> {
+    let mut cfg = DaemonConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().ok_or("--addr needs HOST:PORT")?;
+            }
+            "--port-file" => {
+                i += 1;
+                cfg.port_file = Some(args.get(i).cloned().ok_or("--port-file needs a path")?);
+            }
+            "--inflight" => {
+                i += 1;
+                let v = args.get(i).ok_or("--inflight needs a count")?;
+                cfg.limits.max_inflight = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--inflight {v:?}: need a positive integer"))?;
+            }
+            "--queue" => {
+                i += 1;
+                let v = args.get(i).ok_or("--queue needs a count")?;
+                cfg.limits.max_queued =
+                    v.parse::<usize>().map_err(|e| format!("--queue {v:?}: {e}"))?;
+            }
+            "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
+            "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Some(cfg))
+}
+
+/// Runs the daemon to completion: bind, publish the port, serve until a
+/// SIGTERM/SIGINT drain, then exit cleanly.
+///
+/// # Errors
+///
+/// `(exit_code, message)` — [`EXIT_SERVER_UNAVAILABLE`] when the address
+/// cannot be bound, [`EXIT_WORKER_FAILURE`] for serve-loop or port-file
+/// I/O failures.
+pub fn run(cfg: &DaemonConfig) -> Result<(), (u8, String)> {
+    let service = Arc::new(EvalService::new(cfg.limits));
+    let server = Server::bind(cfg.addr.as_str(), service)
+        .map_err(|e| (EXIT_SERVER_UNAVAILABLE, format!("cannot bind {}: {e}", cfg.addr)))?;
+    server.install_signal_drain();
+    let addr =
+        server.local_addr().map_err(|e| (EXIT_WORKER_FAILURE, format!("local addr: {e}")))?;
+    if let Some(path) = &cfg.port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!(
+        "mhe-server: listening on {addr} (inflight {}, queue {}; SIGTERM drains)",
+        cfg.limits.max_inflight, cfg.limits.max_queued
+    );
+    server.run().map_err(|e| (EXIT_WORKER_FAILURE, format!("serve loop: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let cfg = parse_args(&[]).unwrap().unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.port_file, None);
+
+        let cfg = parse_args(&argv(&[
+            "--addr",
+            "127.0.0.1:7199",
+            "--port-file",
+            "/tmp/port",
+            "--inflight",
+            "2",
+            "--queue",
+            "0",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7199");
+        assert_eq!(cfg.port_file.as_deref(), Some("/tmp/port"));
+        assert_eq!(cfg.limits, ServiceLimits { max_inflight: 2, max_queued: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&argv(&["--inflight", "0"])).is_err());
+        assert!(parse_args(&argv(&["--queue", "many"])).is_err());
+        assert!(parse_args(&argv(&["--addr"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), None);
+    }
+}

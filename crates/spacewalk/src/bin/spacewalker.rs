@@ -8,6 +8,8 @@
 //! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
 //!               [--policy LIST] [--sample N[:clusters=K,warmup=W]]
 //!               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
+//! $ spacewalker --serve ADDR
+//! $ spacewalker SPEC.txt --connect ADDR [--heuristic] [--policy LIST] [--sample ...]
 //! ```
 //!
 //! Reads the design-space specification, runs the reference evaluation once
@@ -29,6 +31,19 @@
 //! timings, throughput, parallel efficiency, and cache-database traffic —
 //! as text or line-JSON.
 //!
+//! # Daemon mode
+//!
+//! `--serve ADDR` turns the process into a sweep daemon on `ADDR` (the
+//! same service `mhe-server` runs, minus its extra flags): warm
+//! [`EvalService`] sessions, bounded admission, graceful SIGTERM drain.
+//! `--connect ADDR` sends the walk to such a daemon instead of evaluating
+//! in-process and prints the served frontier — byte-identical to what the
+//! batch mode would print, because both sides render the same
+//! [`report`](mhe_spacewalk::report_from) with the same
+//! [`renderer`](mhe_spacewalk::render_frontier). Batch-only flags
+//! (`--db`, `--export`, `--checkpoint`, `--resume`) are rejected in
+//! connect mode: persistence belongs to the daemon's side of the socket.
+//!
 //! # Fault tolerance
 //!
 //! `--checkpoint DIR` persists the evaluation cache atomically into `DIR`
@@ -39,22 +54,28 @@
 //! status: **2** bad configuration (usage, unreadable or malformed spec),
 //! **3** corrupt input (cache database or checkpoint fails its CRC),
 //! **4** worker failure (a panic isolated inside the parallel walk, or a
-//! failed checkpoint write).
+//! failed checkpoint write), **5** server unavailable (`--connect` could
+//! not reach the daemon, or the daemon rejected the request at
+//! admission).
 
 use mhe_core::evaluator::EvalConfig;
-use mhe_core::SamplingConfig;
+use mhe_core::{
+    SamplingConfig, EXIT_BAD_CONFIG, EXIT_CORRUPT_INPUT, EXIT_SERVER_UNAVAILABLE,
+    EXIT_WORKER_FAILURE,
+};
 use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
 use mhe_spacewalk::ckpt::Checkpointer;
 use mhe_spacewalk::heuristic::walk_heuristic;
+use mhe_spacewalk::service::proto::FrontierRequest;
 use mhe_spacewalk::spec::Spec;
-use mhe_spacewalk::walker;
+use mhe_spacewalk::{render_frontier, report_from, walker, Client, EvalService, Server};
 use mhe_vliw::ProcessorKind;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
      [--heuristic] [--policy LIST] [--sample N[:clusters=K,warmup=W]] [--checkpoint DIR] \
-     [--resume DIR] [--obs|--obs-json]";
+     [--resume DIR] [--connect ADDR] [--obs|--obs-json]\n       spacewalker --serve ADDR";
 
 /// Parses `N[:clusters=K,warmup=W]` into a [`SamplingConfig`] (defaults
 /// fill the unnamed fields).
@@ -83,17 +104,57 @@ fn parse_sample(arg: &str) -> Result<SamplingConfig, String> {
     Ok(cfg)
 }
 
-/// Exit status for configuration errors (usage, unreadable/malformed spec).
-const EXIT_BAD_CONFIG: u8 = 2;
-/// Exit status for corrupt input files (cache database, checkpoint).
-const EXIT_CORRUPT_INPUT: u8 = 3;
-/// Exit status for worker failures (isolated panics, checkpoint writes).
-const EXIT_WORKER_FAILURE: u8 = 4;
-
 /// Prints a one-line diagnostic and returns the given exit status.
 fn fail(code: u8, msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("spacewalker: {msg}");
     ExitCode::from(code)
+}
+
+/// Runs the sweep daemon on `addr` until a drain signal, exactly like
+/// `mhe-server` with default flags.
+fn serve(addr: &str) -> ExitCode {
+    let service = Arc::new(EvalService::default());
+    let server = match Server::bind(addr, service) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("cannot bind {addr}: {e}")),
+    };
+    server.install_signal_drain();
+    match server.local_addr() {
+        Ok(a) => eprintln!("spacewalker: serving on {a} (SIGTERM drains)"),
+        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("local addr: {e}")),
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(EXIT_WORKER_FAILURE, format!("serve loop: {e}")),
+    }
+}
+
+/// Sends the walk to a daemon and prints the served frontier — the same
+/// bytes the batch path prints for the same spec.
+fn connect(
+    addr: &str,
+    spec_text: String,
+    heuristic: bool,
+    sampling: Option<SamplingConfig>,
+    policies: Option<Vec<mhe_cache::Policy>>,
+) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(e.exit_code(), e),
+    };
+    let report = match client.frontier(FrontierRequest { spec_text, heuristic, sampling, policies })
+    {
+        Ok(r) => r,
+        Err(e) => return fail(e.exit_code(), e),
+    };
+    print!("{}", render_frontier(&report));
+    eprintln!(
+        "{} frontier designs; evaluation cache {} hits / {} computes",
+        report.rows.len(),
+        report.hits,
+        report.computes
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -106,6 +167,8 @@ fn main() -> ExitCode {
     let mut heuristic = false;
     let mut policies: Option<Vec<mhe_cache::Policy>> = None;
     let mut sampling: Option<SamplingConfig> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -167,6 +230,20 @@ fn main() -> ExitCode {
                     Err(e) => return fail(EXIT_BAD_CONFIG, format!("--sample {v:?}: {e}")),
                 }
             }
+            "--serve" => {
+                i += 1;
+                serve_addr = args.get(i).cloned();
+                if serve_addr.is_none() {
+                    return fail(EXIT_BAD_CONFIG, "--serve needs an address (e.g. 127.0.0.1:7199)");
+                }
+            }
+            "--connect" => {
+                i += 1;
+                connect_addr = args.get(i).cloned();
+                if connect_addr.is_none() {
+                    return fail(EXIT_BAD_CONFIG, "--connect needs an address");
+                }
+            }
             "--heuristic" => heuristic = true,
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
             "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
@@ -182,6 +259,14 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+
+    if let Some(addr) = serve_addr {
+        if spec_path.is_some() || connect_addr.is_some() {
+            return fail(EXIT_BAD_CONFIG, "--serve takes no spec and no --connect");
+        }
+        return serve(&addr);
+    }
+
     let Some(spec_path) = spec_path else {
         return fail(EXIT_BAD_CONFIG, USAGE);
     };
@@ -194,10 +279,10 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(EXIT_BAD_CONFIG, format!("{spec_path}: {e}")),
     };
-    if let Some(p) = policies {
-        spec.space.icache.policies.clone_from(&p);
-        spec.space.dcache.policies.clone_from(&p);
-        spec.space.ucache.policies = p;
+    if let Some(p) = &policies {
+        spec.space.icache.policies.clone_from(p);
+        spec.space.dcache.policies.clone_from(p);
+        spec.space.ucache.policies.clone_from(p);
     }
     let spec = spec;
 
@@ -210,6 +295,17 @@ fn main() -> ExitCode {
         spec.space.ucache.enumerate().len(),
         spec.space.combinations()
     );
+
+    if let Some(addr) = connect_addr {
+        if db_path.is_some() || export_path.is_some() || ckpt_dir.is_some() {
+            return fail(
+                EXIT_BAD_CONFIG,
+                "--connect is incompatible with --db/--export/--checkpoint/--resume \
+                 (persistence lives on the daemon's side)",
+            );
+        }
+        return connect(&addr, text, heuristic, sampling, policies);
+    }
 
     let checkpoint = match ckpt_dir {
         Some(dir) => match Checkpointer::new(&dir) {
@@ -291,49 +387,16 @@ fn main() -> ExitCode {
     };
     // Sampled-vs-exact provenance travels with the frontier itself, so a
     // saved listing is self-describing about how its misses were measured.
-    let src = match eval.metrics().sampling {
-        Some(sm) => {
-            println!(
-                "# provenance: sampled ({:.2}% coverage, {} intervals -> {} clusters, \
-                 error bound {:.4})",
-                sm.coverage() * 100.0,
-                sm.intervals,
-                sm.clusters,
-                sm.error_bound
-            );
-            "sampled"
-        }
-        None => {
-            println!("# provenance: exact (full-trace simulation)");
-            "exact"
-        }
-    };
-    println!(
-        "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12} {:>14} {:<7}",
-        "proc", "I$ B", "D$ B", "U$ B", "policy I/D/U", "area", "cycles", "src"
-    );
-    for p in frontier.points() {
-        let m = &p.design.memory;
-        let pol = format!(
-            "{}/{}/{}",
-            m.icache.config.policy, m.dcache.config.policy, m.ucache.config.policy
-        );
-        println!(
-            "{:<6} {:>9} {:>9} {:>9} {:<17} {:>12.0} {:>14.0} {:<7}",
-            p.design.processor.name,
-            m.icache.config.size_bytes(),
-            m.dcache.config.size_bytes(),
-            m.ucache.config.size_bytes(),
-            pol,
-            p.cost,
-            p.time,
-            src
-        );
-    }
-    let (hits, computes) = db.stats();
+    // The report + renderer pair is the same one a daemon serves over the
+    // wire, which is what keeps batch and `--connect` output
+    // byte-identical by construction.
+    let report = report_from(&eval, &frontier, &db);
+    print!("{}", render_frontier(&report));
     eprintln!(
-        "{} frontier designs; evaluation cache {hits} hits / {computes} computes",
-        frontier.len()
+        "{} frontier designs; evaluation cache {} hits / {} computes",
+        report.rows.len(),
+        report.hits,
+        report.computes
     );
 
     if let Some(p) = db_path {

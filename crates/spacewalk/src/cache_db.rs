@@ -154,11 +154,19 @@ const VERSION: u8 = 3;
 /// result is identical anyway).
 ///
 /// [`ParallelSweep`]: mhe_core::ParallelSweep
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EvaluationCache {
     shards: Vec<Mutex<HashMap<MetricKey, f64>>>,
     hits: AtomicU64,
     computes: AtomicU64,
+}
+
+impl Default for EvaluationCache {
+    /// Same as [`EvaluationCache::new`]: the derived `Default` would
+    /// produce a shard-less cache that panics on first access.
+    fn default() -> Self {
+        EvaluationCache::new()
+    }
 }
 
 impl EvaluationCache {

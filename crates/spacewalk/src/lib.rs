@@ -10,7 +10,11 @@
 //!   with versioned binary persistence;
 //! * [`walker`] — instruction/data/unified/memory/system walkers built on
 //!   the dilation-model evaluator from `mhe-core`, fanning per-design
-//!   evaluation out over worker threads with a deterministic merge.
+//!   evaluation out over worker threads with a deterministic merge;
+//! * [`service`] — the shared `Send + Sync` evaluation service (warm
+//!   sessions, scope-shared caches, admission control) plus the daemon
+//!   wire protocol, server loop, and client used by `mhe-server` and
+//!   `spacewalker --serve`/`--connect`.
 //!
 //! # Quick start
 //!
@@ -45,6 +49,7 @@ pub mod ckpt;
 pub mod cost;
 pub mod heuristic;
 pub mod pareto;
+pub mod service;
 pub mod space;
 pub mod spec;
 pub mod walker;
@@ -54,5 +59,11 @@ pub use ckpt::Checkpointer;
 pub use cost::{cache_area, CacheDesign};
 pub use heuristic::{walk_heuristic, HeuristicResult};
 pub use pareto::{ParetoPoint, ParetoSet};
+pub use service::{
+    client::{Client, ClientError},
+    render_frontier, report_from,
+    server::Server,
+    AdmissionGate, EvalService, ServiceError, ServiceLimits,
+};
 pub use space::{CacheSpace, SystemSpace};
 pub use walker::{walk_memory, walk_system, walk_system_with, MemoryPoint, SystemPoint};

@@ -1,0 +1,152 @@
+//! The daemon client: a blocking connection speaking the frame protocol.
+//!
+//! Used by `spacewalker --connect` and by the differential tests; the
+//! error taxonomy maps every failure to the exit code the CLI contract
+//! promises — [`EXIT_SERVER_UNAVAILABLE`] for anything that kept the
+//! daemon from *answering* (unreachable, handshake mismatch, stream
+//! corruption, admission rejection), and the server-reported code
+//! verbatim when the request ran and failed remotely.
+
+use super::proto::{
+    check_handshake, decode_response, encode_request, read_frame, write_frame, FrontierReport,
+    FrontierRequest, Request, Response, StatsReport, CLIENT_READ_TIMEOUT,
+};
+use mhe_core::EXIT_SERVER_UNAVAILABLE;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a daemon query failed, from the client's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The daemon could not be reached (connect failure, handshake never
+    /// arrived, connection dropped).
+    Unavailable(String),
+    /// The daemon answered but turned the request away at admission
+    /// (queue full) — the request never started; retrying later is safe.
+    Rejected(String),
+    /// The request ran on the daemon and failed there.
+    Remote {
+        /// The exit code the daemon assigned (see [`mhe_core::error`]).
+        code: u8,
+        /// The daemon's rendered diagnostic.
+        message: String,
+    },
+    /// The byte stream violated the protocol (bad handshake, malformed
+    /// frame, wrong response kind).
+    Protocol(String),
+}
+
+impl ClientError {
+    /// The process exit code a CLI maps this failure to:
+    /// the daemon's own code for [`ClientError::Remote`],
+    /// [`EXIT_SERVER_UNAVAILABLE`] for everything else.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ClientError::Remote { code, .. } => *code,
+            ClientError::Unavailable(_) | ClientError::Rejected(_) | ClientError::Protocol(_) => {
+                EXIT_SERVER_UNAVAILABLE
+            }
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Unavailable(detail) => write!(f, "server unavailable: {detail}"),
+            ClientError::Rejected(reason) => write!(f, "server rejected request: {reason}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error (exit code {code}): {message}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected daemon client. One request runs at a time per connection
+/// (which is exactly the daemon's fairness unit).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` and verifies its handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unavailable`] when the daemon cannot be reached,
+    /// [`ClientError::Protocol`] when whatever answered is not an
+    /// `mhe-server` speaking this protocol version.
+    pub fn connect(addr: impl ToSocketAddrs + fmt::Debug) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| ClientError::Unavailable(format!("connect {addr:?}: {e}")))?;
+        stream
+            .set_read_timeout(Some(CLIENT_READ_TIMEOUT))
+            .map_err(|e| ClientError::Unavailable(format!("configure socket: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream };
+        let mut hs = [0u8; 8];
+        client
+            .stream
+            .read_exact(&mut hs)
+            .map_err(|e| ClientError::Unavailable(format!("handshake: {e}")))?;
+        check_handshake(&hs).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(client)
+    }
+
+    /// One request/response round trip.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))
+            .map_err(|e| ClientError::Unavailable(format!("send: {e}")))?;
+        self.stream.flush().map_err(|e| ClientError::Unavailable(format!("send: {e}")))?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| ClientError::Unavailable(format!("receive: {e}")))?;
+        decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; an unexpected response kind is
+    /// [`ClientError::Protocol`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Evaluates a frontier on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on admission backpressure,
+    /// [`ClientError::Remote`] when the walk failed server-side, other
+    /// [`ClientError`]s for transport trouble.
+    pub fn frontier(&mut self, request: FrontierRequest) -> Result<FrontierReport, ClientError> {
+        match self.roundtrip(&Request::Frontier(request))? {
+            Response::Frontier(report) => Ok(report),
+            Response::Rejected { reason } => Err(ClientError::Rejected(reason)),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Protocol(format!("expected Frontier, got {other:?}"))),
+        }
+    }
+
+    /// Fetches service counters.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; an unexpected response kind is
+    /// [`ClientError::Protocol`].
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,727 @@
+//! The daemon wire protocol: length-prefixed binary frames.
+//!
+//! One request or response per frame. A frame is a little-endian `u32`
+//! payload length followed by that many payload bytes; payloads are
+//! hand-rolled tagged binary (varint-free: fixed-width little-endian
+//! integers, `f64`s as raw bits so every float round-trips bit-exactly —
+//! the same discipline as the cache database format). On connect the
+//! server sends an 8-byte handshake (magic `MHES` + version) before any
+//! frame, so a client talking to the wrong port fails immediately and
+//! loudly instead of hanging on a length prefix that never comes.
+//!
+//! The protocol is deliberately local: it carries the *spec text* of a
+//! walk, not paths, so the daemon never touches the client's filesystem,
+//! and frontier rows carry full design identities plus `f64` bit
+//! patterns, so a client can render output byte-identical to a batch run.
+
+use crate::cost::CacheDesign;
+use mhe_cache::{CacheConfig, Policy};
+use mhe_core::metrics::SamplingMetrics;
+use mhe_core::SamplingConfig;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Handshake magic the server emits on every fresh connection.
+pub const MAGIC: [u8; 4] = *b"MHES";
+/// Protocol version, bumped on any incompatible frame-layout change.
+pub const VERSION: u32 = 1;
+/// Upper bound on a single frame's payload; anything larger is treated as
+/// stream corruption rather than an allocation request.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A design-point query: one full spacewalk over a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRequest {
+    /// The design-space specification, verbatim spec-file text (parsed
+    /// server-side by [`crate::spec::Spec::parse`]).
+    pub spec_text: String,
+    /// Run the heuristic per-cache prewarm before the full walk
+    /// (`spacewalker --heuristic`).
+    pub heuristic: bool,
+    /// Route the reference evaluation through interval sampling
+    /// (`spacewalker --sample`).
+    pub sampling: Option<SamplingConfig>,
+    /// Override every cache space's replacement-policy dimension
+    /// (`spacewalker --policy`).
+    pub policies: Option<Vec<Policy>>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Evaluate a full Pareto frontier.
+    Frontier(FrontierRequest),
+    /// Service counters (sessions, cache traffic).
+    Stats,
+}
+
+/// One frontier design, with cost/time carried as exact `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Processor (machine description) name.
+    pub processor: String,
+    /// Instruction-cache design.
+    pub icache: CacheDesign,
+    /// Data-cache design.
+    pub dcache: CacheDesign,
+    /// Unified-cache design.
+    pub ucache: CacheDesign,
+    /// System cost (area units).
+    pub cost: f64,
+    /// Execution time (cycles).
+    pub time: f64,
+}
+
+/// A served frontier: everything a client needs to render output
+/// byte-identical to an in-process batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierReport {
+    /// Sampling provenance when the evaluation was interval-sampled.
+    pub sampling: Option<SamplingMetrics>,
+    /// Frontier designs in increasing-cost order.
+    pub rows: Vec<FrontierRow>,
+    /// Evaluation-cache hits accumulated by the serving session's cache.
+    pub hits: u64,
+    /// Evaluation-cache computes accumulated by the serving session's
+    /// cache.
+    pub computes: u64,
+}
+
+/// Service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Warm evaluation sessions currently held.
+    pub sessions: u64,
+    /// Metric entries across all shared caches.
+    pub entries: u64,
+    /// Cache hits across all shared caches.
+    pub hits: u64,
+    /// Cache computes across all shared caches.
+    pub computes: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// The evaluated frontier.
+    Frontier(FrontierReport),
+    /// Admission control turned the request away (queue full). The
+    /// request was not started; retrying later is safe.
+    Rejected {
+        /// Human-readable backpressure diagnostic.
+        reason: String,
+    },
+    /// The request ran and failed.
+    Error {
+        /// The exit code a CLI would have used (see [`mhe_core::error`]).
+        code: u8,
+        /// The rendered error.
+        message: String,
+    },
+    /// Service counters.
+    Stats(StatsReport),
+}
+
+// --- framing -------------------------------------------------------------
+
+/// The 8 bytes a server writes before its first frame.
+pub fn handshake() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..].copy_from_slice(&VERSION.to_le_bytes());
+    h
+}
+
+/// Validates a handshake read from the server.
+///
+/// # Errors
+///
+/// `InvalidData` naming the mismatch (wrong magic or version).
+pub fn check_handshake(h: &[u8; 8]) -> io::Result<()> {
+    if h[..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad handshake magic {:02x?} (not an mhe-server?)", &h[..4]),
+        ));
+    }
+    let version = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("protocol version {version} (this client speaks {VERSION})"),
+        ));
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates write errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame (blocking until complete).
+///
+/// # Errors
+///
+/// Propagates read errors; rejects frames over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// An incremental frame reader over a stream with a read timeout.
+///
+/// [`FrameReader::read_frame`] accumulates partial reads in an internal
+/// buffer, so a timeout mid-frame loses nothing — the server uses the
+/// timeouts as drain poll points, not as deadlines.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner, buf: Vec::new() }
+    }
+
+    /// Reads the next complete frame. Returns `Ok(None)` on a clean EOF
+    /// at a frame boundary, or — when `stop()` turns true — on a timeout
+    /// with no frame in progress (graceful drain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors; EOF mid-frame is `UnexpectedEof`;
+    /// over-long frames are `InvalidData`.
+    pub fn read_frame(&mut self, stop: &dyn Fn() -> bool) -> io::Result<Option<Vec<u8>>> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let payload = self.buf[4..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok(Some(payload));
+                }
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    // Only abandon the wait at a frame boundary: a client
+                    // that already started a frame gets to finish it.
+                    if stop() && self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+// --- payload encoding ----------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+fn short() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "truncated protocol payload")
+}
+
+impl<'a> Dec<'a> {
+    fn u8(&mut self) -> io::Result<u8> {
+        let (&v, rest) = self.buf.split_first().ok_or_else(short)?;
+        self.buf = rest;
+        Ok(v)
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        if self.buf.len() < 4 {
+            return Err(short());
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_le_bytes([head[0], head[1], head[2], head[3]]))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        if self.buf.len() < 8 {
+            return Err(short());
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(head);
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        if self.buf.len() < len {
+            return Err(short());
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        String::from_utf8(head.to_vec())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))
+    }
+    fn finish(self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} trailing bytes after payload", self.buf.len()),
+            ))
+        }
+    }
+}
+
+fn bad(what: &str, v: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}: {v}"))
+}
+
+fn enc_policy(e: &mut Enc, p: Policy) {
+    let (tag, seed) = match p {
+        Policy::Lru => (0u8, 0u64),
+        Policy::Fifo => (1, 0),
+        Policy::PlruTree => (2, 0),
+        Policy::Random(seed) => (3, seed),
+    };
+    e.u8(tag);
+    e.u64(seed);
+}
+
+fn dec_policy(d: &mut Dec) -> io::Result<Policy> {
+    let tag = d.u8()?;
+    let seed = d.u64()?;
+    match tag {
+        0 => Ok(Policy::Lru),
+        1 => Ok(Policy::Fifo),
+        2 => Ok(Policy::PlruTree),
+        3 => Ok(Policy::Random(seed)),
+        other => Err(bad("policy tag", other)),
+    }
+}
+
+fn enc_design(e: &mut Enc, design: &CacheDesign) {
+    e.u32(design.config.sets);
+    e.u32(design.config.assoc);
+    e.u32(design.config.line_words);
+    enc_policy(e, design.config.policy);
+    e.u32(design.ports);
+}
+
+fn dec_design(d: &mut Dec) -> io::Result<CacheDesign> {
+    let sets = d.u32()?;
+    let assoc = d.u32()?;
+    let line_words = d.u32()?;
+    let policy = dec_policy(d)?;
+    let ports = d.u32()?;
+    Ok(CacheDesign { config: CacheConfig::new(sets, assoc, line_words).with_policy(policy), ports })
+}
+
+fn enc_sampling_config(e: &mut Enc, s: &Option<SamplingConfig>) {
+    match s {
+        None => e.u8(0),
+        Some(s) => {
+            e.u8(1);
+            e.u64(s.interval_accesses as u64);
+            e.u64(s.clusters as u64);
+            e.u64(s.warmup as u64);
+            e.u64(s.seed);
+            e.u32(s.histogram_sets);
+        }
+    }
+}
+
+fn dec_sampling_config(d: &mut Dec) -> io::Result<Option<SamplingConfig>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(SamplingConfig {
+            interval_accesses: d.u64()? as usize,
+            clusters: d.u64()? as usize,
+            warmup: d.u64()? as usize,
+            seed: d.u64()?,
+            histogram_sets: d.u32()?,
+        })),
+        other => Err(bad("sampling flag", other)),
+    }
+}
+
+fn enc_sampling_metrics(e: &mut Enc, s: &Option<SamplingMetrics>) {
+    match s {
+        None => e.u8(0),
+        Some(s) => {
+            e.u8(1);
+            e.u64(s.intervals);
+            e.u64(s.clusters);
+            e.u64(s.representative_accesses);
+            e.u64(s.total_accesses);
+            e.f64(s.error_bound);
+        }
+    }
+}
+
+fn dec_sampling_metrics(d: &mut Dec) -> io::Result<Option<SamplingMetrics>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(SamplingMetrics {
+            intervals: d.u64()?,
+            clusters: d.u64()?,
+            representative_accesses: d.u64()?,
+            total_accesses: d.u64()?,
+            error_bound: d.f64()?,
+        })),
+        other => Err(bad("sampling-metrics flag", other)),
+    }
+}
+
+/// Encodes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    match req {
+        Request::Ping => e.u8(0),
+        Request::Frontier(f) => {
+            e.u8(1);
+            e.str(&f.spec_text);
+            e.u8(u8::from(f.heuristic));
+            enc_sampling_config(&mut e, &f.sampling);
+            match &f.policies {
+                None => e.u8(0),
+                Some(ps) => {
+                    e.u8(1);
+                    e.u32(ps.len() as u32);
+                    for &p in ps {
+                        enc_policy(&mut e, p);
+                    }
+                }
+            }
+        }
+        Request::Stats => e.u8(2),
+    }
+    e.0
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// `InvalidData` on any malformed field, truncation, or trailing bytes.
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let mut d = Dec { buf: payload };
+    let req = match d.u8()? {
+        0 => Request::Ping,
+        1 => {
+            let spec_text = d.str()?;
+            let heuristic = d.u8()? != 0;
+            let sampling = dec_sampling_config(&mut d)?;
+            let policies = match d.u8()? {
+                0 => None,
+                1 => {
+                    let n = d.u32()? as usize;
+                    if n > 64 {
+                        return Err(bad("policy-list length", n));
+                    }
+                    let mut ps = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        ps.push(dec_policy(&mut d)?);
+                    }
+                    Some(ps)
+                }
+                other => return Err(bad("policies flag", other)),
+            };
+            Request::Frontier(FrontierRequest { spec_text, heuristic, sampling, policies })
+        }
+        2 => Request::Stats,
+        other => return Err(bad("request tag", other)),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    match resp {
+        Response::Pong => e.u8(0),
+        Response::Frontier(r) => {
+            e.u8(1);
+            enc_sampling_metrics(&mut e, &r.sampling);
+            e.u32(r.rows.len() as u32);
+            for row in &r.rows {
+                e.str(&row.processor);
+                enc_design(&mut e, &row.icache);
+                enc_design(&mut e, &row.dcache);
+                enc_design(&mut e, &row.ucache);
+                e.f64(row.cost);
+                e.f64(row.time);
+            }
+            e.u64(r.hits);
+            e.u64(r.computes);
+        }
+        Response::Rejected { reason } => {
+            e.u8(2);
+            e.str(reason);
+        }
+        Response::Error { code, message } => {
+            e.u8(3);
+            e.u8(*code);
+            e.str(message);
+        }
+        Response::Stats(s) => {
+            e.u8(4);
+            e.u64(s.sessions);
+            e.u64(s.entries);
+            e.u64(s.hits);
+            e.u64(s.computes);
+        }
+    }
+    e.0
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// `InvalidData` on any malformed field, truncation, or trailing bytes.
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let mut d = Dec { buf: payload };
+    let resp = match d.u8()? {
+        0 => Response::Pong,
+        1 => {
+            let sampling = dec_sampling_metrics(&mut d)?;
+            let n = d.u32()? as usize;
+            if n > 1 << 20 {
+                return Err(bad("row count", n));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let processor = d.str()?;
+                let icache = dec_design(&mut d)?;
+                let dcache = dec_design(&mut d)?;
+                let ucache = dec_design(&mut d)?;
+                let cost = d.f64()?;
+                let time = d.f64()?;
+                rows.push(FrontierRow { processor, icache, dcache, ucache, cost, time });
+            }
+            let hits = d.u64()?;
+            let computes = d.u64()?;
+            Response::Frontier(FrontierReport { sampling, rows, hits, computes })
+        }
+        2 => Response::Rejected { reason: d.str()? },
+        3 => Response::Error { code: d.u8()?, message: d.str()? },
+        4 => Response::Stats(StatsReport {
+            sessions: d.u64()?,
+            entries: d.u64()?,
+            hits: d.u64()?,
+            computes: d.u64()?,
+        }),
+        other => return Err(bad("response tag", other)),
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+/// A generous read timeout for blocking client-side reads — long
+/// evaluation requests keep the connection silent while the walk runs.
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(600);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn designs() -> (CacheDesign, CacheDesign, CacheDesign) {
+        (
+            CacheDesign { config: CacheConfig::from_bytes(1024, 1, 32), ports: 1 },
+            CacheDesign {
+                config: CacheConfig::from_bytes(4096, 2, 32).with_policy(Policy::Fifo),
+                ports: 2,
+            },
+            CacheDesign {
+                config: CacheConfig::from_bytes(16 << 10, 2, 64).with_policy(Policy::Random(7)),
+                ports: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let (_, _, _) = designs();
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Frontier(FrontierRequest {
+                spec_text: "[processors]\nkinds = 1111\n".into(),
+                heuristic: true,
+                sampling: Some(SamplingConfig {
+                    interval_accesses: 8192,
+                    clusters: 88,
+                    warmup: 16384,
+                    ..Default::default()
+                }),
+                policies: Some(vec![Policy::Lru, Policy::Random(0xDEAD)]),
+            }),
+            Request::Frontier(FrontierRequest {
+                spec_text: String::new(),
+                heuristic: false,
+                sampling: None,
+                policies: None,
+            }),
+        ];
+        for req in &reqs {
+            let bytes = encode_request(req);
+            assert_eq!(&decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let (i, d, u) = designs();
+        let resps = [
+            Response::Pong,
+            Response::Rejected { reason: "queue full".into() },
+            Response::Error { code: 4, message: "worker panic in walk".into() },
+            Response::Stats(StatsReport { sessions: 2, entries: 99, hits: 5, computes: 94 }),
+            Response::Frontier(FrontierReport {
+                sampling: Some(SamplingMetrics {
+                    intervals: 10,
+                    clusters: 4,
+                    representative_accesses: 4000,
+                    total_accesses: 80_000,
+                    error_bound: 0.012345,
+                }),
+                rows: vec![FrontierRow {
+                    processor: "3221".into(),
+                    icache: i,
+                    dcache: d,
+                    ucache: u,
+                    cost: 123.456_789_f64,
+                    time: f64::from_bits(0x40c104563027ee60),
+                }],
+                hits: 7,
+                computes: 13,
+            }),
+        ];
+        for resp in &resps {
+            let bytes = encode_response(resp);
+            assert_eq!(&decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[9]).is_err());
+        assert!(decode_response(&[1, 2]).is_err());
+        // Trailing garbage is corruption, not padding.
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn handshake_checks_magic_and_version() {
+        let h = handshake();
+        assert!(check_handshake(&h).is_ok());
+        let mut wrong = h;
+        wrong[0] = b'X';
+        assert!(check_handshake(&wrong).is_err());
+        let mut newer = h;
+        newer[4] = 99;
+        assert!(check_handshake(&newer).is_err());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        struct Dribble(Vec<u8>, usize);
+        impl std::io::Read for Dribble {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                out[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let payload = encode_request(&Request::Ping);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &payload).unwrap();
+        write_frame(&mut bytes, &payload).unwrap();
+        let mut reader = FrameReader::new(Dribble(bytes, 0));
+        let stop = || false;
+        assert_eq!(reader.read_frame(&stop).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(reader.read_frame(&stop).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(reader.read_frame(&stop).unwrap(), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! The daemon's network face: a TCP accept loop over an [`EvalService`].
+//!
+//! One thread per connection, one request at a time per connection —
+//! which is the per-client fairness policy: a client cannot occupy more
+//! than one admission slot, so N clients share the gate's in-flight
+//! budget evenly no matter how fast any one of them queues work.
+//!
+//! Shutdown is a *drain*, not a kill: when the drain flag turns on
+//! (programmatically via [`Server::drain_handle`] or by SIGTERM/SIGINT
+//! after [`Server::install_signal_drain`]), the listener stops accepting,
+//! every connection finishes the request it is serving (reads park on a
+//! short timeout and re-check the flag only at frame boundaries), and
+//! [`Server::run`] joins them all before returning — so a supervisor that
+//! SIGTERMs the daemon gets exit 0 and no half-written frames.
+
+use super::proto::{
+    decode_request, encode_response, handshake, write_frame, FrameReader, Response,
+};
+use super::EvalService;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a connection read parks before re-checking the drain flag.
+const DRAIN_POLL: Duration = Duration::from_millis(100);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// The process-wide drain flag set by the installed signal handler.
+static SIG_DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip one atomic.
+    SIG_DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// A running daemon endpoint: listener + service + drain flag.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<EvalService>,
+    drain: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / socket-configuration failures.
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<EvalService>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the loop can poll the drain flag.
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, service, drain: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared drain flag; store `true` to begin a graceful shutdown.
+    pub fn drain_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Routes SIGTERM and SIGINT into a graceful drain of this process's
+    /// servers (they share one process-wide flag; every server polls it).
+    pub fn install_signal_drain(&self) {
+        type SigHandler = extern "C" fn(i32);
+        extern "C" {
+            fn signal(signum: i32, handler: SigHandler) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the libc std already links; the handler
+        // only stores to an atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_drain_signal);
+            signal(SIGINT, on_drain_signal);
+        }
+    }
+
+    /// Accepts and serves connections until the drain flag (local handle
+    /// or process-wide signal flag) turns on, then joins every
+    /// connection thread and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors other than the expected
+    /// would-block; per-connection errors are contained in their threads.
+    pub fn run(&self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        loop {
+            if self.drain.load(Ordering::SeqCst) || SIG_DRAIN.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    let drain = Arc::clone(&self.drain);
+                    workers.push(std::thread::spawn(move || {
+                        // Per-connection failures end that connection only.
+                        let _ = serve_connection(stream, &service, &drain);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: handshake, then a request/response loop that
+/// ends on clean EOF or — at a frame boundary — on drain.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &EvalService,
+    drain: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(DRAIN_POLL))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&handshake())?;
+    stream.flush()?;
+    let reader_stream = stream.try_clone()?;
+    let mut reader = FrameReader::new(reader_stream);
+    let stop = || drain.load(Ordering::SeqCst) || SIG_DRAIN.load(Ordering::SeqCst);
+    while let Some(payload) = reader.read_frame(&stop)? {
+        let response = match decode_request(&payload) {
+            Ok(request) => {
+                let before = mhe_obs::Snapshot::now();
+                let response = service.respond(request);
+                if mhe_obs::enabled() {
+                    mhe_obs::RunReport::since(
+                        "mhe-server",
+                        mhe_core::parallel::worker_threads(),
+                        &before,
+                    )
+                    .emit();
+                }
+                response
+            }
+            Err(e) => Response::Error {
+                code: mhe_core::EXIT_BAD_CONFIG,
+                message: format!("malformed request: {e}"),
+            },
+        };
+        write_frame(&mut stream, &encode_response(&response))?;
+    }
+    Ok(())
+}

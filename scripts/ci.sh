@@ -27,6 +27,9 @@ timeout 300 cargo test -q --release -p mhe --test policy_differential
 echo "==> sampling accuracy harness (full matrix, budget: 300 s wall)"
 timeout 300 cargo test -q --release -p mhe --test sampling_accuracy
 
+echo "==> daemon differential suite (4 concurrent clients vs batch bytes, budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test daemon_service
+
 echo "==> sampling_speedup (>=10x grid simulation at --sample defaults, results/BENCH_7.json)"
 MHE_EVENTS=2000000 cargo run --release -q -p mhe-bench --bin sampling_speedup
 
@@ -36,7 +39,13 @@ MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin policy_matrix
 echo "==> fault-injection suite (panic isolation, corrupt input, checkpoint resume)"
 cargo test -q -p mhe --test fault_injection
 
+echo "==> bench_snapshot (throughput floors, daemon warm >=10x cold, results/BENCH_8.json)"
+cargo run --release -q -p mhe-bench --bin bench_snapshot
+
 echo "==> kill-and-resume smoke (SIGKILL mid-run, resume, diff frontiers)"
 ./scripts/kill_resume_smoke.sh
+
+echo "==> daemon smoke (--serve/--connect walk, warm repeat, SIGTERM drain; budget: 120 s)"
+timeout 120 ./scripts/daemon_smoke.sh
 
 echo "==> ci.sh: all checks passed"

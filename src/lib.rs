@@ -15,7 +15,8 @@
 //! | [`model`] | `mhe-model` | trace parameters, the AHH analytic cache model |
 //! | [`core`] | `mhe-core` | **the dilation model** and hierarchical evaluation |
 //! | [`sampling`] | `mhe-sampling` | interval sampling: signatures, clustering, sampled simulation |
-//! | [`spacewalk`] | `mhe-spacewalk` | Pareto sets, cost models, design-space walkers |
+//! | [`spacewalk`] | `mhe-spacewalk` | Pareto sets, cost models, design-space walkers, the shared evaluation service |
+//! | [`server`] | `mhe-server` | the sweep daemon wrapping the service for `spacewalker --connect` |
 //! | [`obs`] | `mhe-obs` | zero-dependency observability: phase timers, counters, run reports |
 //!
 //! For applications, `use mhe::prelude::*;` imports the common working
@@ -64,6 +65,7 @@ pub use mhe_core as core;
 pub use mhe_model as model;
 pub use mhe_obs as obs;
 pub use mhe_sampling as sampling;
+pub use mhe_server as server;
 pub use mhe_spacewalk as spacewalk;
 pub use mhe_trace as trace;
 pub use mhe_vliw as vliw;
@@ -100,7 +102,8 @@ pub mod prelude {
     pub use mhe_sampling::SampledSim;
     pub use mhe_spacewalk::{
         walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign, CacheSpace,
-        Checkpointer, EvaluationCache, MemoryPoint, MetricKey, ParetoSet, SystemPoint, SystemSpace,
+        Checkpointer, Client, EvalService, EvaluationCache, MemoryPoint, MetricKey, ParetoSet,
+        Server, ServiceLimits, SystemPoint, SystemSpace,
     };
     pub use mhe_trace::{Access, StreamKind, TraceGenerator};
     pub use mhe_vliw::{Mdes, ProcessorKind};

@@ -22,26 +22,15 @@
 
 use mhe::cache::{Cache, CacheConfig, Policy, SinglePassSim};
 use mhe::prelude::*;
-use mhe::trace::{StreamKind, TraceGenerator};
-use mhe::vliw::compile::Compiled;
 use proptest::prelude::*;
 
-const SEED: u64 = 0xC0FF_EE01;
+mod common;
+use common::{instruction_trace, SEED};
+
 const EVENTS: usize = 12_000;
 const SET_COUNTS: [u32; 3] = [8, 32, 64];
 const MAX_ASSOC: u32 = 4;
 const LINE_WORDS: u32 = 8;
-
-/// The reference instruction-address trace for one benchmark.
-fn trace_for(b: Benchmark) -> Vec<u64> {
-    let program = b.generate();
-    let compiled = Compiled::build(&program, &ProcessorKind::P1111.mdes(), None);
-    TraceGenerator::new(&program, &compiled, SEED)
-        .stream(StreamKind::Instruction)
-        .take(EVENTS)
-        .map(|a| a.addr)
-        .collect()
-}
 
 /// Runs one (trace, policy) differential over the whole geometry grid:
 /// the single-pass answer must equal the direct oracle for every (sets,
@@ -90,7 +79,7 @@ const SWEEP_BUDGET: std::time::Duration = std::time::Duration::from_secs(60);
 fn every_policy_matches_oracle_on_every_benchmark_at_any_thread_count() {
     let start = std::time::Instant::now();
     let traces: Vec<(Benchmark, Vec<u64>)> =
-        Benchmark::ALL.iter().map(|&b| (b, trace_for(b))).collect();
+        Benchmark::ALL.iter().map(|&b| (b, instruction_trace(b, EVENTS))).collect();
     let work: Vec<(usize, Policy)> = (0..traces.len())
         .flat_map(|i| Policy::all().into_iter().map(move |p| (i, p)))
         .filter(|&(i, p)| {

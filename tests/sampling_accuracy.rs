@@ -22,10 +22,11 @@
 //! records its own measured error without gating on it.
 
 use mhe::cache::{CacheConfig, Policy};
-use mhe::core::evaluator::{EvalConfig, ReferenceEvaluation};
+use mhe::core::evaluator::ReferenceEvaluation;
 use mhe::prelude::*;
-use mhe::vliw::ProcessorKind;
 use mhe::workload::Benchmark;
+
+mod common;
 
 /// Trace length (scheduler events) of every harness evaluation.
 const EVENTS: usize = 60_000;
@@ -64,20 +65,15 @@ fn grids(policy: Policy) -> (Vec<CacheConfig>, Vec<CacheConfig>, Vec<CacheConfig
     )
 }
 
-/// Builds one evaluation of `b` under `policy`, sampled or exact.
+/// Builds one evaluation of `b` under `policy`, sampled or exact, over
+/// this harness's pinned grids.
 fn build(
     b: Benchmark,
     policy: Policy,
     threads: usize,
     sampling: Option<SamplingConfig>,
 ) -> ReferenceEvaluation {
-    let (ic, dc, uc) = grids(policy);
-    let mut builder = EvalConfig::builder().events(EVENTS).threads(threads).policy(policy);
-    if let Some(s) = sampling {
-        builder = builder.sampling(s);
-    }
-    let cfg = builder.build().expect("harness config is valid");
-    ReferenceEvaluation::for_benchmark(b, &ProcessorKind::P1111.mdes(), cfg, &ic, &dc, &uc)
+    common::build_eval(b, policy, threads, EVENTS, sampling, grids(policy))
 }
 
 /// Asserts every design point of `sampled` against `exact` under the
