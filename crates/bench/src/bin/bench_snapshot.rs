@@ -15,6 +15,15 @@
 //!    whole point of the daemon; the **≥ [`GATE_WARM_SPEEDUP`]×** gate
 //!    enforces it.
 //!
+//! A fourth section measures the **distributed walk**: the same plan
+//! evaluated serially vs through a fleet of 1/2/4 in-process workers,
+//! with the merged frontier required byte-identical to the serial walk
+//! at every worker count. The serial-vs-4-worker speedup lands in
+//! `results/BENCH_9.json`; its **≥ [`GATE_FLEET_SPEEDUP`]×** gate is
+//! enforced only on machines with at least 4 cores (on a 1-core CI box a
+//! fleet cannot beat a serial walk — the identity and trajectory gates
+//! still apply there).
+//!
 //! Besides the warm-speedup gate, conservative absolute floors catch
 //! order-of-magnitude collapses, and a **trajectory check** compares
 //! against the previous `results/BENCH_8.json` (when one exists): any
@@ -25,16 +34,29 @@
 //! Usage: `bench_snapshot` — the dynamic window follows `MHE_EVENTS`.
 
 use mhe_cache::SinglePassSim;
+use mhe_core::evaluator::EvalConfig;
+use mhe_spacewalk::fleet::{
+    evaluate_item, run_worker, work_plan, Coordinator, FleetConfig, FleetJob, PreparedWorker,
+    WorkerOptions,
+};
 use mhe_spacewalk::service::proto::{FrontierRequest, Request, Response};
-use mhe_spacewalk::{EvalService, ServiceLimits};
+use mhe_spacewalk::spec::Spec;
+use mhe_spacewalk::{
+    render_frontier, report_from, walker, EvalService, EvaluationCache, ServiceLimits,
+};
 use mhe_trace::codec::write_mtr;
 use mhe_trace::{StreamKind, TraceGenerator, TraceReader};
 use std::fs::File;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Warm daemon repeat must beat the cold (build + walk) query by this.
 const GATE_WARM_SPEEDUP: f64 = 10.0;
+/// A 4-worker fleet must beat the serial walk by this — enforced only
+/// when the machine actually has ≥ 4 cores to parallelize over (the
+/// byte-identity of the merged frontier is enforced unconditionally).
+const GATE_FLEET_SPEEDUP: f64 = 2.0;
 /// Absolute floor on single-pass simulation throughput (accesses/s).
 const GATE_SINGLE_PASS: f64 = 1.0e6;
 /// Absolute floor on `.mtr` decode throughput (MB/s).
@@ -50,6 +72,19 @@ fn spec_text(events: usize) -> String {
     format!(
         "[processors]\nkinds = 1111 3221\n\n\
          [icache]\nsizes_kb = 1 4\nassocs = 1 2\nline_bytes = 32\nports = 1\n\n\
+         [dcache]\nsizes_kb = 1 4\nassocs = 1\nline_bytes = 32\nports = 1\n\n\
+         [ucache]\nsizes_kb = 16 64\nassocs = 2\nline_bytes = 64\nports = 1\n\n\
+         [eval]\nbenchmark = unepic\nevents = {events}\nl1_miss = 10\nl2_miss = 50\n"
+    )
+}
+
+/// The distributed-walk spec: four processors, so the plan carries four
+/// heavyweight per-processor cycle simulations a fleet can actually
+/// spread over workers (the cache estimates are cheap by comparison).
+fn fleet_spec_text(events: usize) -> String {
+    format!(
+        "[processors]\nkinds = 1111 2111 3221 4221\n\n\
+         [icache]\nsizes_kb = 1 2 4 8\nassocs = 1 2\nline_bytes = 32\nports = 1\n\n\
          [dcache]\nsizes_kb = 1 4\nassocs = 1\nline_bytes = 32\nports = 1\n\n\
          [ucache]\nsizes_kb = 16 64\nassocs = 2\nline_bytes = 64\nports = 1\n\n\
          [eval]\nbenchmark = unepic\nevents = {events}\nl1_miss = 10\nl2_miss = 50\n"
@@ -221,7 +256,118 @@ fn main() -> std::io::Result<()> {
     out.write_all(json.as_bytes())?;
     println!("\n  results/BENCH_8.json written");
 
-    if !pass {
+    // --- 4. distributed walk: fleet vs single process --------------------
+    // Everything runs single-threaded inside each worker, so the speedup
+    // measures distribution, not intra-worker threading; workers share
+    // one prepared evaluation because the reference build is the same on
+    // every node and is not what the fleet distributes.
+    println!();
+    // A bigger window than the daemon section: the per-processor cycle
+    // simulations must dwarf the fleet's fixed protocol cost, or the
+    // speedup would measure framing overhead instead of distribution.
+    let fleet_events = (events * 25).min(5_000_000);
+    let fleet_text = fleet_spec_text(fleet_events);
+    let fleet_spec = Spec::parse(&fleet_text).expect("fleet spec parses");
+    let eval = Arc::new(walker::prepare_evaluation(
+        fleet_spec.benchmark.generate(),
+        &mhe_vliw::ProcessorKind::P1111.mdes(),
+        EvalConfig { events: fleet_spec.events, threads: 1, ..EvalConfig::default() },
+        &fleet_spec.space,
+    ));
+
+    let serial_start = Instant::now();
+    let serial_db = EvaluationCache::new();
+    for item in work_plan(&eval, &fleet_spec.space) {
+        let value = evaluate_item(&eval, &item).expect("serial plan item");
+        serial_db.insert(item.key.clone(), value);
+    }
+    let serial_frontier =
+        walker::walk_system_with(&eval, &fleet_spec.space, fleet_spec.penalties, &serial_db, None)
+            .expect("serial walk");
+    let serial_wall = serial_start.elapsed();
+    let want = render_frontier(&report_from(&eval, &serial_frontier, &serial_db));
+    println!("  serial walk:      full plan + frontier in {serial_wall:.3?}");
+
+    let mut fleet_ms = Vec::new();
+    let mut identical = true;
+    for workers in [1usize, 2, 4] {
+        let db = Arc::new(EvaluationCache::new());
+        let job = FleetJob { spec_text: fleet_text.clone(), sampling: None, policies: None };
+        let coordinator = Coordinator::bind(
+            "127.0.0.1:0",
+            job,
+            FleetConfig { shard_count: 16, ..FleetConfig::default() },
+            Arc::clone(&db),
+        )
+        .expect("bind fleet coordinator");
+        let addr = coordinator.local_addr().expect("fleet addr").to_string();
+        let start = Instant::now();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let addr = addr.clone();
+                let opts = WorkerOptions {
+                    threads: Some(1),
+                    prepared: Some(PreparedWorker {
+                        eval: Arc::clone(&eval),
+                        space: fleet_spec.space.clone(),
+                    }),
+                    ..WorkerOptions::default()
+                };
+                std::thread::spawn(move || run_worker(&addr, opts))
+            })
+            .collect();
+        coordinator.run(None).expect("fleet sweep");
+        for h in handles {
+            h.join().expect("worker thread").expect("fleet worker");
+        }
+        let frontier =
+            walker::walk_system_with(&eval, &fleet_spec.space, fleet_spec.penalties, &db, None)
+                .expect("post-fleet walk");
+        let wall = start.elapsed();
+        if render_frontier(&report_from(&eval, &frontier, &db)) != want {
+            identical = false;
+            eprintln!("[bench_snapshot] FAIL: {workers}-worker fleet frontier differs from serial");
+        }
+        println!("  fleet walk:       {workers} worker(s) in {wall:.3?}");
+        fleet_ms.push(wall.as_secs_f64() * 1e3);
+    }
+    let serial_ms = serial_wall.as_secs_f64() * 1e3;
+    let fleet_speedup_4 = serial_ms / fleet_ms[2].max(1e-9);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "  fleet speedup:    serial {serial_ms:.0} ms vs 4 workers {:.0} ms = \
+         {fleet_speedup_4:.2}x on {cores} core(s) (gate {GATE_FLEET_SPEEDUP:.0}x when cores >= 4)",
+        fleet_ms[2]
+    );
+
+    let prior9 = std::fs::read_to_string("results/BENCH_9.json").ok();
+    let prior9_num = |key: &str| prior9.as_deref().and_then(|t| json_number(t, key));
+    let mut pass9 = identical;
+    pass9 &= trajectory_ok("fleet_speedup_4", fleet_speedup_4, prior9_num("fleet_speedup_4"));
+    let gate_enforced = cores >= 4;
+    if gate_enforced && fleet_speedup_4 < GATE_FLEET_SPEEDUP {
+        eprintln!(
+            "[bench_snapshot] FAIL: 4-worker fleet only {fleet_speedup_4:.2}x over serial \
+             (gate {GATE_FLEET_SPEEDUP:.0}x)"
+        );
+        pass9 = false;
+    }
+
+    let json9 = format!(
+        "{{\n  \"bench\": \"bench_snapshot\",\n  \"pr\": 9,\n  \"events\": {fleet_events},\n  \
+         \"cores\": {cores},\n  \"walk_serial_ms\": {serial_ms:.3},\n  \
+         \"fleet_1_ms\": {:.3},\n  \"fleet_2_ms\": {:.3},\n  \"fleet_4_ms\": {:.3},\n  \
+         \"fleet_speedup_4\": {fleet_speedup_4:.3},\n  \"frontier_identical\": {identical},\n  \
+         \"gates\": {{ \"fleet_speedup_min\": {GATE_FLEET_SPEEDUP}, \
+         \"speedup_gate_enforced\": {gate_enforced}, \
+         \"trajectory_factor\": {TRAJECTORY_FACTOR} }},\n  \"pass\": {pass9}\n}}\n",
+        fleet_ms[0], fleet_ms[1], fleet_ms[2],
+    );
+    let mut out9 = File::create("results/BENCH_9.json")?;
+    out9.write_all(json9.as_bytes())?;
+    println!("\n  results/BENCH_9.json written");
+
+    if !pass || !pass9 {
         std::process::exit(1);
     }
     Ok(())

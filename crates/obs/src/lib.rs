@@ -175,11 +175,14 @@ pub enum Phase {
     Walk,
     /// Evaluation-cache persistence (`mhe-spacewalk`).
     Db,
+    /// Distributed-walk coordination and shard evaluation
+    /// (`mhe-spacewalk` fleet).
+    Fleet,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Profile,
         Phase::Compile,
         Phase::TraceGen,
@@ -190,6 +193,7 @@ impl Phase {
         Phase::Estimate,
         Phase::Walk,
         Phase::Db,
+        Phase::Fleet,
     ];
 
     /// The phase's snake_case report name.
@@ -205,6 +209,7 @@ impl Phase {
             Phase::Estimate => "estimate",
             Phase::Walk => "walk",
             Phase::Db => "db",
+            Phase::Fleet => "fleet",
         }
     }
 }
@@ -238,11 +243,17 @@ pub enum Counter {
     FaultInjected,
     /// Crash-safe checkpoint saves of the evaluation cache.
     CheckpointSave,
+    /// Shard leases granted by a fleet coordinator.
+    ShardLease,
+    /// Shards reclaimed from dead or stalled workers and reassigned.
+    ShardSteal,
+    /// Evaluated points merged by a fleet coordinator.
+    FleetPoints,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 13] = [
         Counter::DbHit,
         Counter::DbMiss,
         Counter::DbPersistBytes,
@@ -253,6 +264,9 @@ impl Counter {
         Counter::TaskRetry,
         Counter::FaultInjected,
         Counter::CheckpointSave,
+        Counter::ShardLease,
+        Counter::ShardSteal,
+        Counter::FleetPoints,
     ];
 
     /// The counter's snake_case report name.
@@ -268,6 +282,9 @@ impl Counter {
             Counter::TaskRetry => "task_retry",
             Counter::FaultInjected => "fault_injected",
             Counter::CheckpointSave => "checkpoint_save",
+            Counter::ShardLease => "shard_lease",
+            Counter::ShardSteal => "shard_steal",
+            Counter::FleetPoints => "fleet_points",
         }
     }
 }

@@ -1,62 +1,66 @@
 //! `spacewalker` — non-interactive design-space exploration from a
-//! specification file.
-//!
-//! The command-line face of the system (the paper's spacewalker executable
-//! driven by a `DesignSpaceSpec`):
+//! specification file, now subcommand-structured:
 //!
 //! ```console
-//! $ spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
-//!               [--policy LIST] [--sample N[:clusters=K,warmup=W]]
+//! $ spacewalker walk SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv]
+//!               [--heuristic] [--policy LIST] [--sample N[:clusters=K,warmup=W]]
 //!               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
-//! $ spacewalker --serve ADDR
-//! $ spacewalker SPEC.txt --connect ADDR [--heuristic] [--policy LIST] [--sample ...]
+//! $ spacewalker serve ADDR
+//! $ spacewalker connect ADDR SPEC.txt [--heuristic] [--policy LIST]
+//!               [--sample ...] [--timeout SECS] [--retries N]
+//! $ spacewalker worker ADDR [--threads N] [--timeout SECS]
+//! $ spacewalker fleet SPEC.txt --workers N [--bind ADDR] [--port-file PATH]
+//!               [--shards S] [--db ...] [--checkpoint DIR] [--resume DIR]
 //! ```
 //!
-//! Reads the design-space specification, runs the reference evaluation once
-//! (the only simulation), walks the processor × memory space with the
-//! dilation model, and prints the cost/performance Pareto frontier. With
-//! `--db` the evaluation cache persists across runs in the versioned
-//! binary format (bit-exact round-trip); `--export` additionally writes a
-//! human-readable text listing; with `--heuristic` the per-cache walks use
-//! neighbourhood ascent instead of exhaustion; `--policy lru,fifo,plru,
-//! random:7` overrides the replacement-policy dimension of every cache
-//! space in the spec (the spec's own `policies =` keys are the per-cache
-//! way to say the same thing). `--sample N` routes the reference
-//! evaluation through interval sampling — intervals of `N` accesses,
-//! optionally `:clusters=K,warmup=W` to override the representative
-//! count and warm-up prefix — and the frontier output records the
-//! sampled-vs-exact provenance (a `# provenance:` header naming the
-//! coverage, plus a `src` column on every row). `--obs` / `--obs-json`
-//! (or the `MHE_OBS` variable) emit a run report to stderr — phase
-//! timings, throughput, parallel efficiency, and cache-database traffic —
-//! as text or line-JSON.
+//! `walk` reads the design-space specification, runs the reference
+//! evaluation once (the only simulation), walks the processor × memory
+//! space with the dilation model, and prints the cost/performance Pareto
+//! frontier. With `--db` the evaluation cache persists across runs in
+//! the versioned binary format (bit-exact round-trip); `--export`
+//! additionally writes a human-readable text listing; `--heuristic`
+//! demonstrates neighbourhood-ascent pruning; `--policy
+//! lru,fifo,plru,random:7` overrides the replacement-policy dimension of
+//! every cache space; `--sample N` routes the reference evaluation
+//! through interval sampling and stamps the frontier with its
+//! provenance. `--obs` / `--obs-json` (or `MHE_OBS`) emit a run report
+//! to stderr.
 //!
 //! # Daemon mode
 //!
-//! `--serve ADDR` turns the process into a sweep daemon on `ADDR` (the
-//! same service `mhe-server` runs, minus its extra flags): warm
-//! [`EvalService`] sessions, bounded admission, graceful SIGTERM drain.
-//! `--connect ADDR` sends the walk to such a daemon instead of evaluating
-//! in-process and prints the served frontier — byte-identical to what the
-//! batch mode would print, because both sides render the same
-//! [`report`](mhe_spacewalk::report_from) with the same
-//! [`renderer`](mhe_spacewalk::render_frontier). Batch-only flags
-//! (`--db`, `--export`, `--checkpoint`, `--resume`) are rejected in
-//! connect mode: persistence belongs to the daemon's side of the socket.
+//! `serve ADDR` turns the process into a sweep daemon (the same service
+//! `mhe-server` runs): warm sessions, bounded admission, graceful
+//! SIGTERM drain. `connect ADDR SPEC` sends the walk to such a daemon
+//! and prints the served frontier — byte-identical to the batch output,
+//! because both sides render the same report with the same renderer.
+//! Persistence flags are rejected in connect mode: they belong to the
+//! daemon's side of the socket.
 //!
-//! # Fault tolerance
+//! # Distributed mode
 //!
-//! `--checkpoint DIR` persists the evaluation cache atomically into `DIR`
-//! after every processor's memory walk; `--resume DIR` additionally
-//! reloads the checkpoint first, so a killed run fast-forwards through
-//! already-evaluated designs and produces a frontier bit-identical to an
-//! uninterrupted run. Failures exit with a one-line message and a typed
-//! status: **2** bad configuration (usage, unreadable or malformed spec),
-//! **3** corrupt input (cache database or checkpoint fails its CRC),
-//! **4** worker failure (a panic isolated inside the parallel walk, or a
-//! failed checkpoint write), **5** server unavailable (`--connect` could
-//! not reach the daemon, or the daemon rejected the request at
-//! admission).
+//! `fleet SPEC --workers N` partitions the metric evaluations into
+//! deterministic shards, spawns `N` local worker processes (more can
+//! attach from other machines with `worker ADDR`), merges their
+//! streamed points with work-stealing fault tolerance, and finishes
+//! with a serial walk over the merged cache — printing a frontier
+//! bit-identical to `walk` at any worker count, even after killing a
+//! worker mid-sweep. `--checkpoint`/`--resume` reuse the crash-safe
+//! cache format, so a restarted coordinator re-offers completed points
+//! instead of recomputing them.
+//!
+//! # Exit codes
+//!
+//! Failures exit with a one-line message and a typed status: **2** bad
+//! configuration (usage, unreadable or malformed spec, protocol-version
+//! skew rejected by a server), **3** corrupt input (cache database or
+//! checkpoint fails its CRC), **4** worker failure (a panic isolated
+//! inside the parallel walk, a failed checkpoint write, an aborted
+//! fleet sweep), **5** server unavailable (a daemon or coordinator
+//! could not be reached or went silent).
+//!
+//! The pre-subcommand spelling (`spacewalker SPEC --serve/--connect/...`)
+//! still parses as a deprecated alias and prints a one-line migration
+//! hint to stderr.
 
 use mhe_core::evaluator::EvalConfig;
 use mhe_core::{
@@ -65,17 +69,36 @@ use mhe_core::{
 };
 use mhe_spacewalk::cache_db::{EvaluationCache, MetricKey};
 use mhe_spacewalk::ckpt::Checkpointer;
+use mhe_spacewalk::fleet::{run_worker, Coordinator, FleetConfig, FleetJob, WorkerOptions};
 use mhe_spacewalk::heuristic::walk_heuristic;
-use mhe_spacewalk::service::proto::FrontierRequest;
+use mhe_spacewalk::service::proto::{FrontierReport, FrontierRequest};
 use mhe_spacewalk::spec::Spec;
 use mhe_spacewalk::{render_frontier, report_from, walker, Client, EvalService, Server};
 use mhe_vliw::ProcessorKind;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-const USAGE: &str = "usage: spacewalker SPEC.txt [--db CACHE.mhec] [--export CACHE.tsv] \
-     [--heuristic] [--policy LIST] [--sample N[:clusters=K,warmup=W]] [--checkpoint DIR] \
-     [--resume DIR] [--connect ADDR] [--obs|--obs-json]\n       spacewalker --serve ADDR";
+const USAGE: &str = "usage:
+  spacewalker walk SPEC [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
+              [--policy LIST] [--sample N[:clusters=K,warmup=W]]
+              [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
+  spacewalker serve ADDR [--obs|--obs-json]
+  spacewalker connect ADDR SPEC [--heuristic] [--policy LIST] [--sample ...]
+              [--timeout SECS] [--retries N] [--obs|--obs-json]
+  spacewalker worker ADDR [--threads N] [--timeout SECS]
+              [--die-after-points N] [--obs|--obs-json]
+  spacewalker fleet SPEC --workers N [--bind ADDR] [--port-file PATH]
+              [--shards S] [--lease-timeout SECS] [--stall-timeout SECS]
+              [--db CACHE.mhec] [--export CACHE.tsv] [--policy LIST]
+              [--sample ...] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
+
+exit codes:
+  0 success | 2 bad configuration | 3 corrupt input
+  4 worker failure | 5 server unavailable
+
+The pre-subcommand flags (spacewalker SPEC [--serve ADDR] [--connect ADDR] ...)
+still parse as deprecated aliases of walk/serve/connect.";
 
 /// Parses `N[:clusters=K,warmup=W]` into a [`SamplingConfig`] (defaults
 /// fill the unnamed fields).
@@ -104,188 +127,109 @@ fn parse_sample(arg: &str) -> Result<SamplingConfig, String> {
     Ok(cfg)
 }
 
+fn parse_policy_list(list: &str) -> Result<Vec<mhe_cache::Policy>, String> {
+    let mut parsed = Vec::new();
+    for token in list.split(',').filter(|t| !t.is_empty()) {
+        parsed.push(token.parse::<mhe_cache::Policy>().map_err(|e| format!("{token:?}: {e}"))?);
+    }
+    if parsed.is_empty() {
+        return Err("needs at least one policy".into());
+    }
+    Ok(parsed)
+}
+
 /// Prints a one-line diagnostic and returns the given exit status.
 fn fail(code: u8, msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("spacewalker: {msg}");
     ExitCode::from(code)
 }
 
-/// Runs the sweep daemon on `addr` until a drain signal, exactly like
-/// `mhe-server` with default flags.
-fn serve(addr: &str) -> ExitCode {
-    let service = Arc::new(EvalService::default());
-    let server = match Server::bind(addr, service) {
-        Ok(s) => s,
-        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("cannot bind {addr}: {e}")),
-    };
-    server.install_signal_drain();
-    match server.local_addr() {
-        Ok(a) => eprintln!("spacewalker: serving on {a} (SIGTERM drains)"),
-        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("local addr: {e}")),
-    }
-    match server.run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => fail(EXIT_WORKER_FAILURE, format!("serve loop: {e}")),
-    }
+/// A typed CLI failure: exit code plus rendered message.
+type CliError = (u8, String);
+
+fn bad(msg: impl std::fmt::Display) -> CliError {
+    (EXIT_BAD_CONFIG, msg.to_string())
 }
 
-/// Sends the walk to a daemon and prints the served frontier — the same
-/// bytes the batch path prints for the same spec.
-fn connect(
-    addr: &str,
-    spec_text: String,
+/// Options shared by every sweep-shaped subcommand (`walk`, `connect`,
+/// `fleet`) plus the persistence knobs only batch-side commands accept.
+#[derive(Debug, Default, Clone)]
+struct SweepOptions {
     heuristic: bool,
-    sampling: Option<SamplingConfig>,
     policies: Option<Vec<mhe_cache::Policy>>,
-) -> ExitCode {
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => return fail(e.exit_code(), e),
-    };
-    let report = match client.frontier(FrontierRequest { spec_text, heuristic, sampling, policies })
-    {
-        Ok(r) => r,
-        Err(e) => return fail(e.exit_code(), e),
-    };
-    print!("{}", render_frontier(&report));
-    eprintln!(
-        "{} frontier designs; evaluation cache {} hits / {} computes",
-        report.rows.len(),
-        report.hits,
-        report.computes
-    );
-    ExitCode::SUCCESS
+    sampling: Option<SamplingConfig>,
+    db_path: Option<String>,
+    export_path: Option<String>,
+    ckpt_dir: Option<String>,
+    resume: bool,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut spec_path = None;
-    let mut db_path: Option<String> = None;
-    let mut export_path: Option<String> = None;
-    let mut ckpt_dir: Option<String> = None;
-    let mut resume = false;
-    let mut heuristic = false;
-    let mut policies: Option<Vec<mhe_cache::Policy>> = None;
-    let mut sampling: Option<SamplingConfig> = None;
-    let mut serve_addr: Option<String> = None;
-    let mut connect_addr: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--db" => {
-                i += 1;
-                db_path = args.get(i).cloned();
-                if db_path.is_none() {
-                    return fail(EXIT_BAD_CONFIG, "--db needs a path");
-                }
-            }
-            "--export" => {
-                i += 1;
-                export_path = args.get(i).cloned();
-                if export_path.is_none() {
-                    return fail(EXIT_BAD_CONFIG, "--export needs a path");
-                }
-            }
-            "--checkpoint" | "--resume" => {
-                resume |= args[i] == "--resume";
-                i += 1;
-                let dir = args.get(i).cloned();
-                let Some(dir) = dir else {
-                    return fail(EXIT_BAD_CONFIG, format!("{} needs a directory", args[i - 1]));
-                };
-                if let Some(prev) = &ckpt_dir {
-                    if *prev != dir {
-                        return fail(
-                            EXIT_BAD_CONFIG,
-                            "--checkpoint and --resume name different directories",
-                        );
-                    }
-                }
-                ckpt_dir = Some(dir);
-            }
+impl SweepOptions {
+    /// Tries to consume one shared flag at `args[*i]`; `Ok(true)` means
+    /// it was recognized (and `*i` advanced past any value).
+    fn take(&mut self, args: &[String], i: &mut usize) -> Result<bool, CliError> {
+        let flag = args[*i].as_str();
+        let mut value = |name: &str| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| bad(format!("{name} needs a value")))
+        };
+        match flag {
+            "--heuristic" => self.heuristic = true,
             "--policy" => {
-                i += 1;
-                let Some(list) = args.get(i) else {
-                    return fail(EXIT_BAD_CONFIG, "--policy needs a comma-separated list");
-                };
-                let mut parsed = Vec::new();
-                for token in list.split(',').filter(|t| !t.is_empty()) {
-                    match token.parse::<mhe_cache::Policy>() {
-                        Ok(p) => parsed.push(p),
-                        Err(e) => return fail(EXIT_BAD_CONFIG, format!("--policy {token:?}: {e}")),
-                    }
-                }
-                if parsed.is_empty() {
-                    return fail(EXIT_BAD_CONFIG, "--policy needs at least one policy");
-                }
-                policies = Some(parsed);
+                let list = value("--policy")?;
+                self.policies =
+                    Some(parse_policy_list(&list).map_err(|e| bad(format!("--policy {e}")))?);
             }
             "--sample" => {
-                i += 1;
-                let Some(v) = args.get(i) else {
-                    return fail(EXIT_BAD_CONFIG, "--sample needs N[:clusters=K,warmup=W]");
-                };
-                match parse_sample(v) {
-                    Ok(s) => sampling = Some(s),
-                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--sample {v:?}: {e}")),
-                }
+                let v = value("--sample")?;
+                self.sampling =
+                    Some(parse_sample(&v).map_err(|e| bad(format!("--sample {v:?}: {e}")))?);
             }
-            "--serve" => {
-                i += 1;
-                serve_addr = args.get(i).cloned();
-                if serve_addr.is_none() {
-                    return fail(EXIT_BAD_CONFIG, "--serve needs an address (e.g. 127.0.0.1:7199)");
+            "--db" => self.db_path = Some(value("--db")?),
+            "--export" => self.export_path = Some(value("--export")?),
+            "--checkpoint" | "--resume" => {
+                self.resume |= flag == "--resume";
+                let dir = value(flag)?;
+                if let Some(prev) = &self.ckpt_dir {
+                    if *prev != dir {
+                        return Err(bad("--checkpoint and --resume name different directories"));
+                    }
                 }
+                self.ckpt_dir = Some(dir);
             }
-            "--connect" => {
-                i += 1;
-                connect_addr = args.get(i).cloned();
-                if connect_addr.is_none() {
-                    return fail(EXIT_BAD_CONFIG, "--connect needs an address");
-                }
-            }
-            "--heuristic" => heuristic = true,
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
             "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
-            "--help" | "-h" => {
-                eprintln!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            other => {
-                if spec_path.replace(other.to_string()).is_some() {
-                    return fail(EXIT_BAD_CONFIG, format!("unexpected extra argument {other:?}"));
-                }
-            }
+            _ => return Ok(false),
         }
-        i += 1;
+        Ok(true)
     }
 
-    if let Some(addr) = serve_addr {
-        if spec_path.is_some() || connect_addr.is_some() {
-            return fail(EXIT_BAD_CONFIG, "--serve takes no spec and no --connect");
+    fn reject_persistence(&self, context: &str) -> Result<(), CliError> {
+        if self.db_path.is_some() || self.export_path.is_some() || self.ckpt_dir.is_some() {
+            return Err(bad(format!(
+                "{context} is incompatible with --db/--export/--checkpoint/--resume \
+                 (persistence lives on the serving side)"
+            )));
         }
-        return serve(&addr);
+        Ok(())
     }
+}
 
-    let Some(spec_path) = spec_path else {
-        return fail(EXIT_BAD_CONFIG, USAGE);
-    };
+/// A parsed and policy-overridden spec, plus its verbatim text.
+struct LoadedSpec {
+    text: String,
+    spec: Spec,
+}
 
-    let text = match std::fs::read_to_string(&spec_path) {
-        Ok(t) => t,
-        Err(e) => return fail(EXIT_BAD_CONFIG, format!("cannot read {spec_path}: {e}")),
-    };
-    let mut spec = match Spec::parse(&text) {
-        Ok(s) => s,
-        Err(e) => return fail(EXIT_BAD_CONFIG, format!("{spec_path}: {e}")),
-    };
-    if let Some(p) = &policies {
+fn load_spec(path: &str, opts: &SweepOptions) -> Result<LoadedSpec, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read {path}: {e}")))?;
+    let mut spec = Spec::parse(&text).map_err(|e| bad(format!("{path}: {e}")))?;
+    if let Some(p) = &opts.policies {
         spec.space.icache.policies.clone_from(p);
         spec.space.dcache.policies.clone_from(p);
         spec.space.ucache.policies.clone_from(p);
     }
-    let spec = spec;
-
     eprintln!(
         "benchmark {} | {} processors x {} I$ x {} D$ x {} U$ = {} systems",
         spec.benchmark,
@@ -295,58 +239,108 @@ fn main() -> ExitCode {
         spec.space.ucache.enumerate().len(),
         spec.space.combinations()
     );
+    Ok(LoadedSpec { text, spec })
+}
 
-    if let Some(addr) = connect_addr {
-        if db_path.is_some() || export_path.is_some() || ckpt_dir.is_some() {
-            return fail(
-                EXIT_BAD_CONFIG,
-                "--connect is incompatible with --db/--export/--checkpoint/--resume \
-                 (persistence lives on the daemon's side)",
-            );
-        }
-        return connect(&addr, text, heuristic, sampling, policies);
-    }
-
-    let checkpoint = match ckpt_dir {
-        Some(dir) => match Checkpointer::new(&dir) {
-            Ok(c) => Some(c),
-            Err(e) => return fail(EXIT_BAD_CONFIG, e),
-        },
+/// Opens the checkpointer (if any) and the starting evaluation cache,
+/// honouring `--resume` and `--db` preloads.
+fn open_store(opts: &SweepOptions) -> Result<(Option<Checkpointer>, EvaluationCache), CliError> {
+    let checkpoint = match &opts.ckpt_dir {
+        Some(dir) => Some(Checkpointer::new(dir).map_err(bad)?),
         None => None,
     };
-
-    let db = if resume {
-        // `checkpoint` is always bound when `resume` is set.
+    let db = if opts.resume {
         match checkpoint.as_ref().map(Checkpointer::load) {
             Some(Ok(db)) => {
                 eprintln!("resumed {} cached metrics from checkpoint", db.len());
                 db
             }
-            Some(Err(e)) => return fail(EXIT_CORRUPT_INPUT, e),
+            Some(Err(e)) => return Err((EXIT_CORRUPT_INPUT, e.to_string())),
             None => EvaluationCache::new(),
         }
     } else {
-        match &db_path {
+        match &opts.db_path {
             Some(p) if std::path::Path::new(p).exists() => match EvaluationCache::load(p) {
                 Ok(db) => {
                     eprintln!("loaded {} cached metrics from {p}", db.len());
                     db
                 }
-                Err(e) => return fail(EXIT_CORRUPT_INPUT, e),
+                Err(e) => return Err((EXIT_CORRUPT_INPUT, e.to_string())),
             },
             _ => EvaluationCache::new(),
         }
     };
+    Ok((checkpoint, db))
+}
+
+/// Prints the frontier and its one-line stderr summary — the shared tail
+/// of `walk`, `connect`, and `fleet`, and the bytes the byte-identity
+/// contract is about.
+fn print_report(report: &FrontierReport) {
+    print!("{}", render_frontier(report));
+    eprintln!(
+        "{} frontier designs; evaluation cache {} hits / {} computes",
+        report.rows.len(),
+        report.hits,
+        report.computes
+    );
+}
+
+/// Saves/exports the cache per the persistence flags.
+fn persist(db: &EvaluationCache, opts: &SweepOptions) -> Result<(), CliError> {
+    if let Some(p) = &opts.db_path {
+        db.save(p).map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot save {p}: {e}")))?;
+        eprintln!("saved evaluation cache to {p}");
+    }
+    if let Some(p) = &opts.export_path {
+        db.export_text(p).map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot export {p}: {e}")))?;
+        eprintln!("exported text listing to {p}");
+    }
+    Ok(())
+}
+
+// --- subcommands ---------------------------------------------------------
+
+fn cmd_walk(args: &[String]) -> ExitCode {
+    let mut opts = SweepOptions::default();
+    let mut spec_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match opts.take(args, &mut i) {
+            Ok(true) => {}
+            Ok(false) => {
+                let other = args[i].as_str();
+                if spec_path.replace(other.to_string()).is_some() {
+                    return fail(EXIT_BAD_CONFIG, format!("unexpected extra argument {other:?}"));
+                }
+            }
+            Err((code, msg)) => return fail(code, msg),
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        return fail(EXIT_BAD_CONFIG, "walk needs a SPEC file");
+    };
+    match run_walk(&spec_path, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => fail(code, msg),
+    }
+}
+
+fn run_walk(spec_path: &str, opts: &SweepOptions) -> Result<(), CliError> {
+    let loaded = load_spec(spec_path, opts)?;
+    let spec = &loaded.spec;
+    let (checkpoint, db) = open_store(opts)?;
 
     eprintln!("building reference evaluation (the only simulation step)...");
     let eval = walker::prepare_evaluation(
         spec.benchmark.generate(),
         &ProcessorKind::P1111.mdes(),
-        EvalConfig { events: spec.events, sampling, ..EvalConfig::default() },
+        EvalConfig { events: spec.events, sampling: opts.sampling, ..EvalConfig::default() },
         &spec.space,
     );
 
-    if heuristic {
+    if opts.heuristic {
         // Demonstrate the pruning on the instruction-cache walk at each
         // processor's dilation. The heuristic shares the system cache, so
         // every design it touches pre-warms the full walk below.
@@ -369,50 +363,511 @@ fn main() -> ExitCode {
                     r.pareto.len()
                 ),
                 Err(e) => {
-                    return fail(e.exit_code(), format!("heuristic I$ walk @ {}: {e}", proc.name))
+                    return Err((e.exit_code(), format!("heuristic I$ walk @ {}: {e}", proc.name)))
                 }
             }
         }
     }
 
-    let frontier = match walker::walk_system_with(
-        &eval,
-        &spec.space,
-        spec.penalties,
-        &db,
-        checkpoint.as_ref(),
-    ) {
-        Ok(f) => f,
-        Err(e) => return fail(e.exit_code(), format!("system walk failed: {e}")),
-    };
+    let frontier =
+        walker::walk_system_with(&eval, &spec.space, spec.penalties, &db, checkpoint.as_ref())
+            .map_err(|e| (e.exit_code(), format!("system walk failed: {e}")))?;
     // Sampled-vs-exact provenance travels with the frontier itself, so a
     // saved listing is self-describing about how its misses were measured.
     // The report + renderer pair is the same one a daemon serves over the
-    // wire, which is what keeps batch and `--connect` output
+    // wire, which is what keeps batch, served, and fleet output
     // byte-identical by construction.
     let report = report_from(&eval, &frontier, &db);
-    print!("{}", render_frontier(&report));
-    eprintln!(
-        "{} frontier designs; evaluation cache {} hits / {} computes",
-        report.rows.len(),
-        report.hits,
-        report.computes
-    );
-
-    if let Some(p) = db_path {
-        if let Err(e) = db.save(&p) {
-            return fail(EXIT_WORKER_FAILURE, format!("cannot save {p}: {e}"));
-        }
-        eprintln!("saved evaluation cache to {p}");
-    }
-    if let Some(p) = export_path {
-        if let Err(e) = db.export_text(&p) {
-            return fail(EXIT_WORKER_FAILURE, format!("cannot export {p}: {e}"));
-        }
-        eprintln!("exported text listing to {p}");
-    }
+    print_report(&report);
+    persist(&db, opts)?;
     if mhe_obs::enabled() {
         mhe_obs::RunReport::capture("spacewalker", eval.config().worker_threads()).emit();
     }
+    Ok(())
+}
+
+/// Runs the sweep daemon on `addr` until a drain signal, exactly like
+/// `mhe-server` with default flags.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut addr = None;
+    let mut opts = SweepOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match opts.take(args, &mut i) {
+            Ok(true) => {}
+            Ok(false) => {
+                if addr.replace(args[i].clone()).is_some() {
+                    return fail(EXIT_BAD_CONFIG, format!("unexpected argument {:?}", args[i]));
+                }
+            }
+            Err((code, msg)) => return fail(code, msg),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return fail(EXIT_BAD_CONFIG, "serve needs an address (e.g. 127.0.0.1:7199)");
+    };
+    if let Err((code, msg)) =
+        opts.reject_persistence("serve").and_then(|()| reject_sweep_flags(&opts, "serve"))
+    {
+        return fail(code, msg);
+    }
+    serve(&addr)
+}
+
+fn reject_sweep_flags(opts: &SweepOptions, context: &str) -> Result<(), CliError> {
+    if opts.heuristic || opts.policies.is_some() || opts.sampling.is_some() {
+        return Err(bad(format!("{context} takes no sweep flags (--heuristic/--policy/--sample)")));
+    }
+    Ok(())
+}
+
+fn serve(addr: &str) -> ExitCode {
+    let service = Arc::new(EvalService::default());
+    let server = match Server::bind(addr, service) {
+        Ok(s) => s,
+        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("cannot bind {addr}: {e}")),
+    };
+    server.install_signal_drain();
+    match server.local_addr() {
+        Ok(a) => eprintln!("spacewalker: serving on {a} (SIGTERM drains)"),
+        Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("local addr: {e}")),
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(EXIT_WORKER_FAILURE, format!("serve loop: {e}")),
+    }
+}
+
+fn cmd_connect(args: &[String]) -> ExitCode {
+    let mut opts = SweepOptions::default();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut timeout = None;
+    let mut retries = 0u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--timeout needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => timeout = Some(Duration::from_secs(secs)),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--timeout {v:?}: {e}")),
+                }
+            }
+            "--retries" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--retries needs a count");
+                };
+                match v.parse::<u32>() {
+                    Ok(n) => retries = n,
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--retries {v:?}: {e}")),
+                }
+            }
+            _ => match opts.take(args, &mut i) {
+                Ok(true) => {}
+                Ok(false) => positionals.push(args[i].clone()),
+                Err((code, msg)) => return fail(code, msg),
+            },
+        }
+        i += 1;
+    }
+    let [addr, spec_path] = positionals.as_slice() else {
+        return fail(EXIT_BAD_CONFIG, "connect needs ADDR and SPEC");
+    };
+    if let Err((code, msg)) = opts.reject_persistence("connect") {
+        return fail(code, msg);
+    }
+    let loaded = match load_spec(spec_path, &opts) {
+        Ok(l) => l,
+        Err((code, msg)) => return fail(code, msg),
+    };
+    connect(addr, loaded.text, &opts, timeout, retries)
+}
+
+/// Sends the walk to a daemon and prints the served frontier — the same
+/// bytes the batch path prints for the same spec.
+fn connect(
+    addr: &str,
+    spec_text: String,
+    opts: &SweepOptions,
+    timeout: Option<Duration>,
+    retries: u32,
+) -> ExitCode {
+    let mut builder = Client::builder().addr(addr).retries(retries);
+    if let Some(t) = timeout {
+        builder = builder.timeout(t);
+    }
+    let mut client = match builder.connect() {
+        Ok(c) => c,
+        Err(e) => return fail(e.exit_code(), e),
+    };
+    let request = FrontierRequest {
+        spec_text,
+        heuristic: opts.heuristic,
+        sampling: opts.sampling,
+        policies: opts.policies.clone(),
+    };
+    let report = match client.evaluate(request) {
+        Ok(r) => r,
+        Err(e) => return fail(e.exit_code(), e),
+    };
+    print_report(&report);
     ExitCode::SUCCESS
+}
+
+fn cmd_worker(args: &[String]) -> ExitCode {
+    let mut addr = None;
+    let mut worker = WorkerOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--threads needs a count");
+                };
+                match v.parse::<usize>() {
+                    Ok(n) => worker.threads = Some(n),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--threads {v:?}: {e}")),
+                }
+            }
+            "--timeout" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--timeout needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => worker.reply_timeout = Some(Duration::from_secs(secs)),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--timeout {v:?}: {e}")),
+                }
+            }
+            "--die-after-points" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--die-after-points needs a count");
+                };
+                match v.parse::<u64>() {
+                    Ok(n) => worker.die_after_points = Some(n),
+                    Err(e) => {
+                        return fail(EXIT_BAD_CONFIG, format!("--die-after-points {v:?}: {e}"))
+                    }
+                }
+            }
+            "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
+            "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
+            other => {
+                if addr.replace(other.to_string()).is_some() {
+                    return fail(EXIT_BAD_CONFIG, format!("unexpected argument {other:?}"));
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return fail(EXIT_BAD_CONFIG, "worker needs a coordinator ADDR");
+    };
+    match run_worker(&addr, worker) {
+        Ok(outcome) => {
+            eprintln!(
+                "worker {}: {} shards, {} points evaluated, {} prefilled skipped",
+                outcome.worker_id, outcome.shards, outcome.points, outcome.skipped_prefilled
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e.exit_code(), e),
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let mut opts = SweepOptions::default();
+    let mut spec_path = None;
+    let mut workers: Option<u32> = None;
+    let mut bind_addr = "127.0.0.1:0".to_string();
+    let mut port_file: Option<String> = None;
+    let mut fleet_cfg = FleetConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--workers needs a count");
+                };
+                match v.parse::<u32>() {
+                    Ok(n) => workers = Some(n),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--workers {v:?}: {e}")),
+                }
+            }
+            "--bind" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--bind needs an address");
+                };
+                bind_addr = v.clone();
+            }
+            "--port-file" => {
+                i += 1;
+                port_file = args.get(i).cloned();
+                if port_file.is_none() {
+                    return fail(EXIT_BAD_CONFIG, "--port-file needs a path");
+                }
+            }
+            "--shards" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--shards needs a count");
+                };
+                match v.parse::<u32>() {
+                    Ok(n) if n > 0 => fleet_cfg.shard_count = n,
+                    Ok(_) => return fail(EXIT_BAD_CONFIG, "--shards must be positive"),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--shards {v:?}: {e}")),
+                }
+            }
+            "--lease-timeout" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--lease-timeout needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => fleet_cfg.lease_timeout = Duration::from_secs(secs),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--lease-timeout {v:?}: {e}")),
+                }
+            }
+            "--stall-timeout" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--stall-timeout needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => fleet_cfg.stall_timeout = Duration::from_secs(secs),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--stall-timeout {v:?}: {e}")),
+                }
+            }
+            _ => match opts.take(args, &mut i) {
+                Ok(true) => {}
+                Ok(false) => {
+                    let other = args[i].as_str();
+                    if spec_path.replace(other.to_string()).is_some() {
+                        return fail(
+                            EXIT_BAD_CONFIG,
+                            format!("unexpected extra argument {other:?}"),
+                        );
+                    }
+                }
+                Err((code, msg)) => return fail(code, msg),
+            },
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        return fail(EXIT_BAD_CONFIG, "fleet needs a SPEC file");
+    };
+    let Some(workers) = workers else {
+        return fail(EXIT_BAD_CONFIG, "fleet needs --workers N (0 = attach workers manually)");
+    };
+    if opts.heuristic {
+        return fail(
+            EXIT_BAD_CONFIG,
+            "fleet has no --heuristic: the fleet prewarms every metric anyway",
+        );
+    }
+    match run_fleet(&spec_path, &opts, workers, &bind_addr, port_file.as_deref(), fleet_cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => fail(code, msg),
+    }
+}
+
+fn run_fleet(
+    spec_path: &str,
+    opts: &SweepOptions,
+    workers: u32,
+    bind_addr: &str,
+    port_file: Option<&str>,
+    fleet_cfg: FleetConfig,
+) -> Result<(), CliError> {
+    let loaded = load_spec(spec_path, opts)?;
+    let spec = &loaded.spec;
+    let (checkpoint, db) = open_store(opts)?;
+    let db = Arc::new(db);
+
+    let job = FleetJob {
+        spec_text: loaded.text.clone(),
+        sampling: opts.sampling,
+        policies: opts.policies.clone(),
+    };
+    let coordinator = Coordinator::bind(bind_addr, job, fleet_cfg, Arc::clone(&db))
+        .map_err(|e| (EXIT_SERVER_UNAVAILABLE, format!("cannot bind {bind_addr}: {e}")))?;
+    let addr = coordinator
+        .local_addr()
+        .map_err(|e| (EXIT_SERVER_UNAVAILABLE, format!("local addr: {e}")))?;
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!(
+        "fleet: coordinating on {addr} ({} shards, {} local workers)",
+        fleet_cfg.shard_count, workers
+    );
+
+    let exe = std::env::current_exe()
+        .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot locate own binary: {e}")))?;
+    let mut children = Vec::new();
+    for _ in 0..workers {
+        let child = std::process::Command::new(&exe)
+            .arg("worker")
+            .arg(addr.to_string())
+            .spawn()
+            .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot spawn worker: {e}")))?;
+        children.push(child);
+    }
+
+    let summary = match coordinator.run(checkpoint.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            for child in &mut children {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            return Err((e.exit_code(), format!("fleet sweep failed: {e}")));
+        }
+    };
+    // Workers exit on NoMoreWork; a worker that died mid-sweep was
+    // already stolen from — its exit status is not the fleet's.
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    eprintln!(
+        "fleet: {} workers, {} points merged, {} steals, {} duplicate deliveries",
+        summary.workers, summary.points, summary.steals, summary.duplicates
+    );
+
+    // The fleet filled the cache; the frontier itself is the ordinary
+    // deterministic serial walk — every metric lookup below is a hit,
+    // which is what makes this output bit-identical to `walk`.
+    eprintln!("building reference evaluation (the only simulation step)...");
+    let eval = walker::prepare_evaluation(
+        spec.benchmark.generate(),
+        &ProcessorKind::P1111.mdes(),
+        EvalConfig { events: spec.events, sampling: opts.sampling, ..EvalConfig::default() },
+        &spec.space,
+    );
+    let frontier =
+        walker::walk_system_with(&eval, &spec.space, spec.penalties, &db, checkpoint.as_ref())
+            .map_err(|e| (e.exit_code(), format!("system walk failed: {e}")))?;
+    let report = report_from(&eval, &frontier, &db);
+    print_report(&report);
+    persist(&db, opts)?;
+    if mhe_obs::enabled() {
+        mhe_obs::RunReport::capture("spacewalker-fleet", eval.config().worker_threads()).emit();
+    }
+    Ok(())
+}
+
+// --- deprecated pre-subcommand spelling ----------------------------------
+
+/// The original flag-soup interface, kept as a deprecated alias. Parses
+/// exactly as before, but prints a one-line migration hint naming the
+/// subcommand that replaces the invocation.
+fn legacy(args: &[String]) -> ExitCode {
+    let mut opts = SweepOptions::default();
+    let mut spec_path = None;
+    let mut serve_addr: Option<String> = None;
+    let mut connect_addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--serve" => {
+                i += 1;
+                serve_addr = args.get(i).cloned();
+                if serve_addr.is_none() {
+                    return fail(EXIT_BAD_CONFIG, "--serve needs an address (e.g. 127.0.0.1:7199)");
+                }
+            }
+            "--connect" => {
+                i += 1;
+                connect_addr = args.get(i).cloned();
+                if connect_addr.is_none() {
+                    return fail(EXIT_BAD_CONFIG, "--connect needs an address");
+                }
+            }
+            _ => match opts.take(args, &mut i) {
+                Ok(true) => {}
+                Ok(false) => {
+                    let other = args[i].as_str();
+                    if other.starts_with('-') {
+                        return fail(EXIT_BAD_CONFIG, format!("unknown flag {other:?}\n{USAGE}"));
+                    }
+                    if spec_path.replace(other.to_string()).is_some() {
+                        return fail(
+                            EXIT_BAD_CONFIG,
+                            format!("unexpected extra argument {other:?}"),
+                        );
+                    }
+                }
+                Err((code, msg)) => return fail(code, msg),
+            },
+        }
+        i += 1;
+    }
+
+    if let Some(addr) = serve_addr {
+        eprintln!(
+            "spacewalker: note: `--serve ADDR` is deprecated; use `spacewalker serve {addr}`"
+        );
+        if spec_path.is_some() || connect_addr.is_some() {
+            return fail(EXIT_BAD_CONFIG, "--serve takes no spec and no --connect");
+        }
+        return serve(&addr);
+    }
+
+    let Some(spec_path) = spec_path else {
+        return fail(EXIT_BAD_CONFIG, USAGE);
+    };
+
+    if let Some(addr) = connect_addr {
+        eprintln!(
+            "spacewalker: note: `--connect ADDR` is deprecated; \
+             use `spacewalker connect {addr} {spec_path}`"
+        );
+        if let Err((code, msg)) = opts.reject_persistence("--connect") {
+            return fail(code, msg);
+        }
+        let loaded = match load_spec(&spec_path, &opts) {
+            Ok(l) => l,
+            Err((code, msg)) => return fail(code, msg),
+        };
+        return connect(&addr, loaded.text, &opts, None, 0);
+    }
+
+    eprintln!(
+        "spacewalker: note: the flags-only spelling is deprecated; \
+         use `spacewalker walk {spec_path} ...`"
+    );
+    match run_walk(&spec_path, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => fail(code, msg),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("walk") => cmd_walk(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("connect") => cmd_connect(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            if args.is_empty() {
+                return ExitCode::from(EXIT_BAD_CONFIG);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => legacy(&args),
+    }
 }

@@ -527,7 +527,7 @@ const TAG_DCACHE: u8 = 1;
 const TAG_UCACHE: u8 = 2;
 const TAG_PROC: u8 = 3;
 
-fn write_key(w: &mut impl Write, key: &MetricKey) -> io::Result<()> {
+pub(crate) fn write_key(w: &mut impl Write, key: &MetricKey) -> io::Result<()> {
     match key {
         MetricKey::IcacheMisses { app, design, dilation_millis } => {
             w.write_all(&[TAG_ICACHE])?;
@@ -554,7 +554,7 @@ fn write_key(w: &mut impl Write, key: &MetricKey) -> io::Result<()> {
     }
 }
 
-fn read_key(r: &mut impl Read) -> io::Result<MetricKey> {
+pub(crate) fn read_key(r: &mut impl Read) -> io::Result<MetricKey> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     match tag[0] {

@@ -1,0 +1,505 @@
+//! The fleet coordinator: a shard-lease and point-merge server.
+//!
+//! The coordinator owns no reference evaluation — it is a pure
+//! bookkeeper over the shared [`EvaluationCache`]. It partitions the
+//! shard-id space `0..shard_count`, leases shards to whichever worker
+//! asks first, merges every streamed `(key, value)` point into the
+//! cache, and reclaims leases the moment a worker disconnects (or stops
+//! renewing), handing the shard — together with every point already
+//! merged for it as a *prefill* — to the next free worker. A killed
+//! worker therefore costs the fleet only the points it had not yet
+//! streamed; nothing completed is ever recomputed.
+//!
+//! Determinism is structural, not protocolary: point values are
+//! deterministic functions of their keys, the cache is first-writer-wins
+//! on identical values, and the frontier is produced *after* the fleet
+//! by an ordinary serial walk over the merged cache. Worker count,
+//! attach order, steals, and duplicate deliveries can change wall-clock
+//! and counters, never bytes.
+
+use super::plan::shard_of;
+use crate::cache_db::EvaluationCache;
+use crate::ckpt::Checkpointer;
+use crate::service::proto::{
+    decode_worker_frame, encode_coord_frame, handshake, read_exact_or_stop, write_frame,
+    CoordFrame, FrameReader, Handshake, JobOffer, WorkerFrame, FEATURE_FLEET, HANDSHAKE_LEN, MAGIC,
+    VERSION,
+};
+use mhe_cache::Policy;
+use mhe_core::{MheError, SamplingConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Connection read timeout doubling as the handlers' stop-poll period.
+const HANDLER_POLL: Duration = Duration::from_millis(100);
+/// How often a parked worker is told to keep waiting.
+const WAIT_PERIOD: Duration = Duration::from_secs(1);
+
+/// Tunables for a fleet sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// How many shards the key space is partitioned into. More shards
+    /// mean finer-grained stealing; the default suits single-digit
+    /// worker counts.
+    pub shard_count: u32,
+    /// A lease not renewed (by points, completion, or heartbeat) within
+    /// this window is reclaimed and reassigned.
+    pub lease_timeout: Duration,
+    /// If *no* shard completes and no points arrive for this long while
+    /// work remains, the sweep is abandoned with a worker-failure error.
+    pub stall_timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shard_count: 32,
+            lease_timeout: Duration::from_secs(15),
+            stall_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// The job every attaching worker is handed (minus its worker id).
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// Verbatim spec-file text; workers rebuild the evaluation from it.
+    pub spec_text: String,
+    /// Interval-sampling override.
+    pub sampling: Option<SamplingConfig>,
+    /// Replacement-policy override.
+    pub policies: Option<Vec<Policy>>,
+}
+
+/// What a completed fleet sweep looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Distinct workers that attached over the sweep's lifetime.
+    pub workers: u32,
+    /// Points merged into the cache (first deliveries only).
+    pub points: u64,
+    /// Shards reclaimed from dead or expired workers and reassigned.
+    pub steals: u64,
+    /// Point deliveries whose key was already merged (stolen-shard
+    /// overlap); harmless — values are deterministic.
+    pub duplicates: u64,
+    /// Total shard count of the partition.
+    pub shards: u32,
+}
+
+#[derive(Debug)]
+struct Lease {
+    worker: u32,
+    renewed: Instant,
+}
+
+#[derive(Debug)]
+struct State {
+    pending: VecDeque<u32>,
+    leases: HashMap<u32, Lease>,
+    done: HashSet<u32>,
+    next_worker: u32,
+    steals: u64,
+    duplicates: u64,
+    points: u64,
+    last_progress: Instant,
+    abort: Option<String>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    job: FleetJob,
+    cfg: FleetConfig,
+    db: Arc<EvaluationCache>,
+    state: Mutex<State>,
+}
+
+impl Shared {
+    fn all_done(&self) -> bool {
+        self.locked(|s| s.done.len() as u32) == self.cfg.shard_count
+    }
+
+    fn aborted(&self) -> Option<String> {
+        self.locked(|s| s.abort.clone())
+    }
+
+    fn locked<R>(&self, f: impl FnOnce(&mut State) -> R) -> R {
+        match self.state.lock() {
+            Ok(mut s) => f(&mut s),
+            // A poisoned lock means a handler panicked mid-update; the
+            // bookkeeping is still consistent (every update is a single
+            // guarded section), so keep going rather than deadlock.
+            Err(poisoned) => f(&mut poisoned.into_inner()),
+        }
+    }
+}
+
+/// A bound fleet coordinator, ready to [`Coordinator::run`].
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and prepares the shard
+    /// partition. `db` is the merge target — preloading it (from `--db`
+    /// or a checkpoint) turns already-known points into prefills that no
+    /// worker recomputes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind / socket-configuration failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        job: FleetJob,
+        cfg: FleetConfig,
+        db: Arc<EvaluationCache>,
+    ) -> io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let state = State {
+            pending: (0..cfg.shard_count).collect(),
+            leases: HashMap::new(),
+            done: HashSet::new(),
+            next_worker: 0,
+            steals: 0,
+            duplicates: 0,
+            points: 0,
+            last_progress: Instant::now(),
+            abort: None,
+        };
+        let shared = Arc::new(Shared { job, cfg, db, state: Mutex::new(state) });
+        Ok(Coordinator { listener, shared })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts workers and brokers shards until every shard is done (or
+    /// the sweep stalls), merging streamed points into the cache.
+    ///
+    /// When `checkpoint` is given, the merged cache is persisted after
+    /// every newly completed shard — only from this thread, so saves
+    /// never race.
+    ///
+    /// # Errors
+    ///
+    /// [`MheError::WorkerFailed`] when the sweep stalls past
+    /// [`FleetConfig::stall_timeout`] or a checkpoint write fails.
+    pub fn run(&self, checkpoint: Option<&Checkpointer>) -> Result<FleetSummary, MheError> {
+        let _span = mhe_obs::span(mhe_obs::Phase::Fleet);
+        let mut handlers = Vec::new();
+        let mut saved_done = 0usize;
+        let result = loop {
+            let (done, stalled) = self.shared.locked(|s| {
+                // Reclaim leases whose worker stopped renewing without
+                // the TCP layer noticing (hung process, half-open link).
+                let cutoff = self.shared.cfg.lease_timeout;
+                let expired: Vec<u32> = s
+                    .leases
+                    .iter()
+                    .filter(|(_, l)| l.renewed.elapsed() > cutoff)
+                    .map(|(&shard, _)| shard)
+                    .collect();
+                for shard in expired {
+                    s.leases.remove(&shard);
+                    s.pending.push_back(shard);
+                    s.steals += 1;
+                    mhe_obs::count(mhe_obs::Counter::ShardSteal, 1);
+                }
+                (s.done.len(), s.last_progress.elapsed() > self.shared.cfg.stall_timeout)
+            });
+            if let Some(message) = self.shared.aborted() {
+                break Err(MheError::worker_failed("fleet", message));
+            }
+            if done == self.shared.cfg.shard_count as usize {
+                break Ok(());
+            }
+            if stalled {
+                let message = format!(
+                    "no progress for {:?} with {} of {} shards done",
+                    self.shared.cfg.stall_timeout, done, self.shared.cfg.shard_count
+                );
+                self.shared.locked(|s| s.abort = Some(message.clone()));
+                break Err(MheError::worker_failed("fleet", message));
+            }
+            if done > saved_done {
+                if let Some(ckpt) = checkpoint {
+                    ckpt.save(&self.shared.db).map_err(|e| {
+                        MheError::worker_failed("fleet checkpoint save", e.to_string())
+                    })?;
+                }
+                saved_done = done;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(std::thread::spawn(move || {
+                        // Per-worker failures end that worker only.
+                        let _ = serve_worker(stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(MheError::worker_failed("fleet accept", e.to_string())),
+            }
+        };
+        // Final checkpoint of the fully-merged cache, then let every
+        // handler observe the terminal state and unwind.
+        if result.is_ok() {
+            if let Some(ckpt) = checkpoint {
+                ckpt.save(&self.shared.db)
+                    .map_err(|e| MheError::worker_failed("fleet checkpoint save", e.to_string()))?;
+            }
+            // Admit stragglers still parked in the accept backlog (a
+            // worker that connected as the last shard finished): each
+            // gets a handshake and a NoMoreWork instead of a timeout.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = Arc::clone(&self.shared);
+                        handlers.push(std::thread::spawn(move || {
+                            let _ = serve_worker(stream, &shared);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        result?;
+        Ok(self.shared.locked(|s| FleetSummary {
+            workers: s.next_worker,
+            points: s.points,
+            steals: s.steals,
+            duplicates: s.duplicates,
+            shards: self.shared.cfg.shard_count,
+        }))
+    }
+}
+
+/// Serves one worker connection: handshake, job offer, then the
+/// lease/points loop until the sweep finishes or the worker goes away.
+fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(HANDLER_POLL))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&handshake(FEATURE_FLEET))?;
+    stream.flush()?;
+    let mut reader_stream = stream.try_clone()?;
+    let stop = || shared.all_done() || shared.aborted().is_some();
+
+    // The handshake reply gets its own patience: a worker admitted from
+    // the post-sweep backlog drain must still complete it (so it can be
+    // told NoMoreWork), while a port scanner that never answers cannot
+    // pin the handler — only an abort or the deadline stops the wait.
+    let hs_deadline = Instant::now();
+    let hs_stop = || shared.aborted().is_some() || hs_deadline.elapsed() > Duration::from_secs(10);
+    let mut hs = [0u8; HANDSHAKE_LEN];
+    if !read_exact_or_stop(&mut reader_stream, &mut hs, &hs_stop)? {
+        return Ok(());
+    }
+    if hs[..4] != MAGIC {
+        return abort_worker(&mut stream, "unsupported protocol: expected a v2 fleet handshake");
+    }
+    let peer = Handshake::decode(&hs)?;
+    if peer.version != VERSION {
+        return abort_worker(
+            &mut stream,
+            &format!(
+                "unsupported protocol version {} (this coordinator speaks {VERSION})",
+                peer.version
+            ),
+        );
+    }
+    if peer.features & FEATURE_FLEET == 0 {
+        return abort_worker(&mut stream, "peer did not announce fleet support");
+    }
+
+    let mut worker_id = None;
+    let mut reader = FrameReader::new(reader_stream);
+    let outcome = loop {
+        let payload = match reader.read_frame(&stop)? {
+            Some(payload) => payload,
+            None => {
+                // Terminal state observed at a frame boundary: tell the
+                // worker why before closing (best-effort — the worker
+                // may already be gone), so a worker racing its final
+                // NeedShard against sweep completion still exits clean.
+                if let Some(message) = shared.aborted() {
+                    let frame = CoordFrame::Abort { message };
+                    let _ = write_frame(&mut stream, &encode_coord_frame(&frame)?);
+                } else if shared.all_done() {
+                    let _ = write_frame(&mut stream, &encode_coord_frame(&CoordFrame::NoMoreWork)?);
+                }
+                break Ok(());
+            }
+        };
+        match decode_worker_frame(&payload)? {
+            WorkerFrame::Hello => {
+                if shared.all_done() {
+                    // Attached after the last shard finished: no job to
+                    // offer, and no point making the worker build an
+                    // evaluation just to hear it.
+                    write_frame(&mut stream, &encode_coord_frame(&CoordFrame::NoMoreWork)?)?;
+                    break Ok(());
+                }
+                let id = shared.locked(|s| {
+                    let id = s.next_worker;
+                    s.next_worker += 1;
+                    id
+                });
+                worker_id = Some(id);
+                let job = CoordFrame::Job(JobOffer {
+                    worker_id: id,
+                    spec_text: shared.job.spec_text.clone(),
+                    sampling: shared.job.sampling,
+                    policies: shared.job.policies.clone(),
+                    shard_count: shared.cfg.shard_count,
+                });
+                write_frame(&mut stream, &encode_coord_frame(&job)?)?;
+            }
+            WorkerFrame::NeedShard => {
+                let Some(id) = worker_id else {
+                    break Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "NeedShard before Hello",
+                    ));
+                };
+                if !offer_shard(&mut stream, shared, id)? {
+                    break Ok(()); // NoMoreWork or Abort was sent
+                }
+            }
+            WorkerFrame::Points { shard, points } => {
+                shared.locked(|s| {
+                    for (key, value) in points {
+                        if shared.db.get(&key).is_some() {
+                            s.duplicates += 1;
+                        } else {
+                            shared.db.insert(key, value);
+                            s.points += 1;
+                            mhe_obs::count(mhe_obs::Counter::FleetPoints, 1);
+                        }
+                    }
+                    if let Some(lease) = s.leases.get_mut(&shard) {
+                        if Some(lease.worker) == worker_id {
+                            lease.renewed = Instant::now();
+                        }
+                    }
+                    s.last_progress = Instant::now();
+                });
+            }
+            WorkerFrame::ShardDone { shard } => {
+                shared.locked(|s| {
+                    // Accept completion from any worker: even after a
+                    // steal, the slow owner's points were all merged.
+                    s.leases.remove(&shard);
+                    s.pending.retain(|&p| p != shard);
+                    s.done.insert(shard);
+                    s.last_progress = Instant::now();
+                });
+            }
+            WorkerFrame::Heartbeat => {
+                if let Some(id) = worker_id {
+                    shared.locked(|s| {
+                        let now = Instant::now();
+                        for lease in s.leases.values_mut().filter(|l| l.worker == id) {
+                            lease.renewed = now;
+                        }
+                    });
+                }
+            }
+        }
+    };
+    // Whatever ends this connection, the worker's leases go back in the
+    // pool immediately — disconnection is the fast steal path.
+    if let Some(id) = worker_id {
+        shared.locked(|s| {
+            let mine: Vec<u32> =
+                s.leases.iter().filter(|(_, l)| l.worker == id).map(|(&shard, _)| shard).collect();
+            for shard in mine {
+                s.leases.remove(&shard);
+                s.pending.push_back(shard);
+                s.steals += 1;
+                mhe_obs::count(mhe_obs::Counter::ShardSteal, 1);
+            }
+        });
+    }
+    outcome
+}
+
+/// Parks a `NeedShard` request until a shard frees up (sending periodic
+/// `Wait`s), then leases it with its prefill. Returns `false` when the
+/// conversation is over (`NoMoreWork`/`Abort` sent).
+fn offer_shard(stream: &mut TcpStream, shared: &Shared, worker: u32) -> io::Result<bool> {
+    let mut last_wait = Instant::now();
+    loop {
+        if let Some(message) = shared.aborted() {
+            write_frame(stream, &encode_coord_frame(&CoordFrame::Abort { message })?)?;
+            return Ok(false);
+        }
+        enum Next {
+            Assign(u32),
+            Finished,
+            Park,
+        }
+        let next = shared.locked(|s| {
+            if let Some(shard) = s.pending.pop_front() {
+                s.leases.insert(shard, Lease { worker, renewed: Instant::now() });
+                mhe_obs::count(mhe_obs::Counter::ShardLease, 1);
+                Next::Assign(shard)
+            } else if s.done.len() == shared.cfg.shard_count as usize {
+                Next::Finished
+            } else {
+                Next::Park
+            }
+        });
+        match next {
+            Next::Assign(shard) => {
+                // Everything already merged for this shard rides along,
+                // so a stolen shard resumes instead of restarting.
+                let prefill: Vec<_> = shared
+                    .db
+                    .entries()
+                    .into_iter()
+                    .filter(|(key, _)| shard_of(key, shared.cfg.shard_count) == shard)
+                    .collect();
+                write_frame(stream, &encode_coord_frame(&CoordFrame::Assign { shard, prefill })?)?;
+                return Ok(true);
+            }
+            Next::Finished => {
+                write_frame(stream, &encode_coord_frame(&CoordFrame::NoMoreWork)?)?;
+                return Ok(false);
+            }
+            Next::Park => {
+                if last_wait.elapsed() >= WAIT_PERIOD {
+                    write_frame(stream, &encode_coord_frame(&CoordFrame::Wait)?)?;
+                    last_wait = Instant::now();
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Sends a final `Abort` and ends the conversation.
+fn abort_worker(stream: &mut TcpStream, message: &str) -> io::Result<()> {
+    let frame = CoordFrame::Abort { message: message.to_string() };
+    write_frame(stream, &encode_coord_frame(&frame)?)
+}

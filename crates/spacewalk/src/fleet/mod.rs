@@ -1,0 +1,29 @@
+//! Distributed spacewalk: a sharded worker fleet with a deterministic
+//! frontier merge.
+//!
+//! The distribution unit is the *metric evaluation*, not the frontier:
+//! every fleet member independently enumerates the identical work plan
+//! (the exact [`crate::cache_db::MetricKey`] set a batch walk resolves)
+//! and partitions it by a build-stable FNV-1a hash of each key's
+//! canonical byte encoding ([`plan::shard_of`]). The coordinator leases
+//! shards to workers over the v2 `MHES` protocol, merges their streamed
+//! `(key, value)` points into one [`crate::cache_db::EvaluationCache`],
+//! steals shards back from dead or silent workers (re-offering the
+//! already-merged points as a prefill so finished work is never
+//! redone), and checkpoints the merged cache through the PR-5
+//! [`crate::ckpt::Checkpointer`] format.
+//!
+//! When the fleet finishes, the caller runs the ordinary serial
+//! [`crate::walker::walk_system_with`] over the fully-warm merged cache.
+//! Every metric lookup hits; the walk degenerates to the deterministic
+//! Pareto merge — so the distributed frontier is **bit-identical** to a
+//! single-process run at any worker count, by construction rather than
+//! by a merge protocol that must be proven order-insensitive.
+
+pub mod coordinator;
+pub mod plan;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FleetConfig, FleetJob, FleetSummary};
+pub use plan::{evaluate_item, shard_of, work_plan, Task, WorkItem};
+pub use worker::{run_worker, PreparedWorker, WorkerOptions, WorkerOutcome};

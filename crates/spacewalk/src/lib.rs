@@ -14,7 +14,10 @@
 //! * [`service`] — the shared `Send + Sync` evaluation service (warm
 //!   sessions, scope-shared caches, admission control) plus the daemon
 //!   wire protocol, server loop, and client used by `mhe-server` and
-//!   `spacewalker --serve`/`--connect`.
+//!   `spacewalker serve`/`connect`;
+//! * [`fleet`] — the distributed walk: deterministic shard partition,
+//!   coordinator with work-stealing leases and checkpointed merges, and
+//!   the worker loop behind `spacewalker fleet`/`worker`.
 //!
 //! # Quick start
 //!
@@ -47,6 +50,7 @@
 pub mod cache_db;
 pub mod ckpt;
 pub mod cost;
+pub mod fleet;
 pub mod heuristic;
 pub mod pareto;
 pub mod service;
@@ -57,10 +61,14 @@ pub mod walker;
 pub use cache_db::{dilation_millis, EvaluationCache, MetricKey};
 pub use ckpt::Checkpointer;
 pub use cost::{cache_area, CacheDesign};
+pub use fleet::{
+    run_worker, Coordinator, FleetConfig, FleetJob, FleetSummary, PreparedWorker, WorkerOptions,
+    WorkerOutcome,
+};
 pub use heuristic::{walk_heuristic, HeuristicResult};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use service::{
-    client::{Client, ClientError},
+    client::{Client, ClientBuilder, ClientError},
     render_frontier, report_from,
     server::Server,
     AdmissionGate, EvalService, ServiceError, ServiceLimits,

@@ -1,20 +1,26 @@
 //! The daemon client: a blocking connection speaking the frame protocol.
 //!
-//! Used by `spacewalker --connect` and by the differential tests; the
-//! error taxonomy maps every failure to the exit code the CLI contract
-//! promises — [`EXIT_SERVER_UNAVAILABLE`] for anything that kept the
-//! daemon from *answering* (unreachable, handshake mismatch, stream
-//! corruption, admission rejection), and the server-reported code
-//! verbatim when the request ran and failed remotely.
+//! Connections are built through [`Client::builder`] — address, timeout
+//! and retry policy are explicit, and [`ClientBuilder::connect`] returns
+//! a session handle with typed [`Client::ping`]/[`Client::stats`]/
+//! [`Client::evaluate`] calls. The error taxonomy maps every failure to
+//! the exit code the CLI contract promises — [`EXIT_SERVER_UNAVAILABLE`]
+//! for anything that kept the daemon from *answering* (unreachable,
+//! handshake mismatch, stream corruption, admission rejection), and the
+//! server-reported code verbatim when the request ran and failed
+//! remotely. A protocol-version skew is its own structured variant
+//! ([`ClientError::UnsupportedVersion`]), never a frame error.
 
 use super::proto::{
-    check_handshake, decode_response, encode_request, read_frame, write_frame, FrontierReport,
-    FrontierRequest, Request, Response, StatsReport, CLIENT_READ_TIMEOUT,
+    client_hello, decode_response, encode_request, read_frame, write_frame, FrontierReport,
+    FrontierRequest, Request, Response, StatsReport, CLIENT_READ_TIMEOUT, FEATURE_FRONTIER,
+    VERSION,
 };
 use mhe_core::EXIT_SERVER_UNAVAILABLE;
 use std::fmt;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a daemon query failed, from the client's point of view.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +38,14 @@ pub enum ClientError {
         /// The daemon's rendered diagnostic.
         message: String,
     },
+    /// The peer speaks a different protocol version — a real mhe
+    /// endpoint, just from an incompatible build.
+    UnsupportedVersion {
+        /// The version the server announced.
+        server: u32,
+        /// The version this client speaks.
+        client: u32,
+    },
     /// The byte stream violated the protocol (bad handshake, malformed
     /// frame, wrong response kind).
     Protocol(String),
@@ -44,9 +58,10 @@ impl ClientError {
     pub fn exit_code(&self) -> u8 {
         match self {
             ClientError::Remote { code, .. } => *code,
-            ClientError::Unavailable(_) | ClientError::Rejected(_) | ClientError::Protocol(_) => {
-                EXIT_SERVER_UNAVAILABLE
-            }
+            ClientError::Unavailable(_)
+            | ClientError::Rejected(_)
+            | ClientError::UnsupportedVersion { .. }
+            | ClientError::Protocol(_) => EXIT_SERVER_UNAVAILABLE,
         }
     }
 }
@@ -59,6 +74,9 @@ impl fmt::Display for ClientError {
             ClientError::Remote { code, message } => {
                 write!(f, "server error (exit code {code}): {message}")
             }
+            ClientError::UnsupportedVersion { server, client } => {
+                write!(f, "unsupported protocol version {server} (this client speaks {client})")
+            }
             ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
         }
     }
@@ -66,36 +84,159 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Configures and opens a [`Client`] session.
+///
+/// ```no_run
+/// # use mhe_spacewalk::service::client::Client;
+/// # use std::time::Duration;
+/// let mut client = Client::builder()
+///     .addr("127.0.0.1:7777")
+///     .timeout(Duration::from_secs(30))
+///     .retries(2)
+///     .connect()?;
+/// client.ping()?;
+/// # Ok::<(), mhe_spacewalk::service::client::ClientError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: Option<String>,
+    timeout: Duration,
+    retries: u32,
+    retry_backoff: Duration,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            timeout: CLIENT_READ_TIMEOUT,
+            retries: 0,
+            retry_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// The daemon address to dial, e.g. `127.0.0.1:7777`. Required.
+    #[must_use]
+    pub fn addr(mut self, addr: impl fmt::Display) -> Self {
+        self.addr = Some(addr.to_string());
+        self
+    }
+
+    /// Read timeout for every blocking receive (default: the generous
+    /// [`CLIENT_READ_TIMEOUT`], sized for long evaluation requests).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// How many times a failed *dial* is retried before giving up
+    /// (default 0). Only connection establishment retries; requests on
+    /// an open session never auto-retry.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Pause between dial retries (default 200 ms).
+    #[must_use]
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Dials the daemon, exchanges handshakes, and returns the session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unavailable`] when the daemon cannot be reached
+    /// (after exhausting retries), [`ClientError::UnsupportedVersion`]
+    /// on a protocol-version skew, [`ClientError::Protocol`] when
+    /// whatever answered is not an mhe endpoint serving frontiers.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        let addr = self
+            .addr
+            .as_deref()
+            .ok_or_else(|| ClientError::Unavailable("no address configured".into()))?;
+        let mut attempt = 0u32;
+        loop {
+            match Client::dial(addr, self.timeout) {
+                Ok(client) => return Ok(client),
+                Err(e @ ClientError::Unavailable(_)) if attempt < self.retries => {
+                    attempt += 1;
+                    eprintln!("spacewalker: {e}; retry {attempt}/{}", self.retries);
+                    std::thread::sleep(self.retry_backoff);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// A connected daemon client. One request runs at a time per connection
 /// (which is exactly the daemon's fairness unit).
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    features: u32,
 }
 
 impl Client {
+    /// Starts configuring a session; see [`ClientBuilder`].
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
     /// Connects to a daemon at `addr` and verifies its handshake.
     ///
     /// # Errors
     ///
     /// [`ClientError::Unavailable`] when the daemon cannot be reached,
-    /// [`ClientError::Protocol`] when whatever answered is not an
-    /// `mhe-server` speaking this protocol version.
+    /// [`ClientError::UnsupportedVersion`]/[`ClientError::Protocol`]
+    /// when whatever answered is not a compatible mhe-server.
+    #[deprecated(since = "0.9.0", note = "use `Client::builder().addr(..).connect()`")]
     pub fn connect(addr: impl ToSocketAddrs + fmt::Debug) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(&addr)
+        // The legacy entry point accepted any resolvable address; render
+        // it through Debug to keep old call sites compiling unchanged.
+        Client::builder().addr(format!("{addr:?}").trim_matches('"')).connect()
+    }
+
+    /// One dial attempt: TCP connect + two-way v2 handshake.
+    fn dial(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)
             .map_err(|e| ClientError::Unavailable(format!("connect {addr:?}: {e}")))?;
         stream
-            .set_read_timeout(Some(CLIENT_READ_TIMEOUT))
+            .set_read_timeout(Some(timeout))
             .map_err(|e| ClientError::Unavailable(format!("configure socket: {e}")))?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream };
-        let mut hs = [0u8; 8];
-        client
-            .stream
-            .read_exact(&mut hs)
-            .map_err(|e| ClientError::Unavailable(format!("handshake: {e}")))?;
-        check_handshake(&hs).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        Ok(client)
+        let server = client_hello(&mut stream, FEATURE_FRONTIER).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                ClientError::Protocol(e.to_string())
+            } else {
+                ClientError::Unavailable(format!("handshake: {e}"))
+            }
+        })?;
+        if server.version != VERSION {
+            return Err(ClientError::UnsupportedVersion {
+                server: server.version,
+                client: VERSION,
+            });
+        }
+        if server.features & FEATURE_FRONTIER == 0 {
+            return Err(ClientError::Protocol(format!(
+                "peer does not serve frontier requests (features {:#x})",
+                server.features
+            )));
+        }
+        Ok(Client { stream, features: server.features })
+    }
+
+    /// The feature bits the server announced in its handshake.
+    pub fn features(&self) -> u32 {
+        self.features
     }
 
     /// One request/response round trip.
@@ -128,13 +269,23 @@ impl Client {
     /// [`ClientError::Rejected`] on admission backpressure,
     /// [`ClientError::Remote`] when the walk failed server-side, other
     /// [`ClientError`]s for transport trouble.
-    pub fn frontier(&mut self, request: FrontierRequest) -> Result<FrontierReport, ClientError> {
+    pub fn evaluate(&mut self, request: FrontierRequest) -> Result<FrontierReport, ClientError> {
         match self.roundtrip(&Request::Frontier(request))? {
             Response::Frontier(report) => Ok(report),
             Response::Rejected { reason } => Err(ClientError::Rejected(reason)),
             Response::Error { code, message } => Err(ClientError::Remote { code, message }),
             other => Err(ClientError::Protocol(format!("expected Frontier, got {other:?}"))),
         }
+    }
+
+    /// Evaluates a frontier on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::evaluate`].
+    #[deprecated(since = "0.9.0", note = "renamed to `Client::evaluate`")]
+    pub fn frontier(&mut self, request: FrontierRequest) -> Result<FrontierReport, ClientError> {
+        self.evaluate(request)
     }
 
     /// Fetches service counters.

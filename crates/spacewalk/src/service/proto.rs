@@ -5,15 +5,24 @@
 //! hand-rolled tagged binary (varint-free: fixed-width little-endian
 //! integers, `f64`s as raw bits so every float round-trips bit-exactly —
 //! the same discipline as the cache database format). On connect the
-//! server sends an 8-byte handshake (magic `MHES` + version) before any
-//! frame, so a client talking to the wrong port fails immediately and
-//! loudly instead of hanging on a length prefix that never comes.
+//! server sends a 12-byte handshake (magic `MHES` + version + feature
+//! bits) before any frame, and the client answers with its own 12 bytes,
+//! so a client talking to the wrong port fails immediately and loudly
+//! instead of hanging on a length prefix that never comes, and a version
+//! skew is a *structured* rejection on both sides rather than a frame
+//! error (see [`Handshake`]).
 //!
 //! The protocol is deliberately local: it carries the *spec text* of a
 //! walk, not paths, so the daemon never touches the client's filesystem,
 //! and frontier rows carry full design identities plus `f64` bit
 //! patterns, so a client can render output byte-identical to a batch run.
+//!
+//! Version 2 added the handshake feature word and the fleet frames
+//! ([`WorkerFrame`]/[`CoordFrame`]) that carry sharded work assignments
+//! and streamed `(MetricKey, f64)` evaluation points between a
+//! distributed-walk coordinator and its workers.
 
+use crate::cache_db::{self, MetricKey};
 use crate::cost::CacheDesign;
 use mhe_cache::{CacheConfig, Policy};
 use mhe_core::metrics::SamplingMetrics;
@@ -21,10 +30,15 @@ use mhe_core::SamplingConfig;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
-/// Handshake magic the server emits on every fresh connection.
+/// Handshake magic both sides emit on every fresh connection.
 pub const MAGIC: [u8; 4] = *b"MHES";
 /// Protocol version, bumped on any incompatible frame-layout change.
-pub const VERSION: u32 = 1;
+/// Version 2: 12-byte handshake with a feature word, fleet frames.
+pub const VERSION: u32 = 2;
+/// Feature bit: the peer answers [`Request`] frames (frontier RPC).
+pub const FEATURE_FRONTIER: u32 = 1 << 0;
+/// Feature bit: the peer coordinates fleet workers ([`WorkerFrame`]s).
+pub const FEATURE_FLEET: u32 = 1 << 1;
 /// Upper bound on a single frame's payload; anything larger is treated as
 /// stream corruption rather than an allocation request.
 pub const MAX_FRAME: usize = 16 << 20;
@@ -126,37 +140,129 @@ pub enum Response {
     Stats(StatsReport),
 }
 
-// --- framing -------------------------------------------------------------
+// --- handshake -----------------------------------------------------------
 
-/// The 8 bytes a server writes before its first frame.
-pub fn handshake() -> [u8; 8] {
-    let mut h = [0u8; 8];
-    h[..4].copy_from_slice(&MAGIC);
-    h[4..].copy_from_slice(&VERSION.to_le_bytes());
-    h
+/// Byte length of the version-2 handshake each side writes on connect.
+pub const HANDSHAKE_LEN: usize = 12;
+
+/// A decoded handshake: what the peer announced about itself.
+///
+/// Wire layout (12 bytes, pinned by a golden test): 4 magic bytes
+/// `MHES`, then the protocol version as a little-endian `u32`, then the
+/// feature bits as a little-endian `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// The peer's protocol version.
+    pub version: u32,
+    /// The peer's advertised [`FEATURE_FRONTIER`]/[`FEATURE_FLEET`] bits.
+    pub features: u32,
 }
 
-/// Validates a handshake read from the server.
+impl Handshake {
+    /// Encodes this side's announcement.
+    pub fn encode(self) -> [u8; HANDSHAKE_LEN] {
+        let mut h = [0u8; HANDSHAKE_LEN];
+        h[..4].copy_from_slice(&MAGIC);
+        h[4..8].copy_from_slice(&self.version.to_le_bytes());
+        h[8..].copy_from_slice(&self.features.to_le_bytes());
+        h
+    }
+
+    /// Decodes a peer's announcement, validating only the magic — the
+    /// caller decides how to surface a version skew (structurally, not
+    /// as a frame error).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the magic is wrong (not an mhe endpoint).
+    pub fn decode(h: &[u8; HANDSHAKE_LEN]) -> io::Result<Self> {
+        if h[..4] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad handshake magic {:02x?} (not an mhe-server?)", &h[..4]),
+            ));
+        }
+        Ok(Self {
+            version: u32::from_le_bytes([h[4], h[5], h[6], h[7]]),
+            features: u32::from_le_bytes([h[8], h[9], h[10], h[11]]),
+        })
+    }
+
+    /// Checks that the peer speaks this build's protocol version.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` naming both versions on a mismatch.
+    pub fn check_version(self) -> io::Result<()> {
+        if self.version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("protocol version {} (this side speaks {VERSION})", self.version),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The handshake this build announces, with the given feature bits.
+pub fn handshake(features: u32) -> [u8; HANDSHAKE_LEN] {
+    Handshake { version: VERSION, features }.encode()
+}
+
+/// Client side of the two-way handshake: reads the server's 12 bytes,
+/// validates the magic, writes this side's announcement back, and
+/// returns the server's (version still unchecked — the caller maps a
+/// skew to its own structured error type).
 ///
 /// # Errors
 ///
-/// `InvalidData` naming the mismatch (wrong magic or version).
-pub fn check_handshake(h: &[u8; 8]) -> io::Result<()> {
-    if h[..4] != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad handshake magic {:02x?} (not an mhe-server?)", &h[..4]),
-        ));
-    }
-    let version = u32::from_le_bytes([h[4], h[5], h[6], h[7]]);
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("protocol version {version} (this client speaks {VERSION})"),
-        ));
-    }
-    Ok(())
+/// Read/write errors, or `InvalidData` on a wrong magic.
+pub fn client_hello(stream: &mut (impl Read + Write), features: u32) -> io::Result<Handshake> {
+    let mut h = [0u8; HANDSHAKE_LEN];
+    stream.read_exact(&mut h)?;
+    let server = Handshake::decode(&h)?;
+    stream.write_all(&handshake(features))?;
+    stream.flush()?;
+    Ok(server)
 }
+
+/// Fills `buf` from a stream whose read timeout doubles as a stop-poll
+/// point. Returns `Ok(false)` when `stop()` turned true or the peer
+/// closed before sending anything; `Ok(true)` once `buf` is full.
+///
+/// # Errors
+///
+/// `UnexpectedEof` when the peer closes mid-buffer; other read errors
+/// propagate.
+pub fn read_exact_or_stop(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &dyn Fn() -> bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-handshake"))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if stop() {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+// --- framing -------------------------------------------------------------
 
 /// Writes one length-prefixed frame.
 ///
@@ -592,6 +698,242 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
     Ok(resp)
 }
 
+// --- fleet frames (protocol v2) ------------------------------------------
+
+/// Cap on `(MetricKey, f64)` points in one frame; larger lists are split
+/// across frames by the sender and rejected as corruption by the reader.
+pub const MAX_POINTS: usize = 1 << 20;
+
+/// The job a coordinator hands a worker on attach: everything needed to
+/// rebuild the same reference evaluation and enumerate the same work
+/// plan the batch walk would, spec-text-only (no paths cross the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOffer {
+    /// Coordinator-assigned worker id (dense, from 0, attach order).
+    pub worker_id: u32,
+    /// The design-space specification, verbatim spec-file text.
+    pub spec_text: String,
+    /// Interval-sampling override, as in [`FrontierRequest`].
+    pub sampling: Option<SamplingConfig>,
+    /// Replacement-policy override, as in [`FrontierRequest`].
+    pub policies: Option<Vec<Policy>>,
+    /// Total shard count the key space is partitioned into.
+    pub shard_count: u32,
+}
+
+/// Frames a fleet worker sends to its coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerFrame {
+    /// First frame after the handshake: request a [`JobOffer`].
+    Hello,
+    /// Ready for work: lease the next unclaimed shard.
+    NeedShard,
+    /// A batch of evaluated points from the worker's current shard.
+    Points {
+        /// The shard these points belong to.
+        shard: u32,
+        /// Evaluated `(key, value)` pairs, `f64`s bit-exact.
+        points: Vec<(MetricKey, f64)>,
+    },
+    /// Every point of the shard has been streamed.
+    ShardDone {
+        /// The finished shard.
+        shard: u32,
+    },
+    /// Liveness signal renewing this worker's leases.
+    Heartbeat,
+}
+
+/// Frames a coordinator sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordFrame {
+    /// Reply to [`WorkerFrame::Hello`].
+    Job(JobOffer),
+    /// A shard lease. `prefill` carries points already merged for this
+    /// shard (from a checkpoint or a dead worker's partial stream), so
+    /// stolen work is never recomputed.
+    Assign {
+        /// The leased shard.
+        shard: u32,
+        /// Already-known `(key, value)` pairs within the shard.
+        prefill: Vec<(MetricKey, f64)>,
+    },
+    /// Every shard is done; the worker should disconnect cleanly.
+    NoMoreWork,
+    /// The sweep is being abandoned; carries the coordinator's error.
+    Abort {
+        /// Rendered coordinator-side failure.
+        message: String,
+    },
+    /// No shard is free *right now* (all leased, none done) — keep
+    /// waiting; sent periodically so the worker's read deadline is a
+    /// dead-coordinator detector, not a stall false-positive.
+    Wait,
+}
+
+fn enc_key(e: &mut Enc, key: &MetricKey) -> io::Result<()> {
+    cache_db::write_key(&mut e.0, key)
+}
+
+fn enc_points(e: &mut Enc, points: &[(MetricKey, f64)]) -> io::Result<()> {
+    if points.len() > MAX_POINTS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} points exceed the {MAX_POINTS}-point frame cap", points.len()),
+        ));
+    }
+    e.u32(points.len() as u32);
+    for (key, value) in points {
+        enc_key(e, key)?;
+        e.f64(*value);
+    }
+    Ok(())
+}
+
+fn dec_points(d: &mut Dec) -> io::Result<Vec<(MetricKey, f64)>> {
+    let n = d.u32()? as usize;
+    if n > MAX_POINTS {
+        return Err(bad("point count", n));
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = cache_db::read_key(&mut d.buf)?;
+        points.push((key, d.f64()?));
+    }
+    Ok(points)
+}
+
+/// Encodes a worker→coordinator frame payload.
+///
+/// # Errors
+///
+/// `InvalidInput` when a point batch exceeds [`MAX_POINTS`].
+pub fn encode_worker_frame(frame: &WorkerFrame) -> io::Result<Vec<u8>> {
+    let mut e = Enc(Vec::new());
+    match frame {
+        WorkerFrame::Hello => e.u8(0x10),
+        WorkerFrame::NeedShard => e.u8(0x11),
+        WorkerFrame::Points { shard, points } => {
+            e.u8(0x12);
+            e.u32(*shard);
+            enc_points(&mut e, points)?;
+        }
+        WorkerFrame::ShardDone { shard } => {
+            e.u8(0x13);
+            e.u32(*shard);
+        }
+        WorkerFrame::Heartbeat => e.u8(0x14),
+    }
+    Ok(e.0)
+}
+
+/// Decodes a worker→coordinator frame payload.
+///
+/// # Errors
+///
+/// `InvalidData` on any malformed field, truncation, or trailing bytes.
+pub fn decode_worker_frame(payload: &[u8]) -> io::Result<WorkerFrame> {
+    let mut d = Dec { buf: payload };
+    let frame = match d.u8()? {
+        0x10 => WorkerFrame::Hello,
+        0x11 => WorkerFrame::NeedShard,
+        0x12 => {
+            let shard = d.u32()?;
+            let points = dec_points(&mut d)?;
+            WorkerFrame::Points { shard, points }
+        }
+        0x13 => WorkerFrame::ShardDone { shard: d.u32()? },
+        0x14 => WorkerFrame::Heartbeat,
+        other => return Err(bad("worker frame tag", other)),
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
+/// Encodes a coordinator→worker frame payload.
+///
+/// # Errors
+///
+/// `InvalidInput` when a prefill batch exceeds [`MAX_POINTS`].
+pub fn encode_coord_frame(frame: &CoordFrame) -> io::Result<Vec<u8>> {
+    let mut e = Enc(Vec::new());
+    match frame {
+        CoordFrame::Job(job) => {
+            e.u8(0x20);
+            e.u32(job.worker_id);
+            e.str(&job.spec_text);
+            enc_sampling_config(&mut e, &job.sampling);
+            match &job.policies {
+                None => e.u8(0),
+                Some(ps) => {
+                    e.u8(1);
+                    e.u32(ps.len() as u32);
+                    for &p in ps {
+                        enc_policy(&mut e, p);
+                    }
+                }
+            }
+            e.u32(job.shard_count);
+        }
+        CoordFrame::Assign { shard, prefill } => {
+            e.u8(0x21);
+            e.u32(*shard);
+            enc_points(&mut e, prefill)?;
+        }
+        CoordFrame::NoMoreWork => e.u8(0x22),
+        CoordFrame::Abort { message } => {
+            e.u8(0x23);
+            e.str(message);
+        }
+        CoordFrame::Wait => e.u8(0x24),
+    }
+    Ok(e.0)
+}
+
+/// Decodes a coordinator→worker frame payload.
+///
+/// # Errors
+///
+/// `InvalidData` on any malformed field, truncation, or trailing bytes.
+pub fn decode_coord_frame(payload: &[u8]) -> io::Result<CoordFrame> {
+    let mut d = Dec { buf: payload };
+    let frame = match d.u8()? {
+        0x20 => {
+            let worker_id = d.u32()?;
+            let spec_text = d.str()?;
+            let sampling = dec_sampling_config(&mut d)?;
+            let policies = match d.u8()? {
+                0 => None,
+                1 => {
+                    let n = d.u32()? as usize;
+                    if n > 64 {
+                        return Err(bad("policy-list length", n));
+                    }
+                    let mut ps = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        ps.push(dec_policy(&mut d)?);
+                    }
+                    Some(ps)
+                }
+                other => return Err(bad("policies flag", other)),
+            };
+            let shard_count = d.u32()?;
+            CoordFrame::Job(JobOffer { worker_id, spec_text, sampling, policies, shard_count })
+        }
+        0x21 => {
+            let shard = d.u32()?;
+            let prefill = dec_points(&mut d)?;
+            CoordFrame::Assign { shard, prefill }
+        }
+        0x22 => CoordFrame::NoMoreWork,
+        0x23 => CoordFrame::Abort { message: d.str()? },
+        0x24 => CoordFrame::Wait,
+        other => return Err(bad("coord frame tag", other)),
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
 /// A generous read timeout for blocking client-side reads — long
 /// evaluation requests keep the connection silent while the walk runs.
 pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(600);
@@ -689,16 +1031,127 @@ mod tests {
         assert!(decode_request(&bytes).is_err());
     }
 
+    /// Golden pin of the v2 handshake byte layout: `MHES`, version 2 LE,
+    /// feature bits LE. Changing any of these bytes is a wire break and
+    /// must come with a version bump.
+    #[test]
+    fn handshake_byte_layout_is_pinned() {
+        let h = handshake(FEATURE_FRONTIER | FEATURE_FLEET);
+        assert_eq!(
+            h,
+            [b'M', b'H', b'E', b'S', 0x02, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00],
+            "v2 handshake layout drifted"
+        );
+        let decoded = Handshake::decode(&h).unwrap();
+        assert_eq!(decoded, Handshake { version: 2, features: 3 });
+        assert!(decoded.check_version().is_ok());
+    }
+
     #[test]
     fn handshake_checks_magic_and_version() {
-        let h = handshake();
-        assert!(check_handshake(&h).is_ok());
+        let h = handshake(FEATURE_FRONTIER);
         let mut wrong = h;
         wrong[0] = b'X';
-        assert!(check_handshake(&wrong).is_err());
+        assert!(Handshake::decode(&wrong).is_err(), "bad magic must be rejected");
         let mut newer = h;
         newer[4] = 99;
-        assert!(check_handshake(&newer).is_err());
+        let decoded = Handshake::decode(&newer).unwrap();
+        assert_eq!(decoded.version, 99, "magic-valid handshake decodes structurally");
+        let err = decoded.check_version().unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn client_hello_exchanges_both_announcements() {
+        struct Duplex {
+            incoming: std::io::Cursor<Vec<u8>>,
+            outgoing: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                self.incoming.read(out)
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.outgoing.write(data)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut stream = Duplex {
+            incoming: std::io::Cursor::new(handshake(FEATURE_FRONTIER | FEATURE_FLEET).to_vec()),
+            outgoing: Vec::new(),
+        };
+        let server = client_hello(&mut stream, FEATURE_FLEET).unwrap();
+        assert_eq!(server.features, FEATURE_FRONTIER | FEATURE_FLEET);
+        assert_eq!(stream.outgoing, handshake(FEATURE_FLEET).to_vec());
+    }
+
+    fn sample_points() -> Vec<(MetricKey, f64)> {
+        let app: std::sync::Arc<str> = std::sync::Arc::from("unepic");
+        let (i, d, _) = designs();
+        vec![
+            (MetricKey::icache(&app, i, 1.25), 1234.5),
+            (MetricKey::dcache(&app, d), f64::from_bits(0x3FF8_0000_0000_0001)),
+            (MetricKey::proc_cycles(&app, "3221"), 9.9e12),
+        ]
+    }
+
+    #[test]
+    fn worker_frames_round_trip() {
+        let frames = [
+            WorkerFrame::Hello,
+            WorkerFrame::NeedShard,
+            WorkerFrame::Points { shard: 7, points: sample_points() },
+            WorkerFrame::Points { shard: 0, points: Vec::new() },
+            WorkerFrame::ShardDone { shard: 31 },
+            WorkerFrame::Heartbeat,
+        ];
+        for frame in &frames {
+            let bytes = encode_worker_frame(frame).unwrap();
+            assert_eq!(&decode_worker_frame(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn coord_frames_round_trip() {
+        let frames = [
+            CoordFrame::Job(JobOffer {
+                worker_id: 3,
+                spec_text: "[processors]\nkinds = 1111\n".into(),
+                sampling: Some(SamplingConfig { clusters: 12, ..Default::default() }),
+                policies: Some(vec![Policy::Fifo, Policy::Random(0xBEEF)]),
+                shard_count: 32,
+            }),
+            CoordFrame::Job(JobOffer {
+                worker_id: 0,
+                spec_text: String::new(),
+                sampling: None,
+                policies: None,
+                shard_count: 1,
+            }),
+            CoordFrame::Assign { shard: 5, prefill: sample_points() },
+            CoordFrame::Assign { shard: 0, prefill: Vec::new() },
+            CoordFrame::NoMoreWork,
+            CoordFrame::Abort { message: "reference build failed".into() },
+            CoordFrame::Wait,
+        ];
+        for frame in &frames {
+            let bytes = encode_coord_frame(frame).unwrap();
+            assert_eq!(&decode_coord_frame(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn malformed_fleet_frames_are_rejected() {
+        assert!(decode_worker_frame(&[]).is_err());
+        assert!(decode_worker_frame(&[0x7F]).is_err());
+        assert!(decode_coord_frame(&[0x7F]).is_err());
+        let mut bytes = encode_worker_frame(&WorkerFrame::Heartbeat).unwrap();
+        bytes.push(0);
+        assert!(decode_worker_frame(&bytes).is_err(), "trailing bytes are corruption");
     }
 
     #[test]

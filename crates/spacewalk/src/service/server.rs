@@ -14,7 +14,8 @@
 //! SIGTERMs the daemon gets exit 0 and no half-written frames.
 
 use super::proto::{
-    decode_request, encode_response, handshake, write_frame, FrameReader, Response,
+    decode_request, encode_response, handshake, read_exact_or_stop, write_frame, FrameReader,
+    Handshake, Response, FEATURE_FRONTIER, HANDSHAKE_LEN, MAGIC, VERSION,
 };
 use super::EvalService;
 use std::io::{self, Write};
@@ -126,8 +127,15 @@ impl Server {
     }
 }
 
-/// Serves one connection: handshake, then a request/response loop that
-/// ends on clean EOF or — at a frame boundary — on drain.
+/// Serves one connection: two-way handshake, then a request/response
+/// loop that ends on clean EOF or — at a frame boundary — on drain.
+///
+/// The server writes its announcement first, then inspects the client's
+/// opening bytes. A v2+ client answers with its own 12-byte handshake
+/// (leading with the magic); anything else — in particular a v1 client
+/// that opens with a frame length prefix — gets a *structured*
+/// `Response::Error` naming the version mismatch instead of a cryptic
+/// frame error, then the connection closes.
 fn serve_connection(
     mut stream: TcpStream,
     service: &EvalService,
@@ -135,11 +143,36 @@ fn serve_connection(
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(DRAIN_POLL))?;
     stream.set_nodelay(true)?;
-    stream.write_all(&handshake())?;
+    stream.write_all(&handshake(FEATURE_FRONTIER))?;
     stream.flush()?;
-    let reader_stream = stream.try_clone()?;
-    let mut reader = FrameReader::new(reader_stream);
+    let mut reader_stream = stream.try_clone()?;
     let stop = || drain.load(Ordering::SeqCst) || SIG_DRAIN.load(Ordering::SeqCst);
+
+    // Client's reply: the magic distinguishes a v2 handshake from a
+    // legacy frame (a frame's length prefix can never spell `MHES` —
+    // that value is far above MAX_FRAME).
+    let mut opening = [0u8; 4];
+    if !read_exact_or_stop(&mut reader_stream, &mut opening, &stop)? {
+        return Ok(()); // port-scanner or drain: nothing to answer
+    }
+    if opening == MAGIC {
+        let mut rest = [0u8; HANDSHAKE_LEN - 4];
+        if !read_exact_or_stop(&mut reader_stream, &mut rest, &stop)? {
+            return Ok(());
+        }
+        let mut full = [0u8; HANDSHAKE_LEN];
+        full[..4].copy_from_slice(&opening);
+        full[4..].copy_from_slice(&rest);
+        let client = Handshake::decode(&full)?;
+        if client.version != VERSION {
+            return reject_version(&mut stream, client.version);
+        }
+    } else {
+        // Not a handshake: a pre-v2 client skipped straight to a frame.
+        return reject_version(&mut stream, 1);
+    }
+
+    let mut reader = FrameReader::new(reader_stream);
     while let Some(payload) = reader.read_frame(&stop)? {
         let response = match decode_request(&payload) {
             Ok(request) => {
@@ -163,4 +196,15 @@ fn serve_connection(
         write_frame(&mut stream, &encode_response(&response))?;
     }
     Ok(())
+}
+
+/// Answers an incompatible client with a structured version rejection.
+fn reject_version(stream: &mut TcpStream, client_version: u32) -> io::Result<()> {
+    let response = Response::Error {
+        code: mhe_core::EXIT_BAD_CONFIG,
+        message: format!(
+            "unsupported protocol version {client_version} (this server speaks {VERSION})"
+        ),
+    };
+    write_frame(stream, &encode_response(&response))
 }

@@ -45,7 +45,13 @@ cargo run --release -q -p mhe-bench --bin bench_snapshot
 echo "==> kill-and-resume smoke (SIGKILL mid-run, resume, diff frontiers)"
 ./scripts/kill_resume_smoke.sh
 
-echo "==> daemon smoke (--serve/--connect walk, warm repeat, SIGTERM drain; budget: 120 s)"
+echo "==> daemon smoke (serve/connect walk, warm repeat, SIGTERM drain; budget: 120 s)"
 timeout 120 ./scripts/daemon_smoke.sh
+
+echo "==> fleet smoke (3 worker processes, one killed mid-sweep, frontier byte-identical; budget: 300 s)"
+timeout 300 ./scripts/fleet_smoke.sh
+
+echo "==> distributed walk differential suite (1/2/4 workers vs batch bytes, steal, dead coordinator; budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test distributed_walk
 
 echo "==> ci.sh: all checks passed"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Daemon smoke test: start mhe-server on an ephemeral port, run a short
-# heuristic walk through `spacewalker --connect`, and require the served
+# heuristic walk through `spacewalker connect`, and require the served
 # frontier to be byte-identical to the in-process batch run — cold, on a
 # warm repeat, and on a daemon restarted with fault injection + retries.
 # SIGTERM must drain each daemon to a clean exit 0.
@@ -95,14 +95,14 @@ stop_daemon() {
 }
 
 echo "==> in-process batch baseline (heuristic walk)"
-"$WALKER" "$WORK/spec.txt" --heuristic > "$WORK/batch.txt" 2> "$WORK/batch.log"
+"$WALKER" walk "$WORK/spec.txt" --heuristic > "$WORK/batch.txt" 2> "$WORK/batch.log"
 
 echo "==> start daemon on an ephemeral port"
 start_daemon
 echo "    listening on $ADDR"
 
 echo "==> served walk via --connect (cold daemon)"
-"$WALKER" "$WORK/spec.txt" --heuristic --connect "$ADDR" \
+"$WALKER" connect "$ADDR" "$WORK/spec.txt" --heuristic \
     > "$WORK/served.txt" 2> "$WORK/served.log"
 diff -u "$WORK/batch.txt" "$WORK/served.txt" || {
     echo "daemon_smoke: cold served frontier differs from batch" >&2
@@ -110,7 +110,7 @@ diff -u "$WORK/batch.txt" "$WORK/served.txt" || {
 }
 
 echo "==> served walk via --connect (warm repeat)"
-"$WALKER" "$WORK/spec.txt" --heuristic --connect "$ADDR" \
+"$WALKER" connect "$ADDR" "$WORK/spec.txt" --heuristic \
     > "$WORK/warm.txt" 2> "$WORK/warm.log"
 diff -u "$WORK/batch.txt" "$WORK/warm.txt" || {
     echo "daemon_smoke: warm served frontier differs from batch" >&2
@@ -124,7 +124,7 @@ grep -Eq "cache [1-9][0-9]* hits" "$WORK/warm.log" || {
 
 echo "==> SIGTERM graceful drain"
 stop_daemon
-if "$WALKER" "$WORK/spec.txt" --heuristic --connect "$ADDR" \
+if "$WALKER" connect "$ADDR" "$WORK/spec.txt" --heuristic \
     > /dev/null 2> "$WORK/refused.log"; then
     echo "daemon_smoke: a drained daemon still served a walk" >&2
     exit 1
@@ -138,7 +138,7 @@ fi
 
 echo "==> restart with fault injection + retries; served walk must still match"
 start_daemon MHE_FAULT_PLAN=panic@0 MHE_RETRIES=2
-"$WALKER" "$WORK/spec.txt" --heuristic --connect "$ADDR" \
+"$WALKER" connect "$ADDR" "$WORK/spec.txt" --heuristic \
     > "$WORK/faulted.txt" 2> "$WORK/faulted.log"
 diff -u "$WORK/batch.txt" "$WORK/faulted.txt" || {
     echo "daemon_smoke: frontier under injected panic + retry differs from batch" >&2

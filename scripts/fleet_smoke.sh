@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Fleet smoke test: run a distributed sweep with three separate local
+# worker processes — one of which dies mid-sweep — and require the merged
+# frontier to be byte-identical to the single-process batch run.
+#
+# Determinism note: the kill is injected with --die-after-points rather
+# than a wall-clock SIGKILL so it always lands mid-shard (the worker
+# flushes a partial point batch, slams the socket, and exits with the
+# worker-failure code 4). The coordinator must steal the dead worker's
+# lease, hand its already-streamed points back as prefill, and finish the
+# sweep with the remaining workers — no duplicate deliveries, same bytes.
+#
+# Usage: fleet_smoke.sh [SPACEWALKER_BIN]
+# Defaults to target/release/spacewalker (built by scripts/ci.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/spacewalker}"
+if [[ ! -x "$BIN" ]]; then
+    echo "fleet_smoke: $BIN not built" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mhe_fleet_smoke.XXXXXX")"
+FLEET_PID=""
+WORKER2_PID=""
+cleanup() {
+    [[ -n "$FLEET_PID" ]] && kill -9 "$FLEET_PID" 2>/dev/null
+    [[ -n "$WORKER2_PID" ]] && kill -9 "$WORKER2_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/spec.txt" <<'EOF'
+[processors]
+kinds = 1111 3221
+
+[icache]
+sizes_kb = 1 4
+assocs = 1 2
+line_bytes = 32
+ports = 1
+
+[dcache]
+sizes_kb = 1 4
+assocs = 1
+line_bytes = 32
+ports = 1
+
+[ucache]
+sizes_kb = 16 64
+assocs = 2
+line_bytes = 64
+ports = 1
+
+[eval]
+benchmark = unepic
+events = 60000
+l1_miss = 10
+l2_miss = 50
+EOF
+
+echo "==> single-process batch baseline"
+"$BIN" walk "$WORK/spec.txt" > "$WORK/batch.txt" 2> "$WORK/batch.log"
+
+echo "==> start fleet coordinator (workers attach as separate processes)"
+"$BIN" fleet "$WORK/spec.txt" --workers 0 --bind 127.0.0.1:0 \
+    --port-file "$WORK/port" --shards 8 \
+    > "$WORK/fleet.txt" 2> "$WORK/fleet.log" &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$WORK/port" ]] && break
+    if ! kill -0 "$FLEET_PID" 2>/dev/null; then
+        echo "fleet_smoke: coordinator died during startup" >&2
+        cat "$WORK/fleet.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -s "$WORK/port" ]] || {
+    echo "fleet_smoke: coordinator never wrote its port file" >&2
+    exit 1
+}
+ADDR="$(head -n1 "$WORK/port")"
+echo "    coordinating on $ADDR"
+
+echo "==> worker 1 attaches and dies mid-sweep (injected kill after 5 points)"
+rc=0
+"$BIN" worker "$ADDR" --die-after-points 5 2> "$WORK/worker1.log" || rc=$?
+[[ "$rc" -eq 4 ]] || {
+    echo "fleet_smoke: the dying worker exited $rc (want worker-failure 4)" >&2
+    cat "$WORK/worker1.log" >&2
+    exit 1
+}
+
+echo "==> workers 2 and 3 attach and finish the sweep"
+"$BIN" worker "$ADDR" 2> "$WORK/worker2.log" &
+WORKER2_PID=$!
+"$BIN" worker "$ADDR" 2> "$WORK/worker3.log"
+wait "$WORKER2_PID"
+WORKER2_PID=""
+
+rc=0
+wait "$FLEET_PID" || rc=$?
+FLEET_PID=""
+[[ "$rc" -eq 0 ]] || {
+    echo "fleet_smoke: fleet run exited $rc" >&2
+    cat "$WORK/fleet.log" >&2
+    exit 1
+}
+
+echo "==> merged frontier must be byte-identical to batch"
+diff -u "$WORK/batch.txt" "$WORK/fleet.txt" || {
+    echo "fleet_smoke: fleet frontier differs from batch" >&2
+    exit 1
+}
+
+echo "==> the dead worker's lease must be stolen, with no duplicate deliveries"
+SUMMARY="$(grep -E "^fleet: [0-9]+ workers," "$WORK/fleet.log" || true)"
+[[ -n "$SUMMARY" ]] || {
+    echo "fleet_smoke: no fleet summary line in the log" >&2
+    cat "$WORK/fleet.log" >&2
+    exit 1
+}
+STEALS="$(sed -E 's/.* ([0-9]+) steals.*/\1/' <<< "$SUMMARY")"
+DUPES="$(sed -E 's/.* ([0-9]+) duplicate deliveries.*/\1/' <<< "$SUMMARY")"
+[[ "$STEALS" -ge 1 ]] || {
+    echo "fleet_smoke: expected >=1 steal after the worker death: $SUMMARY" >&2
+    exit 1
+}
+[[ "$DUPES" -eq 0 ]] || {
+    echo "fleet_smoke: prefill failed to prevent duplicate deliveries: $SUMMARY" >&2
+    exit 1
+}
+
+echo "==> fleet_smoke: merged frontier byte-identical after a worker kill ($SUMMARY)"

@@ -59,12 +59,12 @@ sed 's/^kinds = .*/kinds = 1111 2111/' "$WORK/spec.txt" > "$WORK/prefix_spec.txt
 
 echo "==> uninterrupted baseline"
 t0=$(date +%s%N)
-"$BIN" "$WORK/spec.txt" > "$WORK/baseline.txt" 2> "$WORK/baseline.log"
+"$BIN" walk "$WORK/spec.txt" > "$WORK/baseline.txt" 2> "$WORK/baseline.log"
 t1=$(date +%s%N)
 BASELINE_MS=$(( (t1 - t0) / 1000000 ))
 
 echo "==> build a partial checkpoint (prefix of the processor list)"
-"$BIN" "$WORK/prefix_spec.txt" --checkpoint "$WORK/ckpt" \
+"$BIN" walk "$WORK/prefix_spec.txt" --checkpoint "$WORK/ckpt" \
     > "$WORK/prefix.txt" 2> "$WORK/prefix.log"
 [[ -f "$WORK/ckpt/cache.mhec" ]] || {
     echo "kill_resume_smoke: prefix run wrote no checkpoint" >&2
@@ -77,7 +77,7 @@ echo "==> build a partial checkpoint (prefix of the processor list)"
 KILL_MS=$(( BASELINE_MS / 3 ))
 (( KILL_MS < 200 )) && KILL_MS=200
 echo "==> SIGKILL a resumed run ${KILL_MS}ms in (baseline took ${BASELINE_MS}ms)"
-"$BIN" "$WORK/spec.txt" --resume "$WORK/ckpt" \
+"$BIN" walk "$WORK/spec.txt" --resume "$WORK/ckpt" \
     > "$WORK/killed.txt" 2> "$WORK/killed.log" &
 PID=$!
 sleep "$(awk "BEGIN{print $KILL_MS/1000}")"
@@ -99,7 +99,7 @@ if compgen -G "$WORK/ckpt/cache.mhec.tmp" > /dev/null; then
 fi
 
 echo "==> resume from the surviving checkpoint"
-"$BIN" "$WORK/spec.txt" --resume "$WORK/ckpt" \
+"$BIN" walk "$WORK/spec.txt" --resume "$WORK/ckpt" \
     > "$WORK/resumed.txt" 2> "$WORK/resumed.log"
 grep -Eq "resumed [1-9][0-9]* cached metrics from checkpoint" "$WORK/resumed.log" || {
     echo "kill_resume_smoke: resume loaded no cached metrics" >&2

@@ -101,9 +101,10 @@ pub mod prelude {
     pub use mhe_obs::{ObsLevel, RunReport};
     pub use mhe_sampling::SampledSim;
     pub use mhe_spacewalk::{
-        walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign, CacheSpace,
-        Checkpointer, Client, EvalService, EvaluationCache, MemoryPoint, MetricKey, ParetoSet,
-        Server, ServiceLimits, SystemPoint, SystemSpace,
+        run_worker, walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign,
+        CacheSpace, Checkpointer, Client, ClientBuilder, Coordinator, EvalService, EvaluationCache,
+        FleetConfig, FleetJob, MemoryPoint, MetricKey, ParetoSet, PreparedWorker, Server,
+        ServiceLimits, SystemPoint, SystemSpace, WorkerOptions,
     };
     pub use mhe_trace::{Access, StreamKind, TraceGenerator};
     pub use mhe_vliw::{Mdes, ProcessorKind};

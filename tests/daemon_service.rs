@@ -84,9 +84,9 @@ fn four_concurrent_clients_match_the_batch_frontier_byte_for_byte() {
     let workers: Vec<_> = (0..4)
         .map(|i| {
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
+                let mut client = Client::builder().addr(addr).connect().expect("connect");
                 let heuristic = i < 2;
-                let report = client.frontier(frontier_request(heuristic)).expect("served walk");
+                let report = client.evaluate(frontier_request(heuristic)).expect("served walk");
                 let bits: Vec<(String, u64, u64)> = report
                     .rows
                     .iter()
@@ -95,7 +95,7 @@ fn four_concurrent_clients_match_the_batch_frontier_byte_for_byte() {
                 // Warm repeat on the same connection: session and cache
                 // are hot, the answer must not move (the hit/compute
                 // counters legitimately advance; the frontier may not).
-                let again = client.frontier(frontier_request(heuristic)).expect("warm repeat");
+                let again = client.evaluate(frontier_request(heuristic)).expect("warm repeat");
                 assert_eq!(report.rows, again.rows, "client {i}: warm repeat moved the frontier");
                 assert_eq!(report.sampling, again.sampling, "client {i}: provenance moved");
                 (render_frontier(&report), bits)
@@ -109,7 +109,7 @@ fn four_concurrent_clients_match_the_batch_frontier_byte_for_byte() {
     }
 
     // All four specs share one warm session and one scope cache.
-    let mut client = Client::connect(addr).expect("connect for stats");
+    let mut client = Client::builder().addr(addr).connect().expect("connect for stats");
     let stats = client.stats().expect("stats");
     assert_eq!(stats.sessions, 1, "identical specs must share one session");
     assert!(stats.hits > 0, "warm repeats must hit the shared cache");
@@ -127,19 +127,19 @@ fn injected_panic_is_structured_and_the_session_recovers() {
     let _serial = fault::injection_lock().lock().unwrap();
     let (want_text, _) = batch_reference(&spec_text());
     let (addr, drain, handle) = start_daemon(ServiceLimits { max_inflight: 1, max_queued: 4 });
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder().addr(addr).connect().expect("connect");
 
     // Build the session warm first (injection targets the *walk* phase;
     // a cold first request would spend the fault during the heuristic
     // prewarm of the same request and still succeed — we want the error
     // path, deterministically).
-    let baseline = client.frontier(frontier_request(false)).expect("cold walk");
+    let baseline = client.evaluate(frontier_request(false)).expect("cold walk");
     assert_eq!(render_frontier(&baseline), want_text);
 
     {
         let _guard = fault::arm(FaultPlan::new(vec![Fault::PanicTask { task: 0 }]));
         let err = client
-            .frontier(FrontierRequest {
+            .evaluate(FrontierRequest {
                 spec_text: spec_text(),
                 heuristic: false,
                 sampling: None,
@@ -159,7 +159,7 @@ fn injected_panic_is_structured_and_the_session_recovers() {
 
     // Disarmed: the same connection, the same daemon, the exact batch
     // bytes — the panic poisoned nothing.
-    let recovered = client.frontier(frontier_request(false)).expect("recovered walk");
+    let recovered = client.evaluate(frontier_request(false)).expect("recovered walk");
     assert_eq!(render_frontier(&recovered), want_text, "session must stay warm past a panic");
 
     drop(client);
@@ -171,12 +171,12 @@ fn injected_panic_is_structured_and_the_session_recovers() {
 #[test]
 fn ping_and_stats_round_trip() {
     let (addr, drain, handle) = start_daemon(ServiceLimits::default());
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder().addr(addr).connect().expect("connect");
     client.ping().expect("pong");
     let cold = client.stats().expect("stats");
     assert_eq!((cold.sessions, cold.entries, cold.computes), (0, 0, 0));
 
-    client.frontier(frontier_request(false)).expect("walk");
+    client.evaluate(frontier_request(false)).expect("walk");
     let warm = client.stats().expect("stats after walk");
     assert_eq!(warm.sessions, 1);
     assert!(warm.entries > 0 && warm.computes > 0);
@@ -191,17 +191,70 @@ fn ping_and_stats_round_trip() {
 #[test]
 fn drain_stops_accepting_and_joins_cleanly() {
     let (addr, drain, handle) = start_daemon(ServiceLimits::default());
-    let mut client = Client::connect(addr).expect("connect before drain");
+    let mut client = Client::builder().addr(addr).connect().expect("connect before drain");
     client.ping().expect("pong before drain");
 
     drain.store(true, std::sync::atomic::Ordering::SeqCst);
     handle.join().expect("serve loop exits cleanly on drain");
 
-    match Client::connect(addr) {
+    match Client::builder().addr(addr).connect() {
         Err(e @ ClientError::Unavailable(_)) => {
             assert_eq!(e.exit_code(), mhe::core::EXIT_SERVER_UNAVAILABLE);
         }
         Err(other) => panic!("expected Unavailable, got {other:?}"),
         Ok(_) => panic!("a drained daemon must not accept new connections"),
     }
+}
+
+/// The deprecated thin wrappers (`Client::connect`, `Client::frontier`)
+/// must keep working verbatim until removal — they are the published
+/// pre-subcommand API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_client_wrappers_still_serve_the_same_bytes() {
+    let (want_text, _) = batch_reference(&spec_text());
+    let (addr, drain, handle) = start_daemon(ServiceLimits::default());
+    let mut client = Client::connect(addr).expect("deprecated connect");
+    let report = client.frontier(frontier_request(false)).expect("deprecated frontier");
+    assert_eq!(render_frontier(&report), want_text, "wrapper path changed the answer");
+    drop(client);
+    drain.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("drained serve loop");
+}
+
+/// Version negotiation: a client announcing protocol v1 gets a
+/// *structured* rejection (exit-code-2 error naming both versions), not
+/// a hang or a slammed socket.
+#[test]
+fn v1_client_is_rejected_with_a_structured_error() {
+    use mhe::spacewalk::service::proto;
+    use std::io::{Read, Write};
+
+    let (addr, drain, handle) = start_daemon(ServiceLimits::default());
+    let mut stream = std::net::TcpStream::connect(addr).expect("tcp connect");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).expect("timeout");
+
+    // The server announces first: magic + version + feature bits.
+    let mut hello = [0u8; proto::HANDSHAKE_LEN];
+    stream.read_exact(&mut hello).expect("server announcement");
+    let server = proto::Handshake::decode(&hello).expect("well-formed announcement");
+    assert_eq!(server.version, proto::VERSION);
+    assert_ne!(server.features & proto::FEATURE_FRONTIER, 0, "daemon must offer frontiers");
+
+    // Reply as a version-1 client.
+    let v1 = proto::Handshake { version: 1, features: 0 };
+    stream.write_all(&v1.encode()).expect("v1 announcement");
+
+    let payload = proto::read_frame(&mut stream).expect("structured rejection frame");
+    match proto::decode_response(&payload).expect("decodable response") {
+        proto::Response::Error { code, message } => {
+            assert_eq!(code, mhe::core::EXIT_BAD_CONFIG);
+            assert!(message.contains("unsupported protocol version 1"), "{message}");
+        }
+        other => panic!("expected a version rejection, got {other:?}"),
+    }
+
+    drop(stream);
+    drain.store(true, std::sync::atomic::Ordering::SeqCst);
+    handle.join().expect("drained serve loop");
 }
