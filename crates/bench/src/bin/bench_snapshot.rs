@@ -24,6 +24,14 @@
 //! fleet cannot beat a serial walk — the identity and trajectory gates
 //! still apply there).
 //!
+//! A fifth section measures **survivability costs** into
+//! `results/BENCH_10.json`: the warm-query overhead of running the
+//! session TTL/LRU eviction pass on every request (gated at
+//! **≤ [`GATE_EVICTION_OVERHEAD`]×** the unbounded warm query), and the
+//! latency from cancelling an in-flight walk to the sweep actually
+//! stopping at its next task boundary (gated to abort in well under the
+//! walk's full runtime — a cancel that saves no work is not a cancel).
+//!
 //! Besides the warm-speedup gate, conservative absolute floors catch
 //! order-of-magnitude collapses, and a **trajectory check** compares
 //! against the previous `results/BENCH_8.json` (when one exists): any
@@ -35,6 +43,7 @@
 
 use mhe_cache::SinglePassSim;
 use mhe_core::evaluator::EvalConfig;
+use mhe_core::{CancelToken, MheError};
 use mhe_spacewalk::fleet::{
     evaluate_item, run_worker, work_plan, Coordinator, FleetConfig, FleetJob, PreparedWorker,
     WorkerOptions,
@@ -42,7 +51,8 @@ use mhe_spacewalk::fleet::{
 use mhe_spacewalk::service::proto::{FrontierRequest, Request, Response};
 use mhe_spacewalk::spec::Spec;
 use mhe_spacewalk::{
-    render_frontier, report_from, walker, EvalService, EvaluationCache, ServiceLimits,
+    render_frontier, report_from, walker, EvalService, EvaluationCache, ServiceConfig,
+    ServiceLimits,
 };
 use mhe_trace::codec::write_mtr;
 use mhe_trace::{StreamKind, TraceGenerator, TraceReader};
@@ -63,6 +73,13 @@ const GATE_SINGLE_PASS: f64 = 1.0e6;
 const GATE_DECODE_MB: f64 = 20.0;
 /// Trajectory: each throughput must stay above `prior / this`.
 const TRAJECTORY_FACTOR: f64 = 5.0;
+/// The warm repeat on a TTL/LRU-bounded service (eviction pass on every
+/// request) must stay within this factor of the unbounded warm query.
+const GATE_EVICTION_OVERHEAD: f64 = 3.0;
+/// A cancel fired right after a walk starts must abort the sweep in
+/// under this fraction of the full walk's runtime — otherwise the
+/// "cancellation" saved no work.
+const GATE_CANCEL_FRACTION: f64 = 0.5;
 /// Measurement rounds (minimum wall kept — least-noise estimate).
 const RUNS: usize = 3;
 
@@ -129,6 +146,26 @@ fn trajectory_ok(label: &str, new: f64, prior: Option<f64>) -> bool {
         }
         Some(p) => {
             println!("  trajectory {label}: {new:.0} vs prior {p:.0} (ok)");
+            true
+        }
+        None => true,
+    }
+}
+
+/// Trajectory for latencies (lower is better): `new` must not climb
+/// above `prior * TRAJECTORY_FACTOR`.
+fn trajectory_latency_ok(label: &str, new: f64, prior: Option<f64>) -> bool {
+    match prior {
+        Some(p) if new > p * TRAJECTORY_FACTOR => {
+            eprintln!(
+                "[bench_snapshot] TRAJECTORY FAIL: {label} climbed to {new:.2} \
+                 (prior {p:.2}, ceiling {:.2})",
+                p * TRAJECTORY_FACTOR
+            );
+            false
+        }
+        Some(p) => {
+            println!("  trajectory {label}: {new:.2} vs prior {p:.2} (ok)");
             true
         }
         None => true,
@@ -367,7 +404,106 @@ fn main() -> std::io::Result<()> {
     out9.write_all(json9.as_bytes())?;
     println!("\n  results/BENCH_9.json written");
 
-    if !pass || !pass9 {
+    // --- 5. survivability: eviction overhead + cancellation latency ------
+    println!();
+    // 5a. A TTL/LRU-bounded service runs its eviction pass on every
+    // request; the warm repeat must stay within GATE_EVICTION_OVERHEAD
+    // of the unbounded warm query measured in section 3.
+    let bounded = EvalService::with_config(ServiceConfig {
+        limits: ServiceLimits { max_inflight: 1, max_queued: 4 },
+        session_ttl: Some(Duration::from_secs(3600)),
+        max_sessions: Some(8),
+        persist_dir: None,
+    });
+    let resp = bounded.respond(request());
+    assert!(matches!(resp, Response::Frontier(_)), "bounded cold query must serve a frontier");
+    let warm_bounded = min_wall(|| {
+        let resp = bounded.respond(request());
+        assert!(matches!(resp, Response::Frontier(_)), "bounded warm query must serve a frontier");
+    });
+    let eviction_overhead = warm_bounded.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!(
+        "  bounded daemon:   warm {warm_bounded:.3?} vs unbounded {warm:.3?}  \
+         ({eviction_overhead:.2}x, gate {GATE_EVICTION_OVERHEAD:.0}x)"
+    );
+
+    // 5b. Cancelling the fleet-sized walk shortly after it starts must
+    // abort at a task boundary, in a small fraction of the walk's full
+    // runtime (~serial_ms); the latency is the cancel-to-stop gap.
+    let token = CancelToken::new();
+    let cancel_db = EvaluationCache::new();
+    let (cancelled, cancel_latency) = std::thread::scope(|scope| {
+        let walk_token = token.clone();
+        let walk = scope.spawn(|| {
+            walker::with_walk_cancel(walk_token, || {
+                walker::walk_system_with(
+                    &eval,
+                    &fleet_spec.space,
+                    fleet_spec.penalties,
+                    &cancel_db,
+                    None,
+                )
+            })
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let fired = Instant::now();
+        token.cancel();
+        let outcome = walk.join().expect("cancelled walk thread");
+        (matches!(outcome, Err(MheError::Cancelled)), fired.elapsed())
+    });
+    let cancel_ms = cancel_latency.as_secs_f64() * 1e3;
+    println!(
+        "  cancellation:     stop {cancel_ms:.1} ms after cancel (full walk {serial_ms:.0} ms, \
+         gate {:.0}%)",
+        GATE_CANCEL_FRACTION * 100.0
+    );
+
+    let prior10 = std::fs::read_to_string("results/BENCH_10.json").ok();
+    let prior10_num = |key: &str| prior10.as_deref().and_then(|t| json_number(t, key));
+    let mut pass10 = true;
+    if !cancelled {
+        eprintln!("[bench_snapshot] FAIL: the walk ran to completion despite the cancel");
+        pass10 = false;
+    }
+    if eviction_overhead > GATE_EVICTION_OVERHEAD {
+        eprintln!(
+            "[bench_snapshot] FAIL: bounded warm repeat {eviction_overhead:.2}x over unbounded \
+             (gate {GATE_EVICTION_OVERHEAD:.0}x)"
+        );
+        pass10 = false;
+    }
+    if cancel_ms > serial_ms * GATE_CANCEL_FRACTION {
+        eprintln!(
+            "[bench_snapshot] FAIL: cancel took {cancel_ms:.0} ms of a {serial_ms:.0} ms walk \
+             (gate {:.0}%)",
+            GATE_CANCEL_FRACTION * 100.0
+        );
+        pass10 = false;
+    }
+    pass10 &= trajectory_latency_ok(
+        "daemon_warm_bounded_ms",
+        warm_bounded.as_secs_f64() * 1e3,
+        prior10_num("daemon_warm_bounded_ms"),
+    );
+
+    let json10 = format!(
+        "{{\n  \"bench\": \"bench_snapshot\",\n  \"pr\": 10,\n  \"events\": {walk_events},\n  \
+         \"cancel_events\": {fleet_events},\n  \
+         \"daemon_warm_unbounded_ms\": {:.3},\n  \"daemon_warm_bounded_ms\": {:.3},\n  \
+         \"eviction_overhead\": {eviction_overhead:.3},\n  \
+         \"cancel_latency_ms\": {cancel_ms:.3},\n  \"walk_full_ms\": {serial_ms:.3},\n  \
+         \"cancelled\": {cancelled},\n  \
+         \"gates\": {{ \"eviction_overhead_max\": {GATE_EVICTION_OVERHEAD}, \
+         \"cancel_fraction_max\": {GATE_CANCEL_FRACTION}, \
+         \"trajectory_factor\": {TRAJECTORY_FACTOR} }},\n  \"pass\": {pass10}\n}}\n",
+        warm.as_secs_f64() * 1e3,
+        warm_bounded.as_secs_f64() * 1e3,
+    );
+    let mut out10 = File::create("results/BENCH_10.json")?;
+    out10.write_all(json10.as_bytes())?;
+    println!("\n  results/BENCH_10.json written");
+
+    if !pass || !pass9 || !pass10 {
         std::process::exit(1);
     }
     Ok(())

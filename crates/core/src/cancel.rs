@@ -1,0 +1,75 @@
+//! Cooperative cancellation for long-running sweeps.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag threaded from whoever can
+//! observe a reason to stop (a connection reader noticing a disconnect, a
+//! `Cancel` protocol frame) down into [`crate::parallel::ParallelSweep`],
+//! which checks it at every task boundary. Cancellation is *cooperative*:
+//! the running task finishes, nothing is torn down mid-computation, and
+//! the sweep surfaces [`crate::MheError::Cancelled`] with partial
+//! metrics. Work already completed — warmed cache entries in particular —
+//! stays valid, which is what makes a cancelled-then-rerun request
+//! bit-identical to an uninterrupted one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag.
+///
+/// ```
+/// use mhe_core::cancel::CancelToken;
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (one relaxed atomic load).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag_and_cancel_is_idempotent() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_cross_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        let h = std::thread::spawn(move || {
+            while !observer.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(h.join().unwrap());
+    }
+}

@@ -26,6 +26,14 @@ pub const EXIT_WORKER_FAILURE: u8 = 4;
 /// away by) an evaluation daemon: connection refused, handshake mismatch,
 /// or a structured admission-control rejection.
 pub const EXIT_SERVER_UNAVAILABLE: u8 = 5;
+/// Process exit code for an authentication failure: the peer requires a
+/// shared token (`--auth-token`/`MHE_AUTH_TOKEN`) and the connection
+/// presented none, or a proof that did not verify.
+pub const EXIT_UNAUTHORIZED: u8 = 6;
+/// Process exit code for a cooperatively cancelled evaluation: the
+/// client disconnected mid-sweep or sent an explicit `Cancel` frame, and
+/// the sweep stopped at the next task boundary.
+pub const EXIT_CANCELLED: u8 = 7;
 
 /// Why a metric query could not be answered.
 ///
@@ -85,6 +93,11 @@ pub enum MheError {
         /// What exactly was wrong.
         detail: Arc<str>,
     },
+    /// The evaluation was cooperatively cancelled at a task boundary
+    /// (client disconnect, explicit `Cancel` frame, or a dropped
+    /// [`crate::cancel::CancelToken`] holder). Partial work — warmed
+    /// cache entries in particular — remains valid and reusable.
+    Cancelled,
 }
 
 impl MheError {
@@ -109,10 +122,11 @@ impl MheError {
     /// The process exit code binaries map this error to:
     /// [`EXIT_BAD_CONFIG`] for user configuration errors,
     /// [`EXIT_CORRUPT_INPUT`] for corrupt input artifacts,
-    /// [`EXIT_WORKER_FAILURE`] for worker failures. (`0` is success and
-    /// `1` a generic failure, so the fault-specific codes start at 2;
-    /// [`EXIT_SERVER_UNAVAILABLE`] is reserved for daemon clients and has
-    /// no `MheError` variant.)
+    /// [`EXIT_WORKER_FAILURE`] for worker failures,
+    /// [`EXIT_CANCELLED`] for cooperative cancellation. (`0` is success
+    /// and `1` a generic failure, so the fault-specific codes start at 2;
+    /// [`EXIT_SERVER_UNAVAILABLE`] and [`EXIT_UNAUTHORIZED`] are reserved
+    /// for daemon clients and have no `MheError` variant.)
     pub fn exit_code(&self) -> u8 {
         match self {
             MheError::MissingSimulation { .. }
@@ -120,6 +134,7 @@ impl MheError {
             | MheError::InvalidConfig { .. } => EXIT_BAD_CONFIG,
             MheError::CorruptInput { .. } => EXIT_CORRUPT_INPUT,
             MheError::WorkerFailed { .. } => EXIT_WORKER_FAILURE,
+            MheError::Cancelled => EXIT_CANCELLED,
         }
     }
 }
@@ -154,6 +169,7 @@ impl fmt::Display for MheError {
             MheError::CorruptInput { path, detail } => {
                 write!(f, "corrupt input {path}: {detail}")
             }
+            MheError::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }
@@ -191,6 +207,9 @@ mod tests {
 
         let e = MheError::InvalidConfig { field: "events", requirement: "must be positive" };
         assert_eq!(e.exit_code(), 2);
+
+        assert_eq!(MheError::Cancelled.exit_code(), 7);
+        assert!(MheError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -73,6 +73,34 @@ pub enum Fault {
         /// The task index to kill on its first attempt.
         task: u64,
     },
+    /// Drop the `frame`-th protocol frame written by this process
+    /// (0-based, one-shot): the peer never sees it, as when a connection
+    /// dies between frames.
+    DropFrame {
+        /// Index of the frame to drop, counted across all connections.
+        frame: u64,
+    },
+    /// Write the `frame`-th protocol frame twice (one-shot): a duplicate
+    /// delivery, as a retransmitting middlebox would produce.
+    DupFrame {
+        /// Index of the frame to duplicate.
+        frame: u64,
+    },
+    /// Write only the first half of the `frame`-th protocol frame, then
+    /// stop (one-shot): a mid-frame connection tear.
+    TruncFrame {
+        /// Index of the frame to truncate.
+        frame: u64,
+    },
+    /// Sleep before writing the `frame`-th protocol frame (one-shot):
+    /// network latency/head-of-line blocking at an exact, reproducible
+    /// point.
+    DelayFrame {
+        /// Index of the frame to delay.
+        frame: u64,
+        /// How long to stall the write, in milliseconds.
+        millis: u64,
+    },
 }
 
 /// A deterministic schedule of faults.
@@ -80,11 +108,14 @@ pub enum Fault {
 /// The text syntax (used by `MHE_FAULT_PLAN`) is a comma-separated list:
 ///
 /// ```text
-/// flip@BYTE:MASK , truncate@AT , short@AT , enospc@AT , panic@TASK
+/// flip@BYTE:MASK , truncate@AT , short@AT , enospc@AT , panic@TASK ,
+/// drop@FRAME , dup@FRAME , trunc@FRAME , delay@FRAME:MILLIS
 /// ```
 ///
 /// e.g. `MHE_FAULT_PLAN=panic@3,panic@11` kills sweep tasks 3 and 11 on
-/// their first attempts. Offsets are decimal; `MASK` accepts `0x` hex.
+/// their first attempts, and `MHE_FAULT_PLAN=drop@2` swallows the third
+/// protocol frame the process writes. Offsets are decimal; `MASK`
+/// accepts `0x` hex.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
@@ -126,6 +157,16 @@ impl FaultPlan {
                 "short" => Fault::ShortRead { at: arg.trim().parse().ok()? },
                 "enospc" => Fault::Enospc { at: arg.trim().parse().ok()? },
                 "panic" => Fault::PanicTask { task: arg.trim().parse().ok()? },
+                "drop" => Fault::DropFrame { frame: arg.trim().parse().ok()? },
+                "dup" => Fault::DupFrame { frame: arg.trim().parse().ok()? },
+                "trunc" => Fault::TruncFrame { frame: arg.trim().parse().ok()? },
+                "delay" => {
+                    let (frame, millis) = arg.split_once(':')?;
+                    Fault::DelayFrame {
+                        frame: frame.trim().parse().ok()?,
+                        millis: millis.trim().parse().ok()?,
+                    }
+                }
                 _ => return None,
             };
             faults.push(fault);
@@ -162,13 +203,54 @@ impl FaultPlan {
         };
         FaultPlan { faults: vec![fault] }
     }
+
+    /// A single-*network*-fault plan derived deterministically from
+    /// `seed`, aimed at a stream of `frames` protocol frames. Same
+    /// contract as [`FaultPlan::seeded`]: one seed, one reproducible
+    /// fault — here a frame drop, duplicate, truncation, or a short
+    /// (bounded, ≤ 50 ms) delay.
+    pub fn seeded_net(seed: u64, frames: u64) -> FaultPlan {
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let frame = next() % frames.max(1);
+        let fault = match next() % 4 {
+            0 => Fault::DropFrame { frame },
+            1 => Fault::DupFrame { frame },
+            2 => Fault::TruncFrame { frame },
+            _ => Fault::DelayFrame { frame, millis: 1 + next() % 50 },
+        };
+        FaultPlan { faults: vec![fault] }
+    }
 }
 
-/// A process-wide armed plan with per-fault fired flags.
+/// What an armed plan decided about one outgoing protocol frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Write the frame normally (no armed plan, or no fault for it).
+    Deliver,
+    /// Swallow the frame entirely.
+    Drop,
+    /// Write the frame twice.
+    Duplicate,
+    /// Write only the first half of the frame, then stop.
+    Truncate,
+    /// Sleep this long, then write the frame normally.
+    Delay(std::time::Duration),
+}
+
+/// A process-wide armed plan with per-fault fired flags and the running
+/// count of protocol frames the process has written since arming.
 #[derive(Debug)]
 struct ActivePlan {
     plan: FaultPlan,
     fired: Vec<bool>,
+    frames_seen: u64,
 }
 
 fn armed() -> &'static Mutex<Option<ActivePlan>> {
@@ -178,7 +260,7 @@ fn armed() -> &'static Mutex<Option<ActivePlan>> {
         let plan = std::env::var("MHE_FAULT_PLAN").ok().and_then(|v| FaultPlan::parse(&v));
         Mutex::new(plan.map(|plan| {
             let fired = vec![false; plan.faults.len()];
-            ActivePlan { plan, fired }
+            ActivePlan { plan, fired, frames_seen: 0 }
         }))
     })
 }
@@ -206,7 +288,7 @@ impl Drop for ArmGuard {
 pub fn arm(plan: FaultPlan) -> ArmGuard {
     let fired = vec![false; plan.faults.len()];
     if let Ok(mut slot) = armed().lock() {
-        *slot = Some(ActivePlan { plan, fired });
+        *slot = Some(ActivePlan { plan, fired, frames_seen: 0 });
     }
     ArmGuard { _private: () }
 }
@@ -253,6 +335,48 @@ pub fn maybe_panic_task(task: u64) {
     }
 }
 
+/// Decides the fate of the next outgoing protocol frame.
+///
+/// Called by the wire layer before every frame write. Each call consumes
+/// one index from the armed plan's process-wide frame counter; a
+/// scheduled frame fault ([`Fault::DropFrame`] and friends) matching that
+/// index fires at most once and increments the `fault_injected` counter.
+/// With no plan armed this is one mutex lock and returns
+/// [`FrameFate::Deliver`].
+pub fn next_frame_fate() -> FrameFate {
+    let fate = {
+        let Ok(mut slot) = armed().lock() else { return FrameFate::Deliver };
+        let Some(active) = slot.as_mut() else { return FrameFate::Deliver };
+        let frame_idx = active.frames_seen;
+        active.frames_seen += 1;
+        let mut fate = FrameFate::Deliver;
+        for (fault, fired) in active.plan.faults.iter().zip(active.fired.iter_mut()) {
+            if *fired {
+                continue;
+            }
+            let decided = match *fault {
+                Fault::DropFrame { frame } if frame == frame_idx => Some(FrameFate::Drop),
+                Fault::DupFrame { frame } if frame == frame_idx => Some(FrameFate::Duplicate),
+                Fault::TruncFrame { frame } if frame == frame_idx => Some(FrameFate::Truncate),
+                Fault::DelayFrame { frame, millis } if frame == frame_idx => {
+                    Some(FrameFate::Delay(std::time::Duration::from_millis(millis)))
+                }
+                _ => None,
+            };
+            if let Some(f) = decided {
+                *fired = true;
+                fate = f;
+                break;
+            }
+        }
+        fate
+    };
+    if fate != FrameFate::Deliver {
+        mhe_obs::count(mhe_obs::Counter::FaultInjected, 1);
+    }
+    fate
+}
+
 /// Per-adapter fault state: the plan's I/O faults with fired flags.
 #[derive(Debug)]
 struct IoFaults {
@@ -265,7 +389,16 @@ impl IoFaults {
         let faults = plan
             .faults
             .iter()
-            .filter(|f| !matches!(f, Fault::PanicTask { .. }))
+            .filter(|f| {
+                !matches!(
+                    f,
+                    Fault::PanicTask { .. }
+                        | Fault::DropFrame { .. }
+                        | Fault::DupFrame { .. }
+                        | Fault::TruncFrame { .. }
+                        | Fault::DelayFrame { .. }
+                )
+            })
             .map(|&f| (f, false))
             .collect();
         Self { faults, pos: 0 }
@@ -458,9 +591,11 @@ mod tests {
                 Fault::ShortRead { .. } => 2,
                 Fault::Enospc { .. } => 3,
                 Fault::PanicTask { .. } => 4,
+                _ => u8::MAX,
             })
             .collect();
         assert_eq!(kinds.len(), 5);
+        assert!(!kinds.contains(&u8::MAX), "seeded() must not emit frame faults");
     }
 
     #[test]
@@ -537,5 +672,79 @@ mod tests {
         let mut out = Vec::new();
         FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn parse_accepts_the_frame_fault_syntax() {
+        let plan = FaultPlan::parse("drop@2, dup@0, trunc@7, delay@3:25").unwrap();
+        assert_eq!(
+            plan.faults(),
+            &[
+                Fault::DropFrame { frame: 2 },
+                Fault::DupFrame { frame: 0 },
+                Fault::TruncFrame { frame: 7 },
+                Fault::DelayFrame { frame: 3, millis: 25 },
+            ]
+        );
+        assert!(FaultPlan::parse("delay@3").is_none(), "delay requires :MILLIS");
+        assert!(FaultPlan::parse("drop@x").is_none());
+        assert!(FaultPlan::parse("trunc@").is_none());
+    }
+
+    #[test]
+    fn seeded_net_plans_are_deterministic_and_cover_every_frame_fault() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded_net(seed, 100), FaultPlan::seeded_net(seed, 100));
+        }
+        let kinds: std::collections::HashSet<u8> = (0..64)
+            .map(|s| match FaultPlan::seeded_net(s, 100).faults()[0] {
+                Fault::DropFrame { .. } => 0,
+                Fault::DupFrame { .. } => 1,
+                Fault::TruncFrame { .. } => 2,
+                Fault::DelayFrame { .. } => 3,
+                _ => u8::MAX,
+            })
+            .collect();
+        assert_eq!(kinds.len(), 4);
+        assert!(!kinds.contains(&u8::MAX), "seeded_net() emits only frame faults");
+    }
+
+    #[test]
+    fn frame_faults_do_not_touch_io_adapters() {
+        let plan = FaultPlan::new(vec![
+            Fault::DropFrame { frame: 0 },
+            Fault::TruncFrame { frame: 0 },
+            Fault::DupFrame { frame: 0 },
+            Fault::DelayFrame { frame: 0, millis: 1 },
+        ]);
+        let data = vec![9u8; 16];
+        let mut out = Vec::new();
+        FaultyReader::new(data.as_slice(), &plan).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        let mut w = FaultyWriter::new(Vec::new(), &plan);
+        w.write_all(&data).unwrap();
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn next_frame_fate_fires_each_scheduled_fault_once() {
+        let _lock = injection_lock();
+        let _guard = arm(FaultPlan::new(vec![
+            Fault::DropFrame { frame: 1 },
+            Fault::DelayFrame { frame: 3, millis: 25 },
+        ]));
+        assert_eq!(next_frame_fate(), FrameFate::Deliver); // frame 0
+        assert_eq!(next_frame_fate(), FrameFate::Drop); // frame 1
+        assert_eq!(next_frame_fate(), FrameFate::Deliver); // frame 2
+        assert_eq!(next_frame_fate(), FrameFate::Delay(std::time::Duration::from_millis(25))); // frame 3
+        assert_eq!(next_frame_fate(), FrameFate::Deliver); // frame 4
+    }
+
+    #[test]
+    fn next_frame_fate_is_deliver_without_an_armed_plan() {
+        let _lock = injection_lock();
+        for _ in 0..4 {
+            assert_eq!(next_frame_fate(), FrameFate::Deliver);
+        }
     }
 }

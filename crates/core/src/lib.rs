@@ -49,7 +49,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accel;
+pub mod auth;
 pub mod bank;
+pub mod cancel;
 pub mod dilation;
 pub mod env;
 pub mod error;
@@ -63,10 +65,12 @@ pub mod ucache;
 
 pub use accel::{accelerated_cycles, Accelerator, KernelMap};
 pub use bank::{FeatureKey, ReferenceBank};
+pub use cancel::CancelToken;
 pub use dilation::{text_dilation, DilationDistribution};
 pub use env::RetryPolicy;
 pub use error::{
-    MheError, EXIT_BAD_CONFIG, EXIT_CORRUPT_INPUT, EXIT_SERVER_UNAVAILABLE, EXIT_WORKER_FAILURE,
+    MheError, EXIT_BAD_CONFIG, EXIT_CANCELLED, EXIT_CORRUPT_INPUT, EXIT_SERVER_UNAVAILABLE,
+    EXIT_UNAUTHORIZED, EXIT_WORKER_FAILURE,
 };
 pub use evaluator::{
     actual_misses, dilated_misses, EvalConfig, EvalConfigBuilder, ReferenceEvaluation,

@@ -39,6 +39,7 @@
 //! The fallible paths also consult [`crate::fault::maybe_panic_task`], so
 //! a [`crate::fault::FaultPlan`] can kill chosen tasks on demand.
 
+use crate::cancel::CancelToken;
 use crate::env::RetryPolicy;
 use crate::error::MheError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -146,11 +147,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// let squares = ParallelSweep::with_threads(4).map(vec![1u64, 2, 3, 4], |x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelSweep {
     threads: usize,
     retry: RetryPolicy,
     label: &'static str,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for ParallelSweep {
@@ -163,7 +165,12 @@ impl ParallelSweep {
     /// A sweep using [`worker_threads`] workers and the process retry
     /// policy (`MHE_RETRIES`, default none).
     pub fn new() -> Self {
-        Self { threads: worker_threads(), retry: crate::env::retry_policy(), label: "sweep" }
+        Self {
+            threads: worker_threads(),
+            retry: crate::env::retry_policy(),
+            label: "sweep",
+            cancel: None,
+        }
     }
 
     /// A sweep with an explicit worker count (`0` means [`worker_threads`]).
@@ -171,7 +178,7 @@ impl ParallelSweep {
         if threads == 0 {
             Self::new()
         } else {
-            Self { retry: crate::env::retry_policy(), label: "sweep", threads }
+            Self { threads, ..Self::new() }
         }
     }
 
@@ -185,6 +192,17 @@ impl ParallelSweep {
     /// `"icache walk"` → `"icache walk task 17"`). Default `"sweep"`.
     pub fn with_label(self, label: &'static str) -> Self {
         Self { label, ..self }
+    }
+
+    /// Attaches a cooperative [`CancelToken`], checked before every task
+    /// in the fallible paths ([`ParallelSweep::try_map`] and friends). A
+    /// cancelled sweep stops claiming work at the next task boundary and
+    /// surfaces [`MheError::Cancelled`] with partial [`SweepMetrics`];
+    /// already-completed work (cache insertions in particular) stays
+    /// valid. The infallible paths ignore the token — their signatures
+    /// cannot express early exit.
+    pub fn with_cancel(self, cancel: CancelToken) -> Self {
+        Self { cancel: Some(cancel), ..self }
     }
 
     /// The worker count.
@@ -449,6 +467,9 @@ impl ParallelSweep {
         let run_one = |i: usize, item: &T| -> Result<R, MheError> {
             let mut attempt = 0u32;
             loop {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(MheError::Cancelled);
+                }
                 attempt += 1;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     crate::fault::maybe_panic_task(i as u64);
@@ -600,6 +621,9 @@ impl ParallelSweep {
         let run_one = |i: usize, item: &mut T| -> Result<(), MheError> {
             let mut attempt = 0u32;
             loop {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(MheError::Cancelled);
+                }
                 attempt += 1;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     crate::fault::maybe_panic_task(i as u64);
@@ -949,6 +973,44 @@ mod tests {
             .try_map(&items, |&x| Ok(x * 2))
             .unwrap();
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_sweep_stops_at_a_task_boundary_with_partial_metrics() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let observer = token.clone();
+            let items: Vec<u64> = (0..64).collect();
+            let err = ParallelSweep::with_threads(threads)
+                .with_cancel(token)
+                .try_map(&items, |&x| {
+                    if x == 3 {
+                        observer.cancel();
+                    }
+                    Ok(x)
+                })
+                .unwrap_err();
+            assert_eq!(err.error, MheError::Cancelled, "{threads} threads");
+            assert_eq!(err.error.exit_code(), 7);
+            assert!(err.metrics.completed < items.len(), "{threads} threads: queue cancelled");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_does_no_work() {
+        let token = CancelToken::new();
+        token.cancel();
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let items: Vec<u64> = (0..16).collect();
+        let err = ParallelSweep::with_threads(4)
+            .with_cancel(token)
+            .try_map(&items, |&x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(x)
+            })
+            .unwrap_err();
+        assert_eq!(err.error, MheError::Cancelled);
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "no task may start after cancellation");
     }
 
     #[test]

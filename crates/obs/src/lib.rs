@@ -249,11 +249,13 @@ pub enum Counter {
     ShardSteal,
     /// Evaluated points merged by a fleet coordinator.
     FleetPoints,
+    /// Warm daemon sessions evicted by the TTL/LRU bound.
+    SessionEvict,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::DbHit,
         Counter::DbMiss,
         Counter::DbPersistBytes,
@@ -267,6 +269,7 @@ impl Counter {
         Counter::ShardLease,
         Counter::ShardSteal,
         Counter::FleetPoints,
+        Counter::SessionEvict,
     ];
 
     /// The counter's snake_case report name.
@@ -285,6 +288,7 @@ impl Counter {
             Counter::ShardLease => "shard_lease",
             Counter::ShardSteal => "shard_steal",
             Counter::FleetPoints => "fleet_points",
+            Counter::SessionEvict => "session_evict",
         }
     }
 }

@@ -8,27 +8,40 @@
 //!
 //! ```console
 //! $ mhe-server [--addr HOST:PORT] [--port-file PATH]
-//!              [--inflight N] [--queue N] [--obs|--obs-json]
+//!              [--inflight N] [--queue N]
+//!              [--session-ttl SECS] [--max-sessions N] [--db DIR]
+//!              [--auth-token TOKEN] [--obs|--obs-json]
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:0` (loopback, ephemeral port);
 //! `--port-file PATH` writes the actually-bound address to `PATH` once
 //! listening, which is how scripts and tests rendezvous with an
 //! ephemeral-port daemon. `--inflight`/`--queue` override the
-//! `MHE_SERVER_INFLIGHT`/`MHE_SERVER_QUEUE` admission knobs.
+//! `MHE_SERVER_INFLIGHT`/`MHE_SERVER_QUEUE` admission knobs;
+//! `--session-ttl`/`--max-sessions` override `MHE_SESSION_TTL`/
+//! `MHE_MAX_SESSIONS` and bound the daemon's warm-session memory;
+//! `--db DIR` persists evicted scope caches so warm state survives
+//! restarts; `--auth-token` (or `MHE_AUTH_TOKEN`) requires every client
+//! to answer a challenge before its first request (bad or missing
+//! tokens exit with code 6).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use mhe_spacewalk::{EvalService, Server, ServiceLimits};
+use mhe_spacewalk::{EvalService, Server, ServiceConfig, ServiceLimits};
 use std::sync::Arc;
+use std::time::Duration;
 
-pub use mhe_core::{EXIT_BAD_CONFIG, EXIT_SERVER_UNAVAILABLE, EXIT_WORKER_FAILURE};
+pub use mhe_core::{
+    EXIT_BAD_CONFIG, EXIT_CANCELLED, EXIT_SERVER_UNAVAILABLE, EXIT_UNAUTHORIZED,
+    EXIT_WORKER_FAILURE,
+};
 
 /// The daemon's usage line.
 pub const USAGE: &str = "usage: mhe-server [--addr HOST:PORT] [--port-file PATH] \
-     [--inflight N] [--queue N] [--obs|--obs-json]";
+     [--inflight N] [--queue N] [--session-ttl SECS] [--max-sessions N] \
+     [--db DIR] [--auth-token TOKEN] [--obs|--obs-json]";
 
 /// Parsed daemon configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +52,14 @@ pub struct DaemonConfig {
     pub port_file: Option<String>,
     /// Admission limits (flags override the environment knobs).
     pub limits: ServiceLimits,
+    /// Idle-session TTL override (`None` defers to `MHE_SESSION_TTL`).
+    pub session_ttl: Option<Duration>,
+    /// Warm-session cap override (`None` defers to `MHE_MAX_SESSIONS`).
+    pub max_sessions: Option<usize>,
+    /// Persistence directory for evicted scope caches.
+    pub db: Option<String>,
+    /// Shared-token override (`None` defers to `MHE_AUTH_TOKEN`).
+    pub auth_token: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -47,6 +68,10 @@ impl Default for DaemonConfig {
             addr: "127.0.0.1:0".to_string(),
             port_file: None,
             limits: ServiceLimits::default(),
+            session_ttl: None,
+            max_sessions: None,
+            db: None,
+            auth_token: None,
         }
     }
 }
@@ -85,6 +110,34 @@ pub fn parse_args(args: &[String]) -> Result<Option<DaemonConfig>, String> {
                 cfg.limits.max_queued =
                     v.parse::<usize>().map_err(|e| format!("--queue {v:?}: {e}"))?;
             }
+            "--session-ttl" => {
+                i += 1;
+                let v = args.get(i).ok_or("--session-ttl needs seconds")?;
+                let secs = v.parse::<u64>().map_err(|e| format!("--session-ttl {v:?}: {e}"))?;
+                cfg.session_ttl = Some(Duration::from_secs(secs));
+            }
+            "--max-sessions" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-sessions needs a count")?;
+                cfg.max_sessions = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--max-sessions {v:?}: need a positive integer"))?,
+                );
+            }
+            "--db" => {
+                i += 1;
+                cfg.db = Some(args.get(i).cloned().ok_or("--db needs a directory")?);
+            }
+            "--auth-token" => {
+                i += 1;
+                let v = args.get(i).cloned().ok_or("--auth-token needs a token")?;
+                if v.is_empty() {
+                    return Err("--auth-token must not be empty".to_string());
+                }
+                cfg.auth_token = Some(v);
+            }
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
             "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
             "--help" | "-h" => {
@@ -107,9 +160,22 @@ pub fn parse_args(args: &[String]) -> Result<Option<DaemonConfig>, String> {
 /// cannot be bound, [`EXIT_WORKER_FAILURE`] for serve-loop or port-file
 /// I/O failures.
 pub fn run(cfg: &DaemonConfig) -> Result<(), (u8, String)> {
-    let service = Arc::new(EvalService::new(cfg.limits));
-    let server = Server::bind(cfg.addr.as_str(), service)
+    let mut service_cfg = ServiceConfig { limits: cfg.limits, ..ServiceConfig::default() };
+    if let Some(ttl) = cfg.session_ttl {
+        service_cfg.session_ttl = Some(ttl);
+    }
+    if let Some(max) = cfg.max_sessions {
+        service_cfg.max_sessions = Some(max);
+    }
+    if let Some(dir) = &cfg.db {
+        service_cfg.persist_dir = Some(std::path::PathBuf::from(dir));
+    }
+    let service = Arc::new(EvalService::with_config(service_cfg));
+    let mut server = Server::bind(cfg.addr.as_str(), service)
         .map_err(|e| (EXIT_SERVER_UNAVAILABLE, format!("cannot bind {}: {e}", cfg.addr)))?;
+    if let Some(token) = &cfg.auth_token {
+        server = server.with_auth_token(Some(token.clone()));
+    }
     server.install_signal_drain();
     let addr =
         server.local_addr().map_err(|e| (EXIT_WORKER_FAILURE, format!("local addr: {e}")))?;
@@ -156,11 +222,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_survivability_knobs() {
+        let cfg = parse_args(&argv(&[
+            "--session-ttl",
+            "0",
+            "--max-sessions",
+            "2",
+            "--db",
+            "/tmp/mhe-db",
+            "--auth-token",
+            "hunter2",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.session_ttl, Some(Duration::ZERO));
+        assert_eq!(cfg.max_sessions, Some(2));
+        assert_eq!(cfg.db.as_deref(), Some("/tmp/mhe-db"));
+        assert_eq!(cfg.auth_token.as_deref(), Some("hunter2"));
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         assert!(parse_args(&argv(&["--inflight", "0"])).is_err());
         assert!(parse_args(&argv(&["--queue", "many"])).is_err());
         assert!(parse_args(&argv(&["--addr"])).is_err());
         assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["--session-ttl", "soon"])).is_err());
+        assert!(parse_args(&argv(&["--max-sessions", "0"])).is_err());
+        assert!(parse_args(&argv(&["--auth-token", ""])).is_err());
+        assert!(parse_args(&argv(&["--db"])).is_err());
         assert_eq!(parse_args(&argv(&["--help"])).unwrap(), None);
     }
 }

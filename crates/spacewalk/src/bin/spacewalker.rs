@@ -56,7 +56,10 @@
 //! checkpoint fails its CRC), **4** worker failure (a panic isolated
 //! inside the parallel walk, a failed checkpoint write, an aborted
 //! fleet sweep), **5** server unavailable (a daemon or coordinator
-//! could not be reached or went silent).
+//! could not be reached or went silent), **6** unauthorized (a tokened
+//! daemon or coordinator rejected — or never received — the shared
+//! auth token), **7** cancelled (the request was cooperatively
+//! cancelled before completing).
 //!
 //! The pre-subcommand spelling (`spacewalker SPEC --serve/--connect/...`)
 //! still parses as a deprecated alias and prints a one-line migration
@@ -83,19 +86,23 @@ const USAGE: &str = "usage:
   spacewalker walk SPEC [--db CACHE.mhec] [--export CACHE.tsv] [--heuristic]
               [--policy LIST] [--sample N[:clusters=K,warmup=W]]
               [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
-  spacewalker serve ADDR [--obs|--obs-json]
+  spacewalker serve ADDR [--session-ttl SECS] [--max-sessions N]
+              [--persist DIR] [--auth-token TOKEN] [--obs|--obs-json]
   spacewalker connect ADDR SPEC [--heuristic] [--policy LIST] [--sample ...]
-              [--timeout SECS] [--retries N] [--obs|--obs-json]
-  spacewalker worker ADDR [--threads N] [--timeout SECS]
-              [--die-after-points N] [--obs|--obs-json]
+              [--timeout SECS] [--retries N] [--retry-deadline SECS]
+              [--auth-token TOKEN] [--obs|--obs-json]
+  spacewalker worker ADDR [--threads N] [--timeout SECS] [--redials N]
+              [--auth-token TOKEN] [--die-after-points N] [--obs|--obs-json]
   spacewalker fleet SPEC --workers N [--bind ADDR] [--port-file PATH]
               [--shards S] [--lease-timeout SECS] [--stall-timeout SECS]
-              [--db CACHE.mhec] [--export CACHE.tsv] [--policy LIST]
-              [--sample ...] [--checkpoint DIR] [--resume DIR] [--obs|--obs-json]
+              [--auth-token TOKEN] [--db CACHE.mhec] [--export CACHE.tsv]
+              [--policy LIST] [--sample ...] [--checkpoint DIR] [--resume DIR]
+              [--obs|--obs-json]
 
 exit codes:
   0 success | 2 bad configuration | 3 corrupt input
   4 worker failure | 5 server unavailable
+  6 unauthorized | 7 cancelled
 
 The pre-subcommand flags (spacewalker SPEC [--serve ADDR] [--connect ADDR] ...)
 still parse as deprecated aliases of walk/serve/connect.";
@@ -391,16 +398,58 @@ fn run_walk(spec_path: &str, opts: &SweepOptions) -> Result<(), CliError> {
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut addr = None;
     let mut opts = SweepOptions::default();
+    let mut service_cfg = mhe_spacewalk::ServiceConfig::default();
+    let mut auth_token: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
-        match opts.take(args, &mut i) {
-            Ok(true) => {}
-            Ok(false) => {
-                if addr.replace(args[i].clone()).is_some() {
-                    return fail(EXIT_BAD_CONFIG, format!("unexpected argument {:?}", args[i]));
+        match args[i].as_str() {
+            "--session-ttl" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--session-ttl needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => service_cfg.session_ttl = Some(Duration::from_secs(secs)),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--session-ttl {v:?}: {e}")),
                 }
             }
-            Err((code, msg)) => return fail(code, msg),
+            "--max-sessions" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--max-sessions needs a count");
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => service_cfg.max_sessions = Some(n),
+                    Ok(_) => return fail(EXIT_BAD_CONFIG, "--max-sessions must be positive"),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--max-sessions {v:?}: {e}")),
+                }
+            }
+            "--persist" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--persist needs a directory");
+                };
+                service_cfg.persist_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--auth-token" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token needs a token");
+                };
+                if v.is_empty() {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token must not be empty");
+                }
+                auth_token = Some(v.clone());
+            }
+            _ => match opts.take(args, &mut i) {
+                Ok(true) => {}
+                Ok(false) => {
+                    if addr.replace(args[i].clone()).is_some() {
+                        return fail(EXIT_BAD_CONFIG, format!("unexpected argument {:?}", args[i]));
+                    }
+                }
+                Err((code, msg)) => return fail(code, msg),
+            },
         }
         i += 1;
     }
@@ -412,7 +461,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     {
         return fail(code, msg);
     }
-    serve(&addr)
+    serve(&addr, service_cfg, auth_token)
 }
 
 fn reject_sweep_flags(opts: &SweepOptions, context: &str) -> Result<(), CliError> {
@@ -422,12 +471,19 @@ fn reject_sweep_flags(opts: &SweepOptions, context: &str) -> Result<(), CliError
     Ok(())
 }
 
-fn serve(addr: &str) -> ExitCode {
-    let service = Arc::new(EvalService::default());
-    let server = match Server::bind(addr, service) {
+fn serve(
+    addr: &str,
+    service_cfg: mhe_spacewalk::ServiceConfig,
+    auth_token: Option<String>,
+) -> ExitCode {
+    let service = Arc::new(EvalService::with_config(service_cfg));
+    let mut server = match Server::bind(addr, service) {
         Ok(s) => s,
         Err(e) => return fail(EXIT_SERVER_UNAVAILABLE, format!("cannot bind {addr}: {e}")),
     };
+    if auth_token.is_some() {
+        server = server.with_auth_token(auth_token);
+    }
     server.install_signal_drain();
     match server.local_addr() {
         Ok(a) => eprintln!("spacewalker: serving on {a} (SIGTERM drains)"),
@@ -444,6 +500,8 @@ fn cmd_connect(args: &[String]) -> ExitCode {
     let mut positionals: Vec<String> = Vec::new();
     let mut timeout = None;
     let mut retries = 0u32;
+    let mut retry_deadline = None;
+    let mut auth_token: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -467,6 +525,23 @@ fn cmd_connect(args: &[String]) -> ExitCode {
                     Err(e) => return fail(EXIT_BAD_CONFIG, format!("--retries {v:?}: {e}")),
                 }
             }
+            "--retry-deadline" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--retry-deadline needs seconds");
+                };
+                match v.parse::<u64>() {
+                    Ok(secs) => retry_deadline = Some(Duration::from_secs(secs)),
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--retry-deadline {v:?}: {e}")),
+                }
+            }
+            "--auth-token" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token needs a token");
+                };
+                auth_token = Some(v.clone());
+            }
             _ => match opts.take(args, &mut i) {
                 Ok(true) => {}
                 Ok(false) => positionals.push(args[i].clone()),
@@ -485,7 +560,7 @@ fn cmd_connect(args: &[String]) -> ExitCode {
         Ok(l) => l,
         Err((code, msg)) => return fail(code, msg),
     };
-    connect(addr, loaded.text, &opts, timeout, retries)
+    connect(addr, loaded.text, &opts, timeout, retries, retry_deadline, auth_token)
 }
 
 /// Sends the walk to a daemon and prints the served frontier — the same
@@ -496,10 +571,18 @@ fn connect(
     opts: &SweepOptions,
     timeout: Option<Duration>,
     retries: u32,
+    retry_deadline: Option<Duration>,
+    auth_token: Option<String>,
 ) -> ExitCode {
     let mut builder = Client::builder().addr(addr).retries(retries);
     if let Some(t) = timeout {
         builder = builder.timeout(t);
+    }
+    if let Some(d) = retry_deadline {
+        builder = builder.retry_deadline(d);
+    }
+    if let Some(token) = auth_token {
+        builder = builder.auth_token(token);
     }
     let mut client = match builder.connect() {
         Ok(c) => c,
@@ -556,6 +639,23 @@ fn cmd_worker(args: &[String]) -> ExitCode {
                         return fail(EXIT_BAD_CONFIG, format!("--die-after-points {v:?}: {e}"))
                     }
                 }
+            }
+            "--redials" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--redials needs a count");
+                };
+                match v.parse::<u32>() {
+                    Ok(n) => worker.redial_retries = n,
+                    Err(e) => return fail(EXIT_BAD_CONFIG, format!("--redials {v:?}: {e}")),
+                }
+            }
+            "--auth-token" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token needs a token");
+                };
+                worker.auth_token = Some(v.clone());
             }
             "--obs" => mhe_obs::set_level(mhe_obs::ObsLevel::Text),
             "--obs-json" => mhe_obs::set_level(mhe_obs::ObsLevel::Json),
@@ -647,6 +747,16 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
                     Err(e) => return fail(EXIT_BAD_CONFIG, format!("--stall-timeout {v:?}: {e}")),
                 }
             }
+            "--auth-token" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token needs a token");
+                };
+                if v.is_empty() {
+                    return fail(EXIT_BAD_CONFIG, "--auth-token must not be empty");
+                }
+                fleet_cfg.auth_token = Some(v.clone());
+            }
             _ => match opts.take(args, &mut i) {
                 Ok(true) => {}
                 Ok(false) => {
@@ -699,6 +809,8 @@ fn run_fleet(
         sampling: opts.sampling,
         policies: opts.policies.clone(),
     };
+    let shard_count = fleet_cfg.shard_count;
+    let worker_token = fleet_cfg.auth_token.clone();
     let coordinator = Coordinator::bind(bind_addr, job, fleet_cfg, Arc::clone(&db))
         .map_err(|e| (EXIT_SERVER_UNAVAILABLE, format!("cannot bind {bind_addr}: {e}")))?;
     let addr = coordinator
@@ -708,18 +820,20 @@ fn run_fleet(
         std::fs::write(path, format!("{addr}\n"))
             .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot write {path}: {e}")))?;
     }
-    eprintln!(
-        "fleet: coordinating on {addr} ({} shards, {} local workers)",
-        fleet_cfg.shard_count, workers
-    );
+    eprintln!("fleet: coordinating on {addr} ({} shards, {} local workers)", shard_count, workers);
 
     let exe = std::env::current_exe()
         .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot locate own binary: {e}")))?;
     let mut children = Vec::new();
     for _ in 0..workers {
-        let child = std::process::Command::new(&exe)
-            .arg("worker")
-            .arg(addr.to_string())
+        let mut command = std::process::Command::new(&exe);
+        command.arg("worker").arg(addr.to_string());
+        if let Some(token) = &worker_token {
+            // Locally-spawned workers inherit the coordinator's token so
+            // `fleet --auth-token` works without extra plumbing.
+            command.arg("--auth-token").arg(token);
+        }
+        let child = command
             .spawn()
             .map_err(|e| (EXIT_WORKER_FAILURE, format!("cannot spawn worker: {e}")))?;
         children.push(child);
@@ -821,7 +935,7 @@ fn legacy(args: &[String]) -> ExitCode {
         if spec_path.is_some() || connect_addr.is_some() {
             return fail(EXIT_BAD_CONFIG, "--serve takes no spec and no --connect");
         }
-        return serve(&addr);
+        return serve(&addr, mhe_spacewalk::ServiceConfig::default(), None);
     }
 
     let Some(spec_path) = spec_path else {
@@ -840,7 +954,7 @@ fn legacy(args: &[String]) -> ExitCode {
             Ok(l) => l,
             Err((code, msg)) => return fail(code, msg),
         };
-        return connect(&addr, loaded.text, &opts, None, 0);
+        return connect(&addr, loaded.text, &opts, None, 0, None, None);
     }
 
     eprintln!(

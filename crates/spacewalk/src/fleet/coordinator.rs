@@ -22,14 +22,15 @@ use crate::cache_db::EvaluationCache;
 use crate::ckpt::Checkpointer;
 use crate::service::proto::{
     decode_worker_frame, encode_coord_frame, handshake, read_exact_or_stop, write_frame,
-    CoordFrame, FrameReader, Handshake, JobOffer, WorkerFrame, FEATURE_FLEET, HANDSHAKE_LEN, MAGIC,
-    VERSION,
+    CoordFrame, FrameReader, Handshake, JobOffer, WorkerFrame, FEATURE_AUTH, FEATURE_FLEET,
+    HANDSHAKE_LEN, MAGIC, VERSION,
 };
 use mhe_cache::Policy;
 use mhe_core::{MheError, SamplingConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,7 +42,7 @@ const HANDLER_POLL: Duration = Duration::from_millis(100);
 const WAIT_PERIOD: Duration = Duration::from_secs(1);
 
 /// Tunables for a fleet sweep.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// How many shards the key space is partitioned into. More shards
     /// mean finer-grained stealing; the default suits single-digit
@@ -53,6 +54,10 @@ pub struct FleetConfig {
     /// If *no* shard completes and no points arrive for this long while
     /// work remains, the sweep is abandoned with a worker-failure error.
     pub stall_timeout: Duration,
+    /// When set, every attaching worker must answer a challenge with an
+    /// HMAC proof over this token before it is offered the job (the
+    /// default adopts `MHE_AUTH_TOKEN` from the environment).
+    pub auth_token: Option<String>,
 }
 
 impl Default for FleetConfig {
@@ -61,6 +66,7 @@ impl Default for FleetConfig {
             shard_count: 32,
             lease_timeout: Duration::from_secs(15),
             stall_timeout: Duration::from_secs(120),
+            auth_token: mhe_core::env::auth_token().map(str::to_string),
         }
     }
 }
@@ -117,6 +123,7 @@ struct Shared {
     cfg: FleetConfig,
     db: Arc<EvaluationCache>,
     state: Mutex<State>,
+    halt: Arc<AtomicBool>,
 }
 
 impl Shared {
@@ -128,6 +135,10 @@ impl Shared {
         self.locked(|s| s.abort.clone())
     }
 
+    fn halted(&self) -> bool {
+        self.halt.load(Ordering::SeqCst)
+    }
+
     fn locked<R>(&self, f: impl FnOnce(&mut State) -> R) -> R {
         match self.state.lock() {
             Ok(mut s) => f(&mut s),
@@ -136,6 +147,28 @@ impl Shared {
             // guarded section), so keep going rather than deadlock.
             Err(poisoned) => f(&mut poisoned.into_inner()),
         }
+    }
+}
+
+/// A remote stop switch for a running [`Coordinator`] — the handoff
+/// primitive. Halting is *not* aborting: connections close without an
+/// `Abort` frame, so workers see silence, map it to the
+/// server-unavailable contract, and redial (landing on the standby that
+/// rebinds the port and resumes from the shared checkpoint).
+#[derive(Debug, Clone)]
+pub struct HaltHandle {
+    halt: Arc<AtomicBool>,
+}
+
+impl HaltHandle {
+    /// Asks the coordinator to stop brokering and return. Idempotent.
+    pub fn halt(&self) {
+        self.halt.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a halt was requested.
+    pub fn is_halted(&self) -> bool {
+        self.halt.load(Ordering::SeqCst)
     }
 }
 
@@ -174,7 +207,13 @@ impl Coordinator {
             last_progress: Instant::now(),
             abort: None,
         };
-        let shared = Arc::new(Shared { job, cfg, db, state: Mutex::new(state) });
+        let shared = Arc::new(Shared {
+            job,
+            cfg,
+            db,
+            state: Mutex::new(state),
+            halt: Arc::new(AtomicBool::new(false)),
+        });
         Ok(Coordinator { listener, shared })
     }
 
@@ -185,6 +224,12 @@ impl Coordinator {
     /// Propagates the socket query failure.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// A cloneable stop switch for handing this coordinator's role to a
+    /// standby; see [`HaltHandle`].
+    pub fn halt_handle(&self) -> HaltHandle {
+        HaltHandle { halt: Arc::clone(&self.shared.halt) }
     }
 
     /// Accepts workers and brokers shards until every shard is done (or
@@ -226,6 +271,20 @@ impl Coordinator {
             }
             if done == self.shared.cfg.shard_count as usize {
                 break Ok(());
+            }
+            if self.shared.halted() {
+                // Handoff: stop brokering and report the unfinished
+                // sweep. Handlers observe the halt and close every
+                // worker connection *without* an Abort — silence makes
+                // workers redial; the checkpoint is written after they
+                // drain (below), so it carries every merged point.
+                break Err(MheError::worker_failed(
+                    "coordinator",
+                    format!(
+                        "halted for handoff with {done} of {} shards done",
+                        self.shared.cfg.shard_count
+                    ),
+                ));
             }
             if stalled {
                 let message = format!(
@@ -284,6 +343,15 @@ impl Coordinator {
         for h in handlers {
             let _ = h.join();
         }
+        // On a halt, the cache is persisted only now — after every
+        // handler finished merging its in-flight points — so the standby
+        // resumes from the most complete frontier this node ever held.
+        if self.shared.halted() {
+            if let Some(ckpt) = checkpoint {
+                ckpt.save(&self.shared.db)
+                    .map_err(|e| MheError::worker_failed("fleet checkpoint save", e.to_string()))?;
+            }
+        }
         result?;
         Ok(self.shared.locked(|s| FleetSummary {
             workers: s.next_worker,
@@ -300,10 +368,11 @@ impl Coordinator {
 fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_read_timeout(Some(HANDLER_POLL))?;
     stream.set_nodelay(true)?;
-    stream.write_all(&handshake(FEATURE_FLEET))?;
+    let features = FEATURE_FLEET | if shared.cfg.auth_token.is_some() { FEATURE_AUTH } else { 0 };
+    stream.write_all(&handshake(features))?;
     stream.flush()?;
     let mut reader_stream = stream.try_clone()?;
-    let stop = || shared.all_done() || shared.aborted().is_some();
+    let stop = || shared.all_done() || shared.aborted().is_some() || shared.halted();
 
     // The handshake reply gets its own patience: a worker admitted from
     // the post-sweep backlog drain must still complete it (so it can be
@@ -334,6 +403,27 @@ fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
 
     let mut worker_id = None;
     let mut reader = FrameReader::new(reader_stream);
+
+    // Trust gate: a tokened coordinator challenges before offering the
+    // job. The proof must be the very next frame; anything else (or a
+    // bad proof) earns a structured `Denied` and the connection ends.
+    if let Some(token) = shared.cfg.auth_token.as_deref() {
+        let nonce = mhe_core::auth::fresh_nonce();
+        write_frame(&mut stream, &encode_coord_frame(&CoordFrame::AuthChallenge { nonce })?)?;
+        let Some(payload) = reader.read_frame(&hs_stop)? else {
+            return Ok(());
+        };
+        let verified = matches!(
+            decode_worker_frame(&payload),
+            Ok(WorkerFrame::Auth { proof }) if mhe_core::auth::verify(token, &nonce, &proof)
+        );
+        if !verified {
+            let frame = CoordFrame::Denied {
+                message: "authentication failed (bad or missing token)".into(),
+            };
+            return write_frame(&mut stream, &encode_coord_frame(&frame)?);
+        }
+    }
     let outcome = loop {
         let payload = match reader.read_frame(&stop)? {
             Some(payload) => payload,
@@ -342,7 +432,10 @@ fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 // worker why before closing (best-effort — the worker
                 // may already be gone), so a worker racing its final
                 // NeedShard against sweep completion still exits clean.
-                if let Some(message) = shared.aborted() {
+                // A halt says nothing: the closed socket is the signal
+                // that makes the worker redial the standby.
+                if shared.halted() {
+                } else if let Some(message) = shared.aborted() {
                     let frame = CoordFrame::Abort { message };
                     let _ = write_frame(&mut stream, &encode_coord_frame(&frame)?);
                 } else if shared.all_done() {
@@ -425,6 +518,12 @@ fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     });
                 }
             }
+            WorkerFrame::Auth { .. } => {
+                break Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected auth frame (authentication is pre-Hello)",
+                ));
+            }
         }
     };
     // Whatever ends this connection, the worker's leases go back in the
@@ -450,6 +549,10 @@ fn serve_worker(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
 fn offer_shard(stream: &mut TcpStream, shared: &Shared, worker: u32) -> io::Result<bool> {
     let mut last_wait = Instant::now();
     loop {
+        if shared.halted() {
+            // Close without a frame; the worker redials the standby.
+            return Ok(false);
+        }
         if let Some(message) = shared.aborted() {
             write_frame(stream, &encode_coord_frame(&CoordFrame::Abort { message })?)?;
             return Ok(false);

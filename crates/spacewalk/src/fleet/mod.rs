@@ -24,6 +24,6 @@ pub mod coordinator;
 pub mod plan;
 pub mod worker;
 
-pub use coordinator::{Coordinator, FleetConfig, FleetJob, FleetSummary};
+pub use coordinator::{Coordinator, FleetConfig, FleetJob, FleetSummary, HaltHandle};
 pub use plan::{evaluate_item, shard_of, work_plan, Task, WorkItem};
 pub use worker::{run_worker, PreparedWorker, WorkerOptions, WorkerOutcome};

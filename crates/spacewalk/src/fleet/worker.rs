@@ -19,10 +19,10 @@
 
 use super::plan::{evaluate_item, shard_of, work_plan, WorkItem};
 use crate::cache_db::MetricKey;
-use crate::service::client::ClientError;
+use crate::service::client::{ClientError, RetrySchedule};
 use crate::service::proto::{
     client_hello, decode_coord_frame, encode_worker_frame, read_frame, write_frame, CoordFrame,
-    JobOffer, WorkerFrame, FEATURE_FLEET, VERSION,
+    JobOffer, WorkerFrame, FEATURE_AUTH, FEATURE_FLEET, VERSION,
 };
 use crate::space::SystemSpace;
 use crate::spec::Spec;
@@ -67,6 +67,17 @@ pub struct WorkerOptions {
     pub die_after_points: Option<u64>,
     /// Skip the reference build and use this evaluation instead.
     pub prepared: Option<PreparedWorker>,
+    /// How many times a lost coordinator is redialed before the worker
+    /// gives up (default 0: one attach, no retry). Redials survive a
+    /// coordinator handoff — the worker keeps its built evaluation and
+    /// resumes against the standby.
+    pub redial_retries: u32,
+    /// Base pause between redials (default 200 ms), doubling per attempt
+    /// with deterministic jitter (see [`RetrySchedule`]).
+    pub redial_backoff: Option<Duration>,
+    /// The shared token answering a [`FEATURE_AUTH`] coordinator's
+    /// challenge (default: `MHE_AUTH_TOKEN` from the environment).
+    pub auth_token: Option<String>,
 }
 
 /// What one worker contributed to a sweep.
@@ -107,16 +118,59 @@ fn recv(reader: &mut TcpStream, timeout: Duration) -> Result<CoordFrame, ClientE
 }
 
 /// Attaches to a coordinator at `addr` and works shards until the sweep
-/// ends. Blocks for the whole sweep.
+/// ends, redialing a lost coordinator up to
+/// [`WorkerOptions::redial_retries`] times. Blocks for the whole sweep.
+///
+/// Across redials the worker keeps its built reference evaluation (the
+/// expensive part of attaching) and the outcome accumulates — a handoff
+/// costs a reconnect, not a rebuild.
 ///
 /// # Errors
 ///
 /// [`ClientError::Unavailable`] when the coordinator cannot be reached
-/// or goes silent past the reply deadline (exit code 5),
-/// [`ClientError::UnsupportedVersion`] on protocol skew,
-/// [`ClientError::Remote`] when the coordinator aborts the sweep or the
-/// injected-death hook fires, [`ClientError::Protocol`] on wire trouble.
+/// or goes silent past the reply deadline (exit code 5, after the
+/// redial budget is spent), [`ClientError::UnsupportedVersion`] on
+/// protocol skew, [`ClientError::Remote`] when the coordinator aborts
+/// the sweep, denies the auth proof, or the injected-death hook fires,
+/// [`ClientError::Protocol`] on wire trouble.
 pub fn run_worker(addr: &str, opts: WorkerOptions) -> Result<WorkerOutcome, ClientError> {
+    let mut prepared = opts.prepared.clone();
+    let mut outcome =
+        WorkerOutcome { worker_id: u32::MAX, shards: 0, points: 0, skipped_prefilled: 0 };
+    let backoff = opts.redial_backoff.unwrap_or(Duration::from_millis(200));
+    let seed = addr.bytes().fold(0x5EED_0002u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    let mut schedule = RetrySchedule::new(backoff, opts.redial_retries, None, seed);
+    let started = std::time::Instant::now();
+    loop {
+        match attach_once(addr, &opts, &mut prepared, &mut outcome) {
+            Ok(()) => return Ok(outcome),
+            Err(e @ ClientError::Unavailable(_)) => match schedule.next_delay(started.elapsed()) {
+                Some(delay) => {
+                    eprintln!(
+                        "spacewalker: {e}; redial {}/{}",
+                        schedule.attempts(),
+                        opts.redial_retries
+                    );
+                    std::thread::sleep(delay);
+                }
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One attach: connect, handshake, auth, then the shard loop until the
+/// sweep ends (`Ok`) or the connection dies (`Err`). Progress lands in
+/// `outcome` as it happens, so a dropped connection loses nothing
+/// already counted; the built evaluation is parked in `prepared` for
+/// the next attempt.
+fn attach_once(
+    addr: &str,
+    opts: &WorkerOptions,
+    prepared: &mut Option<PreparedWorker>,
+    outcome: &mut WorkerOutcome,
+) -> Result<(), ClientError> {
     let timeout = opts.reply_timeout.unwrap_or(Duration::from_secs(30));
     let mut stream = TcpStream::connect(addr)
         .map_err(|e| ClientError::Unavailable(format!("connect {addr:?}: {e}")))?;
@@ -124,7 +178,10 @@ pub fn run_worker(addr: &str, opts: WorkerOptions) -> Result<WorkerOutcome, Clie
         .set_read_timeout(Some(timeout))
         .map_err(|e| ClientError::Unavailable(format!("configure socket: {e}")))?;
     let _ = stream.set_nodelay(true);
-    let coordinator = client_hello(&mut stream, FEATURE_FLEET).map_err(|e| {
+    let auth_token =
+        opts.auth_token.clone().or_else(|| mhe_core::env::auth_token().map(str::to_string));
+    let features = FEATURE_FLEET | if auth_token.is_some() { FEATURE_AUTH } else { 0 };
+    let coordinator = client_hello(&mut stream, features).map_err(|e| {
         if e.kind() == io::ErrorKind::InvalidData {
             ClientError::Protocol(e.to_string())
         } else {
@@ -142,6 +199,30 @@ pub fn run_worker(addr: &str, opts: WorkerOptions) -> Result<WorkerOutcome, Clie
             "peer is not a fleet coordinator (features {:#x})",
             coordinator.features
         )));
+    }
+    // The auth exchange runs on the undivided socket, before the
+    // heartbeat thread exists — the proof must be the very next frame
+    // the coordinator reads, and a stray heartbeat would break that.
+    if coordinator.features & FEATURE_AUTH != 0 {
+        let Some(token) = auth_token.as_deref() else {
+            return Err(ClientError::Remote {
+                code: mhe_core::EXIT_UNAUTHORIZED,
+                message: "coordinator requires an auth token (set --auth-token or MHE_AUTH_TOKEN)"
+                    .into(),
+            });
+        };
+        match recv(&mut stream, timeout)? {
+            CoordFrame::AuthChallenge { nonce } => {
+                let proof = mhe_core::auth::proof(token, &nonce);
+                let payload = encode_worker_frame(&WorkerFrame::Auth { proof })
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                write_frame(&mut stream, &payload)
+                    .map_err(|e| ClientError::Unavailable(format!("send auth: {e}")))?;
+            }
+            other => {
+                return Err(ClientError::Protocol(format!("expected AuthChallenge, got {other:?}")))
+            }
+        }
     }
 
     let mut reader =
@@ -167,39 +248,43 @@ pub fn run_worker(addr: &str, opts: WorkerOptions) -> Result<WorkerOutcome, Clie
             }
         })
     };
-    let result = drive(&mut reader, &writer, timeout, opts);
+    let result = drive(&mut reader, &writer, timeout, opts, prepared, outcome);
     hb_stop.store(true, Ordering::SeqCst);
     let _ = hb.join();
     result
 }
 
-/// The post-handshake protocol conversation.
+/// The post-handshake protocol conversation. Progress accumulates into
+/// `outcome` so a severed connection keeps everything already streamed.
 fn drive(
     reader: &mut TcpStream,
     writer: &Mutex<TcpStream>,
     timeout: Duration,
-    opts: WorkerOptions,
-) -> Result<WorkerOutcome, ClientError> {
+    opts: &WorkerOptions,
+    prepared: &mut Option<PreparedWorker>,
+    outcome: &mut WorkerOutcome,
+) -> Result<(), ClientError> {
     send(writer, &WorkerFrame::Hello)?;
     let job = match recv(reader, timeout)? {
         CoordFrame::Job(job) => job,
         CoordFrame::NoMoreWork => {
             // The sweep finished before this worker was admitted;
             // contributing nothing is a clean outcome, not an error.
-            return Ok(WorkerOutcome {
-                worker_id: u32::MAX,
-                shards: 0,
-                points: 0,
-                skipped_prefilled: 0,
-            });
+            return Ok(());
         }
         CoordFrame::Abort { message } => {
             return Err(ClientError::Remote { code: mhe_core::EXIT_WORKER_FAILURE, message })
         }
+        CoordFrame::Denied { message } => {
+            return Err(ClientError::Remote { code: mhe_core::EXIT_UNAUTHORIZED, message })
+        }
         other => return Err(ClientError::Protocol(format!("expected Job, got {other:?}"))),
     };
 
-    let (eval, space) = build_evaluation(&job, &opts)?;
+    let (eval, space) = build_evaluation(&job, opts, prepared)?;
+    // Park the build for redials: a handoff costs a reconnect, never a
+    // reference rebuild.
+    *prepared = Some(PreparedWorker { eval: Arc::clone(&eval), space: space.clone() });
     // The whole fleet computes this plan identically (golden-pinned
     // shard hash over canonical key bytes), so a shard id alone names
     // the same work on every node.
@@ -208,8 +293,7 @@ fn drive(
         by_shard.entry(shard_of(&item.key, job.shard_count)).or_default().push(item);
     }
 
-    let mut outcome =
-        WorkerOutcome { worker_id: job.worker_id, shards: 0, points: 0, skipped_prefilled: 0 };
+    outcome.worker_id = job.worker_id;
     loop {
         send(writer, &WorkerFrame::NeedShard)?;
         let assignment = loop {
@@ -222,6 +306,9 @@ fn drive(
                         code: mhe_core::EXIT_WORKER_FAILURE,
                         message,
                     })
+                }
+                CoordFrame::Denied { message } => {
+                    return Err(ClientError::Remote { code: mhe_core::EXIT_UNAUTHORIZED, message })
                 }
                 other => {
                     return Err(ClientError::Protocol(format!("expected Assign, got {other:?}")))
@@ -236,9 +323,9 @@ fn drive(
                 )
                 .emit();
             }
-            return Ok(outcome);
+            return Ok(());
         };
-        work_shard(writer, &eval, &mut by_shard, shard, prefill, &opts, &mut outcome)?;
+        work_shard(writer, &eval, &mut by_shard, shard, prefill, opts, outcome)?;
         send(writer, &WorkerFrame::ShardDone { shard })?;
         outcome.shards += 1;
     }
@@ -248,8 +335,9 @@ fn drive(
 fn build_evaluation(
     job: &JobOffer,
     opts: &WorkerOptions,
+    cached: &Option<PreparedWorker>,
 ) -> Result<(Arc<ReferenceEvaluation>, SystemSpace), ClientError> {
-    if let Some(prepared) = &opts.prepared {
+    if let Some(prepared) = cached.as_ref().or(opts.prepared.as_ref()) {
         return Ok((Arc::clone(&prepared.eval), prepared.space.clone()));
     }
     let mut spec =

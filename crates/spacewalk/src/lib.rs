@@ -62,16 +62,16 @@ pub use cache_db::{dilation_millis, EvaluationCache, MetricKey};
 pub use ckpt::Checkpointer;
 pub use cost::{cache_area, CacheDesign};
 pub use fleet::{
-    run_worker, Coordinator, FleetConfig, FleetJob, FleetSummary, PreparedWorker, WorkerOptions,
-    WorkerOutcome,
+    run_worker, Coordinator, FleetConfig, FleetJob, FleetSummary, HaltHandle, PreparedWorker,
+    WorkerOptions, WorkerOutcome,
 };
 pub use heuristic::{walk_heuristic, HeuristicResult};
 pub use pareto::{ParetoPoint, ParetoSet};
 pub use service::{
-    client::{Client, ClientBuilder, ClientError},
+    client::{Client, ClientBuilder, ClientError, RetrySchedule},
     render_frontier, report_from,
     server::Server,
-    AdmissionGate, EvalService, ServiceError, ServiceLimits,
+    AdmissionGate, EvalService, ServiceConfig, ServiceError, ServiceLimits,
 };
 pub use space::{CacheSpace, SystemSpace};
 pub use walker::{walk_memory, walk_system, walk_system_with, MemoryPoint, SystemPoint};

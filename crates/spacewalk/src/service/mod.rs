@@ -36,18 +36,22 @@ pub mod proto;
 pub mod server;
 
 use crate::cache_db::{EvaluationCache, MetricKey};
+use crate::ckpt::Checkpointer;
 use crate::heuristic::walk_heuristic;
 use crate::pareto::ParetoSet;
 use crate::spec::Spec;
 use crate::walker::{self, SystemPoint};
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
-use mhe_core::{MheError, SamplingConfig, EXIT_BAD_CONFIG, EXIT_WORKER_FAILURE};
+use mhe_core::{CancelToken, MheError, SamplingConfig, EXIT_BAD_CONFIG, EXIT_WORKER_FAILURE};
 use mhe_vliw::ProcessorKind;
 use proto::{FrontierReport, FrontierRequest, FrontierRow, Request, Response, StatsReport};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Admission-control bounds for an [`EvalService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,38 @@ impl Default for ServiceLimits {
         ServiceLimits {
             max_inflight: mhe_core::env::server_inflight_or(4).max(1),
             max_queued: mhe_core::env::server_queue_or(64),
+        }
+    }
+}
+
+/// Full configuration for an [`EvalService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission-control bounds.
+    pub limits: ServiceLimits,
+    /// Evict warm sessions idle for at least this long (`None` = keep
+    /// forever). `Duration::ZERO` means every session is evicted as soon
+    /// as another request touches the service.
+    pub session_ttl: Option<Duration>,
+    /// Hard cap on warm sessions; least-recently-used sessions beyond it
+    /// are evicted (`None` = unbounded).
+    pub max_sessions: Option<usize>,
+    /// Directory persisting each scope's metric cache across restarts
+    /// and evictions (`None` = memory only). An evicted or drained
+    /// scope's evaluations reload from here, so a restarted daemon
+    /// answers warm.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    /// Defaults from `MHE_SESSION_TTL` and `MHE_MAX_SESSIONS` (both
+    /// unbounded when unset); persistence stays off without `--db`.
+    fn default() -> Self {
+        ServiceConfig {
+            limits: ServiceLimits::default(),
+            session_ttl: mhe_core::env::session_ttl(),
+            max_sessions: mhe_core::env::max_sessions(),
+            persist_dir: None,
         }
     }
 }
@@ -168,21 +204,45 @@ struct Session {
     db: Arc<EvaluationCache>,
 }
 
+/// A scope's shared metric cache plus its optional on-disk home.
+#[derive(Debug)]
+struct ScopeCache {
+    db: Arc<EvaluationCache>,
+    ckpt: Option<Checkpointer>,
+}
+
+/// One warm-session slot: the build cell plus the bookkeeping the
+/// TTL/LRU eviction policy needs.
+#[derive(Debug)]
+struct SessionSlot {
+    /// The [`OnceLock`] arbitrates concurrent first requests: one thread
+    /// simulates, the rest block on the cell and share the result. A
+    /// panicked build leaves the cell empty, so a later request retries.
+    cell: Arc<OnceLock<Session>>,
+    /// The metric scope this session draws from (for cache retirement).
+    scope: String,
+    /// When a request last touched this session.
+    last_used: Instant,
+}
+
 /// The shared `Send + Sync` evaluation core.
 ///
 /// One instance serves any number of threads; see the module docs for
 /// what it owns. Constructed once and shared via [`Arc`] by the daemon's
 /// connection threads (and by tests that drive it in-process).
+///
+/// Lock order: `sessions` before `caches` — never acquire `sessions`
+/// while holding `caches`.
 #[derive(Debug)]
 pub struct EvalService {
+    config: ServiceConfig,
     gate: AdmissionGate,
     /// Metric caches keyed by scope `(benchmark, events, sampling)`.
-    caches: Mutex<HashMap<String, Arc<EvaluationCache>>>,
+    caches: Mutex<HashMap<String, ScopeCache>>,
     /// Sessions keyed by the full evaluation signature (scope + space).
-    /// The [`OnceLock`] arbitrates concurrent first requests: one thread
-    /// simulates, the rest block on the cell and share the result. A
-    /// panicked build leaves the cell empty, so a later request retries.
-    sessions: Mutex<HashMap<String, Arc<OnceLock<Session>>>>,
+    sessions: Mutex<HashMap<String, SessionSlot>>,
+    /// Sessions evicted so far by the TTL/LRU bound.
+    evictions: AtomicU64,
 }
 
 const _: () = {
@@ -190,13 +250,31 @@ const _: () = {
     assert_send_sync::<EvalService>()
 };
 
+/// FNV-1a over a scope string, naming its on-disk checkpoint directory.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl EvalService {
-    /// A service enforcing `limits`.
+    /// A service enforcing `limits`, with TTL/eviction/persistence from
+    /// the environment defaults (see [`ServiceConfig::default`]).
     pub fn new(limits: ServiceLimits) -> Self {
+        EvalService::with_config(ServiceConfig { limits, ..ServiceConfig::default() })
+    }
+
+    /// A service with explicit bounds and persistence.
+    pub fn with_config(config: ServiceConfig) -> Self {
         EvalService {
-            gate: AdmissionGate::new(limits),
+            gate: AdmissionGate::new(config.limits),
+            config,
             caches: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -205,13 +283,36 @@ impl EvalService {
         &self.gate
     }
 
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
     /// Answers one request. Never panics: evaluation runs under
     /// `catch_unwind`, so a poisoned request becomes
     /// [`Response::Error`] while the service stays warm.
     pub fn respond(&self, request: Request) -> Response {
+        self.respond_with_cancel(request, None)
+    }
+
+    /// [`EvalService::respond`] with a cancellation token scoped around
+    /// the evaluation: when `cancel` fires (client disconnect, a
+    /// [`Request::Cancel`] frame), the sweep stops at its next task
+    /// boundary and the request answers with a code-7 error. Work already
+    /// cached stays warm, so a rerun of the same request completes from
+    /// where the cancelled one left off — bit-identically.
+    pub fn respond_with_cancel(&self, request: Request, cancel: Option<CancelToken>) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(self.stats()),
+            Request::Cancel => Response::Error {
+                code: EXIT_BAD_CONFIG,
+                message: "no request in flight to cancel".into(),
+            },
+            Request::Auth { .. } => Response::Error {
+                code: EXIT_BAD_CONFIG,
+                message: "unexpected auth frame (authentication is pre-request)".into(),
+            },
             Request::Frontier(req) => {
                 let Some(_permit) = self.gate.try_admit() else {
                     let (inflight, queued) = self.gate.occupancy();
@@ -223,7 +324,14 @@ impl EvalService {
                         ),
                     };
                 };
-                match catch_unwind(AssertUnwindSafe(|| self.frontier(&req))) {
+                let run = || match &cancel {
+                    Some(token) if token.is_cancelled() => {
+                        Err(ServiceError::from(MheError::Cancelled))
+                    }
+                    Some(token) => walker::with_walk_cancel(token.clone(), || self.frontier(&req)),
+                    None => self.frontier(&req),
+                };
+                match catch_unwind(AssertUnwindSafe(run)) {
                     Ok(Ok(report)) => Response::Frontier(report),
                     Ok(Err(e)) => Response::Error { code: e.code, message: e.message },
                     Err(payload) => Response::Error {
@@ -239,17 +347,42 @@ impl EvalService {
     pub fn stats(&self) -> StatsReport {
         let sessions = {
             let map = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
-            map.values().filter(|cell| cell.get().is_some()).count() as u64
+            map.values().filter(|slot| slot.cell.get().is_some()).count() as u64
         };
         let caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
         let (mut entries, mut hits, mut computes) = (0u64, 0u64, 0u64);
-        for db in caches.values() {
-            entries += db.len() as u64;
-            let (h, c) = db.stats();
+        for scope in caches.values() {
+            entries += scope.db.len() as u64;
+            let (h, c) = scope.db.stats();
             hits += h;
             computes += c;
         }
-        StatsReport { sessions, entries, hits, computes }
+        StatsReport {
+            sessions,
+            entries,
+            hits,
+            computes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            version: proto::VERSION,
+            features: proto::FEATURE_FRONTIER,
+            build: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+
+    /// Persists every scope cache into the configured persistence
+    /// directory (no-op without one); returns how many were saved. The
+    /// daemon calls this on graceful drain so a restart answers warm.
+    pub fn persist_all(&self) -> usize {
+        let caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut saved = 0;
+        for scope in caches.values() {
+            if let Some(ckpt) = &scope.ckpt {
+                if ckpt.save(&scope.db).is_ok() {
+                    saved += 1;
+                }
+            }
+        }
+        saved
     }
 
     /// Evaluates one frontier request end to end — the same code path,
@@ -293,21 +426,28 @@ impl EvalService {
     }
 
     /// The warm session for `spec`, building it (the only simulation
-    /// work) on first use.
+    /// work) on first use. Touching a session refreshes its LRU stamp
+    /// and runs one eviction pass over the others.
     fn session(&self, spec: &Spec, sampling: Option<SamplingConfig>) -> Session {
         // Scope key: everything a metric *value* depends on beyond its
         // MetricKey. Space geometry is deliberately absent — identical
         // keys mean identical values across spaces within a scope.
         let scope = format!("{}|{}|{:?}", spec.benchmark, spec.events, sampling);
-        let db = {
-            let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
-            Arc::clone(caches.entry(scope).or_insert_with(|| Arc::new(EvaluationCache::new())))
-        };
+        let db = self.scope_db(&scope);
         let signature =
             format!("{}|{}|{:?}|{:?}", spec.benchmark, spec.events, sampling, spec.space);
         let cell = {
             let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
-            Arc::clone(sessions.entry(signature).or_default())
+            let now = Instant::now();
+            let slot = sessions.entry(signature.clone()).or_insert_with(|| SessionSlot {
+                cell: Arc::default(),
+                scope: scope.clone(),
+                last_used: now,
+            });
+            slot.last_used = now;
+            let cell = Arc::clone(&slot.cell);
+            self.evict_expired(&mut sessions, &signature, now);
+            cell
         };
         let shared_db = Arc::clone(&db);
         cell.get_or_init(move || {
@@ -320,6 +460,90 @@ impl EvalService {
             Session { eval: Arc::new(eval), db: shared_db }
         })
         .clone()
+    }
+
+    /// The shared metric cache for `scope`, creating it (preloaded from
+    /// the persistence directory, when configured) on first use.
+    fn scope_db(&self, scope: &str) -> Arc<EvaluationCache> {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(sc) = caches.get(scope) {
+            return Arc::clone(&sc.db);
+        }
+        let (db, ckpt) = match &self.config.persist_dir {
+            None => (Arc::new(EvaluationCache::new()), None),
+            Some(dir) => {
+                match Checkpointer::new(dir.join(format!("scope-{:016x}", fnv64(scope)))) {
+                    // A corrupt or unreadable checkpoint degrades to a cold
+                    // cache: warm restart is an optimization, not a
+                    // correctness dependency.
+                    Ok(ckpt) => {
+                        let db = ckpt.load().unwrap_or_else(|_| EvaluationCache::new());
+                        (Arc::new(db), Some(ckpt))
+                    }
+                    Err(_) => (Arc::new(EvaluationCache::new()), None),
+                }
+            }
+        };
+        caches.insert(scope.to_string(), ScopeCache { db: Arc::clone(&db), ckpt });
+        drop(caches);
+        db
+    }
+
+    /// One eviction pass, called with the `sessions` lock held. `keep`
+    /// (the session being touched right now) is never evicted. Applies
+    /// the TTL first, then the LRU cap; retired sessions are counted and
+    /// any scope cache no session references any more is persisted (when
+    /// configured) and dropped, bounding daemon memory.
+    fn evict_expired(&self, sessions: &mut HashMap<String, SessionSlot>, keep: &str, now: Instant) {
+        let mut victims: Vec<String> = Vec::new();
+        if let Some(ttl) = self.config.session_ttl {
+            victims.extend(
+                sessions
+                    .iter()
+                    .filter(|(sig, slot)| {
+                        sig.as_str() != keep && now.duration_since(slot.last_used) >= ttl
+                    })
+                    .map(|(sig, _)| sig.clone()),
+            );
+        }
+        if let Some(max) = self.config.max_sessions {
+            let max = max.max(1);
+            while sessions.len() - victims.len() > max {
+                // Oldest first, excluding the touched session and anyone
+                // already sentenced by the TTL above.
+                let Some(oldest) = sessions
+                    .iter()
+                    .filter(|(sig, _)| sig.as_str() != keep && !victims.contains(sig))
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(sig, _)| sig.clone())
+                else {
+                    break;
+                };
+                victims.push(oldest);
+            }
+        }
+        if victims.is_empty() {
+            return;
+        }
+        for sig in &victims {
+            sessions.remove(sig);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            mhe_obs::count(mhe_obs::Counter::SessionEvict, 1);
+        }
+        // Retire scope caches nothing references any more (lock order:
+        // sessions held, then caches — matching the struct contract).
+        let live: std::collections::HashSet<&str> =
+            sessions.values().map(|slot| slot.scope.as_str()).collect();
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        caches.retain(|scope, sc| {
+            if live.contains(scope.as_str()) {
+                return true;
+            }
+            if let Some(ckpt) = &sc.ckpt {
+                ckpt.save(&sc.db).ok();
+            }
+            false
+        });
     }
 }
 

@@ -21,6 +21,16 @@
 //! ([`WorkerFrame`]/[`CoordFrame`]) that carry sharded work assignments
 //! and streamed `(MetricKey, f64)` evaluation points between a
 //! distributed-walk coordinator and its workers.
+//!
+//! Version 3 added cooperative cancellation ([`Request::Cancel`]), the
+//! shared-token authentication exchange ([`Response::AuthChallenge`] /
+//! [`Request::Auth`] on the daemon port, [`CoordFrame::AuthChallenge`] /
+//! [`WorkerFrame::Auth`] / [`CoordFrame::Denied`] on the fleet port,
+//! gated by [`FEATURE_AUTH`]), and a wider [`StatsReport`] carrying
+//! session-eviction counters plus the server's protocol version,
+//! negotiated feature bits, and build identifier. Frame writes also
+//! consult [`mhe_core::fault::next_frame_fate`], so a deterministic
+//! chaos plan can drop, duplicate, truncate, or delay exact frames.
 
 use crate::cache_db::{self, MetricKey};
 use crate::cost::CacheDesign;
@@ -34,11 +44,15 @@ use std::time::Duration;
 pub const MAGIC: [u8; 4] = *b"MHES";
 /// Protocol version, bumped on any incompatible frame-layout change.
 /// Version 2: 12-byte handshake with a feature word, fleet frames.
-pub const VERSION: u32 = 2;
+/// Version 3: cancellation, token auth, widened [`StatsReport`].
+pub const VERSION: u32 = 3;
 /// Feature bit: the peer answers [`Request`] frames (frontier RPC).
 pub const FEATURE_FRONTIER: u32 = 1 << 0;
 /// Feature bit: the peer coordinates fleet workers ([`WorkerFrame`]s).
 pub const FEATURE_FLEET: u32 = 1 << 1;
+/// Feature bit: the peer requires the shared-token challenge/response
+/// exchange before serving any request (see [`mhe_core::auth`]).
+pub const FEATURE_AUTH: u32 = 1 << 2;
 /// Upper bound on a single frame's payload; anything larger is treated as
 /// stream corruption rather than an allocation request.
 pub const MAX_FRAME: usize = 16 << 20;
@@ -69,6 +83,16 @@ pub enum Request {
     Frontier(FrontierRequest),
     /// Service counters (sessions, cache traffic).
     Stats,
+    /// Cancel the in-flight [`Request::Frontier`] on this connection.
+    /// The server answers the *frontier* with a code-7 error once the
+    /// sweep reaches a task boundary; `Cancel` itself gets no reply.
+    Cancel,
+    /// Answer to [`Response::AuthChallenge`]: the HMAC-SHA-256 proof of
+    /// the shared token over the server's nonce.
+    Auth {
+        /// `HMAC-SHA256(token, nonce)` (see [`mhe_core::auth::proof`]).
+        proof: [u8; 32],
+    },
 }
 
 /// One frontier design, with cost/time carried as exact `f64` values.
@@ -103,8 +127,8 @@ pub struct FrontierReport {
     pub computes: u64,
 }
 
-/// Service counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Service counters and server identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
     /// Warm evaluation sessions currently held.
     pub sessions: u64,
@@ -114,6 +138,14 @@ pub struct StatsReport {
     pub hits: u64,
     /// Cache computes across all shared caches.
     pub computes: u64,
+    /// Sessions evicted so far by the TTL/LRU bound.
+    pub evictions: u64,
+    /// The server's protocol version (matches the handshake).
+    pub version: u32,
+    /// The feature bits the server announced on this connection.
+    pub features: u32,
+    /// Server build identifier (crate version string).
+    pub build: String,
 }
 
 /// A server response.
@@ -138,6 +170,13 @@ pub enum Response {
     },
     /// Service counters.
     Stats(StatsReport),
+    /// First frame from a token-bearing server (before any request is
+    /// answered): prove knowledge of the shared token with
+    /// [`Request::Auth`] or be turned away with a code-6 error.
+    AuthChallenge {
+        /// Fresh per-connection nonce to HMAC the token over.
+        nonce: [u8; 16],
+    },
 }
 
 // --- handshake -----------------------------------------------------------
@@ -266,6 +305,11 @@ pub fn read_exact_or_stop(
 
 /// Writes one length-prefixed frame.
 ///
+/// Every call consults the armed chaos plan (if any): a scheduled frame
+/// fault may drop the frame, write it twice, write only its first half
+/// (a mid-frame connection tear), or sleep before writing. With no plan
+/// armed the fate check is a single uncontended mutex lock.
+///
 /// # Errors
 ///
 /// Propagates write errors; rejects payloads over [`MAX_FRAME`].
@@ -276,6 +320,29 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
             format!("frame of {} bytes exceeds the {MAX_FRAME}-byte cap", payload.len()),
         ));
     }
+    use mhe_core::fault::FrameFate;
+    match mhe_core::fault::next_frame_fate() {
+        FrameFate::Deliver => write_frame_raw(w, payload),
+        FrameFate::Drop => Ok(()),
+        FrameFate::Duplicate => {
+            write_frame_raw(w, payload)?;
+            write_frame_raw(w, payload)
+        }
+        FrameFate::Truncate => {
+            let mut whole = Vec::with_capacity(4 + payload.len());
+            whole.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            whole.extend_from_slice(payload);
+            w.write_all(&whole[..whole.len() / 2])?;
+            w.flush()
+        }
+        FrameFate::Delay(pause) => {
+            std::thread::sleep(pause);
+            write_frame_raw(w, payload)
+        }
+    }
+}
+
+fn write_frame_raw(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -393,6 +460,9 @@ impl Enc {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
+    fn raw(&mut self, bytes: &[u8]) {
+        self.0.extend_from_slice(bytes);
+    }
 }
 
 struct Dec<'a> {
@@ -439,6 +509,16 @@ impl<'a> Dec<'a> {
         self.buf = rest;
         String::from_utf8(head.to_vec())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))
+    }
+    fn raw<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        if self.buf.len() < N {
+            return Err(short());
+        }
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        let mut b = [0u8; N];
+        b.copy_from_slice(head);
+        Ok(b)
     }
     fn finish(self) -> io::Result<()> {
         if self.buf.is_empty() {
@@ -574,6 +654,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Stats => e.u8(2),
+        Request::Cancel => e.u8(3),
+        Request::Auth { proof } => {
+            e.u8(4);
+            e.raw(proof);
+        }
     }
     e.0
 }
@@ -609,6 +694,8 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
             Request::Frontier(FrontierRequest { spec_text, heuristic, sampling, policies })
         }
         2 => Request::Stats,
+        3 => Request::Cancel,
+        4 => Request::Auth { proof: d.raw()? },
         other => return Err(bad("request tag", other)),
     };
     d.finish()?;
@@ -650,6 +737,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u64(s.entries);
             e.u64(s.hits);
             e.u64(s.computes);
+            e.u64(s.evictions);
+            e.u32(s.version);
+            e.u32(s.features);
+            e.str(&s.build);
+        }
+        Response::AuthChallenge { nonce } => {
+            e.u8(5);
+            e.raw(nonce);
         }
     }
     e.0
@@ -691,7 +786,12 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             entries: d.u64()?,
             hits: d.u64()?,
             computes: d.u64()?,
+            evictions: d.u64()?,
+            version: d.u32()?,
+            features: d.u32()?,
+            build: d.str()?,
         }),
+        5 => Response::AuthChallenge { nonce: d.raw()? },
         other => return Err(bad("response tag", other)),
     };
     d.finish()?;
@@ -742,6 +842,12 @@ pub enum WorkerFrame {
     },
     /// Liveness signal renewing this worker's leases.
     Heartbeat,
+    /// Answer to [`CoordFrame::AuthChallenge`]: HMAC proof of the
+    /// shared fleet token over the coordinator's nonce.
+    Auth {
+        /// `HMAC-SHA256(token, nonce)` (see [`mhe_core::auth::proof`]).
+        proof: [u8; 32],
+    },
 }
 
 /// Frames a coordinator sends to a worker.
@@ -769,6 +875,18 @@ pub enum CoordFrame {
     /// waiting; sent periodically so the worker's read deadline is a
     /// dead-coordinator detector, not a stall false-positive.
     Wait,
+    /// First frame from a token-bearing coordinator: prove knowledge of
+    /// the shared fleet token with [`WorkerFrame::Auth`] before any
+    /// [`WorkerFrame::Hello`] is answered.
+    AuthChallenge {
+        /// Fresh per-connection nonce to HMAC the token over.
+        nonce: [u8; 16],
+    },
+    /// Authentication failed; the coordinator closes the connection.
+    Denied {
+        /// Human-readable rejection (no secrets).
+        message: String,
+    },
 }
 
 fn enc_key(e: &mut Enc, key: &MetricKey) -> io::Result<()> {
@@ -823,6 +941,10 @@ pub fn encode_worker_frame(frame: &WorkerFrame) -> io::Result<Vec<u8>> {
             e.u32(*shard);
         }
         WorkerFrame::Heartbeat => e.u8(0x14),
+        WorkerFrame::Auth { proof } => {
+            e.u8(0x15);
+            e.raw(proof);
+        }
     }
     Ok(e.0)
 }
@@ -844,6 +966,7 @@ pub fn decode_worker_frame(payload: &[u8]) -> io::Result<WorkerFrame> {
         }
         0x13 => WorkerFrame::ShardDone { shard: d.u32()? },
         0x14 => WorkerFrame::Heartbeat,
+        0x15 => WorkerFrame::Auth { proof: d.raw()? },
         other => return Err(bad("worker frame tag", other)),
     };
     d.finish()?;
@@ -886,6 +1009,14 @@ pub fn encode_coord_frame(frame: &CoordFrame) -> io::Result<Vec<u8>> {
             e.str(message);
         }
         CoordFrame::Wait => e.u8(0x24),
+        CoordFrame::AuthChallenge { nonce } => {
+            e.u8(0x25);
+            e.raw(nonce);
+        }
+        CoordFrame::Denied { message } => {
+            e.u8(0x26);
+            e.str(message);
+        }
     }
     Ok(e.0)
 }
@@ -928,6 +1059,8 @@ pub fn decode_coord_frame(payload: &[u8]) -> io::Result<CoordFrame> {
         0x22 => CoordFrame::NoMoreWork,
         0x23 => CoordFrame::Abort { message: d.str()? },
         0x24 => CoordFrame::Wait,
+        0x25 => CoordFrame::AuthChallenge { nonce: d.raw()? },
+        0x26 => CoordFrame::Denied { message: d.str()? },
         other => return Err(bad("coord frame tag", other)),
     };
     d.finish()?;
@@ -962,6 +1095,8 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Cancel,
+            Request::Auth { proof: [0xA5; 32] },
             Request::Frontier(FrontierRequest {
                 spec_text: "[processors]\nkinds = 1111\n".into(),
                 heuristic: true,
@@ -993,7 +1128,17 @@ mod tests {
             Response::Pong,
             Response::Rejected { reason: "queue full".into() },
             Response::Error { code: 4, message: "worker panic in walk".into() },
-            Response::Stats(StatsReport { sessions: 2, entries: 99, hits: 5, computes: 94 }),
+            Response::Stats(StatsReport {
+                sessions: 2,
+                entries: 99,
+                hits: 5,
+                computes: 94,
+                evictions: 3,
+                version: VERSION,
+                features: FEATURE_FRONTIER | FEATURE_AUTH,
+                build: env!("CARGO_PKG_VERSION").into(),
+            }),
+            Response::AuthChallenge { nonce: [0x5A; 16] },
             Response::Frontier(FrontierReport {
                 sampling: Some(SamplingMetrics {
                     intervals: 10,
@@ -1031,19 +1176,19 @@ mod tests {
         assert!(decode_request(&bytes).is_err());
     }
 
-    /// Golden pin of the v2 handshake byte layout: `MHES`, version 2 LE,
+    /// Golden pin of the v3 handshake byte layout: `MHES`, version 3 LE,
     /// feature bits LE. Changing any of these bytes is a wire break and
     /// must come with a version bump.
     #[test]
     fn handshake_byte_layout_is_pinned() {
-        let h = handshake(FEATURE_FRONTIER | FEATURE_FLEET);
+        let h = handshake(FEATURE_FRONTIER | FEATURE_FLEET | FEATURE_AUTH);
         assert_eq!(
             h,
-            [b'M', b'H', b'E', b'S', 0x02, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00],
-            "v2 handshake layout drifted"
+            [b'M', b'H', b'E', b'S', 0x03, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00],
+            "v3 handshake layout drifted"
         );
         let decoded = Handshake::decode(&h).unwrap();
-        assert_eq!(decoded, Handshake { version: 2, features: 3 });
+        assert_eq!(decoded, Handshake { version: 3, features: 7 });
         assert!(decoded.check_version().is_ok());
     }
 
@@ -1108,6 +1253,7 @@ mod tests {
             WorkerFrame::Points { shard: 0, points: Vec::new() },
             WorkerFrame::ShardDone { shard: 31 },
             WorkerFrame::Heartbeat,
+            WorkerFrame::Auth { proof: [0x42; 32] },
         ];
         for frame in &frames {
             let bytes = encode_worker_frame(frame).unwrap();
@@ -1137,6 +1283,8 @@ mod tests {
             CoordFrame::NoMoreWork,
             CoordFrame::Abort { message: "reference build failed".into() },
             CoordFrame::Wait,
+            CoordFrame::AuthChallenge { nonce: [0x17; 16] },
+            CoordFrame::Denied { message: "authentication failed".into() },
         ];
         for frame in &frames {
             let bytes = encode_coord_frame(frame).unwrap();
@@ -1176,5 +1324,33 @@ mod tests {
         assert_eq!(reader.read_frame(&stop).unwrap().as_deref(), Some(&payload[..]));
         assert_eq!(reader.read_frame(&stop).unwrap().as_deref(), Some(&payload[..]));
         assert_eq!(reader.read_frame(&stop).unwrap(), None);
+    }
+
+    #[test]
+    fn armed_frame_faults_shape_the_byte_stream() {
+        use mhe_core::fault::{arm, injection_lock, Fault, FaultPlan};
+        let _lock = injection_lock();
+        let payload = encode_request(&Request::Ping);
+        let mut framed = Vec::new();
+        write_frame_raw(&mut framed, &payload).unwrap();
+
+        // drop@0, dup@1, trunc@2 against four writes: the stream carries
+        // nothing for the first, the second twice, half of the third, and
+        // the fourth intact.
+        let _guard = arm(FaultPlan::new(vec![
+            Fault::DropFrame { frame: 0 },
+            Fault::DupFrame { frame: 1 },
+            Fault::TruncFrame { frame: 2 },
+        ]));
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            write_frame(&mut out, &payload).unwrap();
+        }
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&framed); // dup, first copy
+        expect.extend_from_slice(&framed); // dup, second copy
+        expect.extend_from_slice(&framed[..framed.len() / 2]); // trunc
+        expect.extend_from_slice(&framed); // delivered
+        assert_eq!(out, expect);
     }
 }

@@ -15,9 +15,10 @@
 
 use super::proto::{
     decode_request, encode_response, handshake, read_exact_or_stop, write_frame, FrameReader,
-    Handshake, Response, FEATURE_FRONTIER, HANDSHAKE_LEN, MAGIC, VERSION,
+    Handshake, Request, Response, FEATURE_AUTH, FEATURE_FRONTIER, HANDSHAKE_LEN, MAGIC, VERSION,
 };
 use super::EvalService;
+use mhe_core::CancelToken;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,11 +44,13 @@ pub struct Server {
     listener: TcpListener,
     service: Arc<EvalService>,
     drain: Arc<AtomicBool>,
+    auth_token: Option<String>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over
-    /// `service`.
+    /// `service`. The shared auth token defaults from `MHE_AUTH_TOKEN`
+    /// (none = open server); override with [`Server::with_auth_token`].
     ///
     /// # Errors
     ///
@@ -56,7 +59,20 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept so the loop can poll the drain flag.
         listener.set_nonblocking(true)?;
-        Ok(Server { listener, service, drain: Arc::new(AtomicBool::new(false)) })
+        Ok(Server {
+            listener,
+            service,
+            drain: Arc::new(AtomicBool::new(false)),
+            auth_token: mhe_core::env::auth_token().map(str::to_string),
+        })
+    }
+
+    /// Sets (or clears) the shared token clients must prove knowledge of
+    /// before any request is served (announced as [`FEATURE_AUTH`]).
+    #[must_use]
+    pub fn with_auth_token(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
+        self
     }
 
     /// The actually-bound address (resolves ephemeral ports).
@@ -108,9 +124,10 @@ impl Server {
                 Ok((stream, _peer)) => {
                     let service = Arc::clone(&self.service);
                     let drain = Arc::clone(&self.drain);
+                    let token = self.auth_token.clone();
                     workers.push(std::thread::spawn(move || {
                         // Per-connection failures end that connection only.
-                        let _ = serve_connection(stream, &service, &drain);
+                        let _ = serve_connection(stream, &service, &drain, token.as_deref());
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -123,12 +140,15 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Drained: persist every scope cache so a restart answers warm.
+        self.service.persist_all();
         Ok(())
     }
 }
 
-/// Serves one connection: two-way handshake, then a request/response
-/// loop that ends on clean EOF or — at a frame boundary — on drain.
+/// Serves one connection: two-way handshake, an auth exchange when the
+/// server carries a token, then a request/response loop that ends on
+/// clean EOF or — at a frame boundary — on drain.
 ///
 /// The server writes its announcement first, then inspects the client's
 /// opening bytes. A v2+ client answers with its own 12-byte handshake
@@ -140,10 +160,12 @@ fn serve_connection(
     mut stream: TcpStream,
     service: &EvalService,
     drain: &AtomicBool,
+    auth_token: Option<&str>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(DRAIN_POLL))?;
     stream.set_nodelay(true)?;
-    stream.write_all(&handshake(FEATURE_FRONTIER))?;
+    let features = FEATURE_FRONTIER | if auth_token.is_some() { FEATURE_AUTH } else { 0 };
+    stream.write_all(&handshake(features))?;
     stream.flush()?;
     let mut reader_stream = stream.try_clone()?;
     let stop = || drain.load(Ordering::SeqCst) || SIG_DRAIN.load(Ordering::SeqCst);
@@ -173,18 +195,25 @@ fn serve_connection(
     }
 
     let mut reader = FrameReader::new(reader_stream);
+    if let Some(token) = auth_token {
+        if !authenticate(&mut stream, &mut reader, token, &stop)? {
+            return Ok(());
+        }
+    }
     while let Some(payload) = reader.read_frame(&stop)? {
         let response = match decode_request(&payload) {
+            Ok(request @ Request::Frontier(_)) => {
+                match serve_frontier(service, &mut reader, &mut stream, request)? {
+                    Some(response) => response,
+                    None => return Ok(()), // client vanished mid-request
+                }
+            }
             Ok(request) => {
-                let before = mhe_obs::Snapshot::now();
-                let response = service.respond(request);
-                if mhe_obs::enabled() {
-                    mhe_obs::RunReport::since(
-                        "mhe-server",
-                        mhe_core::parallel::worker_threads(),
-                        &before,
-                    )
-                    .emit();
+                let mut response = service.respond(request);
+                if let Response::Stats(stats) = &mut response {
+                    // The service knows its counters; only the connection
+                    // knows what features it announced.
+                    stats.features = features;
                 }
                 response
             }
@@ -196,6 +225,117 @@ fn serve_connection(
         write_frame(&mut stream, &encode_response(&response))?;
     }
     Ok(())
+}
+
+/// Challenge/response over the shared token: a fresh nonce out, an HMAC
+/// proof back, constant-time compare, then a confirming `Pong` (so the
+/// client knows the session is live before its first real request).
+/// Returns `Ok(false)` (after a structured code-6 error when the peer is
+/// still there) unless the proof verifies.
+fn authenticate(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader<TcpStream>,
+    token: &str,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<bool> {
+    let nonce = mhe_core::auth::fresh_nonce();
+    write_frame(stream, &encode_response(&Response::AuthChallenge { nonce }))?;
+    let Some(payload) = reader.read_frame(stop)? else {
+        return Ok(false); // disconnected (or drained) instead of answering
+    };
+    let verified = matches!(
+        decode_request(&payload),
+        Ok(Request::Auth { proof }) if mhe_core::auth::verify(token, &nonce, &proof)
+    );
+    if verified {
+        write_frame(stream, &encode_response(&Response::Pong))?;
+    } else {
+        write_frame(
+            stream,
+            &encode_response(&Response::Error {
+                code: mhe_core::EXIT_UNAUTHORIZED,
+                message: "authentication failed (bad or missing token)".into(),
+            }),
+        )?;
+    }
+    Ok(verified)
+}
+
+/// Runs one frontier request on a scoped worker thread while this thread
+/// keeps reading the connection, so a [`Request::Cancel`] frame or a
+/// client disconnect cancels the sweep at its next task boundary (the
+/// admission slot frees as soon as the sweep stops). Returns `Ok(None)`
+/// when the connection died — the response is undeliverable.
+fn serve_frontier(
+    service: &EvalService,
+    reader: &mut FrameReader<TcpStream>,
+    stream: &mut TcpStream,
+    request: Request,
+) -> io::Result<Option<Response>> {
+    let cancel = CancelToken::new();
+    let mut dead = false;
+    let response = std::thread::scope(|scope| {
+        let worker_cancel = cancel.clone();
+        let handle = scope.spawn(move || {
+            let before = mhe_obs::Snapshot::now();
+            let response = service.respond_with_cancel(request, Some(worker_cancel));
+            if mhe_obs::enabled() {
+                mhe_obs::RunReport::since(
+                    "mhe-server",
+                    mhe_core::parallel::worker_threads(),
+                    &before,
+                )
+                .emit();
+            }
+            response
+        });
+        while !handle.is_finished() {
+            // The read timeout is the poll point; drain is deliberately
+            // ignored here — a draining server finishes what it serves.
+            let stop_busy = || handle.is_finished();
+            match reader.read_frame(&stop_busy) {
+                Ok(Some(frame)) => match decode_request(&frame) {
+                    Ok(Request::Cancel) => cancel.cancel(),
+                    _ => {
+                        let busy = Response::Error {
+                            code: mhe_core::EXIT_BAD_CONFIG,
+                            message: "a request is already in flight on this connection".into(),
+                        };
+                        if write_frame(stream, &encode_response(&busy)).is_err() {
+                            dead = true;
+                            cancel.cancel();
+                            break;
+                        }
+                    }
+                },
+                Ok(None) => {
+                    if !handle.is_finished() {
+                        // Clean EOF while the sweep runs: the client hung
+                        // up — disconnect-cancellation.
+                        dead = true;
+                        cancel.cancel();
+                    }
+                    break;
+                }
+                Err(_) => {
+                    dead = true;
+                    cancel.cancel();
+                    break;
+                }
+            }
+        }
+        match handle.join() {
+            Ok(response) => response,
+            Err(_) => Response::Error {
+                code: mhe_core::EXIT_WORKER_FAILURE,
+                message: "request thread panicked".into(),
+            },
+        }
+    });
+    if dead {
+        return Ok(None);
+    }
+    Ok(Some(response))
 }
 
 /// Answers an incompatible client with a structured version rejection.

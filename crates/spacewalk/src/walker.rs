@@ -28,7 +28,7 @@ use mhe_cache::{MemoryDesign, Penalties};
 use mhe_core::evaluator::{EvalConfig, ReferenceEvaluation};
 use mhe_core::parallel::ParallelSweep;
 use mhe_core::system::processor_cycles;
-use mhe_core::MheError;
+use mhe_core::{CancelToken, MheError};
 use mhe_vliw::Mdes;
 use mhe_workload::ir::Program;
 use std::sync::Arc;
@@ -94,6 +94,36 @@ fn app_of(eval: &ReferenceEvaluation) -> Arc<str> {
     Arc::from(eval.program().name.as_str())
 }
 
+std::thread_local! {
+    /// The cancel token every sweep built by [`fan_out`] on this thread
+    /// attaches (scoped by [`with_walk_cancel`]). Thread-local rather
+    /// than a parameter so the whole `walk_*` family stays cancellation-
+    /// agnostic: batch runs and fleet workers never set it, while the
+    /// daemon scopes one token around each served request.
+    static WALK_CANCEL: std::cell::RefCell<Option<CancelToken>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `cancel` attached to every [`fan_out`] sweep this thread
+/// constructs, restoring the previous token (usually none) afterwards —
+/// panic-safe via an RAII guard, since the service catches request
+/// panics and reuses the thread.
+pub fn with_walk_cancel<R>(cancel: CancelToken, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WALK_CANCEL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(WALK_CANCEL.with(|c| c.borrow_mut().replace(cancel)));
+    f()
+}
+
+/// The token scoped onto this thread by [`with_walk_cancel`], if any.
+fn current_cancel() -> Option<CancelToken> {
+    WALK_CANCEL.with(|c| c.borrow().clone())
+}
+
 /// Fans `items` out over `threads` workers in contiguous chunks, returning
 /// results in input order.
 ///
@@ -112,7 +142,10 @@ pub(crate) fn fan_out<T: Send + Sync, R: Send>(
 ) -> Result<Vec<R>, MheError> {
     let threads = threads.max(1);
     mhe_obs::add_events(mhe_obs::Phase::Walk, items.len() as u64);
-    let sweep = ParallelSweep::with_threads(threads).with_label("walk");
+    let mut sweep = ParallelSweep::with_threads(threads).with_label("walk");
+    if let Some(cancel) = current_cancel() {
+        sweep = sweep.with_cancel(cancel);
+    }
     if threads == 1 || items.len() <= 1 {
         return sweep.try_map_in(Some(mhe_obs::Phase::Walk), &items, f).map_err(MheError::from);
     }
@@ -454,6 +487,21 @@ mod tests {
         let free_mem = Penalties { l1_miss: 0, l2_miss: 0 };
         let q = walk_system(&eval, &space, free_mem, &db).unwrap();
         assert_eq!(q.fastest().unwrap().design.processor.name, "3221");
+    }
+
+    #[test]
+    fn scoped_cancel_aborts_the_walk_and_does_not_leak() {
+        let space = small_space();
+        let eval = eval_for(&space);
+        let db = EvaluationCache::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = with_walk_cancel(token, || walk_icache(&eval, &space.icache, 1.5, &db))
+            .expect_err("pre-cancelled walk must abort");
+        assert!(matches!(err, MheError::Cancelled), "{err}");
+        // The scope restored: the same thread walks normally afterwards,
+        // reusing whatever the cancelled attempt already warmed.
+        assert!(walk_icache(&eval, &space.icache, 1.5, &db).is_ok());
     }
 
     #[test]

@@ -39,7 +39,7 @@ MHE_EVENTS=60000 cargo run --release -q -p mhe-bench --bin policy_matrix
 echo "==> fault-injection suite (panic isolation, corrupt input, checkpoint resume)"
 cargo test -q -p mhe --test fault_injection
 
-echo "==> bench_snapshot (throughput floors, daemon warm >=10x cold, results/BENCH_8.json)"
+echo "==> bench_snapshot (throughput floors, fleet speedup, eviction/cancel costs, results/BENCH_{8,9,10}.json)"
 cargo run --release -q -p mhe-bench --bin bench_snapshot
 
 echo "==> kill-and-resume smoke (SIGKILL mid-run, resume, diff frontiers)"
@@ -53,5 +53,14 @@ timeout 300 ./scripts/fleet_smoke.sh
 
 echo "==> distributed walk differential suite (1/2/4 workers vs batch bytes, steal, dead coordinator; budget: 300 s wall)"
 timeout 300 cargo test -q --release -p mhe --test distributed_walk
+
+echo "==> survivable-service suite (session TTL/LRU bounds, cancellation, auth, persistence; budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test survivable_service
+
+echo "==> network chaos suite (frame faults, seeded chaos, fleet handoff under faults; budget: 300 s wall)"
+timeout 300 cargo test -q --release -p mhe --test chaos_net
+
+echo "==> chaos smoke (auth gate, client SIGKILL mid-request, coordinator SIGKILL + standby resume; budget: 300 s)"
+timeout 300 ./scripts/chaos_smoke.sh
 
 echo "==> ci.sh: all checks passed"

@@ -103,8 +103,9 @@ pub mod prelude {
     pub use mhe_spacewalk::{
         run_worker, walk_heuristic, walk_memory, walk_system, walk_system_with, CacheDesign,
         CacheSpace, Checkpointer, Client, ClientBuilder, Coordinator, EvalService, EvaluationCache,
-        FleetConfig, FleetJob, MemoryPoint, MetricKey, ParetoSet, PreparedWorker, Server,
-        ServiceLimits, SystemPoint, SystemSpace, WorkerOptions,
+        FleetConfig, FleetJob, HaltHandle, MemoryPoint, MetricKey, ParetoSet, PreparedWorker,
+        RetrySchedule, Server, ServiceConfig, ServiceLimits, SystemPoint, SystemSpace,
+        WorkerOptions,
     };
     pub use mhe_trace::{Access, StreamKind, TraceGenerator};
     pub use mhe_vliw::{Mdes, ProcessorKind};
